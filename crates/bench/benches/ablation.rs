@@ -1,0 +1,110 @@
+//! Ablations of the design choices DESIGN.md calls out: which model
+//! mechanism produces which feature of the paper's results. Prints an
+//! ablation table (what the headline numbers become when a mechanism is
+//! removed or perturbed), then measures the perturbed-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghr_bench::machine;
+use ghr_core::{
+    case::Case,
+    corun::{run_corun, AllocSite, CorunConfig},
+    reduction::ReductionSpec,
+    report::Table,
+};
+use ghr_gpusim::{calibrate, GpuModel, GpuModelParams};
+use ghr_machine::GpuSpec;
+use ghr_types::Bandwidth;
+use std::hint::black_box;
+
+/// Table-1 regime under a perturbed GPU model.
+fn table1_pair(params: GpuModelParams) -> (f64, f64) {
+    let model = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), params);
+    let base = model
+        .bandwidth(&calibrate::baseline_launch(1))
+        .unwrap()
+        .as_gbps();
+    let opt = model
+        .bandwidth(&calibrate::optimized_launch(1))
+        .unwrap()
+        .as_gbps();
+    (base, opt)
+}
+
+fn print_gpu_ablation() {
+    eprintln!("\n=== GPU-model ablation (C1 baseline / optimized GB/s) ===");
+    let mut t = Table::new(["ablation", "base GB/s", "opt GB/s", "speedup"]);
+    let mut row = |label: &str, p: GpuModelParams| {
+        let (b, o) = table1_pair(p);
+        t.row([
+            label.to_string(),
+            format!("{b:.0}"),
+            format!("{o:.0}"),
+            format!("{:.2}", o / b),
+        ]);
+    };
+    row("fitted (shipped defaults)", GpuModelParams::default());
+
+    let mut p = GpuModelParams::default();
+    p.team_overhead_ns = 0.0;
+    p.combine_ns_i32 = 0.0;
+    row("no per-team overhead", p);
+
+    let mut p = GpuModelParams::default();
+    p.mlp_factor = 10.0;
+    row("unlimited memory concurrency", p);
+
+    let mut p = GpuModelParams::default();
+    p.instr_base = 0.0;
+    row("free loop overhead", p);
+
+    let mut p = GpuModelParams::default();
+    p.hbm_efficiency_4b = 1.0;
+    row("ideal HBM streaming", p);
+    eprint!("{}", t.to_markdown());
+}
+
+fn print_corun_ablation() {
+    eprintln!("\n=== co-run ablation (C1 optimized A1: peak speedup over GPU-only) ===");
+    let mut t = Table::new(["ablation", "peak speedup", "cpu-only GB/s"]);
+    let spec = ReductionSpec::optimized_paper(Case::C1);
+    let mut row = |label: &str, m: ghr_machine::MachineConfig| {
+        let s = run_corun(&m, &CorunConfig::paper(Case::C1, spec.kind, AllocSite::A1)).unwrap();
+        t.row([
+            label.to_string(),
+            format!("{:.3}", s.peak_speedup_over_gpu_only()),
+            format!("{:.0}", s.cpu_only_gbps()),
+        ]);
+    };
+    row("fitted (shipped defaults)", machine());
+
+    let mut m = machine();
+    m.link.migration.counter_migration_bw = Bandwidth::gbps(120.0);
+    row("10x faster page migration", m);
+
+    let mut m = machine();
+    m.link.cpu_reads_gpu_mem = Bandwidth::gbps(450.0);
+    row("full-rate CPU reads of HBM", m);
+
+    let mut m = machine();
+    m.link.gpu_reads_cpu_mem = Bandwidth::gbps(100.0);
+    row("slow GPU remote reads", m);
+    eprint!("{}", t.to_markdown());
+}
+
+fn bench(c: &mut Criterion) {
+    print_gpu_ablation();
+    print_corun_ablation();
+
+    // Measure model evaluation under a perturbed parameter set (the
+    // ablation costs exactly what the fitted model costs).
+    let mut p = GpuModelParams::default();
+    p.mlp_factor = 10.0;
+    let model = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), p);
+    let launch = calibrate::optimized_launch(1);
+    c.bench_function("ablated_model_eval", |b| {
+        b.iter(|| black_box(model.reduce(&launch).unwrap().total))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Real CPU reduction kernels (the loop bodies of Listings 1 and 5),
+//! measured for real on the build host with throughput reporting.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ghr_bench::{bytes_of, data};
+use ghr_parallel::{
+    parallel_sum_unrolled, sum_kahan, sum_pairwise, sum_sequential, sum_unrolled, ChunkPolicy,
+};
+use std::hint::black_box;
+
+const N: usize = 4 << 20; // 4 Mi elements
+
+fn bench_unrolled(c: &mut Criterion) {
+    let i32s: Vec<i32> = data(N);
+    let f64s: Vec<f64> = data(N);
+    let i8s: Vec<i8> = data(4 * N);
+
+    let mut g = c.benchmark_group("sum_unrolled");
+    g.throughput(Throughput::Bytes(bytes_of::<i32>(N)));
+    g.bench_function("i32_sequential", |b| {
+        b.iter(|| black_box(sum_sequential(&i32s)))
+    });
+    for v in [2usize, 4, 8, 32] {
+        g.bench_function(format!("i32_v{v}"), |b| {
+            b.iter(|| black_box(sum_unrolled(&i32s, v)))
+        });
+    }
+    g.throughput(Throughput::Bytes(bytes_of::<i8>(4 * N)));
+    for v in [1usize, 32] {
+        g.bench_function(format!("i8_to_i64_v{v}"), |b| {
+            b.iter(|| black_box(sum_unrolled(&i8s, v)))
+        });
+    }
+    g.throughput(Throughput::Bytes(bytes_of::<f64>(N)));
+    g.bench_function("f64_v8", |b| b.iter(|| black_box(sum_unrolled(&f64s, 8))));
+    g.finish();
+}
+
+fn bench_accurate(c: &mut Criterion) {
+    let f64s: Vec<f64> = data(N);
+    let mut g = c.benchmark_group("accurate_sums");
+    g.throughput(Throughput::Bytes(bytes_of::<f64>(N)));
+    g.bench_function("kahan", |b| b.iter(|| black_box(sum_kahan(&f64s))));
+    g.bench_function("pairwise", |b| b.iter(|| black_box(sum_pairwise(&f64s))));
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let i32s: Vec<i32> = data(4 * N);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut g = c.benchmark_group("parallel_sum");
+    g.throughput(Throughput::Bytes(bytes_of::<i32>(4 * N)));
+    for t in [1usize, 2, threads] {
+        g.bench_function(format!("i32_threads{t}"), |b| {
+            b.iter(|| black_box(parallel_sum_unrolled(&i32s, t, 8, ChunkPolicy::Static)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_unrolled, bench_accurate, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 1a–1d: regenerate the (teams x V) bandwidth matrices and measure
+//! the sweep evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghr_bench::runtime;
+use ghr_core::{case::Case, sweep::GpuSweep};
+use std::hint::black_box;
+
+fn print_figures() {
+    let rt = runtime();
+    for case in Case::ALL {
+        let r = GpuSweep::paper(case).run(&rt).expect("sweep");
+        eprintln!(
+            "\n=== Fig. 1 panel for {case} ({}) — GB/s ===",
+            case.signature()
+        );
+        eprint!("{}", r.to_table().to_markdown());
+        let best = r.best();
+        eprintln!(
+            "best: {:.0} GB/s at teams={} v={}",
+            best.gbps, best.teams_axis, best.v
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+    let rt = runtime();
+    let mut g = c.benchmark_group("fig1_sweep");
+    for case in Case::ALL {
+        g.bench_function(format!("sweep_{}", case.label().to_ascii_lowercase()), |b| {
+            let sweep = GpuSweep::paper(case);
+            b.iter(|| black_box(sweep.run(&rt).unwrap().points.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! # ghr-bench
+//!
+//! Shared helpers for the Criterion benchmark harness. Each bench target
+//! regenerates one of the paper's artifacts (printing the same rows/series
+//! the paper reports) and then measures the relevant code path:
+//!
+//! | target | paper artifact | measured path |
+//! |--------|----------------|---------------|
+//! | `fig1_sweep` | Fig. 1a–1d | full (teams x V) sweep evaluation |
+//! | `table1` | Table 1 | baseline + optimized model evaluation |
+//! | `corun` | Figs. 2/3/4/5 | co-execution page-sim + pricing |
+//! | `cpu_kernels` | Listing 1/5 loop bodies | real CPU reduction kernels |
+//! | `substrates` | — | UM page walks, executor, model throughput |
+//! | `ablation` | DESIGN.md ablations | model under perturbed parameters |
+
+#![warn(missing_docs)]
+
+use ghr_machine::MachineConfig;
+use ghr_omp::OmpRuntime;
+use ghr_types::Element;
+
+/// The paper's machine.
+pub fn machine() -> MachineConfig {
+    MachineConfig::gh200()
+}
+
+/// A separate-memory runtime over the paper's machine.
+pub fn runtime() -> OmpRuntime {
+    OmpRuntime::new(machine())
+}
+
+/// Deterministic test data for the real-kernel benches.
+pub fn data<T: Element>(n: usize) -> Vec<T> {
+    (0..n as u64).map(T::from_index).collect()
+}
+
+/// Bytes processed by a slice of `T`, for Criterion throughput reporting.
+pub fn bytes_of<T>(n: usize) -> u64 {
+    (n * std::mem::size_of::<T>()) as u64
+}

@@ -1,0 +1,592 @@
+//! `ghr` — regenerate any table or figure of the paper from the command
+//! line.
+//!
+//! ```text
+//! ghr table1 [--compare]        Table 1 (baseline vs optimized)
+//! ghr fig1 <c1|c2|c3|c4> [--csv]  Fig. 1 panel for one case
+//! ghr fig2a|fig2b|fig4a|fig4b   co-execution series (all four cases)
+//! ghr fig3|fig5                 optimized/baseline speedups per p
+//! ghr summary                   Section IV aggregate numbers vs the paper
+//! ghr autotune                  tuned (teams, V) per case
+//! ghr verify [m]                functional verification at m elements
+//! ghr calibrate [sweeps]        re-fit the GPU model against Table 1
+//! ghr machine                   print the simulated node description
+//! ghr all <dir>                 write every artifact as markdown into dir
+//! ```
+
+use ghr_core::{
+    accuracy::accuracy_study,
+    autotune::autotune,
+    case::Case,
+    corun::{run_corun, AllocSite, CorunConfig},
+    plot::AsciiChart,
+    reduction::{KernelKind, ReductionSpec},
+    report::{fmt_gbps, fmt_speedup, Table},
+    sched::{compare_policies, comparison_table},
+    study::run_full_study,
+    sweep::GpuSweep,
+    table1::table1,
+    verify,
+};
+use ghr_gpusim::calibrate;
+use ghr_machine::MachineConfig;
+use ghr_omp::OmpRuntime;
+use std::fmt::Write as _;
+
+
+pub fn usage() -> &'static str {
+    "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
+whatif|sensitivity|explain|verify|calibrate|machine|all> [args]\n\
+     co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
+     run `ghr help` or see the crate docs for details"
+}
+
+pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
+    let machine = MachineConfig::gh200();
+    match cmd {
+        "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
+        "machine" => cmd_machine(&machine),
+        "table1" => cmd_table1(&machine, rest.iter().any(|a| a == "--compare")),
+        "fig1" => {
+            let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
+            cmd_fig1(
+                &machine,
+                case,
+                rest.iter().any(|a| a == "--csv"),
+                wants_plot(rest),
+            )
+        }
+        "fig2a" => cmd_corun_fig(&machine, AllocSite::A1, false, rest),
+        "fig2b" => cmd_corun_fig(&machine, AllocSite::A1, true, rest),
+        "fig4a" => cmd_corun_fig(&machine, AllocSite::A2, false, rest),
+        "fig4b" => cmd_corun_fig(&machine, AllocSite::A2, true, rest),
+        "sched" => {
+            let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
+            cmd_sched(&machine, case)
+        }
+        "accuracy" => cmd_accuracy(),
+        "explain" => cmd_explain(&machine, rest),
+        "whatif" => cmd_whatif(&machine),
+        "sensitivity" => cmd_sensitivity(),
+        "fig3" => cmd_speedup_fig(&machine, AllocSite::A1),
+        "fig5" => cmd_speedup_fig(&machine, AllocSite::A2),
+        "summary" => cmd_summary(&machine),
+        "autotune" => cmd_autotune(&machine),
+        "verify" => {
+            let m = match rest.first() {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad element count {s:?}"))?,
+                None => 1_000_000,
+            };
+            cmd_verify(&machine, m)
+        }
+        "calibrate" => {
+            let sweeps = match rest.first() {
+                Some(s) => s
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad sweep count {s:?}"))?,
+                None => 40,
+            };
+            cmd_calibrate(sweeps)
+        }
+        "all" => {
+            let dir = rest
+                .first()
+                .ok_or_else(|| "`ghr all` needs an output directory".to_string())?;
+            cmd_all(&machine, dir)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn wants_plot(rest: &[String]) -> bool {
+    rest.iter().any(|a| a == "--plot")
+}
+
+fn parse_case(s: &str) -> Result<Case, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "c1" => Ok(Case::C1),
+        "c2" => Ok(Case::C2),
+        "c3" => Ok(Case::C3),
+        "c4" => Ok(Case::C4),
+        other => Err(format!("unknown case {other:?}; use c1..c4")),
+    }
+}
+
+fn cmd_machine(machine: &MachineConfig) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "CPU : {}", machine.cpu.name);
+    let _ = writeln!(
+        out,
+        "      {} cores @ {}, stream {}",
+        machine.cpu.cores, machine.cpu.clock, machine.cpu.mem_stream_bw
+    );
+    let _ = writeln!(out, "GPU : {}", machine.gpu.name);
+    let _ = writeln!(
+        out,
+        "      {} SMs @ {}, HBM peak {}",
+        machine.gpu.sm_count, machine.gpu.clock, machine.gpu.hbm_peak_bw
+    );
+    let _ = writeln!(out, "Link: {}", machine.link.name);
+    let _ = writeln!(
+        out,
+        "      GPU reads CPU mem {}, CPU reads GPU mem {}, migration {}",
+        machine.link.gpu_reads_cpu_mem,
+        machine.link.cpu_reads_gpu_mem,
+        machine.link.migration.counter_migration_bw
+    );
+    let _ = writeln!(out, "Page: {}", machine.page_size);
+    Ok(out)
+}
+
+fn cmd_table1(machine: &MachineConfig, compare: bool) -> Result<String, String> {
+    let rt = OmpRuntime::new(machine.clone());
+    let t = table1(&rt).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — baseline vs optimized sum reduction on the GPU (peak {} GB/s)\n",
+        t.peak_gbps
+    );
+    out.push_str(&t.to_table().to_markdown());
+    if compare {
+        let _ = writeln!(out, "\nComparison against the paper:\n");
+        out.push_str(&t.to_comparison_table().to_markdown());
+        let _ = writeln!(
+            out,
+            "\nmax relative error vs paper: {:.2}%",
+            t.max_relative_error() * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_fig1(
+    machine: &MachineConfig,
+    case: Case,
+    csv: bool,
+    plot: bool,
+) -> Result<String, String> {
+    let rt = OmpRuntime::new(machine.clone());
+    let r = GpuSweep::paper(case).run(&rt).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 1 ({case}, {}) — GB/s vs teams axis and V, thread_limit 256\n",
+        case.signature()
+    );
+    out.push_str(&if csv {
+        r.to_table().to_csv()
+    } else {
+        r.to_table().to_markdown()
+    });
+    if plot {
+        let markers = ['1', '2', '4', '8', 'a', 'b'];
+        let mut chart = AsciiChart::new(66, 16).log_x().labels("teams", "GB/s");
+        for (&v, m) in r.sweep.vs.iter().zip(markers) {
+            chart = chart.series(
+                m,
+                r.sweep
+                    .teams_axis
+                    .iter()
+                    .filter_map(|&t| r.gbps_at(t, v).map(|g| (t as f64, g))),
+            );
+        }
+        let _ = writeln!(out, "\n{}", chart.render());
+    }
+    let best = r.best();
+    let _ = writeln!(
+        out,
+        "\nbest: {} GB/s at teams={} v={}",
+        fmt_gbps(best.gbps),
+        best.teams_axis,
+        best.v
+    );
+    Ok(out)
+}
+
+fn corun_series(
+    machine: &MachineConfig,
+    case: Case,
+    alloc: AllocSite,
+    optimized: bool,
+) -> Result<ghr_core::corun::CorunSeries, String> {
+    corun_series_cfg(machine, case, alloc, optimized, false)
+}
+
+fn corun_series_cfg(
+    machine: &MachineConfig,
+    case: Case,
+    alloc: AllocSite,
+    optimized: bool,
+    advice: bool,
+) -> Result<ghr_core::corun::CorunSeries, String> {
+    let kind = if optimized {
+        ReductionSpec::optimized_paper(case).kind
+    } else {
+        KernelKind::Baseline
+    };
+    let mut cfg = CorunConfig::paper(case, kind, alloc);
+    if advice {
+        cfg = cfg.with_advice();
+    }
+    run_corun(machine, &cfg).map_err(|e| e.to_string())
+}
+
+fn cmd_corun_fig(
+    machine: &MachineConfig,
+    alloc: AllocSite,
+    optimized: bool,
+    rest: &[String],
+) -> Result<String, String> {
+    let plot = wants_plot(rest);
+    let advice = rest.iter().any(|a| a == "--advice");
+    let which = if optimized { "optimized" } else { "baseline" };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Co-execution in UM mode — {which} kernels, allocation at {alloc} (GB/s vs CPU part p){}\n",
+        if advice { " — with preferred-location advice" } else { "" }
+    );
+    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
+    let series: Vec<_> = Case::ALL
+        .into_iter()
+        .map(|c| corun_series_cfg(machine, c, alloc, optimized, advice))
+        .collect::<Result<_, _>>()?;
+    for i in 0..=10 {
+        let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
+        for s in &series {
+            row.push(fmt_gbps(s.points[i].gbps));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.to_markdown());
+    if plot {
+        let markers = ['1', '2', '3', '4'];
+        let mut chart = AsciiChart::new(66, 16).labels("p (CPU part)", "GB/s");
+        for (s, m) in series.iter().zip(markers) {
+            chart = chart.series(m, s.points.iter().map(|pt| (pt.p, pt.gbps)));
+        }
+        let _ = writeln!(out, "\n{}", chart.render());
+    }
+    let _ = writeln!(out, "\npeak speedup over GPU-only:");
+    for (case, s) in Case::ALL.into_iter().zip(&series) {
+        let _ = writeln!(
+            out,
+            "  {case}: {}x (peak {} GB/s at p={:.1})",
+            fmt_speedup(s.peak_speedup_over_gpu_only()),
+            fmt_gbps(s.peak().gbps),
+            s.peak().p
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_speedup_fig(machine: &MachineConfig, alloc: AllocSite) -> Result<String, String> {
+    let mut out = String::new();
+    let fig = if alloc == AllocSite::A1 { "Fig. 3" } else { "Fig. 5" };
+    let _ = writeln!(
+        out,
+        "{fig} — speedup of optimized over baseline co-execution, allocation at {alloc}\n"
+    );
+    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
+    let mut columns = Vec::new();
+    for case in Case::ALL {
+        let base = corun_series(machine, case, alloc, false)?;
+        let opt = corun_series(machine, case, alloc, true)?;
+        columns.push(opt.speedup_vs(&base));
+    }
+    for i in 0..=10 {
+        let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
+        for col in &columns {
+            row.push(fmt_speedup(col[i].1));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.to_markdown());
+    Ok(out)
+}
+
+fn cmd_summary(machine: &MachineConfig) -> Result<String, String> {
+    let study = run_full_study(machine).map_err(|e| e.to_string())?;
+    let sum = study.summary();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section IV aggregate quantities, paper vs this reproduction:\n"
+    );
+    out.push_str(&sum.to_comparison_table().to_markdown());
+    let _ = writeln!(out, "\nper-case peak speedups over GPU-only:");
+    let _ = writeln!(
+        out,
+        "  Fig 2a (baseline, A1): ours {:?} (paper [2.732, 2.246, 2.692, 2.297])",
+        sum.a1_base_peaks.map(|x| (x * 1000.0).round() / 1000.0)
+    );
+    let _ = writeln!(
+        out,
+        "  Fig 2b (optimized, A1): ours {:?} (paper [2.253, 3.385, 2.100, 2.197])",
+        sum.a1_opt_peaks.map(|x| (x * 1000.0).round() / 1000.0)
+    );
+    let _ = writeln!(
+        out,
+        "  Fig 4b (optimized, A2): ours {:?} (paper [1.139, 1.062, 1.050, 1.017])",
+        sum.a2_opt_peaks.map(|x| (x * 1000.0).round() / 1000.0)
+    );
+    Ok(out)
+}
+
+fn cmd_autotune(machine: &MachineConfig) -> Result<String, String> {
+    let rt = OmpRuntime::new(machine.clone());
+    let mut t = Table::new(["Case", "teams axis", "V", "GB/s", "paper V"]);
+    for case in Case::ALL {
+        let tuned = autotune(&rt, case).map_err(|e| e.to_string())?;
+        t.row([
+            case.label().to_string(),
+            tuned.teams_axis.to_string(),
+            tuned.v.to_string(),
+            fmt_gbps(tuned.gbps),
+            case.v_optimized().to_string(),
+        ]);
+    }
+    Ok(format!(
+        "Autotuned configurations (paper space: teams 128..65536, V 1..32):\n\n{}",
+        t.to_markdown()
+    ))
+}
+
+fn cmd_verify(machine: &MachineConfig, m: u64) -> Result<String, String> {
+    let rt = OmpRuntime::new(machine.clone());
+    let m = Case::C1.m_scaled(m);
+    let mut out = String::new();
+    let _ = writeln!(out, "functional verification at {m} elements:");
+    for case in Case::ALL {
+        for spec in [
+            ReductionSpec::baseline(case),
+            ReductionSpec::optimized_paper(case),
+        ] {
+            verify::verify_spec(&rt, &spec, m).map_err(|e| format!("{}: {e}", spec.label()))?;
+            let _ = writeln!(out, "  {:<40} ok", spec.label());
+        }
+        let spec = ReductionSpec::optimized_paper(case);
+        for p in [2u64, 5, 8] {
+            verify::verify_split(&rt, &spec, m, p, 10)
+                .map_err(|e| format!("{case} split p={p}/10: {e}"))?;
+        }
+        let _ = writeln!(out, "  {case} co-execution splits (p=0.2/0.5/0.8)    ok");
+    }
+    Ok(out)
+}
+
+fn cmd_sched(machine: &MachineConfig, case: Case) -> Result<String, String> {
+    // Scaled to ~40 MB so the chunk-granular policies stay responsive.
+    let outcomes =
+        compare_policies(machine, case, 10_000_000, 200).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "Co-scheduling policy comparison for {case} (extension beyond the paper;\n\
+         UM mode, array initialized on the CPU, optimized kernel, 200 reps):\n\n{}",
+        comparison_table(&outcomes).to_markdown()
+    ))
+}
+
+fn cmd_explain(machine: &MachineConfig, rest: &[String]) -> Result<String, String> {
+    let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
+    let p_index: u32 = rest
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad p index {s:?} (0..10)")))
+        .transpose()?
+        .unwrap_or(1);
+    let alloc = match rest.get(2).map(String::as_str) {
+        None | Some("a1") => AllocSite::A1,
+        Some("a2") => AllocSite::A2,
+        Some(other) => return Err(format!("unknown allocation site {other:?}")),
+    };
+    let kind = match rest.get(3).map(String::as_str) {
+        None | Some("opt") => ReductionSpec::optimized_paper(case).kind,
+        Some("base") => KernelKind::Baseline,
+        Some(other) => return Err(format!("unknown kernel {other:?} (base|opt)")),
+    };
+    let cfg = CorunConfig::paper(case, kind, alloc);
+    let e = ghr_core::explain::explain_corun_point(machine, &cfg, p_index)
+        .map_err(|x| x.to_string())?;
+    Ok(format!(
+        "Per-repetition trace for {case}, p={:.1}, {alloc} ({} warmup reps):\n\n{}",
+        e.p,
+        e.warmup_reps(),
+        e.to_table(8).to_markdown()
+    ))
+}
+
+fn cmd_whatif(machine: &MachineConfig) -> Result<String, String> {
+    let s = ghr_core::whatif::whatif_study(machine).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "What could the runtime recover without touching user code?\n\
+         (the paper: \"the heuristics may be further optimized\")\n\n{}\n\
+         Either runtime fix removes the team-pipeline bottleneck and lands on\n\
+         the V=1 concurrency ceiling; the remaining gap to the optimized row\n\
+         requires the paper's source-level V unrolling.\n",
+        s.to_table().to_markdown()
+    ))
+}
+
+fn cmd_accuracy() -> Result<String, String> {
+    let counts: Vec<u64> = (14..=24).step_by(2).map(|i| 1u64 << i).collect();
+    let study = accuracy_study(&counts).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "f32 summation error vs a Kahan f64 reference (units of eps x |sum|):\n\n{}\n\
+         The device's tree order beats the serial loop at scale — the paper's\n\
+         CPU-vs-GPU verification tolerance exists because of the *serial* error.\n",
+        study.to_table().to_markdown()
+    ))
+}
+
+fn cmd_sensitivity() -> Result<String, String> {
+    let sens = calibrate::sensitivity_analysis(
+        &ghr_machine::GpuSpec::h100_sxm_gh200(),
+        &ghr_gpusim::GpuModelParams::default(),
+        0.2,
+    );
+    let mut t = Table::new(["parameter", "err at -20%", "err at +20%"]);
+    let mut rows = sens;
+    rows.sort_by(|a, b| b.worst().total_cmp(&a.worst()));
+    let fmt_err = |e: f64| {
+        if e.is_finite() {
+            format!("{:.1}%", e * 100.0)
+        } else {
+            "out of domain".to_string()
+        }
+    };
+    for s in &rows {
+        t.row([s.field.to_string(), fmt_err(s.err_down), fmt_err(s.err_up)]);
+    }
+    Ok(format!(
+        "Sensitivity of the Table-1 fit to each fitted parameter\n\
+         (mean relative error after a +/-20% perturbation; shipped fit: 0.3%):\n\n{}\n\
+         Large numbers = the paper's data pins the parameter; small numbers =\n\
+         the eight observations barely constrain it.\n",
+        t.to_markdown()
+    ))
+}
+
+fn cmd_calibrate(sweeps: u32) -> Result<String, String> {
+    let spec = ghr_machine::GpuSpec::h100_sxm_gh200();
+    let start = ghr_gpusim::GpuModelParams::default();
+    let start_err = calibrate::mean_relative_error(
+        &ghr_gpusim::GpuModel::new(spec.clone()),
+        &calibrate::table1_observations(),
+    );
+    let fit = calibrate::fit(spec, start, sweeps);
+    Ok(format!(
+        "calibration against Table 1 ({} observations):\n\
+         \u{20}  shipped defaults: mean relative error {:.4}\n\
+         \u{20}  after {} evaluations ({sweeps} sweeps): {:.4}\n\
+         \u{20}  fitted params: {:#?}\n",
+        calibrate::table1_observations().len(),
+        start_err,
+        fit.evaluations,
+        fit.error,
+        fit.params
+    ))
+}
+
+fn cmd_all(machine: &MachineConfig, dir: &str) -> Result<String, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut written = Vec::new();
+    let save = |name: &str, content: String, written: &mut Vec<String>| -> Result<(), String> {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, content).map_err(|e| e.to_string())?;
+        written.push(path);
+        Ok(())
+    };
+    save("table1.md", cmd_table1(machine, true)?, &mut written)?;
+    for case in Case::ALL {
+        save(
+            &format!("fig1_{}.md", case.label().to_ascii_lowercase()),
+            cmd_fig1(machine, case, false, false)?,
+            &mut written,
+        )?;
+    }
+    let no_flags: Vec<String> = Vec::new();
+    save("fig2a.md", cmd_corun_fig(machine, AllocSite::A1, false, &no_flags)?, &mut written)?;
+    save("fig2b.md", cmd_corun_fig(machine, AllocSite::A1, true, &no_flags)?, &mut written)?;
+    save("fig3.md", cmd_speedup_fig(machine, AllocSite::A1)?, &mut written)?;
+    save("fig4a.md", cmd_corun_fig(machine, AllocSite::A2, false, &no_flags)?, &mut written)?;
+    save("fig4b.md", cmd_corun_fig(machine, AllocSite::A2, true, &no_flags)?, &mut written)?;
+    save("fig5.md", cmd_speedup_fig(machine, AllocSite::A2)?, &mut written)?;
+    save("summary.md", cmd_summary(machine)?, &mut written)?;
+    save("autotune.md", cmd_autotune(machine)?, &mut written)?;
+    save("sched.md", cmd_sched(machine, Case::C1)?, &mut written)?;
+    save("accuracy.md", cmd_accuracy()?, &mut written)?;
+    save("whatif.md", cmd_whatif(machine)?, &mut written)?;
+    save("sensitivity.md", cmd_sensitivity()?, &mut written)?;
+    Ok(format!(
+        "wrote {} files:\n  {}\n",
+        written.len(),
+        written.join("\n  ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_usage() {
+        let out = run("help", &[]).unwrap();
+        assert!(out.contains("usage: ghr"));
+        assert!(usage().contains("table1"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run("frobnicate", &[]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn case_parsing() {
+        assert_eq!(parse_case("C2").unwrap(), Case::C2);
+        assert_eq!(parse_case("c4").unwrap(), Case::C4);
+        assert!(parse_case("c5").is_err());
+    }
+
+    #[test]
+    fn machine_command_describes_the_node() {
+        let out = run("machine", &[]).unwrap();
+        assert!(out.contains("Grace"));
+        assert!(out.contains("H100"));
+        assert!(out.contains("NVLink-C2C"));
+    }
+
+    #[test]
+    fn table1_command_reproduces_paper() {
+        let out = run("table1", &["--compare".to_string()]).unwrap();
+        assert!(out.contains("| C2   | 172"));
+        assert!(out.contains("max relative error"));
+    }
+
+    #[test]
+    fn fig1_csv_flag_switches_format() {
+        let md = run("fig1", &["c1".to_string()]).unwrap();
+        assert!(!md.contains("log scale"));
+        let plotted = run("fig1", &["c1".to_string(), "--plot".to_string()]).unwrap();
+        assert!(plotted.contains("log scale"));
+        assert!(md.contains("| teams |"));
+        let csv = run("fig1", &["c1".to_string(), "--csv".to_string()]).unwrap();
+        assert!(csv.contains("teams,v1,v2"));
+    }
+
+    #[test]
+    fn verify_command_checks_all_cases() {
+        let out = run("verify", &["100000".to_string()]).unwrap();
+        assert_eq!(out.matches(" ok").count(), 12);
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        assert!(run("verify", &["not-a-number".to_string()]).is_err());
+        assert!(run("fig1", &["c9".to_string()]).is_err());
+        assert!(run("all", &[]).is_err());
+        assert!(run("explain", &["c1".to_string(), "42".to_string()]).is_err());
+    }
+}

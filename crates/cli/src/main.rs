@@ -1,0 +1,21 @@
+//! Thin binary wrapper over [`ghr_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1..];
+    match ghr_cli::run(cmd, rest) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", ghr_cli::usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Terminal (ASCII) charts for the figure series, so `ghr ... --plot`
+//! shows the paper's curves without leaving the terminal.
+
+/// A multi-series scatter/line chart rendered with ASCII characters.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    x_label: String,
+    y_label: String,
+}
+
+impl AsciiChart {
+    /// Create a chart canvas. `width`/`height` are the plot-area cell
+    /// counts (clamped to at least 16x8).
+    pub fn new(width: usize, height: usize) -> Self {
+        AsciiChart {
+            width: width.max(16),
+            height: height.max(8),
+            log_x: false,
+            series: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Use a logarithmic x axis (the Fig. 1 teams axis).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Add a series plotted with `marker`.
+    pub fn series(mut self, marker: char, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let pts: Vec<(f64, f64)> = points
+            .into_iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push((marker, pts));
+        self
+    }
+
+    fn x_of(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, y)| (self.x_of(x), y)))
+            .collect();
+        if all.is_empty() {
+            return String::from("(empty chart)\n");
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        // Start the y axis at zero for bandwidth-style charts.
+        if y0 > 0.0 {
+            y0 = 0.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, pts) in &self.series {
+            for &(x, y) in pts {
+                let fx = (self.x_of(x) - x0) / (x1 - x0);
+                let fy = (y - y0) / (y1 - y0);
+                let col = ((fx * (self.width - 1) as f64).round() as usize).min(self.width - 1);
+                let row = self.height
+                    - 1
+                    - ((fy * (self.height - 1) as f64).round() as usize).min(self.height - 1);
+                grid[row][col] = *marker;
+            }
+        }
+
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}\n", self.y_label));
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let y_val = y1 - (y1 - y0) * i as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{y_val:>9.0} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(self.width)));
+        let x_lo = if self.log_x { 2f64.powf(x0) } else { x0 };
+        let x_hi = if self.log_x { 2f64.powf(x1) } else { x1 };
+        out.push_str(&format!(
+            "{:>9}  {:<width$}\n",
+            "",
+            format!(
+                "{x_lo:.1} .. {x_hi:.1}  {}{}",
+                self.x_label,
+                if self.log_x { " (log scale)" } else { "" }
+            ),
+            width = self.width
+        ));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (m, _))| format!("{m} series{i}"))
+            .collect();
+        if self.series.len() > 1 {
+            out.push_str(&format!("{:>10} {}\n", "legend:", legend.join("  ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_extremes() {
+        let chart = AsciiChart::new(20, 10)
+            .labels("x", "y")
+            .series('o', [(0.0, 0.0), (10.0, 100.0)]);
+        let s = chart.render();
+        assert!(s.contains('o'));
+        // The max y label appears on the first plotted row.
+        assert!(s.lines().nth(1).unwrap().contains("100"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        assert_eq!(AsciiChart::new(20, 10).render(), "(empty chart)\n");
+        let only_nan = AsciiChart::new(20, 10).series('x', [(f64::NAN, 1.0)]);
+        assert_eq!(only_nan.render(), "(empty chart)\n");
+    }
+
+    #[test]
+    fn log_x_spreads_power_of_two_points() {
+        let s = AsciiChart::new(33, 8)
+            .log_x()
+            .series('*', (7..=16).map(|i| ((1u64 << i) as f64, i as f64)))
+            .render();
+        // Ten markers must land on ten distinct columns.
+        let marker_cols: std::collections::BTreeSet<usize> = s
+            .lines()
+            .filter_map(|l| l.find('*'))
+            .collect();
+        assert!(marker_cols.len() >= 5, "{s}");
+        assert!(s.contains("log scale"));
+    }
+
+    #[test]
+    fn multiple_series_get_a_legend() {
+        let s = AsciiChart::new(20, 8)
+            .series('a', [(0.0, 1.0)])
+            .series('b', [(1.0, 2.0)])
+            .render();
+        assert!(s.contains("legend:"));
+        assert!(s.contains("a series0"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = AsciiChart::new(20, 8).series('x', [(1.0, 5.0), (2.0, 5.0)]);
+        let rendered = s.render();
+        assert!(rendered.contains('x'));
+    }
+}

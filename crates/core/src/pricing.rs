@@ -1,0 +1,234 @@
+//! Shared pricing of co-executed repetition legs.
+//!
+//! Both the paper-replay harness ([`crate::corun`]) and the scheduling
+//! extension ([`crate::sched`]) need the same primitive: "the CPU streams
+//! bytes `[0, LenH)` and the GPU streams `[LenH, M)` of a unified-memory
+//! region — how long does each leg take?". The answer combines the byte
+//! classification from [`ghr_mem::UnifiedMemory`] with the machine's
+//! bandwidths and the two timing models.
+
+use ghr_cpusim::{CpuModel, CpuReduceBreakdown};
+use ghr_gpusim::{GpuKernelBreakdown, GpuModel};
+use ghr_machine::MachineConfig;
+use ghr_mem::{AccessOutcome, RegionId, UnifiedMemory};
+use ghr_types::{Bandwidth, Bytes, SimTime};
+
+/// Prices individual co-execution legs against a machine.
+#[derive(Debug, Clone)]
+pub struct LegPricer {
+    gpu: GpuModel,
+    cpu: CpuModel,
+    gpu_remote: Bandwidth,
+    cpu_remote: Bandwidth,
+    migrate_to_gpu: Bandwidth,
+    migrate_to_cpu: Bandwidth,
+    lpddr: Bandwidth,
+    cpu_stream: Bandwidth,
+}
+
+/// The priced outcome of one leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricedLeg {
+    /// Modelled wall time of the leg.
+    pub time: SimTime,
+    /// Byte classification the leg observed.
+    pub outcome: AccessOutcome,
+    /// Bytes this leg pulled from LPDDR5X (for the contention pipeline).
+    pub lpddr_bytes: Bytes,
+}
+
+impl PricedLeg {
+    /// A zero-length leg.
+    pub fn idle() -> Self {
+        PricedLeg {
+            time: SimTime::ZERO,
+            outcome: AccessOutcome::default(),
+            lpddr_bytes: Bytes::ZERO,
+        }
+    }
+}
+
+impl LegPricer {
+    /// Build a pricer for a machine with `cpu_threads` host threads.
+    pub fn new(machine: &MachineConfig, cpu_threads: u32) -> Self {
+        LegPricer {
+            gpu: GpuModel::new(machine.gpu.clone()),
+            cpu: CpuModel::new(machine.cpu.clone()),
+            gpu_remote: machine.link.gpu_reads_cpu_mem,
+            cpu_remote: machine.link.cpu_reads_gpu_mem,
+            migrate_to_gpu: machine.link.migration.counter_migration_bw,
+            migrate_to_cpu: machine.link.migration.fault_migration_bw,
+            lpddr: machine.cpu.mem_stream_bw,
+            cpu_stream: machine.cpu.stream_bw(cpu_threads),
+        }
+    }
+
+    /// The GPU timing model.
+    pub fn gpu_model(&self) -> &GpuModel {
+        &self.gpu
+    }
+
+    /// The CPU timing model.
+    pub fn cpu_model(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Stream a GPU leg over `[offset, offset+len)` of `rid` and price it.
+    /// `base` is the kernel breakdown for this leg's geometry with local
+    /// data (provides the compute/team/launch components and local rate).
+    pub fn gpu_leg(
+        &self,
+        um: &mut UnifiedMemory,
+        rid: RegionId,
+        offset: Bytes,
+        len: Bytes,
+        base: &GpuKernelBreakdown,
+    ) -> PricedLeg {
+        if len == Bytes::ZERO {
+            return PricedLeg::idle();
+        }
+        let outcome = um.gpu_access(rid, offset, len);
+        let local = outcome.local + outcome.populated;
+        let local_rate = base.roof_bw.min(base.concurrency_bw);
+        let remote_rate = self.gpu_remote.min(base.concurrency_bw);
+        let mem = local_rate.time_for(local)
+            + remote_rate.time_for(outcome.remote)
+            + self.migrate_to_gpu.time_for(outcome.migrated);
+        PricedLeg {
+            time: base.launch + mem.max(base.compute).max(base.team_pipeline),
+            outcome,
+            lpddr_bytes: outcome.remote + outcome.migrated,
+        }
+    }
+
+    /// Stream a CPU leg over `[offset, offset+len)` of `rid` and price it.
+    /// `base` is the CPU breakdown for this leg's element count over local
+    /// data (provides the compute and fork/join components).
+    pub fn cpu_leg(
+        &self,
+        um: &mut UnifiedMemory,
+        rid: RegionId,
+        offset: Bytes,
+        len: Bytes,
+        base: &CpuReduceBreakdown,
+    ) -> PricedLeg {
+        if len == Bytes::ZERO {
+            return PricedLeg::idle();
+        }
+        let outcome = um.cpu_access(rid, offset, len);
+        let local = outcome.local + outcome.populated;
+        let mem = self.cpu_stream.time_for(local)
+            + self.cpu_remote.time_for(outcome.remote)
+            + self.migrate_to_cpu.time_for(outcome.migrated);
+        PricedLeg {
+            time: mem.max(base.compute) + base.overhead,
+            outcome,
+            lpddr_bytes: local,
+        }
+    }
+
+    /// Combine two overlapping legs into a repetition time, with an
+    /// optional LPDDR5X-contention pipeline.
+    pub fn rep_time(&self, cpu: &PricedLeg, gpu: &PricedLeg, contention: bool) -> SimTime {
+        let mut rep = cpu.time.max(gpu.time);
+        if contention {
+            rep = rep.max(self.lpddr.time_for(cpu.lpddr_bytes + gpu.lpddr_bytes));
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_gpusim::LaunchConfig;
+    use ghr_types::DType;
+
+    fn setup() -> (MachineConfig, LegPricer, UnifiedMemory) {
+        let machine = MachineConfig::gh200();
+        let pricer = LegPricer::new(&machine, 72);
+        let um = UnifiedMemory::new(&machine);
+        (machine, pricer, um)
+    }
+
+    #[test]
+    fn idle_legs_cost_nothing() {
+        let (_, pricer, mut um) = setup();
+        let rid = um.alloc(Bytes::mib(1));
+        let base = pricer
+            .gpu_model()
+            .reduce(&LaunchConfig {
+                num_teams: 64,
+                threads_per_team: 256,
+                v: 4,
+                m: 1024,
+                elem: DType::I32,
+                acc: DType::I32,
+            })
+            .unwrap();
+        let leg = pricer.gpu_leg(&mut um, rid, Bytes::ZERO, Bytes::ZERO, &base);
+        assert_eq!(leg, PricedLeg::idle());
+        let cb = pricer.cpu_model().reduce_local(1024, DType::I32, 72);
+        let leg = pricer.cpu_leg(&mut um, rid, Bytes::ZERO, Bytes::ZERO, &cb);
+        assert_eq!(leg, PricedLeg::idle());
+    }
+
+    #[test]
+    fn remote_cpu_leg_is_slower_than_local() {
+        let (_, pricer, mut um) = setup();
+        let len = Bytes::mib(64);
+        let rid_local = um.alloc(len);
+        um.cpu_access(rid_local, Bytes::ZERO, len); // first touch on CPU
+        let rid_remote = um.alloc(len);
+        um.gpu_access(rid_remote, Bytes::ZERO, len); // first touch on GPU
+        let m = len.0 / 4;
+        let cb = pricer.cpu_model().reduce_local(m, DType::I32, 72);
+        let local = pricer.cpu_leg(&mut um, rid_local, Bytes::ZERO, len, &cb);
+        let remote = pricer.cpu_leg(&mut um, rid_remote, Bytes::ZERO, len, &cb);
+        assert!(remote.time > local.time);
+        assert_eq!(remote.outcome.remote, len);
+        assert_eq!(remote.lpddr_bytes, Bytes::ZERO);
+    }
+
+    #[test]
+    fn migration_dominates_the_first_gpu_pass() {
+        let (_, pricer, mut um) = setup();
+        let len = Bytes::mib(64);
+        let rid = um.alloc(len);
+        um.cpu_access(rid, Bytes::ZERO, len);
+        let launch = LaunchConfig {
+            num_teams: 16384,
+            threads_per_team: 256,
+            v: 4,
+            m: len.0 / 4,
+            elem: DType::I32,
+            acc: DType::I32,
+        };
+        let base = pricer.gpu_model().reduce(&launch).unwrap();
+        let first = pricer.gpu_leg(&mut um, rid, Bytes::ZERO, len, &base);
+        let second = pricer.gpu_leg(&mut um, rid, Bytes::ZERO, len, &base);
+        assert!(first.time.as_secs() > 5.0 * second.time.as_secs());
+        assert_eq!(first.outcome.migrated, len);
+        assert_eq!(second.outcome.local, len);
+    }
+
+    #[test]
+    fn contention_pipeline_binds_when_both_legs_hit_lpddr() {
+        let (_, pricer, _) = setup();
+        let cpu = PricedLeg {
+            time: SimTime::millis(1.0),
+            outcome: AccessOutcome::default(),
+            lpddr_bytes: Bytes::gib(1),
+        };
+        let gpu = PricedLeg {
+            time: SimTime::millis(1.0),
+            outcome: AccessOutcome::default(),
+            lpddr_bytes: Bytes::gib(1),
+        };
+        let without = pricer.rep_time(&cpu, &gpu, false);
+        let with = pricer.rep_time(&cpu, &gpu, true);
+        assert_eq!(without, SimTime::millis(1.0));
+        // 2 GiB through 450 GB/s ~ 4.8 ms.
+        assert!(with.as_secs() > 0.004);
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text report rendering (markdown tables and CSV) shared by the
+//! experiment drivers, the CLI, and EXPERIMENTS.md generation.
+
+/// A simple column-aligned markdown table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a column-aligned markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.headers {
+            debug_assert!(!cell.contains(','), "CSV cell contains a comma: {cell}");
+        }
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a bandwidth in the paper's unit with sensible precision.
+pub fn fmt_gbps(gbps: f64) -> String {
+    if gbps >= 100.0 {
+        format!("{gbps:.0}")
+    } else {
+        format!("{gbps:.1}")
+    }
+}
+
+/// Format a ratio (speedup) like the paper (three decimals).
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with one decimal.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(["Case", "GB/s"]);
+        t.row(["C1", "620"]).row(["C2", "172"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| Case | GB/s |"));
+        assert!(md.contains("| C1   | 620  |"));
+        assert!(md.lines().nth(1).unwrap().starts_with("|--"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gbps(3795.4), "3795");
+        assert_eq!(fmt_gbps(62.34), "62.3");
+        assert_eq!(fmt_speedup(6.1204), "6.120");
+        assert_eq!(fmt_pct(0.943), "94.3");
+    }
+}

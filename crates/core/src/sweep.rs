@@ -1,0 +1,240 @@
+//! The Fig. 1 parameter sweep: bandwidth as a function of the teams axis
+//! and the number of elements per loop iteration.
+
+use crate::case::Case;
+use crate::report::{fmt_gbps, Table};
+use ghr_omp::{OmpRuntime, TargetRegion};
+use ghr_types::Result;
+use serde::{Deserialize, Serialize};
+
+/// The paper's sweep: teams axis 128..65536 (powers of two), V 1..32
+/// (powers of two), thread_limit 256.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuSweep {
+    /// The evaluation case.
+    pub case: Case,
+    /// Teams-axis values (pre-division by V).
+    pub teams_axis: Vec<u64>,
+    /// V values.
+    pub vs: Vec<u32>,
+    /// `thread_limit` clause (paper: 256).
+    pub thread_limit: u32,
+    /// Element count (defaults to the paper's scale).
+    pub m: u64,
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Teams-axis value (the figure's x-axis).
+    pub teams_axis: u64,
+    /// Elements per iteration (the figure's series).
+    pub v: u32,
+    /// The paper's bandwidth metric.
+    pub gbps: f64,
+}
+
+/// The complete sweep result for one case (one of Fig. 1a–1d).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The sweep that produced this result.
+    pub sweep: GpuSweep,
+    /// All points, in (v-major, teams-minor) order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl GpuSweep {
+    /// The paper's parameter space for a case.
+    pub fn paper(case: Case) -> Self {
+        GpuSweep {
+            case,
+            teams_axis: (7..=16).map(|i| 1u64 << i).collect(), // 128..65536
+            vs: vec![1, 2, 4, 8, 16, 32],
+            thread_limit: 256,
+            m: case.m_paper(),
+        }
+    }
+
+    /// Same space at a reduced element count (for fast tests).
+    pub fn paper_scaled(case: Case, m: u64) -> Self {
+        GpuSweep {
+            m: case.m_scaled(m),
+            ..Self::paper(case)
+        }
+    }
+
+    /// Run the sweep against the runtime's GPU model.
+    pub fn run(&self, rt: &OmpRuntime) -> Result<SweepResult> {
+        let mut points = Vec::with_capacity(self.vs.len() * self.teams_axis.len());
+        for &v in &self.vs {
+            for &teams in &self.teams_axis {
+                let region = TargetRegion::optimized(teams, v)
+                    .with_thread_limit(self.thread_limit);
+                let b = rt.time_target_reduce(
+                    &region,
+                    self.m,
+                    self.case.elem(),
+                    self.case.acc(),
+                    None,
+                )?;
+                points.push(SweepPoint {
+                    teams_axis: teams,
+                    v,
+                    gbps: b.effective_bw.as_gbps(),
+                });
+            }
+        }
+        Ok(SweepResult {
+            sweep: self.clone(),
+            points,
+        })
+    }
+}
+
+impl SweepResult {
+    /// The bandwidth at a specific point, if it was swept.
+    pub fn gbps_at(&self, teams_axis: u64, v: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.teams_axis == teams_axis && p.v == v)
+            .map(|p| p.gbps)
+    }
+
+    /// The best point. Ties (within 0.1%) resolve to the smallest `V`,
+    /// then the smallest teams count — mirroring the paper's choice of the
+    /// smallest saturating configuration.
+    pub fn best(&self) -> &SweepPoint {
+        assert!(!self.points.is_empty(), "empty sweep");
+        let mut best = &self.points[0];
+        for p in &self.points[1..] {
+            if p.gbps > best.gbps * 1.001 {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// The highest bandwidth for a given `V` series.
+    pub fn best_for_v(&self, v: u32) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.v == v)
+            .max_by(|a, b| a.gbps.total_cmp(&b.gbps))
+    }
+
+    /// Smallest teams-axis value at which the given `V` series reaches
+    /// `frac` of its own plateau (the figure's "knee").
+    pub fn saturation_teams(&self, v: u32, frac: f64) -> Option<u64> {
+        let plateau = self.best_for_v(v)?.gbps;
+        self.points
+            .iter()
+            .filter(|p| p.v == v && p.gbps >= frac * plateau)
+            .map(|p| p.teams_axis)
+            .min()
+    }
+
+    /// Render as a markdown matrix: one row per teams-axis value, one
+    /// column per `V` (the shape of Fig. 1).
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["teams".to_string()];
+        headers.extend(self.sweep.vs.iter().map(|v| format!("v{v}")));
+        let mut t = Table::new(headers);
+        for &teams in &self.sweep.teams_axis {
+            let mut row = vec![teams.to_string()];
+            for &v in &self.sweep.vs {
+                row.push(
+                    self.gbps_at(teams, v)
+                        .map(fmt_gbps)
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            t.row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_machine::MachineConfig;
+
+    fn rt() -> OmpRuntime {
+        OmpRuntime::new(MachineConfig::gh200())
+    }
+
+    #[test]
+    fn paper_space_has_60_points() {
+        let s = GpuSweep::paper(Case::C1);
+        assert_eq!(s.teams_axis.len(), 10);
+        assert_eq!(s.teams_axis[0], 128);
+        assert_eq!(*s.teams_axis.last().unwrap(), 65536);
+        assert_eq!(s.vs.len(), 6);
+        let r = s.run(&rt()).unwrap();
+        assert_eq!(r.points.len(), 60);
+    }
+
+    #[test]
+    fn c1_best_is_v4_at_large_teams() {
+        let r = GpuSweep::paper(Case::C1).run(&rt()).unwrap();
+        let best = r.best();
+        assert_eq!(best.v, 4, "best point {best:?}");
+        assert!(best.teams_axis >= 4096);
+        assert!((best.gbps - 3795.0).abs() / 3795.0 < 0.02);
+    }
+
+    #[test]
+    fn c2_best_is_v32(){
+        let r = GpuSweep::paper(Case::C2).run(&rt()).unwrap();
+        let best = r.best();
+        assert_eq!(best.v, 32, "best point {best:?}");
+        assert!((best.gbps - 3596.0).abs() / 3596.0 < 0.02);
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_teams_for_each_v() {
+        let r = GpuSweep::paper(Case::C3).run(&rt()).unwrap();
+        for &v in &r.sweep.vs {
+            let series: Vec<f64> = r
+                .sweep
+                .teams_axis
+                .iter()
+                .map(|&t| r.gbps_at(t, v).unwrap())
+                .collect();
+            for w in series.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "v{v}: {series:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knee_positions_match_paper() {
+        let rt = rt();
+        let c1 = GpuSweep::paper(Case::C1).run(&rt).unwrap();
+        let knee_c1 = c1.saturation_teams(4, 0.9).unwrap();
+        assert!(
+            (2048..=8192).contains(&knee_c1),
+            "C1 v4 knee at {knee_c1} (paper: ~4096)"
+        );
+        let c2 = GpuSweep::paper(Case::C2).run(&rt).unwrap();
+        let knee_c2 = c2.saturation_teams(32, 0.9).unwrap();
+        assert!(knee_c2 >= 2 * knee_c1, "C2 knee {knee_c2} vs C1 {knee_c1}");
+    }
+
+    #[test]
+    fn table_rendering_has_all_rows() {
+        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000).run(&rt()).unwrap();
+        let t = r.to_table();
+        assert_eq!(t.len(), 10);
+        let md = t.to_markdown();
+        assert!(md.contains("v32"));
+        assert!(md.contains("65536"));
+    }
+
+    #[test]
+    fn gbps_at_missing_point_is_none() {
+        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000).run(&rt()).unwrap();
+        assert!(r.gbps_at(333, 4).is_none());
+        assert!(r.gbps_at(128, 3).is_none());
+    }
+}

@@ -1,0 +1,358 @@
+//! Calibration of the timing-model parameters against the paper's Table 1.
+//!
+//! The model has a handful of free parameters ([`GpuModelParams`]); this
+//! module defines the eight Table-1 observations as an objective and a
+//! deterministic pattern search (coordinate descent with multiplicative
+//! steps) that minimizes the mean relative error. The shipped defaults were
+//! produced by this fit; the `calibration_is_at_local_minimum` test keeps
+//! them honest, and `ghr calibrate` re-runs the search from scratch.
+
+use crate::launch::LaunchConfig;
+use crate::model::GpuModel;
+use crate::params::GpuModelParams;
+use ghr_machine::GpuSpec;
+use ghr_types::DType;
+
+/// One observed bandwidth from the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Label for reports, e.g. `"C2 baseline"`.
+    pub label: String,
+    /// The launch that produced it.
+    pub launch: LaunchConfig,
+    /// The paper's measured bandwidth in GB/s.
+    pub target_gbps: f64,
+}
+
+/// Number of elements in cases C1/C3/C4 (C2 uses four times as many).
+pub const M_PAPER: u64 = 1_048_576_000;
+
+/// The paper's baseline launch for a case, exactly as the NVHPC runtime
+/// sizes it (128 threads/team; grid = M/128 capped at `0xFFFFFF`).
+pub fn baseline_launch(case: usize) -> LaunchConfig {
+    let (elem, acc, m) = case_types(case);
+    let grid = (m / 128).min(0xFF_FFFF);
+    LaunchConfig {
+        num_teams: grid,
+        threads_per_team: 128,
+        v: 1,
+        m,
+        elem,
+        acc,
+    }
+}
+
+/// The paper's chosen optimized launch for a case (teams-axis 65536,
+/// V = 4 for C1/C3/C4 and 32 for C2, thread_limit 256).
+pub fn optimized_launch(case: usize) -> LaunchConfig {
+    let (elem, acc, m) = case_types(case);
+    let v = if case == 2 { 32 } else { 4 };
+    LaunchConfig {
+        num_teams: 65536 / v as u64,
+        threads_per_team: 256,
+        v,
+        m,
+        elem,
+        acc,
+    }
+}
+
+fn case_types(case: usize) -> (DType, DType, u64) {
+    match case {
+        1 => (DType::I32, DType::I32, M_PAPER),
+        2 => (DType::I8, DType::I64, 4 * M_PAPER),
+        3 => (DType::F32, DType::F32, M_PAPER),
+        4 => (DType::F64, DType::F64, M_PAPER),
+        _ => panic!("case must be 1..=4 (got {case})"),
+    }
+}
+
+/// The eight Table-1 observations.
+pub fn table1_observations() -> Vec<Observation> {
+    let base = [620.0, 172.0, 271.0, 526.0];
+    let opt = [3795.0, 3596.0, 3790.0, 3833.0];
+    let mut out = Vec::with_capacity(8);
+    for case in 1..=4 {
+        out.push(Observation {
+            label: format!("C{case} baseline"),
+            launch: baseline_launch(case),
+            target_gbps: base[case - 1],
+        });
+        out.push(Observation {
+            label: format!("C{case} optimized"),
+            launch: optimized_launch(case),
+            target_gbps: opt[case - 1],
+        });
+    }
+    out
+}
+
+/// Mean relative error (fraction) of a model over a set of observations.
+pub fn mean_relative_error(model: &GpuModel, obs: &[Observation]) -> f64 {
+    assert!(!obs.is_empty());
+    let mut total = 0.0;
+    for o in obs {
+        let got = model
+            .bandwidth(&o.launch)
+            .expect("observation launch is valid")
+            .as_gbps();
+        total += ((got - o.target_gbps) / o.target_gbps).abs();
+    }
+    total / obs.len() as f64
+}
+
+/// The tunable parameter fields exposed to the pattern search.
+const FIELDS: &[&str] = &[
+    "team_overhead_ns",
+    "combine_ns_i32",
+    "combine_ns_i64",
+    "combine_ns_f32",
+    "combine_ns_f64",
+    "instr_base",
+    "instr_per_add_i8",
+    "mlp_factor",
+    "hbm_efficiency_1b",
+    "hbm_efficiency_4b",
+    "hbm_efficiency_8b",
+];
+
+fn get_field(p: &GpuModelParams, name: &str) -> f64 {
+    match name {
+        "team_overhead_ns" => p.team_overhead_ns,
+        "combine_ns_i32" => p.combine_ns_i32,
+        "combine_ns_i64" => p.combine_ns_i64,
+        "combine_ns_f32" => p.combine_ns_f32,
+        "combine_ns_f64" => p.combine_ns_f64,
+        "instr_base" => p.instr_base,
+        "instr_per_add_i8" => p.instr_per_add_i8,
+        "mlp_factor" => p.mlp_factor,
+        "hbm_efficiency_1b" => p.hbm_efficiency_1b,
+        "hbm_efficiency_4b" => p.hbm_efficiency_4b,
+        "hbm_efficiency_8b" => p.hbm_efficiency_8b,
+        _ => panic!("unknown field {name}"),
+    }
+}
+
+fn set_field(p: &mut GpuModelParams, name: &str, value: f64) {
+    match name {
+        "team_overhead_ns" => p.team_overhead_ns = value,
+        "combine_ns_i32" => p.combine_ns_i32 = value,
+        "combine_ns_i64" => p.combine_ns_i64 = value,
+        "combine_ns_f32" => p.combine_ns_f32 = value,
+        "combine_ns_f64" => p.combine_ns_f64 = value,
+        "instr_base" => p.instr_base = value,
+        "instr_per_add_i8" => p.instr_per_add_i8 = value,
+        "mlp_factor" => p.mlp_factor = value,
+        "hbm_efficiency_1b" => p.hbm_efficiency_1b = value,
+        "hbm_efficiency_4b" => p.hbm_efficiency_4b = value,
+        "hbm_efficiency_8b" => p.hbm_efficiency_8b = value,
+        _ => panic!("unknown field {name}"),
+    }
+}
+
+/// Result of a calibration run.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The best parameters found.
+    pub params: GpuModelParams,
+    /// Mean relative error of the best parameters.
+    pub error: f64,
+    /// Objective evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Deterministic coordinate pattern search: for each tunable field try
+/// multiplying by `(1 ± step)`; keep improvements; shrink the step when a
+/// full sweep yields none. Runs until the step underflows `min_step` or
+/// `max_sweeps` is reached.
+pub fn fit(spec: GpuSpec, start: GpuModelParams, max_sweeps: u32) -> FitResult {
+    let obs = table1_observations();
+    let mut best = start;
+    let mut model = GpuModel::with_params(spec.clone(), best);
+    let mut best_err = mean_relative_error(&model, &obs);
+    let mut evaluations = 1u64;
+    let mut step = 0.2f64;
+    let min_step = 1e-4;
+
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for field in FIELDS {
+            let current = get_field(&best, field);
+            for dir in [1.0 + step, 1.0 - step] {
+                let mut cand = best;
+                set_field(&mut cand, field, current * dir);
+                if cand.validate().is_err() {
+                    continue;
+                }
+                model = GpuModel::with_params(spec.clone(), cand);
+                let err = mean_relative_error(&model, &obs);
+                evaluations += 1;
+                if err < best_err {
+                    best_err = err;
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < min_step {
+                break;
+            }
+        }
+    }
+    FitResult {
+        params: best,
+        error: best_err,
+        evaluations,
+    }
+}
+
+/// Sensitivity of the Table-1 fit to one parameter: the mean relative
+/// error after multiplying the field by `(1 - delta)` and `(1 + delta)`.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Field name.
+    pub field: &'static str,
+    /// Fit error with the field scaled down by `delta`.
+    pub err_down: f64,
+    /// Fit error with the field scaled up by `delta`.
+    pub err_up: f64,
+}
+
+impl Sensitivity {
+    /// The larger of the two perturbed errors — how much Table 1
+    /// constrains this parameter.
+    pub fn worst(&self) -> f64 {
+        self.err_down.max(self.err_up)
+    }
+}
+
+/// Perturb each tunable field of `params` by ±`delta` (relative) and
+/// report the resulting Table-1 fit error. Parameters whose perturbation
+/// barely moves the error are loosely constrained by the paper's data;
+/// the ones that blow up are the load-bearing constants.
+pub fn sensitivity_analysis(
+    spec: &GpuSpec,
+    params: &GpuModelParams,
+    delta: f64,
+) -> Vec<Sensitivity> {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let obs = table1_observations();
+    FIELDS
+        .iter()
+        .map(|field| {
+            let eval = |factor: f64| {
+                let mut p = *params;
+                set_field(&mut p, field, get_field(params, field) * factor);
+                if p.validate().is_err() {
+                    return f64::INFINITY;
+                }
+                mean_relative_error(&GpuModel::with_params(spec.clone(), p), &obs)
+            };
+            Sensitivity {
+                field,
+                err_down: eval(1.0 - delta),
+                err_up: eval(1.0 + delta),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_defaults_fit_table1_tightly() {
+        let model = GpuModel::new(GpuSpec::h100_sxm_gh200());
+        let err = mean_relative_error(&model, &table1_observations());
+        assert!(err < 0.01, "mean relative error {err:.4} >= 1%");
+    }
+
+    #[test]
+    fn pattern_search_does_not_regress_from_defaults() {
+        let spec = GpuSpec::h100_sxm_gh200();
+        let start = GpuModelParams::default();
+        let start_err =
+            mean_relative_error(&GpuModel::new(spec.clone()), &table1_observations());
+        let fit = fit(spec, start, 8);
+        assert!(fit.error <= start_err + 1e-12);
+        assert!(fit.params.validate().is_ok());
+        assert!(fit.evaluations > 1);
+    }
+
+    #[test]
+    fn pattern_search_recovers_from_a_perturbed_start() {
+        let spec = GpuSpec::h100_sxm_gh200();
+        let mut start = GpuModelParams::default();
+        start.team_overhead_ns *= 3.0;
+        start.combine_ns_f32 *= 0.3;
+        let start_err = mean_relative_error(
+            &GpuModel::with_params(spec.clone(), start),
+            &table1_observations(),
+        );
+        let fit = fit(spec, start, 40);
+        assert!(
+            fit.error < start_err * 0.5,
+            "fit {:.4} vs start {start_err:.4}",
+            fit.error
+        );
+        assert!(fit.error < 0.05, "fit error {:.4}", fit.error);
+    }
+
+    #[test]
+    fn observations_cover_all_cases() {
+        let obs = table1_observations();
+        assert_eq!(obs.len(), 8);
+        assert!(obs.iter().all(|o| o.launch.validate().is_ok()));
+        // C2's baseline grid is the profiled NVHPC cap.
+        let c2 = obs.iter().find(|o| o.label == "C2 baseline").unwrap();
+        assert_eq!(c2.launch.num_teams, 16_777_215);
+    }
+
+    #[test]
+    #[should_panic(expected = "case must be 1..=4")]
+    fn bad_case_panics() {
+        let _ = baseline_launch(5);
+    }
+
+    #[test]
+    fn sensitivity_identifies_the_load_bearing_parameters() {
+        let spec = GpuSpec::h100_sxm_gh200();
+        let sens = sensitivity_analysis(&spec, &GpuModelParams::default(), 0.2);
+        assert_eq!(sens.len(), FIELDS.len());
+        let worst_of = |name: &str| {
+            sens.iter()
+                .find(|s| s.field == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .worst()
+        };
+        // The per-team overhead and combine costs carry the baselines:
+        // ±20% must hurt the fit by several percent...
+        assert!(worst_of("team_overhead_ns") > 0.03);
+        assert!(worst_of("combine_ns_f32") > 0.02);
+        // ...while instr_base never binds in the eight observations (the
+        // baselines are team-pipeline-bound and the optimized kernels are
+        // memory-bound), so the fit barely notices it.
+        assert!(worst_of("instr_base") < worst_of("team_overhead_ns"));
+        // Every perturbation degrades (or at best maintains) the fit.
+        let base = mean_relative_error(
+            &GpuModel::new(GpuSpec::h100_sxm_gh200()),
+            &table1_observations(),
+        );
+        for s in &sens {
+            assert!(s.worst() >= base - 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn sensitivity_rejects_bad_delta() {
+        let _ = sensitivity_analysis(
+            &GpuSpec::h100_sxm_gh200(),
+            &GpuModelParams::default(),
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Functional executor: really computes the reduction with GPU semantics.
+//!
+//! The timing model says how long a kernel takes; this module says what it
+//! computes. It reproduces the combination order of the generated kernel:
+//!
+//! 1. the iteration space `0 .. M/V` is `distribute`d to teams in
+//!    contiguous blocks;
+//! 2. within a team, thread `j` executes iterations `j, j+T, j+2T, …` of
+//!    its block, accumulating `V` elements per iteration into a private
+//!    accumulator;
+//! 3. the team's thread accumulators are combined with a binary tree (the
+//!    shared-memory reduction);
+//! 4. team results are combined in team order;
+//! 5. the `M % V` tail elements are added serially at the end.
+//!
+//! For integer types the result is exactly the sequential sum; for floats
+//! it differs only by rounding (the property tests bound the deviation).
+
+use crate::launch::LaunchConfig;
+use ghr_types::{Accum, Element, GhrError, Result};
+
+/// Execute one offloaded **sum** reduction over `data` with the geometry
+/// in `cfg` (the paper's operator).
+///
+/// `data.len()` must equal `cfg.m` and `cfg.elem` must describe `T`.
+pub fn execute_reduction<T: Element>(data: &[T], cfg: &LaunchConfig) -> Result<T::Acc> {
+    execute_reduction_with(data, cfg, T::Acc::zero(), |a, b| a + b)
+}
+
+/// Execute one offloaded reduction with an arbitrary associative combiner
+/// and its identity (OpenMP supports `+`, `min`, `max`, … as
+/// reduction-identifiers; the combination *order* is the device's either
+/// way).
+pub fn execute_reduction_with<T: Element, F>(
+    data: &[T],
+    cfg: &LaunchConfig,
+    identity: T::Acc,
+    combine: F,
+) -> Result<T::Acc>
+where
+    F: Fn(T::Acc, T::Acc) -> T::Acc + Copy,
+{
+    cfg.validate()?;
+    if data.len() as u64 != cfg.m {
+        return Err(GhrError::invalid(
+            "m",
+            format!("launch says {} elements, slice has {}", cfg.m, data.len()),
+        ));
+    }
+    if T::DTYPE != cfg.elem {
+        return Err(GhrError::invalid(
+            "elem",
+            format!("launch says {}, slice element is {}", cfg.elem, T::DTYPE),
+        ));
+    }
+
+    let v = cfg.v as usize;
+    let t = cfg.threads_per_team as usize;
+    let n_iters = (cfg.m / cfg.v as u64) as usize;
+
+    // `distribute`: contiguous blocks of ceil(n_iters / num_teams)
+    // iterations per team; trailing teams may be empty.
+    let block = n_iters.div_ceil(cfg.num_teams.max(1) as usize).max(1);
+    let mut sum = identity;
+    let mut start = 0usize;
+    while start < n_iters {
+        let end = (start + block).min(n_iters);
+        sum = combine(sum, team_reduce::<T, F>(data, start..end, t, v, identity, combine));
+        start = end;
+    }
+
+    // Serial tail: elements not covered by the V-wide iteration space.
+    for &x in &data[n_iters * v..] {
+        sum = combine(sum, x.widen());
+    }
+    Ok(sum)
+}
+
+/// One team: threads stride the block, then a binary tree combines them.
+fn team_reduce<T: Element, F>(
+    data: &[T],
+    block: std::ops::Range<usize>,
+    threads: usize,
+    v: usize,
+    identity: T::Acc,
+    combine: F,
+) -> T::Acc
+where
+    F: Fn(T::Acc, T::Acc) -> T::Acc + Copy,
+{
+    let active = threads.min(block.len().max(1));
+    let mut accs: Vec<T::Acc> = vec![identity; active];
+    for (j, acc) in accs.iter_mut().enumerate() {
+        let mut iter = block.start + j;
+        while iter < block.end {
+            let base = iter * v;
+            let mut local = identity;
+            for &x in &data[base..base + v] {
+                local = combine(local, x.widen());
+            }
+            *acc = combine(*acc, local);
+            iter += threads;
+        }
+    }
+    tree_combine(&mut accs, identity, combine)
+}
+
+/// Binary-tree combination in the shared-memory-reduction order:
+/// `a[i] = op(a[i], a[i + width])` with halving width.
+fn tree_combine<A: Accum, F>(accs: &mut [A], identity: A, combine: F) -> A
+where
+    F: Fn(A, A) -> A + Copy,
+{
+    let mut n = accs.len();
+    if n == 0 {
+        return identity;
+    }
+    while n > 1 {
+        let half = n / 2;
+        for i in 0..half {
+            accs[i] = combine(accs[i], accs[n - half + i]);
+        }
+        n -= half;
+    }
+    accs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_types::DType;
+
+    fn cfg(num_teams: u64, threads: u32, v: u32, m: u64, elem: DType, acc: DType) -> LaunchConfig {
+        LaunchConfig {
+            num_teams,
+            threads_per_team: threads,
+            v,
+            m,
+            elem,
+            acc,
+        }
+    }
+
+    fn data_i32(n: usize) -> Vec<i32> {
+        (0..n as u64).map(<i32 as Element>::from_index).collect()
+    }
+
+    #[test]
+    fn matches_sequential_for_i32_across_geometries() {
+        let data = data_i32(100_000);
+        let expect: i32 = data.iter().sum();
+        for teams in [1u64, 2, 7, 64, 1000] {
+            for threads in [32u32, 128, 256] {
+                for v in [1u32, 4, 32] {
+                    let c = cfg(teams, threads, v, 100_000, DType::I32, DType::I32);
+                    assert_eq!(
+                        execute_reduction(&data, &c).unwrap(),
+                        expect,
+                        "teams={teams} threads={threads} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_tail_elements() {
+        // 1003 elements with V=4 leaves a 3-element tail.
+        let data = data_i32(1003);
+        let expect: i32 = data.iter().sum();
+        let c = cfg(4, 32, 4, 1003, DType::I32, DType::I32);
+        assert_eq!(execute_reduction(&data, &c).unwrap(), expect);
+    }
+
+    #[test]
+    fn widens_i8_to_i64() {
+        let data = vec![100i8; 10_000];
+        let c = cfg(8, 64, 8, 10_000, DType::I8, DType::I64);
+        assert_eq!(execute_reduction(&data, &c).unwrap(), 1_000_000i64);
+    }
+
+    #[test]
+    fn more_teams_than_iterations_is_fine() {
+        let data = data_i32(64);
+        let expect: i32 = data.iter().sum();
+        let c = cfg(1_000_000, 256, 1, 64, DType::I32, DType::I32);
+        assert_eq!(execute_reduction(&data, &c).unwrap(), expect);
+    }
+
+    #[test]
+    fn float_result_is_close_to_sequential() {
+        let data: Vec<f32> = (0..200_000u64).map(<f32 as Element>::from_index).collect();
+        let expect: f64 = data.iter().map(|&x| x as f64).sum();
+        let c = cfg(128, 256, 4, 200_000, DType::F32, DType::F32);
+        let got = execute_reduction(&data, &c).unwrap() as f64;
+        assert!((got - expect).abs() < 0.5, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let data = data_i32(10);
+        let c = cfg(1, 32, 1, 11, DType::I32, DType::I32);
+        assert!(execute_reduction(&data, &c).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_dtype() {
+        let data = data_i32(10);
+        let c = cfg(1, 32, 1, 10, DType::F32, DType::F32);
+        assert!(execute_reduction(&data, &c).is_err());
+    }
+
+    #[test]
+    fn tree_combine_orders() {
+        let add = |a: i64, b: i64| a + b;
+        let mut a = [1i64, 2, 3, 4, 5];
+        assert_eq!(tree_combine(&mut a, 0, add), 15);
+        let mut empty: [i64; 0] = [];
+        assert_eq!(tree_combine(&mut empty, 0, add), 0);
+        let mut one = [7i64];
+        assert_eq!(tree_combine(&mut one, 0, add), 7);
+    }
+
+    #[test]
+    fn min_and_max_reductions() {
+        let data: Vec<i32> = (0..10_000u64)
+            .map(|i| ((i * 37 + 11) % 5001) as i32 - 2500)
+            .collect();
+        let c = cfg(64, 128, 4, 10_000, DType::I32, DType::I32);
+        let got_min =
+            execute_reduction_with(&data, &c, i32::MAX, |a, b| a.min(b)).unwrap();
+        let got_max =
+            execute_reduction_with(&data, &c, i32::MIN, |a, b| a.max(b)).unwrap();
+        assert_eq!(got_min, *data.iter().min().unwrap());
+        assert_eq!(got_max, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn float_min_over_widened_elements() {
+        let data: Vec<f32> = (0..5000u64).map(|i| ((i % 100) as f32) - 50.0).collect();
+        let c = cfg(16, 64, 2, 5000, DType::F32, DType::F32);
+        let got =
+            execute_reduction_with(&data, &c, f32::INFINITY, |a, b| a.min(b)).unwrap();
+        assert_eq!(got, -50.0);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let data: Vec<f64> = (0..50_000u64).map(<f64 as Element>::from_index).collect();
+        let c = cfg(64, 128, 2, 50_000, DType::F64, DType::F64);
+        let a = execute_reduction(&data, &c).unwrap();
+        let b = execute_reduction(&data, &c).unwrap();
+        assert_eq!(a, b);
+    }
+}

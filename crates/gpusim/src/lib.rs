@@ -1,0 +1,44 @@
+//! # ghr-gpusim
+//!
+//! GPU kernel simulator for OpenMP-offloaded sum reductions, split into a
+//! **timing model** and a **functional executor**:
+//!
+//! * [`model::GpuModel`] — an analytic timing model of a
+//!   `target teams distribute parallel for reduction(+)` kernel. Modelled
+//!   mechanisms (each one produces a distinct feature of the paper's
+//!   Fig. 1 and Table 1):
+//!   * *memory concurrency* (Little's law): sustained DRAM bandwidth is
+//!     limited by the bytes the resident threads keep in flight, so
+//!     bandwidth rises with the number of teams and with `V` (elements per
+//!     loop iteration) until the device saturates — Fig. 1's knees;
+//!   * *instruction throughput*: OpenMP-outlined loop bodies carry heavy
+//!     per-iteration overhead which `V` amortizes — why C2 (`i8`) needs
+//!     `V = 32`;
+//!   * *per-team pipeline*: team prologue, intra-team tree reduction, and a
+//!     per-team combine whose cost depends on the accumulator type (integer
+//!     atomics aggregate in L2; floating-point atomics serialize) — why the
+//!     heuristic-sized baseline grids of millions of teams collapse to
+//!     620 / 172 / 271 / 526 GB/s in Table 1;
+//!   * *launch overhead* and the NVHPC grid-size cap (`0xFFFFFF`).
+//! * [`exec`] — a deterministic functional executor that really computes
+//!   the reduction with GPU semantics (contiguous `distribute` blocks per
+//!   team, threads striding the block, `V` private accumulators per thread,
+//!   intra-team binary tree, cross-team combine in team order), used to
+//!   verify every simulated experiment.
+//! * [`calibrate`] — fits the model's free parameters against the paper's
+//!   Table 1 (see EXPERIMENTS.md for the resulting residuals).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calibrate;
+pub mod exec;
+pub mod launch;
+pub mod model;
+pub mod occupancy;
+pub mod params;
+
+pub use exec::{execute_reduction, execute_reduction_with};
+pub use launch::LaunchConfig;
+pub use model::{GpuKernelBreakdown, GpuModel};
+pub use params::GpuModelParams;

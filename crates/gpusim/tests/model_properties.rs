@@ -1,0 +1,120 @@
+//! Property and structure tests of the GPU timing model across the whole
+//! launch space.
+
+use ghr_gpusim::{GpuModel, GpuModelParams, LaunchConfig};
+use ghr_machine::GpuSpec;
+use ghr_types::DType;
+use proptest::prelude::*;
+
+fn model() -> GpuModel {
+    GpuModel::new(GpuSpec::h100_sxm_gh200())
+}
+
+fn any_launch() -> impl Strategy<Value = LaunchConfig> {
+    (
+        1u64..20_000_000,
+        prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512), Just(1024)],
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16), Just(32)],
+        1u64..5_000_000_000,
+        prop_oneof![
+            Just((DType::I32, DType::I32)),
+            Just((DType::I8, DType::I64)),
+            Just((DType::F32, DType::F32)),
+            Just((DType::F64, DType::F64)),
+        ],
+    )
+        .prop_map(|(num_teams, threads_per_team, v, m, (elem, acc))| LaunchConfig {
+            num_teams,
+            threads_per_team,
+            v,
+            m,
+            elem,
+            acc,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The model never produces invalid time or bandwidth above peak.
+    #[test]
+    fn outputs_are_physical(cfg in any_launch()) {
+        let m = model();
+        let b = m.reduce(&cfg).unwrap();
+        prop_assert!(b.total.is_valid_span());
+        prop_assert!(b.memory.is_valid_span());
+        prop_assert!(b.compute.is_valid_span());
+        prop_assert!(b.team_pipeline.is_valid_span());
+        prop_assert!(b.effective_bw.as_gbps() > 0.0);
+        prop_assert!(b.effective_bw.as_gbps() <= m.spec().hbm_peak_bw.as_gbps() + 1e-9);
+        prop_assert!(b.total >= b.launch);
+    }
+
+    /// Doubling the elements never makes the kernel faster.
+    #[test]
+    fn monotone_in_m(cfg in any_launch()) {
+        let m = model();
+        let t1 = m.reduce(&cfg).unwrap().total;
+        let mut big = cfg;
+        big.m = cfg.m.saturating_mul(2);
+        let t2 = m.reduce(&big).unwrap().total;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// A lower supply roof never makes the kernel faster.
+    #[test]
+    fn supply_cap_is_monotone(cfg in any_launch(), cap_gbps in 10.0f64..4000.0) {
+        let m = model();
+        let free = m.reduce(&cfg).unwrap().total;
+        let capped = m
+            .reduce_with_supply(&cfg, Some(ghr_types::Bandwidth::gbps(cap_gbps)))
+            .unwrap()
+            .total;
+        prop_assert!(capped >= free);
+    }
+
+    /// Raising per-team overhead never speeds anything up.
+    #[test]
+    fn team_overhead_is_monotone(cfg in any_launch(), factor in 1.0f64..10.0) {
+        let base = model().reduce(&cfg).unwrap().total;
+        let mut params = GpuModelParams::default();
+        params.team_overhead_ns *= factor;
+        let slower = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), params)
+            .reduce(&cfg)
+            .unwrap()
+            .total;
+        prop_assert!(slower >= base);
+    }
+}
+
+#[test]
+fn the_paper_grid_is_fully_evaluable() {
+    // Every point of the paper's Fig. 1 parameter space must evaluate
+    // without error for all four cases.
+    let m = model();
+    let cases = [
+        (DType::I32, DType::I32, 1_048_576_000u64),
+        (DType::I8, DType::I64, 4_194_304_000),
+        (DType::F32, DType::F32, 1_048_576_000),
+        (DType::F64, DType::F64, 1_048_576_000),
+    ];
+    let mut evaluated = 0;
+    for (elem, acc, elems) in cases {
+        for i in 7..=16u32 {
+            for v in [1u32, 2, 4, 8, 16, 32] {
+                let cfg = LaunchConfig {
+                    num_teams: ((1u64 << i) / v as u64).max(1),
+                    threads_per_team: 256,
+                    v,
+                    m: elems,
+                    elem,
+                    acc,
+                };
+                let b = m.reduce(&cfg).unwrap();
+                assert!(b.effective_bw.as_gbps() > 10.0, "{cfg:?}");
+                evaluated += 1;
+            }
+        }
+    }
+    assert_eq!(evaluated, 4 * 10 * 6);
+}

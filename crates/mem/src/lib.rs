@@ -1,0 +1,39 @@
+//! # ghr-mem
+//!
+//! Page-granular unified-memory (UM) simulator for a hardware-coherent
+//! CPU–GPU node such as GH200.
+//!
+//! The paper's Section IV results (Figures 2–5) are *page-placement
+//! stories*: where the input array's pages live when the CPU part and the
+//! GPU part of the co-executed reduction stream over them decides every
+//! curve. This crate models exactly that:
+//!
+//! * **First touch**: a page is placed in the memory of the device that
+//!   touches it first (the paper's arrays are initialized on the CPU, so
+//!   pages start CPU-resident).
+//! * **GPU access-counter migration**: when the GPU streams over
+//!   CPU-resident pages, it first reads them remotely over NVLink-C2C;
+//!   after a configurable number of remote passes the driver migrates the
+//!   page to HBM (at the slow, driver-mediated migration rate). Migrated
+//!   pages stay in HBM.
+//! * **Coherent CPU remote access**: Grace cores read GPU-resident pages
+//!   cache-coherently over the link *without* migrating them back — this
+//!   asymmetry is why the paper's A1 CPU-only endpoint is slower than A2's.
+//!
+//! The simulator reports *traffic*, not time: each access returns an
+//! [`AccessOutcome`] classifying the bytes into local / remote / migrated,
+//! and the caller (the co-execution harness in `ghr-core`) prices the
+//! classes with the machine's bandwidths.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod page;
+pub mod region;
+pub mod traffic;
+pub mod um;
+
+pub use page::{PageState, Residency};
+pub use region::RegionId;
+pub use traffic::{AccessOutcome, TrafficStats};
+pub use um::{CpuAccessPolicy, MemAdvise, UnifiedMemory};

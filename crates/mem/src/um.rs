@@ -1,0 +1,618 @@
+//! The unified-memory state machine.
+
+use crate::page::{PageState, Residency};
+use crate::region::{Region, RegionId};
+use crate::traffic::{AccessOutcome, TrafficStats};
+use ghr_machine::MachineConfig;
+use ghr_types::{Bytes, Device};
+use std::collections::BTreeMap;
+
+/// `cudaMemAdvise`-style placement advice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemAdvise {
+    /// Pin the pages' preferred location: the driver will not migrate
+    /// them away from it (remote access instead) and moves them to it
+    /// eagerly on first access from that device.
+    PreferredLocation(Device),
+    /// Remove any preferred location.
+    ClearPreferred,
+}
+
+/// Policy for CPU accesses that hit GPU-resident pages.
+///
+/// On GH200 the Grace CPU reads HBM cache-coherently over NVLink-C2C, so the
+/// default is remote access with **no** migration back — the asymmetry the
+/// paper's A1 experiment exposes. `MigrateBack` models a driver policy that
+/// moves pages back to CPU memory after `passes` full remote passes
+/// (available for what-if ablations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuAccessPolicy {
+    /// Coherent remote access over the link; pages stay GPU-resident.
+    RemoteAccess,
+    /// Migrate a page back to CPU memory once the CPU has made this many
+    /// full remote passes over it.
+    MigrateBack {
+        /// Remote passes before the page moves back.
+        passes: f64,
+    },
+}
+
+/// Page-granular unified-memory simulator.
+///
+/// Allocations are virtual until first touch; accesses classify their bytes
+/// into local / remote / migrated / populated (see [`AccessOutcome`]) and
+/// mutate placement according to the machine's migration policy.
+#[derive(Debug, Clone)]
+pub struct UnifiedMemory {
+    page_size: Bytes,
+    /// Remote passes the GPU must make over a CPU-resident page before the
+    /// driver migrates it to HBM (access-counter threshold).
+    gpu_migrate_threshold: f64,
+    cpu_policy: CpuAccessPolicy,
+    next_id: u64,
+    regions: BTreeMap<RegionId, Region>,
+    stats: TrafficStats,
+    /// Per-CPU-page counter reuse: we store CPU remote passes in the same
+    /// counter field while a page is GPU resident (the two states are
+    /// mutually exclusive).
+    _private: (),
+}
+
+impl UnifiedMemory {
+    /// Build a UM system from a machine description. The GPU migration
+    /// threshold comes from the machine's [`ghr_machine::MigrationSpec`].
+    pub fn new(machine: &MachineConfig) -> Self {
+        UnifiedMemory {
+            page_size: machine.page_size,
+            gpu_migrate_threshold: machine.link.migration.counter_threshold_passes,
+            cpu_policy: CpuAccessPolicy::RemoteAccess,
+            next_id: 0,
+            regions: BTreeMap::new(),
+            stats: TrafficStats::default(),
+            _private: (),
+        }
+    }
+
+    /// Override the CPU access policy (default: coherent remote access).
+    pub fn set_cpu_policy(&mut self, policy: CpuAccessPolicy) {
+        self.cpu_policy = policy;
+    }
+
+    /// Override the GPU access-counter migration threshold (full passes of
+    /// remote reading before a page migrates to HBM).
+    pub fn set_gpu_migrate_threshold(&mut self, passes: f64) {
+        assert!(passes >= 0.0 && passes.is_finite());
+        self.gpu_migrate_threshold = passes;
+    }
+
+    /// Page size in use.
+    pub fn page_size(&self) -> Bytes {
+        self.page_size
+    }
+
+    /// Allocate `len` bytes of unified memory. Pages are unpopulated until
+    /// first touch.
+    pub fn alloc(&mut self, len: Bytes) -> RegionId {
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.insert(id, Region::new(len, self.page_size));
+        id
+    }
+
+    /// Free an allocation. Freeing an unknown id is a programming error.
+    pub fn free(&mut self, id: RegionId) {
+        self.regions
+            .remove(&id)
+            .unwrap_or_else(|| panic!("free of unknown region {id}"));
+    }
+
+    /// Length of an allocation.
+    pub fn len(&self, id: RegionId) -> Bytes {
+        self.region(id).len
+    }
+
+    /// Number of live allocations.
+    pub fn live_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether there are no live allocations.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Cumulative traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Stream over `[offset, offset+len)` from `device`. Returns the byte
+    /// classification; updates placement.
+    pub fn access(
+        &mut self,
+        device: Device,
+        id: RegionId,
+        offset: Bytes,
+        len: Bytes,
+    ) -> AccessOutcome {
+        match device {
+            Device::Host => self.cpu_access(id, offset, len),
+            Device::Gpu(_) => self.gpu_access(id, offset, len),
+        }
+    }
+
+    /// Stream over a range from the CPU (read or write — placement effects
+    /// are identical for the coherent path).
+    pub fn cpu_access(&mut self, id: RegionId, offset: Bytes, len: Bytes) -> AccessOutcome {
+        let threshold = match self.cpu_policy {
+            CpuAccessPolicy::RemoteAccess => f64::INFINITY,
+            CpuAccessPolicy::MigrateBack { passes } => passes,
+        };
+        let page_size = self.page_size;
+        let mut out = AccessOutcome::default();
+        let mut pages_moved = 0u64;
+        {
+            let region = self.region_mut(id);
+            let span = region.page_span(offset, len);
+            for idx in span.first..span.last {
+                let touched = span.overlap(idx);
+                let page = &mut region.pages[idx];
+                match page.residency {
+                    Residency::Untouched => {
+                        // First touch: populate at the preferred location
+                        // if advised, else in CPU memory.
+                        page.residency = page.preferred.unwrap_or(Residency::Cpu);
+                        page.gpu_remote_passes = 0.0;
+                        out.populated += touched;
+                    }
+                    Residency::Cpu => {
+                        out.local += touched;
+                    }
+                    Residency::Gpu => match page.preferred {
+                        // Pinned to the GPU: the CPU always reads remotely.
+                        Some(Residency::Gpu) => out.remote += touched,
+                        // Preferred on the CPU: migrate back eagerly.
+                        Some(Residency::Cpu) => {
+                            page.residency = Residency::Cpu;
+                            page.gpu_remote_passes = 0.0;
+                            out.migrated += touched;
+                            pages_moved += 1;
+                        }
+                        _ => {
+                            // Reuse the counter field for CPU remote passes
+                            // while the page is GPU-resident.
+                            page.gpu_remote_passes += touched.as_f64() / page_size.as_f64();
+                            if page.gpu_remote_passes >= threshold {
+                                page.residency = Residency::Cpu;
+                                page.gpu_remote_passes = 0.0;
+                                out.migrated += touched;
+                                pages_moved += 1;
+                            } else {
+                                out.remote += touched;
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        self.stats.migrated_to_cpu += page_size * pages_moved;
+        self.stats.pages_migrated += pages_moved;
+        self.stats.cpu_local += out.local + out.populated;
+        self.stats.cpu_remote += out.remote;
+        out
+    }
+
+    /// Stream over a range from the GPU. CPU-resident pages are read
+    /// remotely until the access-counter threshold is reached, then migrate
+    /// to HBM and stay there.
+    pub fn gpu_access(&mut self, id: RegionId, offset: Bytes, len: Bytes) -> AccessOutcome {
+        let threshold = self.gpu_migrate_threshold;
+        let page_size = self.page_size;
+        let mut out = AccessOutcome::default();
+        let mut pages_moved = 0u64;
+        {
+            let region = self.region_mut(id);
+            let span = region.page_span(offset, len);
+            for idx in span.first..span.last {
+                let touched = span.overlap(idx);
+                let page = &mut region.pages[idx];
+                match page.residency {
+                    Residency::Untouched => {
+                        // First touch from the GPU: populate at the
+                        // preferred location if advised, else in HBM.
+                        page.residency = page.preferred.unwrap_or(Residency::Gpu);
+                        page.gpu_remote_passes = 0.0;
+                        out.populated += touched;
+                    }
+                    Residency::Gpu => {
+                        out.local += touched;
+                    }
+                    Residency::Cpu => match page.preferred {
+                        // Pinned to the CPU: the GPU always reads remotely
+                        // (and the access counters stay quiet).
+                        Some(Residency::Cpu) => out.remote += touched,
+                        // Preferred on the GPU: migrate eagerly.
+                        Some(Residency::Gpu) => {
+                            page.residency = Residency::Gpu;
+                            page.gpu_remote_passes = 0.0;
+                            out.migrated += touched;
+                            pages_moved += 1;
+                        }
+                        _ => {
+                            page.gpu_remote_passes += touched.as_f64() / page_size.as_f64();
+                            if page.gpu_remote_passes >= threshold {
+                                page.residency = Residency::Gpu;
+                                page.gpu_remote_passes = 0.0;
+                                out.migrated += touched;
+                                pages_moved += 1;
+                            } else {
+                                out.remote += touched;
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        self.stats.migrated_to_gpu += page_size * pages_moved;
+        self.stats.pages_migrated += pages_moved;
+        self.stats.gpu_local += out.local + out.populated;
+        self.stats.gpu_remote += out.remote;
+        out
+    }
+
+    /// Explicitly migrate a byte range to a device (models
+    /// `cudaMemPrefetchAsync` / `omp target enter data` hints). Returns the
+    /// bytes actually moved (pages not already resident there).
+    pub fn prefetch(&mut self, device: Device, id: RegionId, offset: Bytes, len: Bytes) -> Bytes {
+        let page_size = self.page_size;
+        let target = match device {
+            Device::Host => Residency::Cpu,
+            Device::Gpu(_) => Residency::Gpu,
+        };
+        let mut moved = Bytes::ZERO;
+        let mut migrated_pages = 0u64;
+        let region = self.region_mut(id);
+        let span = region.page_span(offset, len);
+        for idx in span.first..span.last {
+            let page = &mut region.pages[idx];
+            if page.residency != target {
+                let from_populated = page.residency == Residency::Untouched;
+                page.residency = target;
+                page.gpu_remote_passes = 0.0;
+                if !from_populated {
+                    moved += page_size;
+                    migrated_pages += 1;
+                }
+            }
+        }
+        match target {
+            Residency::Gpu => self.stats.migrated_to_gpu += moved,
+            Residency::Cpu => self.stats.migrated_to_cpu += moved,
+            Residency::Untouched => unreachable!(),
+        }
+        self.stats.pages_migrated += migrated_pages;
+        moved
+    }
+
+    /// Apply `cudaMemAdvise`-style advice to a byte range.
+    pub fn advise(&mut self, id: RegionId, offset: Bytes, len: Bytes, advice: MemAdvise) {
+        let preferred = match advice {
+            MemAdvise::PreferredLocation(Device::Host) => Some(Residency::Cpu),
+            MemAdvise::PreferredLocation(Device::Gpu(_)) => Some(Residency::Gpu),
+            MemAdvise::ClearPreferred => None,
+        };
+        let region = self.region_mut(id);
+        let span = region.page_span(offset, len);
+        for idx in span.first..span.last {
+            region.pages[idx].preferred = preferred;
+        }
+    }
+
+    /// Page counts by residency: `(untouched, cpu, gpu)`.
+    pub fn residency_histogram(&self, id: RegionId) -> (u64, u64, u64) {
+        let mut h = (0u64, 0u64, 0u64);
+        for p in &self.region(id).pages {
+            match p.residency {
+                Residency::Untouched => h.0 += 1,
+                Residency::Cpu => h.1 += 1,
+                Residency::Gpu => h.2 += 1,
+            }
+        }
+        h
+    }
+
+    /// The residency of the page containing `offset`.
+    pub fn residency_at(&self, id: RegionId, offset: Bytes) -> Residency {
+        let region = self.region(id);
+        let idx = (offset.0 / self.page_size.0) as usize;
+        region.pages[idx].residency
+    }
+
+    /// Snapshot of all page states for a region (test/diagnostic helper).
+    pub fn pages(&self, id: RegionId) -> Vec<PageState> {
+        self.region(id).pages.clone()
+    }
+
+    /// Run-length view of a region's placement: `(residency, page_count)`
+    /// for each maximal run of equal residency, in address order. The
+    /// compact form the diagnostics print (a 4 GB array is 64k pages but
+    /// rarely more than a handful of runs).
+    pub fn residency_runs(&self, id: RegionId) -> Vec<(Residency, u64)> {
+        let mut runs: Vec<(Residency, u64)> = Vec::new();
+        for p in &self.region(id).pages {
+            match runs.last_mut() {
+                Some((r, n)) if *r == p.residency => *n += 1,
+                _ => runs.push((p.residency, 1)),
+            }
+        }
+        runs
+    }
+
+    fn region(&self, id: RegionId) -> &Region {
+        self.regions
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown region {id}"))
+    }
+
+    fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        self.regions
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown region {id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um() -> UnifiedMemory {
+        let mut machine = MachineConfig::gh200();
+        machine.page_size = Bytes(64); // small pages keep tests readable
+        let mut um = UnifiedMemory::new(&machine);
+        um.set_gpu_migrate_threshold(1.0);
+        um
+    }
+
+    #[test]
+    fn alloc_free_lifecycle() {
+        let mut um = um();
+        assert!(um.is_empty());
+        let a = um.alloc(Bytes(256));
+        let b = um.alloc(Bytes(128));
+        assert_eq!(um.live_regions(), 2);
+        assert_eq!(um.len(a), Bytes(256));
+        assert_eq!(um.len(b), Bytes(128));
+        um.free(a);
+        assert_eq!(um.live_regions(), 1);
+        um.free(b);
+        assert!(um.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown region")]
+    fn double_free_panics() {
+        let mut um = um();
+        let a = um.alloc(Bytes(64));
+        um.free(a);
+        um.free(a);
+    }
+
+    #[test]
+    fn cpu_first_touch_places_on_cpu() {
+        let mut um = um();
+        let r = um.alloc(Bytes(256));
+        let out = um.cpu_access(r, Bytes(0), Bytes(256));
+        assert_eq!(out.populated, Bytes(256));
+        assert_eq!(out.local, Bytes::ZERO);
+        assert_eq!(um.residency_histogram(r), (0, 4, 0));
+        // Second pass is all local.
+        let out = um.cpu_access(r, Bytes(0), Bytes(256));
+        assert_eq!(out.local, Bytes(256));
+    }
+
+    #[test]
+    fn gpu_first_touch_places_on_gpu() {
+        let mut um = um();
+        let r = um.alloc(Bytes(256));
+        let out = um.gpu_access(r, Bytes(0), Bytes(256));
+        assert_eq!(out.populated, Bytes(256));
+        assert_eq!(um.residency_histogram(r), (0, 0, 4));
+    }
+
+    #[test]
+    fn gpu_migrates_after_threshold_passes() {
+        let mut um = um();
+        um.set_gpu_migrate_threshold(2.0);
+        let r = um.alloc(Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(128)); // first touch on CPU
+
+        // Pass 1: remote, counters at 1.0 < 2.0.
+        let out = um.gpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.remote, Bytes(128));
+        assert_eq!(out.migrated, Bytes::ZERO);
+        assert_eq!(um.residency_histogram(r), (0, 2, 0));
+
+        // Pass 2: counters reach the threshold — pages migrate.
+        let out = um.gpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.migrated, Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 0, 2));
+
+        // Pass 3: local HBM.
+        let out = um.gpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.local, Bytes(128));
+        assert_eq!(um.stats().pages_migrated, 2);
+        assert_eq!(um.stats().migrated_to_gpu, Bytes(128));
+    }
+
+    #[test]
+    fn cpu_reads_gpu_pages_remotely_without_migration() {
+        let mut um = um();
+        let r = um.alloc(Bytes(128));
+        um.gpu_access(r, Bytes(0), Bytes(128)); // GPU first touch
+        for _ in 0..10 {
+            let out = um.cpu_access(r, Bytes(0), Bytes(128));
+            assert_eq!(out.remote, Bytes(128));
+        }
+        assert_eq!(um.residency_histogram(r), (0, 0, 2));
+        assert_eq!(um.stats().migrated_to_cpu, Bytes::ZERO);
+    }
+
+    #[test]
+    fn cpu_migrate_back_policy() {
+        let mut um = um();
+        um.set_cpu_policy(CpuAccessPolicy::MigrateBack { passes: 1.0 });
+        let r = um.alloc(Bytes(128));
+        um.gpu_access(r, Bytes(0), Bytes(128));
+        let out = um.cpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.migrated, Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 2, 0));
+    }
+
+    #[test]
+    fn partial_page_accesses_accumulate_passes() {
+        let mut um = um();
+        um.set_gpu_migrate_threshold(1.0);
+        let r = um.alloc(Bytes(64)); // one page
+        um.cpu_access(r, Bytes(0), Bytes(64));
+        // Half a page: counter at 0.5 — stays remote.
+        let out = um.gpu_access(r, Bytes(0), Bytes(32));
+        assert_eq!(out.remote, Bytes(32));
+        // Second half: counter reaches 1.0 — migrates.
+        let out = um.gpu_access(r, Bytes(32), Bytes(32));
+        assert_eq!(out.migrated, Bytes(32));
+        assert_eq!(um.residency_histogram(r), (0, 0, 1));
+    }
+
+    #[test]
+    fn prefetch_moves_only_nonresident_pages() {
+        let mut um = um();
+        let r = um.alloc(Bytes(256));
+        um.cpu_access(r, Bytes(0), Bytes(256));
+        // Move half to the GPU.
+        let moved = um.prefetch(Device::GPU0, r, Bytes(0), Bytes(128));
+        assert_eq!(moved, Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 2, 2));
+        // Prefetching again moves nothing.
+        let moved = um.prefetch(Device::GPU0, r, Bytes(0), Bytes(128));
+        assert_eq!(moved, Bytes::ZERO);
+        // Prefetch of untouched pages populates without counting as moved.
+        let r2 = um.alloc(Bytes(64));
+        let moved = um.prefetch(Device::GPU0, r2, Bytes(0), Bytes(64));
+        assert_eq!(moved, Bytes::ZERO);
+        assert_eq!(um.residency_histogram(r2), (0, 0, 1));
+    }
+
+    #[test]
+    fn outcome_totals_equal_requested_bytes() {
+        let mut um = um();
+        let r = um.alloc(Bytes(1000));
+        let out = um.cpu_access(r, Bytes(3), Bytes(500));
+        assert_eq!(out.total(), Bytes(500));
+        let out = um.gpu_access(r, Bytes(100), Bytes(333));
+        assert_eq!(out.total(), Bytes(333));
+    }
+
+    #[test]
+    fn access_dispatches_by_device() {
+        let mut um = um();
+        let r = um.alloc(Bytes(64));
+        um.access(Device::Host, r, Bytes(0), Bytes(64));
+        assert_eq!(um.residency_histogram(r), (0, 1, 0));
+        let r2 = um.alloc(Bytes(64));
+        um.access(Device::GPU0, r2, Bytes(0), Bytes(64));
+        assert_eq!(um.residency_histogram(r2), (0, 0, 1));
+    }
+
+    #[test]
+    fn residency_at_tracks_page_boundaries() {
+        let mut um = um();
+        let r = um.alloc(Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(64));
+        assert_eq!(um.residency_at(r, Bytes(0)), Residency::Cpu);
+        assert_eq!(um.residency_at(r, Bytes(64)), Residency::Untouched);
+    }
+
+    #[test]
+    fn residency_runs_compress_placement() {
+        let mut um = um();
+        let r = um.alloc(Bytes(64 * 8)); // 8 pages
+        um.cpu_access(r, Bytes(0), Bytes(64 * 8));
+        um.gpu_access(r, Bytes(64 * 3), Bytes(64 * 5)); // migrate last 5
+        assert_eq!(
+            um.residency_runs(r),
+            vec![(Residency::Cpu, 3), (Residency::Gpu, 5)]
+        );
+        let empty = um.alloc(Bytes(0));
+        assert!(um.residency_runs(empty).is_empty());
+        let fresh = um.alloc(Bytes(64 * 2));
+        assert_eq!(um.residency_runs(fresh), vec![(Residency::Untouched, 2)]);
+    }
+
+    #[test]
+    fn cpu_preferred_pages_never_migrate_to_gpu() {
+        let mut um = um();
+        let r = um.alloc(Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(128));
+        um.advise(r, Bytes(0), Bytes(128), MemAdvise::PreferredLocation(Device::Host));
+        for _ in 0..5 {
+            let out = um.gpu_access(r, Bytes(0), Bytes(128));
+            assert_eq!(out.remote, Bytes(128));
+        }
+        assert_eq!(um.residency_histogram(r), (0, 2, 0));
+    }
+
+    #[test]
+    fn gpu_preferred_pages_migrate_eagerly_and_stick() {
+        let mut um = um();
+        um.set_gpu_migrate_threshold(100.0); // counters would never fire
+        let r = um.alloc(Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(128));
+        um.advise(r, Bytes(0), Bytes(128), MemAdvise::PreferredLocation(Device::GPU0));
+        let out = um.gpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.migrated, Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 0, 2));
+        // CPU reads remotely; even MigrateBack policy respects the pin.
+        um.set_cpu_policy(CpuAccessPolicy::MigrateBack { passes: 1.0 });
+        let out = um.cpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(out.remote, Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 0, 2));
+    }
+
+    #[test]
+    fn first_touch_respects_preferred_location() {
+        let mut um = um();
+        let r = um.alloc(Bytes(128));
+        um.advise(r, Bytes(0), Bytes(64), MemAdvise::PreferredLocation(Device::GPU0));
+        // CPU first-touches both pages; the advised one lands in HBM.
+        um.cpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(um.residency_histogram(r), (0, 1, 1));
+        assert_eq!(um.residency_at(r, Bytes(0)), Residency::Gpu);
+        assert_eq!(um.residency_at(r, Bytes(64)), Residency::Cpu);
+    }
+
+    #[test]
+    fn clear_preferred_restores_counter_migration() {
+        let mut um = um();
+        let r = um.alloc(Bytes(64));
+        um.cpu_access(r, Bytes(0), Bytes(64));
+        um.advise(r, Bytes(0), Bytes(64), MemAdvise::PreferredLocation(Device::Host));
+        um.gpu_access(r, Bytes(0), Bytes(64));
+        assert_eq!(um.residency_at(r, Bytes(0)), Residency::Cpu);
+        um.advise(r, Bytes(0), Bytes(64), MemAdvise::ClearPreferred);
+        um.gpu_access(r, Bytes(0), Bytes(64)); // threshold 1 -> migrates now
+        assert_eq!(um.residency_at(r, Bytes(0)), Residency::Gpu);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate() {
+        let mut um = um();
+        let r = um.alloc(Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(128));
+        um.cpu_access(r, Bytes(0), Bytes(128));
+        um.gpu_access(r, Bytes(0), Bytes(128)); // migrates at threshold 1.0
+        assert_eq!(um.stats().cpu_local, Bytes(256));
+        assert_eq!(um.stats().migrated_to_gpu, Bytes(128));
+        um.gpu_access(r, Bytes(0), Bytes(128));
+        assert_eq!(um.stats().gpu_local, Bytes(128));
+    }
+}

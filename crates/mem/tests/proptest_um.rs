@@ -1,0 +1,159 @@
+//! Property tests of the unified-memory state machine under arbitrary
+//! access traces.
+
+use ghr_machine::MachineConfig;
+use ghr_mem::{CpuAccessPolicy, Residency, UnifiedMemory};
+use ghr_types::{Bytes, Device};
+use proptest::prelude::*;
+
+fn machine_with_pages(page: u64) -> MachineConfig {
+    let mut m = MachineConfig::gh200();
+    m.page_size = Bytes(page);
+    m
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Cpu(f64, f64),
+    Gpu(f64, f64),
+    PrefetchGpu(f64, f64),
+    PrefetchCpu(f64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..4u8, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(k, a, b)| match k {
+        0 => Op::Cpu(a, b),
+        1 => Op::Gpu(a, b),
+        2 => Op::PrefetchGpu(a, b),
+        _ => Op::PrefetchCpu(a, b),
+    })
+}
+
+fn range_of(len: u64, a: f64, b: f64) -> (Bytes, Bytes) {
+    let off = (a * len as f64) as u64;
+    let n = ((b * (len - off) as f64) as u64).min(len - off);
+    (Bytes(off), Bytes(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any trace: page counts are conserved, outcomes account for
+    /// exactly the requested bytes, and stats never decrease.
+    #[test]
+    fn trace_invariants(
+        len in 1u64..200_000,
+        page in prop_oneof![Just(512u64), Just(4096), Just(65536)],
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let machine = machine_with_pages(page);
+        let mut um = UnifiedMemory::new(&machine);
+        let rid = um.alloc(Bytes(len));
+        let total_pages = len.div_ceil(page);
+        let mut last_migrated = Bytes::ZERO;
+        for op in ops {
+            match op {
+                Op::Cpu(a, b) => {
+                    let (off, n) = range_of(len, a, b);
+                    let out = um.cpu_access(rid, off, n);
+                    prop_assert_eq!(out.total(), n);
+                }
+                Op::Gpu(a, b) => {
+                    let (off, n) = range_of(len, a, b);
+                    let out = um.gpu_access(rid, off, n);
+                    prop_assert_eq!(out.total(), n);
+                }
+                Op::PrefetchGpu(a, b) => {
+                    let (off, n) = range_of(len, a, b);
+                    um.prefetch(Device::GPU0, rid, off, n);
+                }
+                Op::PrefetchCpu(a, b) => {
+                    let (off, n) = range_of(len, a, b);
+                    um.prefetch(Device::Host, rid, off, n);
+                }
+            }
+            let (u, c, g) = um.residency_histogram(rid);
+            prop_assert_eq!(u + c + g, total_pages);
+            let migrated = um.stats().migrated_to_gpu + um.stats().migrated_to_cpu;
+            prop_assert!(migrated >= last_migrated);
+            last_migrated = migrated;
+        }
+    }
+
+    /// A full GPU pass after CPU initialization leaves no CPU-resident
+    /// pages (threshold 1), and further passes are free of migration.
+    /// Lengths are whole pages: a partial trailing page never accumulates
+    /// a full access-counter pass and legitimately stays CPU-resident.
+    #[test]
+    fn full_gpu_pass_settles(pages in 1u64..32) {
+        let len = pages * 4096;
+        let machine = machine_with_pages(4096);
+        let mut um = UnifiedMemory::new(&machine);
+        let rid = um.alloc(Bytes(len));
+        um.cpu_access(rid, Bytes::ZERO, Bytes(len));
+        um.gpu_access(rid, Bytes::ZERO, Bytes(len));
+        let (u, c, _) = um.residency_histogram(rid);
+        prop_assert_eq!(u, 0);
+        prop_assert_eq!(c, 0);
+        let before = um.stats().pages_migrated;
+        um.gpu_access(rid, Bytes::ZERO, Bytes(len));
+        prop_assert_eq!(um.stats().pages_migrated, before);
+    }
+
+    /// With the migrate-back policy, CPU and GPU passes ping-pong pages —
+    /// and the page count still balances. Whole-page lengths (see above).
+    #[test]
+    fn migrate_back_ping_pong(pages in 1u64..12, rounds in 1usize..6) {
+        let len = pages * 4096;
+        let machine = machine_with_pages(4096);
+        let mut um = UnifiedMemory::new(&machine);
+        um.set_cpu_policy(CpuAccessPolicy::MigrateBack { passes: 1.0 });
+        let rid = um.alloc(Bytes(len));
+        um.cpu_access(rid, Bytes::ZERO, Bytes(len));
+        for _ in 0..rounds {
+            um.gpu_access(rid, Bytes::ZERO, Bytes(len));
+            prop_assert_eq!(um.residency_at(rid, Bytes::ZERO), Residency::Gpu);
+            um.cpu_access(rid, Bytes::ZERO, Bytes(len));
+            prop_assert_eq!(um.residency_at(rid, Bytes::ZERO), Residency::Cpu);
+        }
+        // Each round migrates every page twice.
+        prop_assert_eq!(um.stats().pages_migrated, 2 * pages * rounds as u64);
+    }
+
+    /// Raising the migration threshold strictly delays migration: with
+    /// threshold k, the first k-1 full passes stay remote.
+    #[test]
+    fn threshold_delays_migration(k in 2u32..6) {
+        let machine = machine_with_pages(4096);
+        let mut um = UnifiedMemory::new(&machine);
+        um.set_gpu_migrate_threshold(k as f64);
+        let len = Bytes(40_960);
+        let rid = um.alloc(len);
+        um.cpu_access(rid, Bytes::ZERO, len);
+        for pass in 1..k {
+            let out = um.gpu_access(rid, Bytes::ZERO, len);
+            prop_assert_eq!(out.remote, len, "pass {}", pass);
+        }
+        let out = um.gpu_access(rid, Bytes::ZERO, len);
+        prop_assert_eq!(out.migrated, len);
+    }
+
+    /// Disjoint regions never interact.
+    #[test]
+    fn regions_are_isolated(l1 in 1u64..50_000, l2 in 1u64..50_000) {
+        let machine = machine_with_pages(4096);
+        let mut um = UnifiedMemory::new(&machine);
+        let a = um.alloc(Bytes(l1));
+        let b = um.alloc(Bytes(l2));
+        um.cpu_access(a, Bytes::ZERO, Bytes(l1));
+        um.gpu_access(b, Bytes::ZERO, Bytes(l2));
+        let (_, c_a, g_a) = um.residency_histogram(a);
+        let (_, c_b, g_b) = um.residency_histogram(b);
+        prop_assert_eq!(g_a, 0);
+        prop_assert_eq!(c_b, 0);
+        prop_assert_eq!(c_a, l1.div_ceil(4096));
+        prop_assert_eq!(g_b, l2.div_ceil(4096));
+        um.free(a);
+        prop_assert_eq!(um.len(b), Bytes(l2));
+    }
+}

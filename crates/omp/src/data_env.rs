@@ -1,0 +1,318 @@
+//! The device data environment: `omp target enter data` / `exit data` /
+//! `target update`, with OpenMP's reference-counted presence semantics.
+//!
+//! In separate-memory mode (the paper's Section III), `map(to: in[0:M])`
+//! allocates device memory and copies over the interconnect; the paper's
+//! timing protocol (Listing 6) excludes the initial transfer but includes
+//! the per-repetition `target update to(sum)` / `from(sum)` scalar updates.
+//! In unified-memory mode no allocation or transfer happens — the clauses
+//! become placement hints (the paper, Section IV.A) — but presence
+//! bookkeeping still works so programs behave identically.
+
+use crate::runtime::MemoryMode;
+use ghr_machine::MachineConfig;
+use ghr_types::{Bandwidth, Bytes, GhrError, Result, SimTime};
+use std::collections::BTreeMap;
+
+/// Handle to one mapped object in the device data environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapHandle(u64);
+
+impl std::fmt::Display for MapHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Mapping {
+    len: Bytes,
+    ref_count: u32,
+}
+
+/// Cumulative transfer accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Host-to-device bytes moved.
+    pub h2d_bytes: Bytes,
+    /// Device-to-host bytes moved.
+    pub d2h_bytes: Bytes,
+    /// Time spent on host-to-device transfers.
+    pub h2d_time: SimTime,
+    /// Time spent on device-to-host transfers.
+    pub d2h_time: SimTime,
+}
+
+/// The device data environment of one target device.
+#[derive(Debug, Clone)]
+pub struct DataEnvironment {
+    mode: MemoryMode,
+    h2d_bw: Bandwidth,
+    d2h_bw: Bandwidth,
+    device_capacity: Bytes,
+    device_allocated: Bytes,
+    mappings: BTreeMap<MapHandle, Mapping>,
+    stats: TransferStats,
+    next_id: u64,
+}
+
+impl DataEnvironment {
+    /// Build the environment for a machine and memory mode.
+    pub fn new(machine: &MachineConfig, mode: MemoryMode) -> Self {
+        DataEnvironment {
+            mode,
+            h2d_bw: machine.link.raw_per_direction,
+            d2h_bw: machine.link.raw_per_direction,
+            device_capacity: machine.gpu.hbm_capacity,
+            device_allocated: Bytes::ZERO,
+            mappings: BTreeMap::new(),
+            stats: TransferStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// The memory mode this environment operates in.
+    pub fn mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// Device bytes currently allocated by mappings (always zero in
+    /// unified mode — there is no separate device copy).
+    pub fn device_allocated(&self) -> Bytes {
+        self.device_allocated
+    }
+
+    /// Number of live mappings.
+    pub fn live_mappings(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Cumulative transfer statistics.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// `#pragma omp target enter data map(to: x[0:len])` — allocate (if
+    /// absent) and copy host→device. Returns the handle and the transfer
+    /// time (zero in unified mode).
+    pub fn enter_data_to(&mut self, len: Bytes) -> Result<(MapHandle, SimTime)> {
+        let handle = self.allocate(len)?;
+        let t = self.transfer_h2d(len);
+        Ok((handle, t))
+    }
+
+    /// `#pragma omp target enter data map(alloc: x[0:len])` — allocate
+    /// without copying.
+    pub fn enter_data_alloc(&mut self, len: Bytes) -> Result<MapHandle> {
+        self.allocate(len)
+    }
+
+    /// Increase the reference count of an existing mapping (a nested
+    /// `map` of already-present data, per OpenMP presence semantics).
+    pub fn retain(&mut self, handle: MapHandle) -> Result<()> {
+        let m = self.mapping_mut(handle)?;
+        m.ref_count += 1;
+        Ok(())
+    }
+
+    /// `#pragma omp target exit data map(from: ...)` — copy device→host,
+    /// then decrement the reference count (deallocating at zero). Returns
+    /// the transfer time.
+    pub fn exit_data_from(&mut self, handle: MapHandle) -> Result<SimTime> {
+        let len = self.mapping_mut(handle)?.len;
+        let t = self.transfer_d2h(len);
+        self.release(handle)?;
+        Ok(t)
+    }
+
+    /// `#pragma omp target exit data map(delete: ...)` — drop without
+    /// copying back.
+    pub fn exit_data_delete(&mut self, handle: MapHandle) -> Result<()> {
+        self.mapping_mut(handle)?;
+        self.release(handle)
+    }
+
+    /// `#pragma omp target update to(...)` over `bytes` of a mapped
+    /// object (e.g. the scalar `sum` of Listing 6).
+    pub fn update_to(&mut self, handle: MapHandle, bytes: Bytes) -> Result<SimTime> {
+        let len = self.mapping_mut(handle)?.len;
+        Self::check_range(bytes, len)?;
+        Ok(self.transfer_h2d(bytes))
+    }
+
+    /// `#pragma omp target update from(...)`.
+    pub fn update_from(&mut self, handle: MapHandle, bytes: Bytes) -> Result<SimTime> {
+        let len = self.mapping_mut(handle)?.len;
+        Self::check_range(bytes, len)?;
+        Ok(self.transfer_d2h(bytes))
+    }
+
+    fn check_range(bytes: Bytes, len: Bytes) -> Result<()> {
+        if bytes > len {
+            return Err(GhrError::invalid(
+                "update",
+                format!("update of {bytes} exceeds mapped length {len}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn allocate(&mut self, len: Bytes) -> Result<MapHandle> {
+        if self.mode == MemoryMode::Separate {
+            let needed = self.device_allocated + len;
+            if needed > self.device_capacity {
+                return Err(GhrError::invalid(
+                    "map",
+                    format!(
+                        "device memory exhausted: {needed} needed, {} available",
+                        self.device_capacity
+                    ),
+                ));
+            }
+            self.device_allocated = needed;
+        }
+        let handle = MapHandle(self.next_id);
+        self.next_id += 1;
+        self.mappings.insert(handle, Mapping { len, ref_count: 1 });
+        Ok(handle)
+    }
+
+    fn release(&mut self, handle: MapHandle) -> Result<()> {
+        let m = self.mapping_mut(handle)?;
+        m.ref_count -= 1;
+        if m.ref_count == 0 {
+            let len = m.len;
+            self.mappings.remove(&handle);
+            if self.mode == MemoryMode::Separate {
+                self.device_allocated = self.device_allocated.saturating_sub(len);
+            }
+        }
+        Ok(())
+    }
+
+    fn mapping_mut(&mut self, handle: MapHandle) -> Result<&mut Mapping> {
+        self.mappings
+            .get_mut(&handle)
+            .ok_or_else(|| GhrError::UnmappedMemory {
+                detail: format!("{handle} is not present in the device data environment"),
+            })
+    }
+
+    fn transfer_h2d(&mut self, bytes: Bytes) -> SimTime {
+        if self.mode == MemoryMode::Unified {
+            return SimTime::ZERO;
+        }
+        let t = self.h2d_bw.time_for(bytes);
+        self.stats.h2d_bytes += bytes;
+        self.stats.h2d_time += t;
+        t
+    }
+
+    fn transfer_d2h(&mut self, bytes: Bytes) -> SimTime {
+        if self.mode == MemoryMode::Unified {
+            return SimTime::ZERO;
+        }
+        let t = self.d2h_bw.time_for(bytes);
+        self.stats.d2h_bytes += bytes;
+        self.stats.d2h_time += t;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(mode: MemoryMode) -> DataEnvironment {
+        DataEnvironment::new(&MachineConfig::gh200(), mode)
+    }
+
+    #[test]
+    fn enter_data_allocates_and_copies() {
+        let mut e = env(MemoryMode::Separate);
+        let (h, t) = e.enter_data_to(Bytes::gib(4)).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(e.device_allocated(), Bytes::gib(4));
+        assert_eq!(e.live_mappings(), 1);
+        // 4 GiB over 450 GB/s ~ 9.5 ms.
+        assert!((t.as_millis() - 9.54).abs() < 0.2, "{t}");
+        let t_back = e.exit_data_from(h).unwrap();
+        assert!(t_back > SimTime::ZERO);
+        assert_eq!(e.device_allocated(), Bytes::ZERO);
+        assert_eq!(e.live_mappings(), 0);
+    }
+
+    #[test]
+    fn unified_mode_maps_are_free() {
+        let mut e = env(MemoryMode::Unified);
+        let (h, t) = e.enter_data_to(Bytes::gib(4)).unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(e.device_allocated(), Bytes::ZERO);
+        assert_eq!(e.update_to(h, Bytes::gib(1)).unwrap(), SimTime::ZERO);
+        assert_eq!(e.exit_data_from(h).unwrap(), SimTime::ZERO);
+        assert_eq!(e.stats().h2d_bytes, Bytes::ZERO);
+    }
+
+    #[test]
+    fn capacity_is_enforced_in_separate_mode() {
+        let mut e = env(MemoryMode::Separate);
+        let _ = e.enter_data_to(Bytes::gib(90)).unwrap();
+        // The H100 has 96 GB; a second 90 GiB map must fail.
+        assert!(e.enter_data_to(Bytes::gib(90)).is_err());
+    }
+
+    #[test]
+    fn ref_counting_keeps_data_present() {
+        let mut e = env(MemoryMode::Separate);
+        let (h, _) = e.enter_data_to(Bytes::mib(64)).unwrap();
+        e.retain(h).unwrap();
+        e.exit_data_delete(h).unwrap();
+        // Still present: ref count was 2.
+        assert_eq!(e.live_mappings(), 1);
+        assert!(e.update_from(h, Bytes::mib(1)).is_ok());
+        e.exit_data_delete(h).unwrap();
+        assert_eq!(e.live_mappings(), 0);
+        assert!(e.update_from(h, Bytes::mib(1)).is_err());
+    }
+
+    #[test]
+    fn scalar_updates_cost_little_but_add_up() {
+        let mut e = env(MemoryMode::Separate);
+        let (h, _) = e.enter_data_to(Bytes(8)).unwrap();
+        let t = e.update_to(h, Bytes(8)).unwrap();
+        assert!(t > SimTime::ZERO);
+        for _ in 0..199 {
+            e.update_to(h, Bytes(8)).unwrap();
+        }
+        assert_eq!(e.stats().h2d_bytes, Bytes(8 * 201)); // enter + 200 updates
+    }
+
+    #[test]
+    fn update_beyond_mapping_is_rejected() {
+        let mut e = env(MemoryMode::Separate);
+        let (h, _) = e.enter_data_to(Bytes(100)).unwrap();
+        assert!(e.update_to(h, Bytes(101)).is_err());
+        assert!(e.update_to(h, Bytes(100)).is_ok());
+    }
+
+    #[test]
+    fn unknown_handle_errors() {
+        let mut e = env(MemoryMode::Separate);
+        let (h, _) = e.enter_data_to(Bytes(8)).unwrap();
+        e.exit_data_delete(h).unwrap();
+        assert!(matches!(
+            e.exit_data_from(h).unwrap_err(),
+            GhrError::UnmappedMemory { .. }
+        ));
+        assert!(e.retain(h).is_err());
+    }
+
+    #[test]
+    fn alloc_maps_do_not_transfer() {
+        let mut e = env(MemoryMode::Separate);
+        let h = e.enter_data_alloc(Bytes::mib(8)).unwrap();
+        assert_eq!(e.stats().h2d_bytes, Bytes::ZERO);
+        assert_eq!(e.device_allocated(), Bytes::mib(8));
+        e.exit_data_delete(h).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Environment-variable overrides, mirroring `OMP_NUM_TEAMS` and
+//! `OMP_THREAD_LIMIT`.
+//!
+//! The OpenMP runtime honours geometry requests from the environment when
+//! the corresponding clauses are absent. The harness uses the map-based
+//! entry point so experiments stay hermetic; `from_process_env` is the
+//! convenience wrapper for the CLI.
+
+use crate::region::TargetRegion;
+use std::collections::HashMap;
+
+/// Environment variable controlling the default team count.
+pub const OMP_NUM_TEAMS: &str = "OMP_NUM_TEAMS";
+/// Environment variable controlling the default thread limit.
+pub const OMP_THREAD_LIMIT: &str = "OMP_THREAD_LIMIT";
+
+/// Apply environment overrides to a region. Explicit clauses win over the
+/// environment, per the OpenMP specification; unparsable or zero values
+/// are ignored (matching the permissive behaviour of real runtimes).
+pub fn apply_env_overrides(
+    region: TargetRegion,
+    vars: &HashMap<String, String>,
+) -> TargetRegion {
+    let mut out = region;
+    if out.num_teams.is_none() {
+        if let Some(g) = vars.get(OMP_NUM_TEAMS).and_then(|v| v.parse::<u64>().ok()) {
+            if g > 0 {
+                out.num_teams = Some(g);
+            }
+        }
+    }
+    if out.thread_limit.is_none() {
+        if let Some(t) = vars
+            .get(OMP_THREAD_LIMIT)
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            if t > 0 {
+                out.thread_limit = Some(t);
+            }
+        }
+    }
+    out
+}
+
+/// Apply overrides from the actual process environment.
+pub fn from_process_env(region: TargetRegion) -> TargetRegion {
+    let vars: HashMap<String, String> = std::env::vars()
+        .filter(|(k, _)| k == OMP_NUM_TEAMS || k == OMP_THREAD_LIMIT)
+        .collect();
+    apply_env_overrides(region, &vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn env_fills_absent_clauses() {
+        let r = apply_env_overrides(
+            TargetRegion::baseline(),
+            &vars(&[(OMP_NUM_TEAMS, "4096"), (OMP_THREAD_LIMIT, "256")]),
+        );
+        assert_eq!(r.num_teams, Some(4096));
+        assert_eq!(r.thread_limit, Some(256));
+    }
+
+    #[test]
+    fn explicit_clauses_win() {
+        let r = apply_env_overrides(
+            TargetRegion::optimized(65536, 4),
+            &vars(&[(OMP_NUM_TEAMS, "1"), (OMP_THREAD_LIMIT, "32")]),
+        );
+        assert_eq!(r.num_teams, Some(16384));
+        assert_eq!(r.thread_limit, Some(256));
+    }
+
+    #[test]
+    fn garbage_values_ignored() {
+        let r = apply_env_overrides(
+            TargetRegion::baseline(),
+            &vars(&[(OMP_NUM_TEAMS, "lots"), (OMP_THREAD_LIMIT, "0")]),
+        );
+        assert_eq!(r.num_teams, None);
+        assert_eq!(r.thread_limit, None);
+    }
+
+    #[test]
+    fn empty_env_changes_nothing() {
+        let r = apply_env_overrides(TargetRegion::baseline(), &HashMap::new());
+        assert_eq!(r, TargetRegion::baseline());
+    }
+}

@@ -1,0 +1,63 @@
+//! NVHPC OpenMP runtime default-geometry heuristics.
+//!
+//! When `num_teams` / `thread_limit` are not specified, the runtime picks
+//! the grid. The paper profiled NVHPC's choices on the GH200:
+//!
+//! * the number of threads in a team is 128 in every case;
+//! * the grid size equals the loop iteration count divided by the number
+//!   of threads in a team (C1/C3/C4: `1048576000 / 128 = 8192000`);
+//! * the grid is capped at `0xFFFFFF = 16777215` (observed for C2, whose
+//!   uncapped grid would be 32768000).
+//!
+//! Table 1's baseline rows are a direct consequence of these rules — the
+//! paper's conclusion that "the heuristics may be further optimized" is
+//! reproduced by feeding these grids to the timing model.
+
+/// Default threads per team chosen by the runtime (profiled: 128).
+pub const DEFAULT_THREADS_PER_TEAM: u32 = 128;
+
+/// Grid-size cap applied by the runtime (profiled: `0xFFFFFF`).
+pub const GRID_CAP: u64 = 0xFF_FFFF;
+
+/// The grid the runtime launches for a loop of `loop_count` iterations and
+/// `threads` threads per team.
+pub fn default_grid(loop_count: u64, threads: u32) -> u64 {
+    let threads = threads.max(1) as u64;
+    (loop_count / threads).clamp(1, GRID_CAP)
+}
+
+/// Full default geometry `(num_teams, threads_per_team)` for a loop.
+pub fn default_geometry(loop_count: u64) -> (u64, u32) {
+    (
+        default_grid(loop_count, DEFAULT_THREADS_PER_TEAM),
+        DEFAULT_THREADS_PER_TEAM,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_c3_c4_grid_matches_profile() {
+        // 1048576000 / 128 = 8192000, below the cap.
+        assert_eq!(default_geometry(1_048_576_000), (8_192_000, 128));
+    }
+
+    #[test]
+    fn c2_grid_hits_the_cap() {
+        // 4194304000 / 128 = 32768000, capped at 16777215.
+        assert_eq!(default_geometry(4_194_304_000), (16_777_215, 128));
+    }
+
+    #[test]
+    fn tiny_loops_get_at_least_one_team() {
+        assert_eq!(default_grid(7, 128), 1);
+        assert_eq!(default_grid(0, 128), 1);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        assert_eq!(default_grid(1000, 0), 1000);
+    }
+}

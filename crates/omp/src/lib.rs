@@ -1,0 +1,43 @@
+//! # ghr-omp
+//!
+//! An OpenMP-offload-style programming model over the simulated
+//! Grace-Hopper node: the Rust analogue of the directives the paper
+//! annotates its loops with.
+//!
+//! * [`region::TargetRegion`] — a typed builder for
+//!   `#pragma omp target teams distribute parallel for reduction(+ : sum)`
+//!   with the paper's clauses (`num_teams`, `thread_limit`, `nowait`) plus
+//!   the source-level unroll factor `V` of Listing 5;
+//! * [`heuristics`] — the NVHPC runtime's default-geometry rules, exactly
+//!   as profiled in the paper (128 threads per team; grid = loop count /
+//!   threads, capped at `0xFFFFFF`);
+//! * [`runtime::OmpRuntime`] — executes target regions against the node:
+//!   functionally (really computing the sum via `ghr-gpusim`'s executor /
+//!   `ghr-parallel`'s kernels) and temporally (pricing them with
+//!   `ghr-gpusim` / `ghr-cpusim`), in separate-memory or unified-memory
+//!   mode;
+//! * [`mod@env`] — `OMP_NUM_TEAMS` / `OMP_THREAD_LIMIT`-style environment
+//!   overrides.
+//!
+//! The paper's experiment drivers in `ghr-core` are written purely against
+//! this crate, the way the original C code is written against OpenMP.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clause;
+pub mod data_env;
+pub mod env;
+pub mod heuristics;
+pub mod host_region;
+pub mod outcome;
+pub mod parse;
+pub mod region;
+pub mod runtime;
+
+pub use clause::ReductionOp;
+pub use data_env::{DataEnvironment, MapHandle};
+pub use host_region::{HostRegion, Schedule};
+pub use outcome::{HostOutcome, TargetOutcome};
+pub use region::TargetRegion;
+pub use runtime::{MemoryMode, OmpRuntime};

@@ -1,0 +1,340 @@
+//! Parse OpenMP pragma strings into typed regions.
+//!
+//! Lets the paper's listings be used verbatim:
+//!
+//! ```
+//! use ghr_omp::parse::parse_target_pragma;
+//!
+//! let region = parse_target_pragma(
+//!     "#pragma omp target teams distribute parallel for \
+//!      num_teams(16384) thread_limit(256) reduction(+:sum)",
+//! )
+//! .unwrap();
+//! assert_eq!(region.num_teams, Some(16384));
+//! assert_eq!(region.thread_limit, Some(256));
+//! ```
+//!
+//! The parser covers the subset of OpenMP the paper exercises (plus the
+//! implemented extensions): the combined `target teams distribute parallel
+//! for` construct with `num_teams`, `thread_limit`, `reduction`, `nowait`,
+//! `map` and `if(target: ...)` clauses, and the host `parallel for [simd]`
+//! construct with `num_threads`, `schedule` and `reduction`.
+
+use crate::clause::{MapKind, ReductionOp};
+use crate::host_region::{HostRegion, Schedule};
+use crate::region::TargetRegion;
+use ghr_types::{GhrError, Result};
+
+fn err(detail: impl Into<String>) -> GhrError {
+    GhrError::invalid("pragma", detail)
+}
+
+/// Strip an optional `#pragma omp` prefix and collapse whitespace
+/// (including backslash-newline continuations).
+fn normalize(s: &str) -> String {
+    let s = s.replace("\\\n", " ").replace('\n', " ");
+    let s = s.trim();
+    let s = s.strip_prefix("#pragma").map(str::trim_start).unwrap_or(s);
+    let s = s.strip_prefix("omp").map(str::trim_start).unwrap_or(s);
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Split `"name(arg) name2 name3(arg)"` into `(name, Option<arg>)` pairs,
+/// respecting parentheses.
+fn clauses(s: &str) -> Result<Vec<(String, Option<String>)>> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while chars.peek().is_some() {
+        while chars.peek().is_some_and(|c| c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        let mut name = String::new();
+        while chars
+            .peek()
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+        {
+            name.push(chars.next().expect("peeked"));
+        }
+        if name.is_empty() {
+            if chars.peek().is_some() {
+                return Err(err(format!("unexpected character in clause list: {s:?}")));
+            }
+            break;
+        }
+        let arg = if chars.peek() == Some(&'(') {
+            chars.next();
+            let mut depth = 1;
+            let mut arg = String::new();
+            for c in chars.by_ref() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                arg.push(c);
+            }
+            if depth != 0 {
+                return Err(err(format!("unbalanced parentheses in {name}(...)")));
+            }
+            Some(arg.trim().to_string())
+        } else {
+            None
+        };
+        out.push((name, arg));
+    }
+    Ok(out)
+}
+
+fn parse_reduction(arg: &str) -> Result<ReductionOp> {
+    let op = arg
+        .split(':')
+        .next()
+        .map(str::trim)
+        .ok_or_else(|| err("reduction clause needs 'op : list'"))?;
+    match op {
+        "+" => Ok(ReductionOp::Plus),
+        "min" => Ok(ReductionOp::Min),
+        "max" => Ok(ReductionOp::Max),
+        other => Err(err(format!("unsupported reduction-identifier {other:?}"))),
+    }
+}
+
+fn parse_u64(name: &str, arg: Option<&String>) -> Result<u64> {
+    arg.ok_or_else(|| err(format!("{name} needs an argument")))?
+        .replace('_', "")
+        .parse()
+        .map_err(|_| err(format!("{name}: expected an integer, got {arg:?}")))
+}
+
+/// Parse a combined `target teams distribute parallel for` pragma.
+pub fn parse_target_pragma(s: &str) -> Result<TargetRegion> {
+    let s = normalize(s);
+    const HEAD: &str = "target teams distribute parallel for";
+    let rest = s
+        .strip_prefix(HEAD)
+        .ok_or_else(|| err(format!("expected `{HEAD} ...`, got {s:?}")))?;
+    let mut region = TargetRegion::baseline();
+    let mut saw_reduction = false;
+    for (name, arg) in clauses(rest)? {
+        match name.as_str() {
+            "num_teams" => region.num_teams = Some(parse_u64("num_teams", arg.as_ref())?),
+            "thread_limit" => {
+                region.thread_limit = Some(parse_u64("thread_limit", arg.as_ref())? as u32)
+            }
+            "reduction" => {
+                region.reduction =
+                    parse_reduction(arg.as_deref().ok_or_else(|| err("reduction needs args"))?)?;
+                saw_reduction = true;
+            }
+            "nowait" => region.nowait = true,
+            "map" => {
+                let arg = arg.ok_or_else(|| err("map needs arguments"))?;
+                let kind = arg.split(':').next().map(str::trim).unwrap_or("");
+                region.map_input = Some(match kind {
+                    "to" => MapKind::To,
+                    "from" => MapKind::From,
+                    "tofrom" => MapKind::ToFrom,
+                    "alloc" => MapKind::Alloc,
+                    other => return Err(err(format!("unsupported map kind {other:?}"))),
+                });
+            }
+            "if" => {
+                let arg = arg.ok_or_else(|| err("if needs a condition"))?;
+                let cond = arg
+                    .strip_prefix("target")
+                    .map(|r| r.trim_start_matches([':', ' ']))
+                    .unwrap_or(&arg)
+                    .trim();
+                region.if_target = !matches!(cond, "0" | "false");
+            }
+            other => return Err(err(format!("unsupported clause {other:?}"))),
+        }
+    }
+    if !saw_reduction {
+        return Err(err("the reduction clause is required for this study"));
+    }
+    Ok(region)
+}
+
+/// Parse a host `parallel for [simd]` pragma.
+pub fn parse_host_pragma(s: &str) -> Result<HostRegion> {
+    let s = normalize(s);
+    let rest = s
+        .strip_prefix("parallel for")
+        .or_else(|| s.strip_prefix("for"))
+        .ok_or_else(|| err(format!("expected `parallel for ...`, got {s:?}")))?;
+    let (simd, rest) = match rest.trim_start().strip_prefix("simd") {
+        Some(r) => (true, r.to_string()),
+        None => (false, rest.to_string()),
+    };
+    let mut region = HostRegion::for_simd();
+    region.simd = simd;
+    for (name, arg) in clauses(&rest)? {
+        match name.as_str() {
+            "num_threads" => {
+                region.num_threads = Some(parse_u64("num_threads", arg.as_ref())? as u32)
+            }
+            "reduction" => {
+                region.reduction =
+                    parse_reduction(arg.as_deref().ok_or_else(|| err("reduction needs args"))?)?
+            }
+            "schedule" => {
+                let arg = arg.ok_or_else(|| err("schedule needs arguments"))?;
+                let mut parts = arg.split(',').map(str::trim);
+                match parts.next() {
+                    Some("static") => match parts.next() {
+                        None => region.schedule = Schedule::Static,
+                        Some(chunk) => {
+                            let c: u32 = chunk
+                                .parse()
+                                .map_err(|_| err(format!("bad schedule chunk {chunk:?}")))?;
+                            region.schedule = Schedule::StaticChunked(c);
+                        }
+                    },
+                    other => return Err(err(format!("unsupported schedule {other:?}"))),
+                }
+            }
+            other => return Err(err(format!("unsupported clause {other:?}"))),
+        }
+    }
+    Ok(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_2() {
+        let r = parse_target_pragma(
+            "#pragma omp target teams distribute parallel for reduction(+:sum)",
+        )
+        .unwrap();
+        assert_eq!(r, TargetRegion::baseline());
+    }
+
+    #[test]
+    fn parses_listing_5_with_continuation() {
+        let r = parse_target_pragma(
+            "#pragma omp target teams distribute parallel for \\\n\
+             num_teams(16384) thread_limit(256) \\\n\
+             reduction(+:sum)",
+        )
+        .unwrap();
+        assert_eq!(r.num_teams, Some(16384));
+        assert_eq!(r.thread_limit, Some(256));
+        assert_eq!(r.reduction, ReductionOp::Plus);
+        assert!(!r.nowait);
+    }
+
+    #[test]
+    fn parses_listing_7_device_side() {
+        let r = parse_target_pragma(
+            "target teams distribute parallel for nowait map(to: inD[0:LenD]) reduction(+:sumD)",
+        )
+        .unwrap();
+        assert!(r.nowait);
+        assert_eq!(r.map_input, Some(MapKind::To));
+    }
+
+    #[test]
+    fn roundtrips_through_pragma_rendering() {
+        for region in [
+            TargetRegion::baseline(),
+            TargetRegion::optimized(65536, 4),
+            TargetRegion::optimized(1024, 2).with_nowait(),
+            TargetRegion::baseline().with_if_target(false),
+        ] {
+            let parsed = parse_target_pragma(&region.pragma()).unwrap();
+            // `v` is source-level, not a clause: it cannot round-trip.
+            let mut expect = region;
+            expect.v = 1;
+            assert_eq!(parsed, expect, "pragma: {}", region.pragma());
+        }
+    }
+
+    #[test]
+    fn parses_if_target_conditions() {
+        let f = parse_target_pragma(
+            "target teams distribute parallel for reduction(+:s) if(target: 0)",
+        )
+        .unwrap();
+        assert!(!f.if_target);
+        let t = parse_target_pragma(
+            "target teams distribute parallel for reduction(+:s) if(target: 1)",
+        )
+        .unwrap();
+        assert!(t.if_target);
+    }
+
+    #[test]
+    fn parses_min_max_reductions() {
+        let r = parse_target_pragma(
+            "target teams distribute parallel for reduction(min : m)",
+        )
+        .unwrap();
+        assert_eq!(r.reduction, ReductionOp::Min);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_target_pragma("parallel for reduction(+:x)").is_err());
+        assert!(parse_target_pragma(
+            "target teams distribute parallel for reduction(*:x)"
+        )
+        .is_err());
+        assert!(parse_target_pragma(
+            "target teams distribute parallel for num_teams() reduction(+:x)"
+        )
+        .is_err());
+        assert!(parse_target_pragma(
+            "target teams distribute parallel for collapse(2) reduction(+:x)"
+        )
+        .is_err());
+        assert!(
+            parse_target_pragma("target teams distribute parallel for").is_err(),
+            "missing reduction must be rejected"
+        );
+        assert!(parse_target_pragma(
+            "target teams distribute parallel for num_teams(16 reduction(+:x)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_host_pragmas() {
+        let r = parse_host_pragma("#pragma omp parallel for simd reduction(+:sumH)").unwrap();
+        assert!(r.simd);
+        assert_eq!(r.reduction, ReductionOp::Plus);
+
+        let r = parse_host_pragma(
+            "parallel for num_threads(36) schedule(static, 4096) reduction(max:m)",
+        )
+        .unwrap();
+        assert!(!r.simd);
+        assert_eq!(r.num_threads, Some(36));
+        assert_eq!(r.schedule, Schedule::StaticChunked(4096));
+        assert_eq!(r.reduction, ReductionOp::Max);
+    }
+
+    #[test]
+    fn host_pragma_roundtrip() {
+        let region = HostRegion::for_simd()
+            .with_num_threads(8)
+            .with_schedule(Schedule::StaticChunked(64));
+        let parsed = parse_host_pragma(&region.pragma()).unwrap();
+        assert_eq!(parsed, region);
+    }
+
+    #[test]
+    fn rejects_bad_host_pragmas() {
+        assert!(parse_host_pragma("target teams distribute parallel for").is_err());
+        assert!(parse_host_pragma("parallel for schedule(dynamic)").is_err());
+        assert!(parse_host_pragma("parallel for schedule(static, nope)").is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! The OpenMP runtime over the simulated node.
+
+use crate::clause::ReductionOp;
+use crate::outcome::{HostOutcome, TargetOutcome};
+use crate::region::TargetRegion;
+use ghr_cpusim::{CpuModel, CpuReduceBreakdown};
+use ghr_gpusim::{execute_reduction, GpuKernelBreakdown, GpuModel};
+use ghr_machine::MachineConfig;
+use ghr_mem::UnifiedMemory;
+use ghr_parallel::{parallel_sum_unrolled, ChunkPolicy};
+use ghr_types::{Bandwidth, Bytes, DType, Element, GhrError, Result, SimTime};
+
+/// Whether the program was compiled for separate device memory (explicit
+/// `map` transfers) or with `-gpu=mem:unified`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// Distinct host and device memories; `map` clauses allocate and copy.
+    Separate,
+    /// Single address space; `map` clauses are placement hints only.
+    Unified,
+}
+
+/// The runtime: owns the machine description, both timing models, and (in
+/// unified mode) the page-placement simulator.
+#[derive(Debug)]
+pub struct OmpRuntime {
+    machine: MachineConfig,
+    gpu: GpuModel,
+    cpu: CpuModel,
+    mode: MemoryMode,
+    um: UnifiedMemory,
+}
+
+/// Real host threads to use for a requested simulated count.
+fn host_threads(requested: u32) -> usize {
+    (requested as usize)
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1)
+}
+
+impl OmpRuntime {
+    /// Build a runtime in separate-memory mode (the paper's Section III).
+    pub fn new(machine: MachineConfig) -> Self {
+        Self::with_mode(machine, MemoryMode::Separate)
+    }
+
+    /// Build a runtime in unified-memory mode (the paper's Section IV,
+    /// `-gpu=mem:unified`).
+    pub fn unified(machine: MachineConfig) -> Self {
+        Self::with_mode(machine, MemoryMode::Unified)
+    }
+
+    fn with_mode(machine: MachineConfig, mode: MemoryMode) -> Self {
+        machine
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"));
+        let gpu = GpuModel::new(machine.gpu.clone());
+        let cpu = CpuModel::new(machine.cpu.clone());
+        let um = UnifiedMemory::new(&machine);
+        OmpRuntime {
+            machine,
+            gpu,
+            cpu,
+            mode,
+            um,
+        }
+    }
+
+    /// The node description.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The memory mode.
+    pub fn mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// The GPU timing model.
+    pub fn gpu_model(&self) -> &GpuModel {
+        &self.gpu
+    }
+
+    /// Mutable GPU model (for calibration experiments).
+    pub fn gpu_model_mut(&mut self) -> &mut GpuModel {
+        &mut self.gpu
+    }
+
+    /// The CPU timing model.
+    pub fn cpu_model(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// The unified-memory simulator (meaningful in [`MemoryMode::Unified`]).
+    pub fn um(&self) -> &UnifiedMemory {
+        &self.um
+    }
+
+    /// Mutable unified-memory simulator.
+    pub fn um_mut(&mut self) -> &mut UnifiedMemory {
+        &mut self.um
+    }
+
+    // ------------------------------------------------------------------
+    // Device path
+    // ------------------------------------------------------------------
+
+    /// Execute a target region over device-resident data: really computes
+    /// the reduction with device semantics and prices it with the GPU
+    /// model. This matches the paper's Section III protocol, where the
+    /// host-to-device transfer is excluded from timing.
+    ///
+    /// The paper's operator is `+`; `min`/`max` reduction-identifiers are
+    /// supported as an extension (timed identically — the generated kernel
+    /// differs only in the combiner instruction).
+    pub fn target_reduce_device<T: Element>(
+        &self,
+        data: &[T],
+        region: &TargetRegion,
+    ) -> Result<TargetOutcome<T::Acc>> {
+        use ghr_types::Accum;
+        let launch = region.resolve_launch(
+            data.len() as u64,
+            T::DTYPE,
+            <T::Acc as ghr_types::Accum>::DTYPE,
+        )?;
+        let value = match region.reduction {
+            ReductionOp::Plus => execute_reduction(data, &launch)?,
+            ReductionOp::Min => ghr_gpusim::execute_reduction_with(
+                data,
+                &launch,
+                T::Acc::min_identity(),
+                |a, b| a.acc_min(b),
+            )?,
+            ReductionOp::Max => ghr_gpusim::execute_reduction_with(
+                data,
+                &launch,
+                T::Acc::max_identity(),
+                |a, b| a.acc_max(b),
+            )?,
+        };
+        let breakdown = self.gpu.reduce(&launch)?;
+        Ok(TargetOutcome {
+            value,
+            launch,
+            breakdown,
+        })
+    }
+
+    /// Timing-only execution of a target region at arbitrary scale (used to
+    /// run the paper's 4 GB workloads without allocating them). `supply`
+    /// optionally caps the memory side (remote/unified paths).
+    pub fn time_target_reduce(
+        &self,
+        region: &TargetRegion,
+        m: u64,
+        elem: DType,
+        acc: DType,
+        supply: Option<Bandwidth>,
+    ) -> Result<GpuKernelBreakdown> {
+        let launch = region.resolve_launch(m, elem, acc)?;
+        self.gpu.reduce_with_supply(&launch, supply)
+    }
+
+    /// Cost of a `map(to: ...)` host-to-device transfer in separate-memory
+    /// mode. In unified mode the clause moves nothing (returns zero), as
+    /// the paper describes for `-gpu=mem:unified`.
+    pub fn map_to_cost(&self, bytes: Bytes) -> SimTime {
+        match self.mode {
+            MemoryMode::Separate => self.machine.link.raw_per_direction.time_for(bytes),
+            MemoryMode::Unified => SimTime::ZERO,
+        }
+    }
+
+    /// Execute a target region honouring its `if(target: ...)` clause:
+    /// device execution normally, host execution (the whole 72-core CPU)
+    /// when the clause is false. Returns the value, the modelled time and
+    /// the device that ran it.
+    pub fn target_reduce<T: Element>(
+        &self,
+        data: &[T],
+        region: &TargetRegion,
+    ) -> Result<(T::Acc, SimTime, ghr_types::Device)> {
+        use ghr_types::{Accum, Device};
+        if region.if_target {
+            let out = self.target_reduce_device(data, region)?;
+            return Ok((out.value, out.time(), Device::GPU0));
+        }
+        let threads = self.machine.cpu.cores;
+        let value = match region.reduction {
+            ReductionOp::Plus => self.host_reduce(data, threads).value,
+            ReductionOp::Min => {
+                let real = host_threads(threads);
+                ghr_parallel::parallel_reduce_with(data, real, T::Acc::min_identity(), |a, b| {
+                    a.acc_min(b)
+                })
+            }
+            ReductionOp::Max => {
+                let real = host_threads(threads);
+                ghr_parallel::parallel_reduce_with(data, real, T::Acc::max_identity(), |a, b| {
+                    a.acc_max(b)
+                })
+            }
+        };
+        let time = self
+            .cpu
+            .reduce_local(data.len() as u64, T::DTYPE, threads)
+            .total;
+        Ok((value, time, Device::Host))
+    }
+
+    /// A fresh device data environment for this runtime's machine and
+    /// memory mode (`enter data` / `exit data` / `target update`).
+    pub fn data_environment(&self) -> crate::data_env::DataEnvironment {
+        crate::data_env::DataEnvironment::new(&self.machine, self.mode)
+    }
+
+    /// Replay the paper's Listing 6 measurement protocol at scale `m`:
+    /// map the input once (outside the timed section), then `n_reps`
+    /// repetitions of `{ sum = 0; target update to(sum); kernel;
+    /// target update from(sum) }`. Returns `(map_in_time, timed_section,
+    /// bandwidth_gbps)` where the bandwidth uses the paper's metric.
+    pub fn listing6_protocol(
+        &self,
+        region: &TargetRegion,
+        m: u64,
+        elem: DType,
+        acc: DType,
+        n_reps: u32,
+    ) -> Result<(SimTime, SimTime, f64)> {
+        let mut env = self.data_environment();
+        let input_bytes = Bytes(m * elem.size_bytes());
+        let (input, map_in) = env
+            .enter_data_to(input_bytes)
+            .map_err(|e| GhrError::invalid("map", e.to_string()))?;
+        let (sum, _) = env
+            .enter_data_to(Bytes(acc.size_bytes()))
+            .map_err(|e| GhrError::invalid("map", e.to_string()))?;
+
+        let kernel = self.time_target_reduce(region, m, elem, acc, None)?;
+        let mut timed = SimTime::ZERO;
+        for _ in 0..n_reps {
+            timed += env.update_to(sum, Bytes(acc.size_bytes()))?;
+            timed += kernel.total;
+            timed += env.update_from(sum, Bytes(acc.size_bytes()))?;
+        }
+        env.exit_data_delete(sum)?;
+        env.exit_data_delete(input)?;
+        let gbps = timed
+            .bandwidth_for(Bytes(input_bytes.0 * n_reps as u64))
+            .as_gbps();
+        Ok((map_in, timed, gbps))
+    }
+
+    // ------------------------------------------------------------------
+    // Host path
+    // ------------------------------------------------------------------
+
+    /// Execute the host leg (`#pragma omp parallel for simd
+    /// reduction(+:sum)`) over `data` with `threads` *simulated* Grace
+    /// cores. The computation really runs on this machine's cores (capped
+    /// at the host's parallelism); the timing reflects the Grace model.
+    pub fn host_reduce<T: Element>(&self, data: &[T], threads: u32) -> HostOutcome<T::Acc> {
+        let real_threads = host_threads(threads);
+        // The `simd` directive: unrolled kernel, 8 accumulators.
+        let value = parallel_sum_unrolled(data, real_threads, 8, ChunkPolicy::Static);
+        let breakdown = self.cpu.reduce_local(data.len() as u64, T::DTYPE, threads);
+        HostOutcome { value, breakdown }
+    }
+
+    /// Execute a host worksharing region (Listing 7's
+    /// `#pragma omp for simd reduction(...)`) over `data`, honouring its
+    /// schedule, thread-count and reduction clauses.
+    pub fn host_reduce_region<T: Element>(
+        &self,
+        data: &[T],
+        region: &crate::host_region::HostRegion,
+    ) -> Result<HostOutcome<T::Acc>> {
+        use ghr_types::Accum;
+        let threads = region.num_threads.unwrap_or(self.machine.cpu.cores);
+        let real = host_threads(threads);
+        let value = match region.reduction {
+            ReductionOp::Plus => ghr_parallel::parallel_sum_unrolled(
+                data,
+                real,
+                region.unroll(),
+                region.chunk_policy()?,
+            ),
+            ReductionOp::Min => {
+                ghr_parallel::parallel_reduce_with(data, real, T::Acc::min_identity(), |a, b| {
+                    a.acc_min(b)
+                })
+            }
+            ReductionOp::Max => {
+                ghr_parallel::parallel_reduce_with(data, real, T::Acc::max_identity(), |a, b| {
+                    a.acc_max(b)
+                })
+            }
+        };
+        let breakdown = self.cpu.reduce_local(data.len() as u64, T::DTYPE, threads);
+        Ok(HostOutcome { value, breakdown })
+    }
+
+    /// Timing-only host reduction with the memory side capped at
+    /// `supply` (remote HBM reads, contended LPDDR5X, ...).
+    pub fn time_host_reduce(
+        &self,
+        m: u64,
+        dtype: DType,
+        threads: u32,
+        supply: Option<Bandwidth>,
+    ) -> CpuReduceBreakdown {
+        match supply {
+            Some(s) => self.cpu.reduce(m, dtype, threads, s),
+            None => self.cpu.reduce_local(m, dtype, threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_types::Accum;
+
+    fn rt() -> OmpRuntime {
+        OmpRuntime::new(MachineConfig::gh200())
+    }
+
+    #[test]
+    fn device_reduce_computes_and_prices() {
+        let data: Vec<i32> = (0..100_000u64).map(<i32 as Element>::from_index).collect();
+        let expect: i32 = data.iter().sum();
+        let out = rt()
+            .target_reduce_device(&data, &TargetRegion::optimized(1024, 4))
+            .unwrap();
+        assert_eq!(out.value, expect);
+        assert!(out.time() > SimTime::ZERO);
+        assert_eq!(out.launch.num_teams, 256);
+        assert_eq!(out.launch.threads_per_team, 256);
+    }
+
+    #[test]
+    fn device_reduce_with_heuristic_geometry() {
+        let data: Vec<f32> = (0..65_536u64).map(<f32 as Element>::from_index).collect();
+        let out = rt()
+            .target_reduce_device(&data, &TargetRegion::baseline())
+            .unwrap();
+        // 65536 / 128 = 512 teams of 128 threads.
+        assert_eq!(out.launch.num_teams, 512);
+        assert_eq!(out.launch.threads_per_team, 128);
+        let expect: f32 = data.iter().sum();
+        assert!((out.value - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn min_max_reductions_on_device() {
+        let data: Vec<i32> = (0..50_000u64).map(|i| ((i * 31) % 999) as i32 - 500).collect();
+        let mut region = TargetRegion::optimized(1024, 4);
+        region.reduction = ReductionOp::Max;
+        let out = rt().target_reduce_device(&data, &region).unwrap();
+        assert_eq!(out.value, *data.iter().max().unwrap());
+        region.reduction = ReductionOp::Min;
+        let out = rt().target_reduce_device(&data, &region).unwrap();
+        assert_eq!(out.value, *data.iter().min().unwrap());
+    }
+
+    #[test]
+    fn timing_only_runs_at_paper_scale() {
+        let b = rt()
+            .time_target_reduce(
+                &TargetRegion::optimized(65536, 4),
+                1_048_576_000,
+                DType::I32,
+                DType::I32,
+                None,
+            )
+            .unwrap();
+        let gbps = b.effective_bw.as_gbps();
+        assert!((gbps - 3795.0).abs() / 3795.0 < 0.02, "{gbps}");
+    }
+
+    #[test]
+    fn map_cost_depends_on_mode() {
+        let bytes = Bytes(4_194_304_000);
+        let sep = rt().map_to_cost(bytes);
+        assert!(sep > SimTime::ZERO);
+        let uni = OmpRuntime::unified(MachineConfig::gh200()).map_to_cost(bytes);
+        assert_eq!(uni, SimTime::ZERO);
+    }
+
+    #[test]
+    fn host_reduce_computes_and_prices() {
+        let data: Vec<i8> = (0..200_000u64).map(<i8 as Element>::from_index).collect();
+        let expect: i64 = data.iter().map(|&x| x as i64).sum();
+        let out = rt().host_reduce(&data, 72);
+        assert_eq!(out.value, expect);
+        assert!(out.time() > SimTime::ZERO);
+        assert_eq!(<i64 as Accum>::DTYPE, DType::I64);
+    }
+
+    #[test]
+    fn host_timing_respects_supply_cap() {
+        let r = rt();
+        let local = r.time_host_reduce(1_048_576_000, DType::F32, 72, None);
+        let remote = r.time_host_reduce(
+            1_048_576_000,
+            DType::F32,
+            72,
+            Some(Bandwidth::gbps(140.0)),
+        );
+        assert!(remote.total > local.total);
+    }
+
+    #[test]
+    fn modes_are_reported() {
+        assert_eq!(rt().mode(), MemoryMode::Separate);
+        assert_eq!(
+            OmpRuntime::unified(MachineConfig::gh200()).mode(),
+            MemoryMode::Unified
+        );
+    }
+
+    #[test]
+    fn host_region_executes_with_all_schedules() {
+        use crate::host_region::{HostRegion, Schedule};
+        let rt = rt();
+        let data: Vec<i32> = (0..77_777u64).map(<i32 as Element>::from_index).collect();
+        let expect: i32 = data.iter().sum();
+        for region in [
+            HostRegion::for_simd(),
+            HostRegion::for_simd().with_schedule(Schedule::StaticChunked(1000)),
+            HostRegion::for_simd().with_num_threads(4),
+        ] {
+            let out = rt.host_reduce_region(&data, &region).unwrap();
+            assert_eq!(out.value, expect, "{}", region.pragma());
+            assert!(out.time() > SimTime::ZERO);
+        }
+        // Fewer threads are modelled as slower (below saturation).
+        let t4 = rt
+            .host_reduce_region(&data, &HostRegion::for_simd().with_num_threads(4))
+            .unwrap()
+            .time();
+        let t72 = rt.host_reduce_region(&data, &HostRegion::for_simd()).unwrap().time();
+        assert!(t4 > t72);
+    }
+
+    #[test]
+    fn host_region_min_max() {
+        use crate::host_region::HostRegion;
+        let rt = rt();
+        let data: Vec<f32> = (0..5_000u64).map(<f32 as Element>::from_index).collect();
+        let mut region = HostRegion::for_simd();
+        region.reduction = ReductionOp::Min;
+        let out = rt.host_reduce_region(&data, &region).unwrap();
+        assert_eq!(out.value, data.iter().cloned().fold(f32::INFINITY, f32::min));
+    }
+
+    #[test]
+    fn if_target_false_runs_on_the_host() {
+        use ghr_types::Device;
+        let rt = rt();
+        let data: Vec<i32> = (0..100_000u64).map(<i32 as Element>::from_index).collect();
+        let expect: i32 = data.iter().sum();
+        let region = TargetRegion::optimized(1024, 4).with_if_target(false);
+        let (value, time, device) = rt.target_reduce(&data, &region).unwrap();
+        assert_eq!(value, expect);
+        assert_eq!(device, Device::Host);
+        assert!(time > SimTime::ZERO);
+        // Device path for comparison.
+        let (v2, _, d2) = rt
+            .target_reduce(&data, &TargetRegion::optimized(1024, 4))
+            .unwrap();
+        assert_eq!(v2, expect);
+        assert_eq!(d2, Device::GPU0);
+    }
+
+    #[test]
+    fn if_target_false_supports_min_max() {
+        let rt = rt();
+        let data: Vec<i8> = (0..10_000u64).map(<i8 as Element>::from_index).collect();
+        let mut region = TargetRegion::baseline().with_if_target(false);
+        region.reduction = ReductionOp::Min;
+        let (value, _, _) = rt.target_reduce(&data, &region).unwrap();
+        assert_eq!(value, -3i64);
+        region.reduction = ReductionOp::Max;
+        let (value, _, _) = rt.target_reduce(&data, &region).unwrap();
+        assert_eq!(value, 3i64);
+    }
+
+    #[test]
+    fn listing6_protocol_matches_the_kernel_model() {
+        let rt = rt();
+        let region = TargetRegion::optimized(65536, 4);
+        let m = 1_048_576_000;
+        let (map_in, timed, gbps) = rt
+            .listing6_protocol(&region, m, DType::I32, DType::I32, 200)
+            .unwrap();
+        // The one-time host-to-device map is excluded from the timed
+        // section, exactly like the paper: ~4.19 GB over the link.
+        assert!(map_in.as_millis() > 5.0, "{map_in}");
+        // The timed bandwidth is the kernel bandwidth minus negligible
+        // scalar-update traffic.
+        assert!((gbps - 3793.0).abs() / 3793.0 < 0.01, "{gbps}");
+        assert!(timed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn listing6_rejects_oversized_inputs_in_separate_mode() {
+        let rt = rt();
+        let region = TargetRegion::baseline();
+        // 30G f64 elements = 240 GB > the 96 GB HBM.
+        let err = rt
+            .listing6_protocol(&region, 30_000_000_000, DType::F64, DType::F64, 1)
+            .unwrap_err();
+        assert!(err.to_string().contains("device memory exhausted"), "{err}");
+    }
+
+    #[test]
+    fn um_simulator_is_accessible_and_live() {
+        let mut r = OmpRuntime::unified(MachineConfig::gh200());
+        let id = r.um_mut().alloc(Bytes::mib(1));
+        assert_eq!(r.um().len(id), Bytes::mib(1));
+    }
+}

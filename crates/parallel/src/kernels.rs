@@ -1,0 +1,196 @@
+//! Single-threaded reduction kernels.
+//!
+//! These mirror the loop bodies of the paper's listings:
+//!
+//! * [`sum_sequential`] is Listing 1 — the serial reference;
+//! * [`sum_unrolled`] is the body of Listing 5 — `V` elements accumulated
+//!   per loop iteration into `V` independent partial sums, which is what
+//!   lets the compiler vectorize and what the paper's optimized GPU kernel
+//!   does per thread;
+//! * [`sum_kahan`] / [`sum_pairwise`] are accuracy-oriented alternatives
+//!   used to bound floating-point error in the verification layer.
+
+use ghr_types::{Accum, Element};
+
+/// Serial sum reduction (the paper's Listing 1).
+pub fn sum_sequential<T: Element>(data: &[T]) -> T::Acc {
+    let mut sum = T::Acc::zero();
+    for &x in data {
+        sum = sum + x.widen();
+    }
+    sum
+}
+
+/// Sum with `V` elements accumulated per loop iteration (the paper's
+/// Listing 5 body), using `V` independent accumulators that are combined at
+/// the end. The tail (`data.len() % V`) is handled serially.
+///
+/// `v` must be one of 1, 2, 4, 8, 16, 32 — the paper's parameter space.
+///
+/// For floating-point types the result can differ from [`sum_sequential`]
+/// by rounding, because the accumulation tree differs; the deviation is
+/// bounded by the usual recursive-summation error bounds (exercised by the
+/// property tests).
+pub fn sum_unrolled<T: Element>(data: &[T], v: usize) -> T::Acc {
+    assert!(
+        matches!(v, 1 | 2 | 4 | 8 | 16 | 32),
+        "V must be a power of two in 1..=32 (got {v})"
+    );
+    match v {
+        1 => sum_sequential(data),
+        2 => sum_unrolled_const::<T, 2>(data),
+        4 => sum_unrolled_const::<T, 4>(data),
+        8 => sum_unrolled_const::<T, 8>(data),
+        16 => sum_unrolled_const::<T, 16>(data),
+        32 => sum_unrolled_const::<T, 32>(data),
+        _ => unreachable!(),
+    }
+}
+
+/// Monomorphized unrolled kernel — `LANES` accumulators, combined pairwise
+/// at the end so the combine order is deterministic.
+fn sum_unrolled_const<T: Element, const LANES: usize>(data: &[T]) -> T::Acc {
+    let mut acc = [T::Acc::zero(); LANES];
+    let chunks = data.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for (a, &x) in acc.iter_mut().zip(chunk) {
+            *a = *a + x.widen();
+        }
+    }
+    // Pairwise combine of the lane accumulators.
+    let mut width = LANES;
+    while width > 1 {
+        width /= 2;
+        for i in 0..width {
+            acc[i] = acc[i] + acc[i + width];
+        }
+    }
+    let mut sum = acc[0];
+    for &x in tail {
+        sum = sum + x.widen();
+    }
+    sum
+}
+
+/// Kahan (compensated) summation for floating-point accumulators.
+///
+/// The compensation term recovers the low-order bits lost by each addition,
+/// giving an error essentially independent of the element count. Used as a
+/// high-accuracy reference when verifying float reductions.
+pub fn sum_kahan(data: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in data {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Pairwise (cascade) summation: splits the slice recursively and adds the
+/// halves, giving an `O(log n)` error growth instead of `O(n)`.
+///
+/// This is also the combination order of a GPU tree reduction, so it serves
+/// as the model for how far a device result may drift from the serial one.
+pub fn sum_pairwise<T: Element>(data: &[T]) -> T::Acc {
+    const SERIAL_CUTOFF: usize = 64;
+    if data.len() <= SERIAL_CUTOFF {
+        return sum_sequential(data);
+    }
+    let mid = data.len() / 2;
+    let (lo, hi) = data.split_at(mid);
+    sum_pairwise(lo) + sum_pairwise(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_i32(n: usize) -> Vec<i32> {
+        (0..n as u64).map(<i32 as Element>::from_index).collect()
+    }
+
+    #[test]
+    fn sequential_matches_closed_form() {
+        let data: Vec<i32> = (1..=100).collect();
+        assert_eq!(sum_sequential(&data), 5050);
+    }
+
+    #[test]
+    fn sequential_empty_is_zero() {
+        assert_eq!(sum_sequential::<i32>(&[]), 0);
+        assert_eq!(sum_sequential::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn unrolled_matches_sequential_for_integers() {
+        for n in [0usize, 1, 7, 31, 32, 33, 100, 1023] {
+            let data = ramp_i32(n);
+            let expect = sum_sequential(&data);
+            for v in [1, 2, 4, 8, 16, 32] {
+                assert_eq!(sum_unrolled(&data, v), expect, "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_widens_i8_to_i64() {
+        // 2^7 * 200 copies of 100 would overflow i8 but not i64.
+        let data = vec![100i8; 1000];
+        assert_eq!(sum_unrolled(&data, 8), 100_000i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "V must be a power of two")]
+    fn unrolled_rejects_bad_v() {
+        let _ = sum_unrolled(&[1i32], 3);
+    }
+
+    #[test]
+    fn unrolled_float_close_to_sequential() {
+        let data: Vec<f32> = (0..10_000u64).map(<f32 as Element>::from_index).collect();
+        let expect = sum_sequential(&data) as f64;
+        for v in [2, 4, 8, 16, 32] {
+            let got = sum_unrolled(&data, v) as f64;
+            assert!(
+                (got - expect).abs() < 1e-2,
+                "v={v}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_input() {
+        // 1.0 followed by many tiny values that naive f64 summation drops
+        // relative to the running sum.
+        let mut data = vec![1.0f64];
+        data.extend(std::iter::repeat(1e-16).take(100_000));
+        let exact = 1.0 + 1e-16 * 100_000.0;
+        let naive = sum_sequential(&data);
+        let kahan = sum_kahan(&data);
+        assert!((kahan - exact).abs() < (naive - exact).abs());
+        assert!((kahan - exact).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pairwise_matches_sequential_for_integers() {
+        for n in [0usize, 1, 63, 64, 65, 1000] {
+            let data = ramp_i32(n);
+            assert_eq!(sum_pairwise(&data), sum_sequential(&data), "n={n}");
+        }
+    }
+
+    #[test]
+    fn pairwise_is_accurate_for_floats() {
+        let data: Vec<f32> = (0..1_000_000u64)
+            .map(<f32 as Element>::from_index)
+            .collect();
+        let reference = sum_kahan(&data.iter().map(|&x| x as f64).collect::<Vec<_>>());
+        let pairwise = sum_pairwise(&data) as f64;
+        let naive = sum_sequential(&data) as f64;
+        assert!((pairwise - reference).abs() <= (naive - reference).abs() + 1e-3);
+    }
+}

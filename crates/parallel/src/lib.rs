@@ -1,0 +1,34 @@
+//! # ghr-parallel
+//!
+//! The *real* (not simulated) parallel substrate of the reproduction:
+//!
+//! * [`pool::ThreadPool`] — a persistent worker pool built on crossbeam
+//!   channels, used for `'static` jobs;
+//! * [`scope`](scope::parallel_for) — scoped fork-join helpers built on
+//!   `std::thread::scope`, used to run borrowed-data loops the way an
+//!   OpenMP `parallel for` would;
+//! * [`kernels`] — sequential, unrolled (the paper's "V elements per
+//!   iteration"), Kahan and pairwise sum-reduction kernels;
+//! * [`reduce`] — parallel reductions combining the above, with
+//!   OpenMP-style static chunking.
+//!
+//! The functional executors in `ghr-omp` call into this crate so that every
+//! simulated experiment also *computes* its reduction for verification, and
+//! the Criterion benches in `ghr-bench` measure these kernels for real on
+//! the build host.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kernels;
+pub mod pool;
+pub mod reduce;
+pub mod scope;
+
+pub use kernels::{sum_kahan, sum_pairwise, sum_sequential, sum_unrolled};
+pub use pool::ThreadPool;
+pub use reduce::{
+    parallel_max, parallel_min, parallel_reduce_with, parallel_sum, parallel_sum_unrolled,
+    ChunkPolicy,
+};
+pub use scope::{parallel_for, parallel_map_chunks, split_evenly};

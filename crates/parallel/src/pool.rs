@@ -1,0 +1,213 @@
+//! A persistent worker thread pool for `'static` jobs.
+//!
+//! Workers pull boxed jobs from a shared crossbeam channel; dropping the
+//! pool closes the channel and joins every worker. [`ThreadPool::wait`]
+//! provides a fork-join barrier via an atomic in-flight counter, so the
+//! pool can be reused across many submission rounds without re-spawning
+//! threads (the reason to prefer it over `std::thread::scope` in hot
+//! loops).
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    in_flight: AtomicUsize,
+    panicked: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing `'static` jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be > 0");
+        let (sender, receiver) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            in_flight: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ghr-worker-{i}"))
+                    .spawn(move || {
+                        for job in receiver.iter() {
+                            // A panicking job must not wedge the pool: the
+                            // in-flight counter is decremented either way
+                            // and the panic is contained to the job.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if result.is_err() {
+                                shared.panicked.fetch_add(1, Ordering::AcqRel);
+                            }
+                            if shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _guard = shared.idle_lock.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit one job for asynchronous execution.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.in_flight.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Jobs currently queued or running.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Jobs that panicked (contained by the pool; workers keep running).
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared.panicked.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain outstanding jobs and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn wait_on_idle_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for round in 1..=5u64 {
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), round * 10);
+        }
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No explicit wait: Drop must join after draining.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be > 0")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_wedge_the_pool() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                if i % 10 == 0 {
+                    panic!("injected failure {i}");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Must return (not hang) despite the 5 panicking jobs.
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 45);
+        assert_eq!(pool.panicked_jobs(), 5);
+        // Workers are still alive and usable.
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 46);
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        assert_eq!(ThreadPool::new(7).threads(), 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parallel sum reductions over slices.
+//!
+//! This is the CPU leg of the paper's co-execution (Listing 7's
+//! `#pragma omp for simd` loop): the slice is split into one contiguous
+//! chunk per thread (OpenMP static schedule), each thread reduces its chunk
+//! with an optionally unrolled kernel, and the per-thread partials are
+//! combined in thread order — exactly the OpenMP `reduction(+:sum)`
+//! combiner semantics.
+
+use crate::kernels::sum_unrolled;
+#[cfg(test)]
+use crate::kernels::sum_sequential;
+use crate::scope::parallel_map_chunks;
+use ghr_types::{Accum, Element};
+
+/// How the index space is divided among threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// One contiguous chunk per thread (OpenMP `schedule(static)`).
+    Static,
+    /// Fixed-size chunks handed out round-robin by thread index
+    /// (OpenMP `schedule(static, chunk)`), exercising the same totals with
+    /// a different memory-access interleaving.
+    StaticChunked(usize),
+}
+
+/// Parallel sum over `data` with `threads` OS threads and sequential
+/// per-chunk kernels.
+pub fn parallel_sum<T: Element>(data: &[T], threads: usize) -> T::Acc {
+    parallel_sum_unrolled(data, threads, 1, ChunkPolicy::Static)
+}
+
+/// Parallel sum with per-thread kernels unrolled by `v` (the paper's
+/// "elements per loop iteration") and a selectable chunking policy.
+pub fn parallel_sum_unrolled<T: Element>(
+    data: &[T],
+    threads: usize,
+    v: usize,
+    policy: ChunkPolicy,
+) -> T::Acc {
+    assert!(threads > 0, "threads must be > 0");
+    match policy {
+        ChunkPolicy::Static => {
+            let partials = parallel_map_chunks(data.len(), threads, |_tid, range| {
+                sum_unrolled(&data[range], v)
+            });
+            combine(partials)
+        }
+        ChunkPolicy::StaticChunked(chunk) => {
+            assert!(chunk > 0, "chunk must be > 0");
+            let partials = parallel_map_chunks(threads, threads, |_tid, thread_range| {
+                let mut acc = T::Acc::zero();
+                for tid in thread_range {
+                    // Thread `tid` owns chunks tid, tid+threads, tid+2*threads, ...
+                    let mut start = tid * chunk;
+                    while start < data.len() {
+                        let end = (start + chunk).min(data.len());
+                        acc = acc + sum_unrolled(&data[start..end], v);
+                        start += threads * chunk;
+                    }
+                }
+                acc
+            });
+            combine(partials)
+        }
+    }
+}
+
+fn combine<A: Accum>(partials: Vec<A>) -> A {
+    let mut sum = A::zero();
+    for p in partials {
+        sum = sum + p;
+    }
+    sum
+}
+
+/// Parallel reduction with an arbitrary associative combiner and identity
+/// (OpenMP `reduction(min: ...)` / `reduction(max: ...)` on the host).
+/// Per-thread partials combine in thread order, like the OpenMP combiner.
+pub fn parallel_reduce_with<T, A, F>(data: &[T], threads: usize, identity: A, combine: F) -> A
+where
+    T: Element<Acc = A>,
+    A: Accum,
+    F: Fn(A, A) -> A + Copy + Sync,
+{
+    assert!(threads > 0, "threads must be > 0");
+    let partials = crate::scope::parallel_map_chunks(data.len(), threads, |_tid, range| {
+        let mut acc = identity;
+        for &x in &data[range] {
+            acc = combine(acc, x.widen());
+        }
+        acc
+    });
+    let mut out = identity;
+    for p in partials {
+        out = combine(out, p);
+    }
+    out
+}
+
+/// Parallel minimum over a slice.
+pub fn parallel_min<T: Element>(data: &[T], threads: usize) -> T::Acc {
+    parallel_reduce_with(data, threads, T::Acc::min_identity(), |a, b| a.acc_min(b))
+}
+
+/// Parallel maximum over a slice.
+pub fn parallel_max<T: Element>(data: &[T], threads: usize) -> T::Acc {
+    parallel_reduce_with(data, threads, T::Acc::max_identity(), |a, b| a.acc_max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_i32(n: usize) -> Vec<i32> {
+        (0..n as u64).map(<i32 as Element>::from_index).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_i32() {
+        for n in [0usize, 1, 100, 4096, 100_003] {
+            let data = data_i32(n);
+            let expect = sum_sequential(&data);
+            for threads in [1, 2, 3, 8, 16] {
+                assert_eq!(parallel_sum(&data, threads), expect, "n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_parallel_matches_sequential_i8() {
+        let data: Vec<i8> = (0..50_000u64).map(<i8 as Element>::from_index).collect();
+        let expect = sum_sequential(&data);
+        for v in [1, 4, 32] {
+            for threads in [1, 5, 12] {
+                assert_eq!(
+                    parallel_sum_unrolled(&data, threads, v, ChunkPolicy::Static),
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_chunked_covers_everything() {
+        let data = data_i32(10_007);
+        let expect = sum_sequential(&data);
+        for chunk in [1, 7, 64, 1000, 20_000] {
+            for threads in [1, 3, 8] {
+                assert_eq!(
+                    parallel_sum_unrolled(&data, threads, 2, ChunkPolicy::StaticChunked(chunk)),
+                    expect,
+                    "chunk={chunk} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_parallel_is_close() {
+        let data: Vec<f64> = (0..100_000u64).map(<f64 as Element>::from_index).collect();
+        let expect = sum_sequential(&data);
+        for threads in [2, 7, 16] {
+            let got = parallel_sum(&data, threads);
+            assert!((got - expect).abs() < 1e-6, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_min_max_match_iterators() {
+        let data: Vec<i32> = (0..30_000u64)
+            .map(|i| ((i * 91) % 7777) as i32 - 3000)
+            .collect();
+        for threads in [1, 4, 9] {
+            assert_eq!(parallel_min(&data, threads), *data.iter().min().unwrap());
+            assert_eq!(parallel_max(&data, threads), *data.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_min_of_empty_is_identity() {
+        let data: Vec<f32> = Vec::new();
+        assert_eq!(parallel_min(&data, 4), f32::INFINITY);
+        assert_eq!(parallel_max(&data, 4), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reduce_with_widens_i8() {
+        let data: Vec<i8> = vec![-5, 3, 7, -100, 44];
+        assert_eq!(parallel_min(&data, 2), -100i64);
+        assert_eq!(parallel_max(&data, 2), 44i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be > 0")]
+    fn zero_chunk_rejected() {
+        let _ = parallel_sum_unrolled(&[1i32], 2, 1, ChunkPolicy::StaticChunked(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be > 0")]
+    fn zero_threads_rejected() {
+        let _ = parallel_sum(&[1i32], 0);
+    }
+}

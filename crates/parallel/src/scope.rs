@@ -1,0 +1,154 @@
+//! Scoped fork-join helpers over borrowed data.
+//!
+//! [`parallel_for`] is the moral equivalent of an OpenMP
+//! `#pragma omp parallel for schedule(static)`: the index space is split
+//! into one contiguous chunk per thread and each thread runs the body over
+//! its chunk. It is built on `std::thread::scope`, so the body may borrow
+//! from the caller's stack.
+
+/// Split `n` items into at most `parts` contiguous ranges of near-equal
+/// size (difference at most one). Empty ranges are not produced: fewer
+/// ranges are returned when `n < parts`.
+pub fn split_evenly(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "parts must be > 0");
+    let parts = parts.min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `body` over `0..n` with static chunking across `threads` OS threads.
+///
+/// `body` receives `(thread_index, range)` and is invoked once per chunk.
+/// With `threads == 1` (or `n` small) everything runs on the calling
+/// thread — matching OpenMP's behaviour for a one-thread team and keeping
+/// the fast path allocation-free.
+pub fn parallel_for<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    assert!(threads > 0, "threads must be > 0");
+    let ranges = split_evenly(n, threads);
+    match ranges.len() {
+        0 => {}
+        1 => body(0, ranges.into_iter().next().expect("one range")),
+        _ => {
+            std::thread::scope(|s| {
+                let body = &body;
+                for (tid, range) in ranges.into_iter().enumerate() {
+                    s.spawn(move || body(tid, range));
+                }
+            });
+        }
+    }
+}
+
+/// Map each chunk of `0..n` to a value and collect the per-chunk results in
+/// chunk order (a fork-join `parallel for` with a reduction-friendly
+/// result vector).
+pub fn parallel_map_chunks<R, F>(n: usize, threads: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(threads > 0, "threads must be > 0");
+    let ranges = split_evenly(n, threads);
+    match ranges.len() {
+        0 => Vec::new(),
+        1 => vec![body(0, ranges.into_iter().next().expect("one range"))],
+        _ => {
+            let mut slots: Vec<Option<R>> = Vec::new();
+            slots.resize_with(ranges.len(), || None);
+            std::thread::scope(|s| {
+                let body = &body;
+                for ((tid, range), slot) in ranges.into_iter().enumerate().zip(slots.iter_mut()) {
+                    s.spawn(move || {
+                        *slot = Some(body(tid, range));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|r| r.expect("worker completed"))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_evenly_balances() {
+        let r = split_evenly(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        let lens: Vec<usize> = r.iter().map(|x| x.len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn split_evenly_edge_cases() {
+        assert!(split_evenly(0, 4).is_empty());
+        assert_eq!(split_evenly(3, 8), vec![0..1, 1..2, 2..3]);
+        assert_eq!(split_evenly(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be > 0")]
+    fn split_evenly_rejects_zero_parts() {
+        let _ = split_evenly(10, 0);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 8, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_single_thread_runs_inline() {
+        let tid_seen = AtomicUsize::new(usize::MAX);
+        parallel_for(5, 1, |tid, range| {
+            tid_seen.store(tid, Ordering::Relaxed);
+            assert_eq!(range, 0..5);
+        });
+        assert_eq!(tid_seen.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn parallel_for_empty_does_nothing() {
+        parallel_for(0, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_map_chunks_preserves_order() {
+        let out = parallel_map_chunks(100, 7, |_tid, range| range.start);
+        let starts: Vec<usize> = split_evenly(100, 7).iter().map(|r| r.start).collect();
+        assert_eq!(out, starts);
+    }
+
+    #[test]
+    fn parallel_map_chunks_empty() {
+        let out: Vec<usize> = parallel_map_chunks(0, 4, |_, _| 1);
+        assert!(out.is_empty());
+    }
+}

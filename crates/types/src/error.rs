@@ -1,0 +1,95 @@
+//! Error types shared across the workspace.
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GhrError>;
+
+/// Errors produced by the execution model and simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GhrError {
+    /// A launch/configuration parameter is outside its legal domain.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A data mapping was requested for memory the runtime does not know.
+    UnmappedMemory {
+        /// Description of the missing mapping.
+        detail: String,
+    },
+    /// Verification of a computed reduction against the reference failed.
+    VerificationFailed {
+        /// Expected value (as f64 for reporting).
+        expected: f64,
+        /// Actual value (as f64 for reporting).
+        actual: f64,
+        /// Allowed absolute tolerance.
+        tolerance: f64,
+    },
+    /// The simulated machine cannot execute the request (e.g. no GPU).
+    UnsupportedDevice {
+        /// Description of the request.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for GhrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GhrError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            GhrError::UnmappedMemory { detail } => write!(f, "unmapped memory: {detail}"),
+            GhrError::VerificationFailed {
+                expected,
+                actual,
+                tolerance,
+            } => write!(
+                f,
+                "verification failed: expected {expected}, got {actual} (tolerance {tolerance})"
+            ),
+            GhrError::UnsupportedDevice { detail } => write!(f, "unsupported device: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GhrError {}
+
+impl GhrError {
+    /// Shorthand constructor for [`GhrError::InvalidConfig`].
+    pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        GhrError::InvalidConfig {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GhrError::invalid("num_teams", "must be > 0");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for num_teams: must be > 0"
+        );
+        let v = GhrError::VerificationFailed {
+            expected: 1.0,
+            actual: 2.0,
+            tolerance: 0.1,
+        };
+        assert!(v.to_string().contains("verification failed"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GhrError::UnmappedMemory {
+            detail: "ptr 0xdead".into(),
+        });
+        assert!(e.to_string().contains("unmapped"));
+    }
+}

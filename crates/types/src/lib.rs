@@ -1,0 +1,26 @@
+//! # ghr-types
+//!
+//! Foundation types shared by every crate in the Grace-Hopper reduction
+//! study: element data types ([`DType`], the [`Element`]/[`Accum`] traits),
+//! physical units ([`Bytes`], [`Bandwidth`], [`SimTime`], [`Frequency`]),
+//! device identifiers ([`Device`]), error types ([`GhrError`]) and small
+//! statistics helpers ([`Summary`]).
+//!
+//! The crate is dependency-light by design so that simulators, the OpenMP
+//! execution model and the benchmark harness can all agree on the same
+//! vocabulary without pulling each other in.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod dtype;
+pub mod error;
+pub mod stats;
+pub mod units;
+
+pub use device::Device;
+pub use dtype::{Accum, DType, Element};
+pub use error::{GhrError, Result};
+pub use stats::Summary;
+pub use units::{Bandwidth, Bytes, Frequency, SimTime};

@@ -1,0 +1,23 @@
+//! Floating-point accuracy of the different summation orders — why the
+//! paper's float cases (C3/C4) need a tolerance when "the GPU results are
+//! verified using the CPU results".
+//!
+//! ```text
+//! cargo run --release --example accuracy
+//! ```
+
+use ghr_core::accuracy::accuracy_study;
+
+fn main() {
+    let counts: Vec<u64> = (14..=24).step_by(2).map(|i| 1u64 << i).collect();
+    let study = accuracy_study(&counts).expect("study runs");
+    println!("f32 summation error vs an f64 Kahan reference");
+    println!("(units of eps x |sum|; positive pseudo-random data)\n");
+    print!("{}", study.to_table().to_markdown());
+    println!(
+        "\nThe serial loop's error random-walks upward with M; the device's\n\
+         tree order (per-thread partials -> intra-team tree -> team combine)\n\
+         and pairwise summation stay flat. The offloaded reduction is not\n\
+         just faster than the serial loop — it is usually *more* accurate."
+    );
+}

@@ -1,0 +1,34 @@
+//! Autotune the reduction for all four cases and compare against the
+//! paper's chosen configurations.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use grace_hopper_reduction::prelude::*;
+
+fn main() {
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    println!("autotuning over teams x V (thread_limit 256)...\n");
+    println!(
+        "{:<5} {:>12} {:>4} {:>10}   paper choice",
+        "case", "teams axis", "v", "GB/s"
+    );
+    for case in Case::ALL {
+        let tuned = autotune(&rt, case).expect("sweep runs");
+        println!(
+            "{:<5} {:>12} {:>4} {:>10.0}   teams=65536, v={}",
+            case.label(),
+            tuned.teams_axis,
+            tuned.v,
+            tuned.gbps,
+            case.v_optimized()
+        );
+        assert_eq!(
+            tuned.v,
+            case.v_optimized(),
+            "tuned V diverged from the paper"
+        );
+    }
+    println!("\nall tuned V values match the paper's Section IV choices.");
+}

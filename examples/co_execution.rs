@@ -1,0 +1,51 @@
+//! Co-execute the reduction on the CPU and GPU in unified-memory mode
+//! (the paper's Section IV) and print the Fig. 2/4-style series.
+//!
+//! ```text
+//! cargo run --release --example co_execution [a1|a2]
+//! ```
+
+use grace_hopper_reduction::prelude::*;
+
+fn main() {
+    let alloc = match std::env::args().nth(1).as_deref() {
+        None | Some("a1") => AllocSite::A1,
+        Some("a2") => AllocSite::A2,
+        Some(other) => {
+            eprintln!("unknown allocation site {other:?}; use a1 or a2");
+            std::process::exit(2);
+        }
+    };
+    let machine = MachineConfig::gh200();
+    let case = Case::C1;
+
+    println!("co-execution of {case}, allocation at {alloc}, UM mode\n");
+    let base = run_corun(
+        &machine,
+        &CorunConfig::paper(case, KernelKind::Baseline, alloc),
+    )
+    .expect("baseline co-run");
+    let spec = ReductionSpec::optimized_paper(case);
+    let opt = run_corun(&machine, &CorunConfig::paper(case, spec.kind, alloc))
+        .expect("optimized co-run");
+
+    println!("baseline kernel:");
+    print!("{}", base.to_table().to_markdown());
+    println!("\noptimized kernel:");
+    print!("{}", opt.to_table().to_markdown());
+
+    println!("\nper-p speedup of optimized over baseline (Fig. 3/5 style):");
+    for (p, s) in opt.speedup_vs(&base) {
+        println!("  p={p:.1}: {s:.3}x");
+    }
+    println!(
+        "\npeak speedup over GPU-only: baseline {:.3}x, optimized {:.3}x",
+        base.peak_speedup_over_gpu_only(),
+        opt.peak_speedup_over_gpu_only()
+    );
+    println!(
+        "CPU-only endpoints: baseline {:.0} GB/s, optimized {:.0} GB/s",
+        base.cpu_only_gbps(),
+        opt.cpu_only_gbps()
+    );
+}

@@ -1,0 +1,64 @@
+//! What-if studies on a modified machine: the hardware description is
+//! plain data, so hypothetical nodes are one struct update away.
+//!
+//! ```text
+//! cargo run --release --example custom_machine
+//! ```
+
+use grace_hopper_reduction::prelude::*;
+
+fn table1_line(rt: &OmpRuntime, label: &str) {
+    let t = ghr_core::table1::table1(rt).expect("table1");
+    let row = &t.rows[0]; // C1
+    println!(
+        "{label:<34} C1 base {:>6.0} GB/s | opt {:>6.0} GB/s | speedup {:>6.3}",
+        row.base_gbps, row.opt_gbps, row.speedup
+    );
+}
+
+fn main() {
+    // The paper's GH200.
+    let gh200 = MachineConfig::gh200();
+    table1_line(&OmpRuntime::new(gh200.clone()), "GH200 (paper testbed)");
+
+    // A hypothetical node with twice the HBM bandwidth: the optimized
+    // kernel scales with the roof, the baseline stays team-pipeline-bound.
+    let mut fat_hbm = gh200.clone();
+    fat_hbm.gpu.hbm_peak_bw = Bandwidth::gbps(2.0 * 4022.7);
+    table1_line(&OmpRuntime::new(fat_hbm), "2x HBM bandwidth");
+
+    // Half the SMs: the baseline's per-team pipeline halves in throughput.
+    let mut half_sms = gh200.clone();
+    half_sms.gpu.sm_count = 66;
+    table1_line(&OmpRuntime::new(half_sms), "66 SMs");
+
+    // A future runtime with a better heuristic would look like the
+    // optimized row; a slower interconnect mainly hurts co-execution.
+    let mut slow_link = gh200;
+    slow_link.link.cpu_reads_gpu_mem = Bandwidth::gbps(100.0);
+    let machine = slow_link.clone();
+    let case = Case::C1;
+    let spec = ReductionSpec::optimized_paper(case);
+    let s = run_corun(
+        &machine,
+        &CorunConfig::paper(case, spec.kind, AllocSite::A1),
+    )
+    .expect("co-run");
+    println!(
+        "slow C2C (100 GB/s CPU->HBM)        A1 co-run peak speedup over GPU-only: {:.3}",
+        s.peak_speedup_over_gpu_only()
+    );
+
+    // And the full contrast: a conventional PCIe node. The paper's UM
+    // co-execution premise depends on the coherent interconnect — on
+    // PCIe, A1's CPU leg reads mapped device memory at BAR speeds and the
+    // co-run story collapses.
+    let pcie = MachineConfig::x86_pcie();
+    table1_line(&OmpRuntime::new(pcie.clone()), "x86 + H100 PCIe");
+    let s = run_corun(&pcie, &CorunConfig::paper(case, spec.kind, AllocSite::A1))
+        .expect("co-run");
+    println!(
+        "x86 + H100 PCIe                     A1 CPU-only endpoint: {:.0} GB/s (GH200: 329)",
+        s.cpu_only_gbps()
+    );
+}

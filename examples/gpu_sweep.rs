@@ -1,0 +1,43 @@
+//! Regenerate one panel of Fig. 1: bandwidth vs (teams, V) for a case.
+//!
+//! ```text
+//! cargo run --release --example gpu_sweep [c1|c2|c3|c4]
+//! ```
+
+use grace_hopper_reduction::prelude::*;
+
+fn main() {
+    let case = match std::env::args().nth(1).as_deref() {
+        None | Some("c1") => Case::C1,
+        Some("c2") => Case::C2,
+        Some("c3") => Case::C3,
+        Some("c4") => Case::C4,
+        Some(other) => {
+            eprintln!("unknown case {other:?}; use c1..c4");
+            std::process::exit(2);
+        }
+    };
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let result = GpuSweep::paper(case).run(&rt).expect("sweep runs");
+
+    println!(
+        "Fig. 1 panel for {case} ({}), GB/s, thread_limit=256, M={}:\n",
+        case.signature(),
+        result.sweep.m
+    );
+    print!("{}", result.to_table().to_markdown());
+
+    let best = result.best();
+    println!(
+        "\nbest: {:.0} GB/s at teams={} v={} (paper: v={} saturating by 65536 teams)",
+        best.gbps,
+        best.teams_axis,
+        best.v,
+        case.v_optimized()
+    );
+    for v in [1u32, case.v_optimized()] {
+        if let Some(knee) = result.saturation_teams(v, 0.9) {
+            println!("v{v} reaches 90% of its plateau at {knee} teams");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run the paper's baseline and optimized reductions on real
+//! data over the simulated GH200 and print what the paper's Table 1 prints.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use grace_hopper_reduction::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::gh200();
+    println!("machine : {}", machine.gpu.name);
+    println!("peak BW : {}\n", machine.gpu.hbm_peak_bw);
+    let rt = OmpRuntime::new(machine);
+
+    // --- functional: really compute a sum with device semantics --------
+    let m: u64 = 4_000_000;
+    let data: Vec<i32> = (0..m).map(|i| (i % 7) as i32).collect();
+    let expect: i32 = data.iter().sum();
+
+    let baseline = rt
+        .target_reduce_device(&data, &TargetRegion::baseline())
+        .expect("baseline runs");
+    let optimized = rt
+        .target_reduce_device(&data, &TargetRegion::optimized(65536, 4))
+        .expect("optimized runs");
+
+    assert_eq!(baseline.value, expect);
+    assert_eq!(optimized.value, expect);
+    println!("sum of {m} elements = {} (verified)", optimized.value);
+    println!(
+        "baseline : {} teams x {} threads, {}",
+        baseline.launch.num_teams, baseline.launch.threads_per_team, baseline.time(),
+    );
+    println!(
+        "optimized: {} teams x {} threads, {}\n",
+        optimized.launch.num_teams, optimized.launch.threads_per_team, optimized.time(),
+    );
+
+    // --- timing at the paper's full 4 GB scale --------------------------
+    println!("Table 1 at the paper's scale (1 048 576 000+ elements):\n");
+    let t1 = table1(&rt).expect("table 1");
+    print!("{}", t1.to_table().to_markdown());
+    println!(
+        "\nmax deviation from the paper's Table 1: {:.2}%",
+        t1.max_relative_error() * 100.0
+    );
+}

@@ -1,0 +1,131 @@
+//! Integration tests of the Section IV co-execution pipeline: functional
+//! split verification plus placement-history assertions that span the
+//! UM simulator, both timing models, and the drivers.
+
+use grace_hopper_reduction::core::{
+    corun::{run_corun, AllocSite, CorunConfig},
+    verify, Case, KernelKind, ReductionSpec,
+};
+use grace_hopper_reduction::prelude::{MachineConfig, OmpRuntime};
+
+fn opt_kind(case: Case) -> KernelKind {
+    ReductionSpec::optimized_paper(case).kind
+}
+
+#[test]
+fn functional_split_matches_serial_for_all_cases_and_splits() {
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let m = Case::C1.m_scaled(200_000);
+    for case in Case::ALL {
+        let spec = ReductionSpec::optimized_paper(case);
+        for p in [0u64, 1, 3, 5, 9, 10] {
+            verify::verify_split(&rt, &spec, m, p, 10)
+                .unwrap_or_else(|e| panic!("{case} p={p}/10: {e}"));
+        }
+    }
+}
+
+#[test]
+fn a1_history_carries_across_p_values() {
+    // The defining property of A1: the p=0 iteration migrates the whole
+    // array to HBM, and every later CPU part reads it remotely. Assert the
+    // bandwidth consequences on a scaled run.
+    let machine = MachineConfig::gh200();
+    let cfg =
+        CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A1).scaled(2_000_000, 20);
+    let s = run_corun(&machine, &cfg).unwrap();
+    // p=0 migrated everything...
+    assert!(s.points[0].migrated_to_gpu.0 > 0);
+    // ...and p=1 reads everything remotely (A1's slow CPU-only endpoint).
+    let last = s.points.last().unwrap();
+    assert!(last.cpu_remote.0 > 0);
+    assert_eq!(last.migrated_to_gpu.0, 0);
+}
+
+#[test]
+fn a2_fresh_allocations_reset_history() {
+    let machine = MachineConfig::gh200();
+    let cfg =
+        CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A2).scaled(2_000_000, 20);
+    let s = run_corun(&machine, &cfg).unwrap();
+    // The CPU part is freshly CPU-resident. At scaled sizes the p boundary
+    // can land mid-page, so the single boundary page may be pulled to the
+    // GPU and read back remotely (page-granularity false sharing) — allow
+    // at most one page's worth of remote bytes per repetition.
+    let bound = machine.page_size.0 * cfg.n_reps as u64;
+    assert!(
+        s.points.iter().all(|p| p.cpu_remote.0 <= bound),
+        "{:?}",
+        s.points.iter().map(|p| p.cpu_remote.0).collect::<Vec<_>>()
+    );
+    // The GPU part re-migrates at every p < 1.
+    for pt in &s.points {
+        if pt.p < 0.999 {
+            assert!(pt.migrated_to_gpu.0 > 0, "p={}", pt.p);
+        }
+    }
+}
+
+#[test]
+fn a1_beats_a2_for_co_execution_but_loses_cpu_only() {
+    // The paper's headline A1/A2 contrast, at full scale for fidelity.
+    let machine = MachineConfig::gh200();
+    let kind = opt_kind(Case::C1);
+    let a1 = run_corun(&machine, &CorunConfig::paper(Case::C1, kind, AllocSite::A1)).unwrap();
+    let a2 = run_corun(&machine, &CorunConfig::paper(Case::C1, kind, AllocSite::A2)).unwrap();
+    // Co-execution peak: A1 wins (no per-p migration, GPU part in HBM).
+    assert!(
+        a1.peak().gbps > a2.peak().gbps,
+        "A1 peak {:.0} vs A2 peak {:.0}",
+        a1.peak().gbps,
+        a2.peak().gbps
+    );
+    // CPU-only: A2 wins (paper: by 1.367x).
+    let ratio = a2.cpu_only_gbps() / a1.cpu_only_gbps();
+    assert!((ratio - 1.367).abs() < 0.08, "ratio {ratio:.3}");
+}
+
+#[test]
+fn baseline_vs_optimized_gap_closes_as_cpu_takes_over() {
+    // Fig. 3's qualitative claim: the optimized kernel only matters while
+    // the GPU holds a large share.
+    let machine = MachineConfig::gh200();
+    let base =
+        run_corun(&machine, &CorunConfig::paper(Case::C2, KernelKind::Baseline, AllocSite::A1))
+            .unwrap();
+    let opt = run_corun(
+        &machine,
+        &CorunConfig::paper(Case::C2, opt_kind(Case::C2), AllocSite::A1),
+    )
+    .unwrap();
+    let speedups = opt.speedup_vs(&base);
+    let at_p0 = speedups[0].1;
+    let at_p1 = speedups.last().unwrap().1;
+    assert!(at_p0 > 4.0, "C2 p=0 speedup {at_p0:.2}");
+    assert!((at_p1 - 1.0).abs() < 0.02, "C2 p=1 speedup {at_p1:.2}");
+}
+
+#[test]
+fn disabling_contention_never_slows_the_corun() {
+    let machine = MachineConfig::gh200();
+    let mut with = CorunConfig::paper(Case::C1, KernelKind::Baseline, AllocSite::A2);
+    with.n_reps = 20;
+    let mut without = with;
+    without.lpddr_contention = false;
+    let s_with = run_corun(&machine, &with).unwrap();
+    let s_without = run_corun(&machine, &without).unwrap();
+    for (a, b) in s_with.points.iter().zip(&s_without.points) {
+        assert!(b.gbps >= a.gbps - 1e-9, "p={}", a.p);
+    }
+}
+
+#[test]
+fn unified_runtime_map_clause_is_free() {
+    // Listing 7 uses map(to: inD[0:LenD]); in UM mode it must not cost
+    // anything — the co-run numbers rely on that.
+    let rt = OmpRuntime::unified(MachineConfig::gh200());
+    assert_eq!(
+        rt.map_to_cost(grace_hopper_reduction::types::Bytes::gib(4)),
+        grace_hopper_reduction::types::SimTime::ZERO
+    );
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration: the full pipeline from machine description to
+//! reproduced paper numbers, spanning every crate.
+
+use grace_hopper_reduction::prelude::*;
+use grace_hopper_reduction::core::{study, sweep::GpuSweep, table1, verify};
+
+fn rt() -> OmpRuntime {
+    OmpRuntime::new(MachineConfig::gh200())
+}
+
+#[test]
+fn table1_reproduces_within_two_percent() {
+    let t = table1::table1(&rt()).unwrap();
+    assert!(
+        t.max_relative_error() < 0.02,
+        "max relative error {:.4}",
+        t.max_relative_error()
+    );
+    // Paper's qualitative claims.
+    for row in &t.rows {
+        assert!(row.speedup >= 6.0 && row.speedup <= 21.5, "{row:?}");
+        assert!(row.eff_opt >= 0.89 && row.eff_opt <= 0.96, "{row:?}");
+        assert!(row.eff_base <= 0.155, "{row:?}");
+    }
+}
+
+#[test]
+fn sweep_best_matches_paper_for_every_case() {
+    let rt = rt();
+    for case in Case::ALL {
+        let result = GpuSweep::paper(case).run(&rt).unwrap();
+        let best = result.best();
+        assert_eq!(best.v, case.v_optimized(), "{case}: best {best:?}");
+    }
+}
+
+#[test]
+fn optimized_speedup_band_matches_table1() {
+    // Paper: 6.120x (C1) to 20.906x (C2).
+    let rt = rt();
+    let t = table1::table1(&rt).unwrap();
+    let speedups: Vec<f64> = t.rows.iter().map(|r| r.speedup).collect();
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!((min - 6.120).abs() / 6.120 < 0.05, "min speedup {min}");
+    assert!((max - 20.906).abs() / 20.906 < 0.05, "max speedup {max}");
+}
+
+#[test]
+fn every_case_verifies_functionally_at_scale() {
+    let rt = rt();
+    let m = Case::C1.m_scaled(1_000_000);
+    for case in Case::ALL {
+        for spec in [
+            ReductionSpec::baseline(case),
+            ReductionSpec::optimized_paper(case),
+        ] {
+            verify::verify_spec(&rt, &spec, m)
+                .unwrap_or_else(|e| panic!("{case}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn corun_study_reproduces_section_iv_aggregates() {
+    let machine = MachineConfig::gh200();
+    let study = study::run_full_study_scaled(&machine, None, Some(50)).unwrap();
+    let sum = study.summary();
+
+    // A1 co-run beats GPU-only for every case, both kernels (paper Fig 2).
+    for p in sum.a1_base_peaks.iter().chain(&sum.a1_opt_peaks) {
+        assert!(*p > 1.3, "{sum:?}");
+    }
+    // A2's advantage is marginal (paper: avg 1.067).
+    let a2_avg = sum.a2_opt_peaks.iter().sum::<f64>() / 4.0;
+    assert!((1.0..1.3).contains(&a2_avg), "A2 avg {a2_avg}");
+    // CPU-only asymmetry (paper: 1.367).
+    assert!((sum.cpu_only_a2_over_a1 - 1.367).abs() < 0.1);
+    // Fig 3 is more dramatic than Fig 5's tail behaviour at p=1.
+    assert!(sum.fig3_range.1 > 2.0);
+    assert!(sum.fig3_range.0 > 0.9 && sum.fig3_range.0 < 1.05);
+}
+
+#[test]
+fn baseline_grid_heuristics_visible_end_to_end() {
+    // The profiled NVHPC geometry must surface in the resolved launches.
+    let rt = rt();
+    let data: Vec<i32> = vec![1; 1 << 20];
+    let out = rt
+        .target_reduce_device(&data, &TargetRegion::baseline())
+        .unwrap();
+    assert_eq!(out.launch.num_teams, (1 << 20) / 128);
+    assert_eq!(out.launch.threads_per_team, 128);
+}
+
+#[test]
+fn prelude_exposes_a_usable_api() {
+    // Compile-time check that the prelude covers the quickstart path.
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let data: Vec<f64> = (0..10_000u64).map(|i| i as f64).collect();
+    let out = rt
+        .target_reduce_device(&data, &TargetRegion::optimized(1024, 2))
+        .unwrap();
+    let expect: f64 = data.iter().sum();
+    assert!((out.value - expect).abs() < 1e-3);
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the extension experiments (what-if, scheduling,
+//! accuracy, memory advice, operators) spanning the whole stack.
+
+use grace_hopper_reduction::core::{
+    corun::{run_corun, AllocSite, CorunConfig},
+    sched::{run_scheduled, SchedConfig, SplitPolicy},
+    whatif::whatif_study,
+    workload::Workload,
+    Case, ReductionSpec,
+};
+use grace_hopper_reduction::omp::{HostRegion, OmpRuntime, ReductionOp, TargetRegion};
+use grace_hopper_reduction::prelude::MachineConfig;
+
+#[test]
+fn whatif_runtime_fixes_match_the_v1_ceiling_story() {
+    let s = whatif_study(&MachineConfig::gh200()).unwrap();
+    // Shipped = Table 1 baselines; any fix = V=1 ceiling; optimized far above.
+    let shipped = s.rows[0].gbps[0];
+    let fixed = s.rows[1].gbps[0];
+    let optimized = s.optimized_gbps[0];
+    assert!((shipped - 620.0).abs() < 15.0);
+    assert!(fixed > 1.5 * shipped);
+    assert!(optimized > 3.5 * fixed);
+}
+
+#[test]
+fn advice_dominates_no_advice_across_the_whole_sweep() {
+    // 200 repetitions, like the paper: the eager migrate-back that advice
+    // triggers needs the full horizon to amortize.
+    let machine = MachineConfig::gh200();
+    let kind = ReductionSpec::optimized_paper(Case::C2).kind;
+    let plain = run_corun(
+        &machine,
+        &CorunConfig::paper(Case::C2, kind, AllocSite::A1).scaled(20_000_000, 200),
+    )
+    .unwrap();
+    let advised = run_corun(
+        &machine,
+        &CorunConfig::paper(Case::C2, kind, AllocSite::A1)
+            .scaled(20_000_000, 200)
+            .with_advice(),
+    )
+    .unwrap();
+    for (a, p) in advised.points.iter().zip(&plain.points) {
+        assert!(a.gbps >= p.gbps * 0.95, "p={}: {} vs {}", a.p, a.gbps, p.gbps);
+    }
+    assert!(advised.cpu_only_gbps() > plain.cpu_only_gbps());
+}
+
+#[test]
+fn scheduling_policies_run_for_every_case() {
+    let machine = MachineConfig::gh200();
+    for case in Case::ALL {
+        let cfg = SchedConfig::paper(case, SplitPolicy::Adaptive { p0: 0.3 })
+            .scaled(2_000_000, 12);
+        let out = run_scheduled(&machine, &cfg).unwrap();
+        assert!(out.gbps > 0.0, "{case}");
+        assert_eq!(out.per_rep_p.len(), 12);
+    }
+}
+
+#[test]
+fn operators_and_if_clause_compose_end_to_end() {
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let data = Workload::UniformRandom { seed: 11 }.generate::<i32>(80_000);
+    let expect_max = *data.iter().max().unwrap();
+
+    // Max on the device...
+    let mut device = TargetRegion::optimized(2048, 2);
+    device.reduction = ReductionOp::Max;
+    let (v, _, d) = rt.target_reduce(&data, &device).unwrap();
+    assert_eq!(v, expect_max);
+    assert!(d.is_gpu());
+
+    // ...and on the host via if(target: 0).
+    let (v, _, d) = rt
+        .target_reduce(&data, &device.with_if_target(false))
+        .unwrap();
+    assert_eq!(v, expect_max);
+    assert!(d.is_host());
+
+    // ...and via the host worksharing construct.
+    let mut host = HostRegion::for_simd();
+    host.reduction = ReductionOp::Max;
+    let out = rt.host_reduce_region(&data, &host).unwrap();
+    assert_eq!(out.value, expect_max);
+}
+
+#[test]
+fn listing7_pair_reproduces_the_split_sum() {
+    // The full Listing 7 shape: host region over the front, nowait target
+    // region over the back, partials added.
+    let rt = OmpRuntime::unified(MachineConfig::gh200());
+    let data = Workload::UniformRandom { seed: 5 }.generate::<i8>(200_000);
+    let expect: i64 = data.iter().map(|&x| x as i64).sum();
+    let (front, back) = data.split_at(60_000);
+    let sum_h = rt
+        .host_reduce_region(front, &HostRegion::for_simd())
+        .unwrap()
+        .value;
+    let sum_d = rt
+        .target_reduce_device(back, &TargetRegion::optimized(65536, 32).with_nowait())
+        .unwrap()
+        .value;
+    assert_eq!(sum_h + sum_d, expect);
+}

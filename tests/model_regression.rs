@@ -1,0 +1,98 @@
+//! Golden-number regression tests: freeze the calibrated model's outputs
+//! so accidental parameter or formula drift is caught immediately. The
+//! values are this repository's reproduced numbers (EXPERIMENTS.md), with
+//! a 0.5% tolerance for floating-point/formatting churn.
+
+use grace_hopper_reduction::core::{
+    corun::{run_corun, AllocSite, CorunConfig},
+    sweep::GpuSweep,
+    table1::table1,
+    Case, KernelKind, ReductionSpec,
+};
+use grace_hopper_reduction::prelude::{MachineConfig, OmpRuntime};
+
+fn close(actual: f64, golden: f64, what: &str) {
+    let err = (actual - golden).abs() / golden;
+    assert!(
+        err < 0.005,
+        "{what}: {actual:.1} drifted from golden {golden:.1} ({:.2}%)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn golden_table1() {
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let t = table1(&rt).unwrap();
+    let golden_base = [619.1, 171.8, 270.3, 525.6];
+    let golden_opt = [3793.0, 3596.0, 3793.0, 3833.0];
+    for (i, row) in t.rows.iter().enumerate() {
+        close(row.base_gbps, golden_base[i], &format!("{} base", row.case));
+        close(row.opt_gbps, golden_opt[i], &format!("{} opt", row.case));
+    }
+}
+
+#[test]
+fn golden_fig1_c1_series() {
+    // The v4 column of our Fig. 1a (teams axis -> GB/s).
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    let r = GpuSweep::paper(Case::C1).run(&rt).unwrap();
+    let golden: [(u64, f64); 5] = [
+        (1024, 930.0),
+        (2048, 1855.0),
+        (4096, 3694.0),
+        (8192, 3793.0),
+        (65536, 3793.0),
+    ];
+    for (teams, gbps) in golden {
+        close(
+            r.gbps_at(teams, 4).unwrap(),
+            gbps,
+            &format!("fig1a v4 teams={teams}"),
+        );
+    }
+    // The v1 plateau (concurrency-starved).
+    close(r.gbps_at(65536, 1).unwrap(), 959.0, "fig1a v1 plateau");
+}
+
+#[test]
+fn golden_corun_endpoints_c1() {
+    let machine = MachineConfig::gh200();
+    let kind = ReductionSpec::optimized_paper(Case::C1).kind;
+    let a1 = run_corun(&machine, &CorunConfig::paper(Case::C1, kind, AllocSite::A1)).unwrap();
+    close(a1.gpu_only_gbps(), 1473.0, "A1 opt GPU-only");
+    close(a1.cpu_only_gbps(), 328.8, "A1 opt CPU-only");
+    close(a1.peak().gbps, 3269.0, "A1 opt peak");
+    assert_eq!(a1.peak().p, 0.1);
+
+    let base =
+        run_corun(&machine, &CorunConfig::paper(Case::C1, KernelKind::Baseline, AllocSite::A1))
+            .unwrap();
+    close(base.gpu_only_gbps(), 494.0, "A1 base GPU-only");
+    close(base.peak().gbps, 884.0, "A1 base peak");
+
+    let a2 = run_corun(&machine, &CorunConfig::paper(Case::C1, kind, AllocSite::A2)).unwrap();
+    close(a2.cpu_only_gbps(), 449.6, "A2 opt CPU-only");
+    close(a2.peak().gbps, 1636.0, "A2 opt peak");
+}
+
+#[test]
+fn golden_baseline_launch_geometry() {
+    // The NVHPC heuristic geometry is behaviour, not calibration — it must
+    // match the paper's profile exactly, not within tolerance.
+    let rt = OmpRuntime::new(MachineConfig::gh200());
+    for (case, grid) in [
+        (Case::C1, 8_192_000u64),
+        (Case::C2, 16_777_215),
+        (Case::C3, 8_192_000),
+        (Case::C4, 8_192_000),
+    ] {
+        let launch = ReductionSpec::baseline(case)
+            .region()
+            .resolve_launch(case.m_paper(), case.elem(), case.acc())
+            .unwrap();
+        assert_eq!(launch.num_teams, grid, "{case}");
+        assert_eq!(launch.threads_per_team, 128, "{case}");
+        let _ = &rt;
+    }
+}

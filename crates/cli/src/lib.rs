@@ -13,65 +13,133 @@
 //! ghr machine                   print the simulated node description
 //! ghr all <dir>                 write every artifact as markdown into dir
 //! ```
+//!
+//! Every command accepts the global flags `--threads N` (worker threads
+//! for the evaluation engine; default `GHR_THREADS`, then the host's
+//! available parallelism; `--threads 1` forces the serial reference path)
+//! and `--stats` (append engine counters — points evaluated, cache hit
+//! rate, wall time — to the output). Output is byte-identical at every
+//! thread count.
 
 use ghr_core::{
     accuracy::accuracy_study,
-    autotune::autotune,
     case::Case,
-    corun::{run_corun, AllocSite, CorunConfig},
+    corun::{AllocSite, CorunConfig, CorunSeries},
+    engine::Engine,
     plot::AsciiChart,
     reduction::{KernelKind, ReductionSpec},
     report::{fmt_gbps, fmt_speedup, Table},
     sched::{compare_policies, comparison_table},
-    study::run_full_study,
     sweep::GpuSweep,
-    table1::table1,
     verify,
 };
 use ghr_gpusim::calibrate;
 use ghr_machine::MachineConfig;
 use ghr_omp::OmpRuntime;
 use std::fmt::Write as _;
-
+use std::sync::Arc;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
 whatif|sensitivity|explain|verify|calibrate|machine|all> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
+     global flags: --threads N (or GHR_THREADS; engine worker threads) and\n\
+     --stats (append points evaluated / cache hit rate / wall time);\n\
      run `ghr help` or see the crate docs for details"
 }
 
+/// Global flags shared by every command, stripped from the argument list
+/// before command-specific parsing.
+struct GlobalOpts {
+    /// Engine worker threads; 0 = resolve via `GHR_THREADS`, then the
+    /// host's available parallelism.
+    threads: usize,
+    /// Append engine counters to the output.
+    stats: bool,
+}
+
+fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
+    let mut opts = GlobalOpts {
+        threads: 0,
+        stats: false,
+    };
+    let mut filtered = Vec::with_capacity(rest.len());
+    let parse_threads = |s: &str| -> Result<usize, String> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad thread count {s:?} (need an integer >= 1)")),
+        }
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--stats" {
+            opts.stats = true;
+        } else if a == "--threads" {
+            let v = it.next().ok_or("--threads needs a count")?;
+            opts.threads = parse_threads(v)?;
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            opts.threads = parse_threads(v)?;
+        } else {
+            filtered.push(a.clone());
+        }
+    }
+    Ok((opts, filtered))
+}
+
 pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
-    let machine = MachineConfig::gh200();
+    if matches!(cmd, "help" | "--help" | "-h") {
+        return Ok(format!("{}\n", usage()));
+    }
+    let (opts, rest) = parse_global(rest)?;
+    let engine = Engine::new(MachineConfig::gh200(), opts.threads);
+    let start = std::time::Instant::now();
+    let mut out = dispatch(&engine, cmd, &rest)?;
+    if opts.stats {
+        let s = engine.stats();
+        let _ = writeln!(
+            out,
+            "\nengine: {} points evaluated, {} cache hits ({:.1}% hit rate), \
+             {} threads, wall {:.1} ms",
+            s.evaluated,
+            s.hits,
+            s.hit_rate() * 100.0,
+            s.threads,
+            start.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    Ok(out)
+}
+
+fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
+    let machine = engine.machine();
     match cmd {
-        "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
-        "machine" => cmd_machine(&machine),
-        "table1" => cmd_table1(&machine, rest.iter().any(|a| a == "--compare")),
+        "machine" => cmd_machine(machine),
+        "table1" => cmd_table1(engine, rest.iter().any(|a| a == "--compare")),
         "fig1" => {
             let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
             cmd_fig1(
-                &machine,
+                engine,
                 case,
                 rest.iter().any(|a| a == "--csv"),
                 wants_plot(rest),
             )
         }
-        "fig2a" => cmd_corun_fig(&machine, AllocSite::A1, false, rest),
-        "fig2b" => cmd_corun_fig(&machine, AllocSite::A1, true, rest),
-        "fig4a" => cmd_corun_fig(&machine, AllocSite::A2, false, rest),
-        "fig4b" => cmd_corun_fig(&machine, AllocSite::A2, true, rest),
+        "fig2a" => cmd_corun_fig(engine, AllocSite::A1, false, rest),
+        "fig2b" => cmd_corun_fig(engine, AllocSite::A1, true, rest),
+        "fig4a" => cmd_corun_fig(engine, AllocSite::A2, false, rest),
+        "fig4b" => cmd_corun_fig(engine, AllocSite::A2, true, rest),
         "sched" => {
             let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
-            cmd_sched(&machine, case)
+            cmd_sched(machine, case)
         }
         "accuracy" => cmd_accuracy(),
-        "explain" => cmd_explain(&machine, rest),
-        "whatif" => cmd_whatif(&machine),
+        "explain" => cmd_explain(machine, rest),
+        "whatif" => cmd_whatif(engine),
         "sensitivity" => cmd_sensitivity(),
-        "fig3" => cmd_speedup_fig(&machine, AllocSite::A1),
-        "fig5" => cmd_speedup_fig(&machine, AllocSite::A2),
-        "summary" => cmd_summary(&machine),
-        "autotune" => cmd_autotune(&machine),
+        "fig3" => cmd_speedup_fig(engine, AllocSite::A1),
+        "fig5" => cmd_speedup_fig(engine, AllocSite::A2),
+        "summary" => cmd_summary(engine),
+        "autotune" => cmd_autotune(engine),
         "verify" => {
             let m = match rest.first() {
                 Some(s) => s
@@ -79,7 +147,7 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
                     .map_err(|_| format!("bad element count {s:?}"))?,
                 None => 1_000_000,
             };
-            cmd_verify(&machine, m)
+            cmd_verify(machine, m)
         }
         "calibrate" => {
             let sweeps = match rest.first() {
@@ -94,7 +162,7 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
             let dir = rest
                 .first()
                 .ok_or_else(|| "`ghr all` needs an output directory".to_string())?;
-            cmd_all(&machine, dir)
+            cmd_all(engine, dir)
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -140,9 +208,8 @@ fn cmd_machine(machine: &MachineConfig) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_table1(machine: &MachineConfig, compare: bool) -> Result<String, String> {
-    let rt = OmpRuntime::new(machine.clone());
-    let t = table1(&rt).map_err(|e| e.to_string())?;
+fn cmd_table1(engine: &Engine, compare: bool) -> Result<String, String> {
+    let t = engine.table1().map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -162,14 +229,10 @@ fn cmd_table1(machine: &MachineConfig, compare: bool) -> Result<String, String> 
     Ok(out)
 }
 
-fn cmd_fig1(
-    machine: &MachineConfig,
-    case: Case,
-    csv: bool,
-    plot: bool,
-) -> Result<String, String> {
-    let rt = OmpRuntime::new(machine.clone());
-    let r = GpuSweep::paper(case).run(&rt).map_err(|e| e.to_string())?;
+fn cmd_fig1(engine: &Engine, case: Case, csv: bool, plot: bool) -> Result<String, String> {
+    let r = engine
+        .sweep(&GpuSweep::paper(case))
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -206,22 +269,7 @@ fn cmd_fig1(
     Ok(out)
 }
 
-fn corun_series(
-    machine: &MachineConfig,
-    case: Case,
-    alloc: AllocSite,
-    optimized: bool,
-) -> Result<ghr_core::corun::CorunSeries, String> {
-    corun_series_cfg(machine, case, alloc, optimized, false)
-}
-
-fn corun_series_cfg(
-    machine: &MachineConfig,
-    case: Case,
-    alloc: AllocSite,
-    optimized: bool,
-    advice: bool,
-) -> Result<ghr_core::corun::CorunSeries, String> {
+fn corun_config(case: Case, alloc: AllocSite, optimized: bool, advice: bool) -> CorunConfig {
     let kind = if optimized {
         ReductionSpec::optimized_paper(case).kind
     } else {
@@ -231,11 +279,11 @@ fn corun_series_cfg(
     if advice {
         cfg = cfg.with_advice();
     }
-    run_corun(machine, &cfg).map_err(|e| e.to_string())
+    cfg
 }
 
 fn cmd_corun_fig(
-    machine: &MachineConfig,
+    engine: &Engine,
     alloc: AllocSite,
     optimized: bool,
     rest: &[String],
@@ -244,16 +292,18 @@ fn cmd_corun_fig(
     let advice = rest.iter().any(|a| a == "--advice");
     let which = if optimized { "optimized" } else { "baseline" };
     let mut out = String::new();
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "Co-execution in UM mode — {which} kernels, allocation at {alloc} (GB/s vs CPU part p){}\n",
         if advice { " — with preferred-location advice" } else { "" }
     );
-    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
-    let series: Vec<_> = Case::ALL
+    let configs: Vec<CorunConfig> = Case::ALL
         .into_iter()
-        .map(|c| corun_series_cfg(machine, c, alloc, optimized, advice))
-        .collect::<Result<_, _>>()?;
+        .map(|c| corun_config(c, alloc, optimized, advice))
+        .collect();
+    let series: Vec<Arc<CorunSeries>> = engine.corun_many(&configs).map_err(|e| e.to_string())?;
+    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
     for i in 0..=10 {
         let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
         for s in &series {
@@ -283,20 +333,34 @@ fn cmd_corun_fig(
     Ok(out)
 }
 
-fn cmd_speedup_fig(machine: &MachineConfig, alloc: AllocSite) -> Result<String, String> {
+fn cmd_speedup_fig(engine: &Engine, alloc: AllocSite) -> Result<String, String> {
     let mut out = String::new();
-    let fig = if alloc == AllocSite::A1 { "Fig. 3" } else { "Fig. 5" };
+    let fig = if alloc == AllocSite::A1 {
+        "Fig. 3"
+    } else {
+        "Fig. 5"
+    };
     let _ = writeln!(
         out,
         "{fig} — speedup of optimized over baseline co-execution, allocation at {alloc}\n"
     );
-    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
+    // One fan-out over all eight series (base + optimized per case); the
+    // engine's cache shares them with fig2a/2b/4a/4b and summary.
+    let configs: Vec<CorunConfig> = Case::ALL
+        .into_iter()
+        .flat_map(|c| {
+            [
+                corun_config(c, alloc, false, false),
+                corun_config(c, alloc, true, false),
+            ]
+        })
+        .collect();
+    let series = engine.corun_many(&configs).map_err(|e| e.to_string())?;
     let mut columns = Vec::new();
-    for case in Case::ALL {
-        let base = corun_series(machine, case, alloc, false)?;
-        let opt = corun_series(machine, case, alloc, true)?;
-        columns.push(opt.speedup_vs(&base));
+    for pair in series.chunks(2) {
+        columns.push(pair[1].speedup_vs(&pair[0]));
     }
+    let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
     for i in 0..=10 {
         let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
         for col in &columns {
@@ -308,8 +372,8 @@ fn cmd_speedup_fig(machine: &MachineConfig, alloc: AllocSite) -> Result<String, 
     Ok(out)
 }
 
-fn cmd_summary(machine: &MachineConfig) -> Result<String, String> {
-    let study = run_full_study(machine).map_err(|e| e.to_string())?;
+fn cmd_summary(engine: &Engine) -> Result<String, String> {
+    let study = engine.full_study().map_err(|e| e.to_string())?;
     let sum = study.summary();
     let mut out = String::new();
     let _ = writeln!(
@@ -336,17 +400,15 @@ fn cmd_summary(machine: &MachineConfig) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_autotune(machine: &MachineConfig) -> Result<String, String> {
-    let rt = OmpRuntime::new(machine.clone());
+fn cmd_autotune(engine: &Engine) -> Result<String, String> {
     let mut t = Table::new(["Case", "teams axis", "V", "GB/s", "paper V"]);
-    for case in Case::ALL {
-        let tuned = autotune(&rt, case).map_err(|e| e.to_string())?;
+    for tuned in engine.autotune_all().map_err(|e| e.to_string())? {
         t.row([
-            case.label().to_string(),
+            tuned.case.label().to_string(),
             tuned.teams_axis.to_string(),
             tuned.v.to_string(),
             fmt_gbps(tuned.gbps),
-            case.v_optimized().to_string(),
+            tuned.case.v_optimized().to_string(),
         ]);
     }
     Ok(format!(
@@ -380,8 +442,7 @@ fn cmd_verify(machine: &MachineConfig, m: u64) -> Result<String, String> {
 
 fn cmd_sched(machine: &MachineConfig, case: Case) -> Result<String, String> {
     // Scaled to ~40 MB so the chunk-granular policies stay responsive.
-    let outcomes =
-        compare_policies(machine, case, 10_000_000, 200).map_err(|e| e.to_string())?;
+    let outcomes = compare_policies(machine, case, 10_000_000, 200).map_err(|e| e.to_string())?;
     Ok(format!(
         "Co-scheduling policy comparison for {case} (extension beyond the paper;\n\
          UM mode, array initialized on the CPU, optimized kernel, 200 reps):\n\n{}",
@@ -417,8 +478,8 @@ fn cmd_explain(machine: &MachineConfig, rest: &[String]) -> Result<String, Strin
     ))
 }
 
-fn cmd_whatif(machine: &MachineConfig) -> Result<String, String> {
-    let s = ghr_core::whatif::whatif_study(machine).map_err(|e| e.to_string())?;
+fn cmd_whatif(engine: &Engine) -> Result<String, String> {
+    let s = engine.whatif().map_err(|e| e.to_string())?;
     Ok(format!(
         "What could the runtime recover without touching user code?\n\
          (the paper: \"the heuristics may be further optimized\")\n\n{}\n\
@@ -489,8 +550,9 @@ fn cmd_calibrate(sweeps: u32) -> Result<String, String> {
     ))
 }
 
-fn cmd_all(machine: &MachineConfig, dir: &str) -> Result<String, String> {
+fn cmd_all(engine: &Engine, dir: &str) -> Result<String, String> {
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let machine = engine.machine();
     let mut written = Vec::new();
     let save = |name: &str, content: String, written: &mut Vec<String>| -> Result<(), String> {
         let path = format!("{dir}/{name}");
@@ -498,26 +560,54 @@ fn cmd_all(machine: &MachineConfig, dir: &str) -> Result<String, String> {
         written.push(path);
         Ok(())
     };
-    save("table1.md", cmd_table1(machine, true)?, &mut written)?;
+    // One engine serves every artifact, so the overlapping grids (the
+    // optimized Table-1 points inside the Fig. 1 sweeps, the fig2/fig4
+    // series inside fig3/fig5 and summary, the sweeps under autotune)
+    // are evaluated once.
+    save("table1.md", cmd_table1(engine, true)?, &mut written)?;
     for case in Case::ALL {
         save(
             &format!("fig1_{}.md", case.label().to_ascii_lowercase()),
-            cmd_fig1(machine, case, false, false)?,
+            cmd_fig1(engine, case, false, false)?,
             &mut written,
         )?;
     }
     let no_flags: Vec<String> = Vec::new();
-    save("fig2a.md", cmd_corun_fig(machine, AllocSite::A1, false, &no_flags)?, &mut written)?;
-    save("fig2b.md", cmd_corun_fig(machine, AllocSite::A1, true, &no_flags)?, &mut written)?;
-    save("fig3.md", cmd_speedup_fig(machine, AllocSite::A1)?, &mut written)?;
-    save("fig4a.md", cmd_corun_fig(machine, AllocSite::A2, false, &no_flags)?, &mut written)?;
-    save("fig4b.md", cmd_corun_fig(machine, AllocSite::A2, true, &no_flags)?, &mut written)?;
-    save("fig5.md", cmd_speedup_fig(machine, AllocSite::A2)?, &mut written)?;
-    save("summary.md", cmd_summary(machine)?, &mut written)?;
-    save("autotune.md", cmd_autotune(machine)?, &mut written)?;
+    save(
+        "fig2a.md",
+        cmd_corun_fig(engine, AllocSite::A1, false, &no_flags)?,
+        &mut written,
+    )?;
+    save(
+        "fig2b.md",
+        cmd_corun_fig(engine, AllocSite::A1, true, &no_flags)?,
+        &mut written,
+    )?;
+    save(
+        "fig3.md",
+        cmd_speedup_fig(engine, AllocSite::A1)?,
+        &mut written,
+    )?;
+    save(
+        "fig4a.md",
+        cmd_corun_fig(engine, AllocSite::A2, false, &no_flags)?,
+        &mut written,
+    )?;
+    save(
+        "fig4b.md",
+        cmd_corun_fig(engine, AllocSite::A2, true, &no_flags)?,
+        &mut written,
+    )?;
+    save(
+        "fig5.md",
+        cmd_speedup_fig(engine, AllocSite::A2)?,
+        &mut written,
+    )?;
+    save("summary.md", cmd_summary(engine)?, &mut written)?;
+    save("autotune.md", cmd_autotune(engine)?, &mut written)?;
     save("sched.md", cmd_sched(machine, Case::C1)?, &mut written)?;
     save("accuracy.md", cmd_accuracy()?, &mut written)?;
-    save("whatif.md", cmd_whatif(machine)?, &mut written)?;
+    save("whatif.md", cmd_whatif(engine)?, &mut written)?;
     save("sensitivity.md", cmd_sensitivity()?, &mut written)?;
     Ok(format!(
         "wrote {} files:\n  {}\n",
@@ -530,11 +620,16 @@ fn cmd_all(machine: &MachineConfig, dir: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn help_and_usage() {
         let out = run("help", &[]).unwrap();
         assert!(out.contains("usage: ghr"));
         assert!(usage().contains("table1"));
+        assert!(usage().contains("--threads"));
     }
 
     #[test]
@@ -588,5 +683,40 @@ mod tests {
         assert!(run("fig1", &["c9".to_string()]).is_err());
         assert!(run("all", &[]).is_err());
         assert!(run("explain", &["c1".to_string(), "42".to_string()]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_in_both_forms() {
+        let a = run("table1", &args(&["--threads", "2"])).unwrap();
+        let b = run("table1", &args(&["--threads=2"])).unwrap();
+        assert_eq!(a, b);
+        assert!(run("table1", &args(&["--threads", "0"])).is_err());
+        assert!(run("table1", &args(&["--threads", "lots"])).is_err());
+        assert!(run("table1", &args(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_thread_counts() {
+        for cmd in ["table1", "fig1", "autotune", "whatif"] {
+            let serial = run(cmd, &args(&["--threads", "1"])).unwrap();
+            let parallel = run(cmd, &args(&["--threads", "8"])).unwrap();
+            assert_eq!(serial, parallel, "{cmd}");
+        }
+        // Command-specific flags still work with global flags present.
+        let serial = run("fig1", &args(&["c2", "--csv", "--threads", "1"])).unwrap();
+        let parallel = run("fig1", &args(&["c2", "--threads", "8", "--csv"])).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stats_flag_appends_engine_counters() {
+        let out = run("table1", &args(&["--stats", "--threads", "2"])).unwrap();
+        assert!(out.contains("points evaluated"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("wall"), "{out}");
+        assert!(out.contains("2 threads"), "{out}");
+        // Without the flag the counters stay out of the output.
+        let plain = run("table1", &[]).unwrap();
+        assert!(!plain.contains("points evaluated"));
     }
 }

@@ -5,7 +5,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let rest = &args[1..];
+    let rest = args.get(1..).unwrap_or_default();
     match ghr_cli::run(cmd, rest) {
         Ok(out) => {
             print!("{out}");

@@ -13,10 +13,10 @@ use crate::report::Table;
 use ghr_gpusim::{execute_reduction, LaunchConfig};
 use ghr_parallel::{sum_kahan, sum_pairwise, sum_sequential};
 use ghr_types::{DType, Result};
-use serde::{Deserialize, Serialize};
 
 /// Error of every strategy at one element count.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyRow {
     /// Element count.
     pub m: u64,
@@ -29,7 +29,8 @@ pub struct AccuracyRow {
 }
 
 /// The full study: one row per element count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyStudy {
     /// Rows in ascending `m`.
     pub rows: Vec<AccuracyRow>,
@@ -115,8 +116,14 @@ mod tests {
         let serial = avg(|r| r.serial_ulp);
         let device = avg(|r| r.device_ulp);
         let pairwise = avg(|r| r.pairwise_ulp);
-        assert!(serial > 2.0 * device, "serial {serial:.1} vs device {device:.1}");
-        assert!(device > pairwise, "device {device:.1} vs pairwise {pairwise:.1}");
+        assert!(
+            serial > 2.0 * device,
+            "serial {serial:.1} vs device {device:.1}"
+        );
+        assert!(
+            device > pairwise,
+            "device {device:.1} vs pairwise {pairwise:.1}"
+        );
     }
 
     #[test]
@@ -126,7 +133,12 @@ mod tests {
         let avg = |s: &AccuracyStudy| {
             s.rows.iter().map(|r| r.serial_ulp).sum::<f64>() / s.rows.len() as f64
         };
-        assert!(avg(&large) > avg(&small), "{} vs {}", avg(&large), avg(&small));
+        assert!(
+            avg(&large) > avg(&small),
+            "{} vs {}",
+            avg(&large),
+            avg(&small)
+        );
     }
 
     #[test]

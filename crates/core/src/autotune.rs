@@ -7,10 +7,10 @@ use crate::reduction::{KernelKind, ReductionSpec};
 use crate::sweep::GpuSweep;
 use ghr_omp::OmpRuntime;
 use ghr_types::Result;
-use serde::{Deserialize, Serialize};
 
 /// The result of autotuning one case.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TunedConfig {
     /// The case that was tuned.
     pub case: Case,

@@ -1,14 +1,14 @@
 //! The paper's four evaluation cases.
 
 use ghr_types::{Bytes, DType};
-use serde::{Deserialize, Serialize};
 
 /// Number of elements for cases C1/C3/C4 (C2 reduces four times as many
 /// 8-bit elements, keeping the array at the same ~4.19 GB).
 pub const M_PAPER: u64 = 1_048_576_000;
 
 /// One of the paper's evaluation cases (Section III.B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Case {
     /// `T = R = i32`, 1 048 576 000 elements.
     C1,

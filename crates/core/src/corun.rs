@@ -36,10 +36,10 @@ use crate::report::{fmt_gbps, Table};
 use ghr_machine::MachineConfig;
 use ghr_mem::{RegionId, UnifiedMemory};
 use ghr_types::{Bytes, Result, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Where the input array is allocated relative to the `p` loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AllocSite {
     /// Once, before the `p` loop (the paper's A1).
     A1,
@@ -57,7 +57,8 @@ impl std::fmt::Display for AllocSite {
 }
 
 /// Configuration of one co-execution series (one curve of Figs. 2/4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorunConfig {
     /// The evaluation case.
     pub case: Case,
@@ -122,7 +123,8 @@ impl CorunConfig {
 }
 
 /// One measured point (one `p` value) of a co-execution series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorunPoint {
     /// CPU fraction of the workload.
     pub p: f64,
@@ -139,7 +141,8 @@ pub struct CorunPoint {
 }
 
 /// A full co-execution series: bandwidth as a function of `p`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorunSeries {
     /// The configuration that produced it.
     pub config: CorunConfig,
@@ -202,11 +205,11 @@ pub fn run_corun(machine: &MachineConfig, config: &CorunConfig) -> Result<CorunS
         // Resolve the device launch once per p (the geometry depends on
         // LenD through the runtime heuristics for the baseline kernel).
         let gpu_local = if len_d > 0 {
-            Some(
-                pricer
-                    .gpu_model()
-                    .reduce(&region.resolve_launch(len_d, case.elem(), case.acc())?)?,
-            )
+            Some(pricer.gpu_model().reduce(&region.resolve_launch(
+                len_d,
+                case.elem(),
+                case.acc(),
+            )?)?)
         } else {
             None
         };
@@ -454,8 +457,11 @@ mod tests {
         // forever (329 GB/s); with per-p preferred-location advice the
         // CPU part migrates back once per p step and runs locally.
         let machine = machine();
-        let plain = run_corun(&machine, &CorunConfig::paper(Case::C1, opt(), AllocSite::A1))
-            .unwrap();
+        let plain = run_corun(
+            &machine,
+            &CorunConfig::paper(Case::C1, opt(), AllocSite::A1),
+        )
+        .unwrap();
         let advised = run_corun(
             &machine,
             &CorunConfig::paper(Case::C1, opt(), AllocSite::A1).with_advice(),

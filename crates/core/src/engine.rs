@@ -1,0 +1,651 @@
+//! The parallel, memoizing experiment engine.
+//!
+//! Every result the paper reports is a grid of *independent* model
+//! evaluations — Fig. 1 is a 10×6 `(teams, V)` sweep per case, Table 1 is
+//! eight kernel timings, the Section IV study is sixteen co-run series —
+//! and many points recur verbatim across drivers (the paper's optimized
+//! configurations appear in the Fig. 1 sweeps, Table 1, `autotune`, and
+//! the co-run GPU-only leg). The [`Engine`] exploits both properties:
+//!
+//! * a **sharded, hash-keyed result cache** keyed by machine fingerprint ×
+//!   resolved [`TargetRegion`] geometry × element count/types × supply
+//!   constraint, so identical points are evaluated once per process no
+//!   matter which driver asks;
+//! * a **parallel grid driver** that fans grid points across the
+//!   [`ghr_parallel::ThreadPool`] and reassembles results in deterministic
+//!   index order — tables are bit-identical to the serial path at any
+//!   thread count.
+//!
+//! Cache keys are *resolved geometry*, not driver-level names: Table 1's
+//! optimized row and the Fig. 1 sweep both key to
+//! `TargetRegion::optimized(65536, v)` at the case's paper scale, so
+//! `ghr all` pays for each unique kernel timing exactly once.
+//!
+//! A co-run series ([`CorunConfig`]) is cached as a single unit: its A1
+//! variant is *stateful* across the `p` loop (the allocation survives and
+//! pages stay where earlier iterations migrated them), so the series — not
+//! the `p` point — is the smallest independently evaluable grid element.
+//! The sixteen series of the full study are fanned across the pool.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::autotune::TunedConfig;
+use crate::case::Case;
+use crate::corun::{run_corun, AllocSite, CorunConfig, CorunSeries};
+use crate::reduction::ReductionSpec;
+use crate::study::{self, CorunStudy};
+use crate::sweep::{GpuSweep, SweepPoint, SweepResult};
+use crate::table1::{Table1, Table1Row};
+use crate::whatif::{self, RuntimeScenario, WhatIfRow, WhatIfStudy};
+use ghr_gpusim::GpuModel;
+use ghr_machine::MachineConfig;
+use ghr_omp::{OmpRuntime, TargetRegion};
+use ghr_parallel::ThreadPool;
+use ghr_types::{Bandwidth, DType, Result};
+
+/// FNV-1a, used for the machine fingerprint and for shard selection.
+/// Deterministic across processes and platforms (unlike the std
+/// `RandomState`), which keeps shard occupancy reproducible.
+#[derive(Debug, Clone)]
+pub struct Fnv1aHasher(u64);
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Fnv1aHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+type BuildFnv = BuildHasherDefault<Fnv1aHasher>;
+
+/// Fingerprint of a machine description (FNV-1a over its debug render):
+/// results cached under one machine are never served for another.
+pub fn machine_fingerprint(machine: &MachineConfig) -> u64 {
+    let mut h = Fnv1aHasher::default();
+    h.write(format!("{machine:?}").as_bytes());
+    h.finish()
+}
+
+/// A cacheable scalar evaluation (one grid point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PointKey {
+    /// A GPU kernel timing: the resolved region geometry plus everything
+    /// else that determines the modelled bandwidth.
+    Gpu {
+        fingerprint: u64,
+        region: TargetRegion,
+        m: u64,
+        elem: DType,
+        acc: DType,
+        /// Bit pattern of the supply cap in GB/s (`None` = local HBM).
+        supply_bits: Option<u64>,
+    },
+    /// A what-if point: the baseline code under a runtime-side scenario
+    /// (`None` = the optimized source-level-V reference row).
+    WhatIf {
+        fingerprint: u64,
+        scenario: Option<RuntimeScenario>,
+        case: Case,
+    },
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded hash map: N independent mutexes instead of one, so parallel
+/// grid evaluations rarely contend on the cache.
+struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V, BuildFnv>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, BuildFnv>> {
+        let mut h = Fnv1aHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % SHARDS as u64) as usize]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, value);
+    }
+}
+
+/// Counters the `--stats` flag reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads the engine fans grids across (1 = serial).
+    pub threads: usize,
+    /// Cache lookups performed.
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Points actually evaluated (a co-run series counts as one point —
+    /// it is the atomic unit of evaluation; see the module docs).
+    pub evaluated: u64,
+}
+
+impl EngineStats {
+    /// Fraction of lookups answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Number of threads to use when none is requested explicitly: the
+/// `GHR_THREADS` environment variable if set and positive, otherwise the
+/// host's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("GHR_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The evaluation engine: one machine, one worker pool, one result cache.
+///
+/// Construct it once per process (or per `ghr` invocation) and route every
+/// driver through it; repeated and overlapping experiments then share both
+/// the pool and the memoized points.
+pub struct Engine {
+    machine: MachineConfig,
+    rt: OmpRuntime,
+    fingerprint: u64,
+    threads: usize,
+    pool: Option<ThreadPool>,
+    points: ShardedCache<PointKey, f64>,
+    series: ShardedCache<(u64, CorunConfig), Arc<CorunSeries>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    evaluated: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("fingerprint", &self.fingerprint)
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Build an engine for a machine. `threads == 0` resolves via
+    /// [`default_threads`] (`GHR_THREADS`, then available parallelism);
+    /// `threads == 1` evaluates every grid serially on the caller's
+    /// thread — the reference path the determinism tests compare against.
+    pub fn new(machine: MachineConfig, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let fingerprint = machine_fingerprint(&machine);
+        let rt = OmpRuntime::new(machine.clone());
+        let pool = (threads > 1).then(|| ThreadPool::new(threads));
+        Engine {
+            machine,
+            rt,
+            fingerprint,
+            threads,
+            pool,
+            points: ShardedCache::new(),
+            series: ShardedCache::new(),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine this engine evaluates against.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The OpenMP runtime the GPU points go through.
+    pub fn rt(&self) -> &OmpRuntime {
+        &self.rt
+    }
+
+    /// Worker threads grids fan across (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            threads: self.threads,
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fan `f` over `items` and return results in item order. Uses the
+    /// pool when one exists and the grid has more than one point; the
+    /// reassembled vector is identical to the serial map either way.
+    fn map_grid<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match &self.pool {
+            Some(pool) if items.len() > 1 => pool.parallel_map(items, f),
+            _ => items.iter().map(f).collect(),
+        }
+    }
+
+    /// Memoized scalar evaluation.
+    fn cached(&self, key: PointKey, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.points.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let v = eval()?;
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.points.insert(key, v);
+        Ok(v)
+    }
+
+    /// Bandwidth (GB/s) of one GPU kernel timing, memoized. This is the
+    /// primitive under [`Engine::sweep`], [`Engine::table1`] and
+    /// [`Engine::autotune`]; its key is the *resolved* region geometry, so
+    /// the same point reached through different drivers hits the cache.
+    pub fn gpu_point(
+        &self,
+        region: &TargetRegion,
+        m: u64,
+        elem: DType,
+        acc: DType,
+        supply: Option<Bandwidth>,
+    ) -> Result<f64> {
+        let key = PointKey::Gpu {
+            fingerprint: self.fingerprint,
+            region: *region,
+            m,
+            elem,
+            acc,
+            supply_bits: supply.map(|b| b.as_gbps().to_bits()),
+        };
+        self.cached(key, || {
+            Ok(self
+                .rt
+                .time_target_reduce(region, m, elem, acc, supply)?
+                .effective_bw
+                .as_gbps())
+        })
+    }
+
+    /// The paper's bandwidth metric for a spec at the paper's scale
+    /// (memoized equivalent of [`ReductionSpec::gbps_paper`]).
+    pub fn spec_gbps_paper(&self, spec: &ReductionSpec) -> Result<f64> {
+        self.gpu_point(
+            &spec.region(),
+            spec.case.m_paper(),
+            spec.case.elem(),
+            spec.case.acc(),
+            None,
+        )
+    }
+
+    /// Run a Fig. 1 sweep with the grid fanned across the pool. Point
+    /// order and values are bit-identical to [`GpuSweep::run`].
+    pub fn sweep(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        let mut grid = Vec::with_capacity(sweep.vs.len() * sweep.teams_axis.len());
+        for &v in &sweep.vs {
+            for &teams in &sweep.teams_axis {
+                grid.push((v, teams));
+            }
+        }
+        let gbps = self.map_grid(&grid, |&(v, teams)| {
+            let region = TargetRegion::optimized(teams, v).with_thread_limit(sweep.thread_limit);
+            self.gpu_point(&region, sweep.m, sweep.case.elem(), sweep.case.acc(), None)
+        });
+        let mut points = Vec::with_capacity(grid.len());
+        for (&(v, teams), g) in grid.iter().zip(gbps) {
+            points.push(SweepPoint {
+                teams_axis: teams,
+                v,
+                gbps: g?,
+            });
+        }
+        Ok(SweepResult {
+            sweep: sweep.clone(),
+            points,
+        })
+    }
+
+    /// Regenerate Table 1 with the eight kernel timings fanned across the
+    /// pool (memoized equivalent of [`crate::table1::table1`]).
+    pub fn table1(&self) -> Result<Table1> {
+        let peak_gbps = self.machine.gpu.hbm_peak_bw.as_gbps();
+        let mut specs = Vec::with_capacity(8);
+        for case in Case::ALL {
+            specs.push(ReductionSpec::baseline(case));
+            specs.push(ReductionSpec::optimized_paper(case));
+        }
+        let gbps = self.map_grid(&specs, |spec| self.spec_gbps_paper(spec));
+        let mut gbps = gbps.into_iter();
+        let mut rows = Vec::with_capacity(4);
+        for case in Case::ALL {
+            let base_gbps = gbps.next().expect("base point")?;
+            let opt_gbps = gbps.next().expect("opt point")?;
+            rows.push(Table1Row {
+                case,
+                base_gbps,
+                opt_gbps,
+                speedup: opt_gbps / base_gbps,
+                eff_base: base_gbps / peak_gbps,
+                eff_opt: opt_gbps / peak_gbps,
+            });
+        }
+        Ok(Table1 { peak_gbps, rows })
+    }
+
+    /// Autotune one case over the paper's space at the paper's scale.
+    pub fn autotune(&self, case: Case) -> Result<TunedConfig> {
+        self.autotune_scaled(case, case.m_paper())
+    }
+
+    /// Autotune at a reduced element count (for tests). The underlying
+    /// sweep is the Fig. 1 sweep, so after `ghr fig1` the tuning is pure
+    /// cache hits.
+    pub fn autotune_scaled(&self, case: Case, m: u64) -> Result<TunedConfig> {
+        let result = self.sweep(&GpuSweep::paper_scaled(case, m))?;
+        let best = result.best();
+        Ok(TunedConfig {
+            case,
+            teams_axis: best.teams_axis,
+            v: best.v,
+            gbps: best.gbps,
+        })
+    }
+
+    /// Autotune all four cases (each case's sweep fans its own grid).
+    pub fn autotune_all(&self) -> Result<Vec<TunedConfig>> {
+        Case::ALL.into_iter().map(|c| self.autotune(c)).collect()
+    }
+
+    /// One co-execution series, memoized as a unit (see the module docs
+    /// for why the series, not the `p` point, is the cache granule).
+    pub fn corun(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
+        let key = (self.fingerprint, *config);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.series.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(s);
+        }
+        let s = Arc::new(run_corun(&self.machine, config)?);
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.series.insert(key, Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// Evaluate several co-run series, fanned across the pool; results
+    /// come back in config order.
+    pub fn corun_many(&self, configs: &[CorunConfig]) -> Result<Vec<Arc<CorunSeries>>> {
+        self.map_grid(configs, |cfg| self.corun(cfg))
+            .into_iter()
+            .collect()
+    }
+
+    /// The full Section IV study at the paper's scale, its sixteen series
+    /// fanned across the pool.
+    pub fn full_study(&self) -> Result<CorunStudy> {
+        self.full_study_scaled(None, None)
+    }
+
+    /// The full study with optional scaling — the parallel, memoized
+    /// equivalent of [`crate::study::run_full_study_scaled`], assembling
+    /// buckets in the same order.
+    pub fn full_study_scaled(&self, m: Option<u64>, n_reps: Option<u32>) -> Result<CorunStudy> {
+        let mut configs = Vec::with_capacity(16);
+        for case in Case::ALL {
+            let (base, opt) = study::kinds(case);
+            for (kind, alloc) in [
+                (base, AllocSite::A1),
+                (opt, AllocSite::A1),
+                (base, AllocSite::A2),
+                (opt, AllocSite::A2),
+            ] {
+                let mut cfg = CorunConfig::paper(case, kind, alloc);
+                if let Some(m) = m {
+                    cfg.m = case.m_scaled(m);
+                }
+                if let Some(n) = n_reps {
+                    cfg.n_reps = n;
+                }
+                configs.push(cfg);
+            }
+        }
+        let series = self.map_grid(&configs, |cfg| self.corun(cfg));
+        let mut out = CorunStudy {
+            a1_base: Vec::with_capacity(4),
+            a1_opt: Vec::with_capacity(4),
+            a2_base: Vec::with_capacity(4),
+            a2_opt: Vec::with_capacity(4),
+        };
+        for (i, s) in series.into_iter().enumerate() {
+            let s = (*s?).clone();
+            match i % 4 {
+                0 => out.a1_base.push(s),
+                1 => out.a1_opt.push(s),
+                2 => out.a2_base.push(s),
+                _ => out.a2_opt.push(s),
+            }
+        }
+        Ok(out)
+    }
+
+    /// One what-if point: the baseline code under a runtime scenario, or
+    /// (`scenario == None`) the optimized source-level-V reference.
+    fn whatif_point(&self, scenario: Option<RuntimeScenario>, case: Case) -> Result<f64> {
+        let key = PointKey::WhatIf {
+            fingerprint: self.fingerprint,
+            scenario,
+            case,
+        };
+        self.cached(key, || {
+            let gbps = match scenario {
+                Some(sc) => {
+                    let model = whatif::model_for(&self.machine, sc);
+                    let launch = whatif::baseline_launch(&self.machine, case, sc);
+                    model.reduce(&launch)?.effective_bw.as_gbps()
+                }
+                None => {
+                    let model = GpuModel::new(self.machine.gpu.clone());
+                    let launch = ghr_gpusim::calibrate::optimized_launch(match case {
+                        Case::C1 => 1,
+                        Case::C2 => 2,
+                        Case::C3 => 3,
+                        Case::C4 => 4,
+                    });
+                    model.reduce(&launch)?.effective_bw.as_gbps()
+                }
+            };
+            Ok(gbps)
+        })
+    }
+
+    /// The what-if study (runtime-side recovery of the baseline deficit),
+    /// its 20 points fanned across the pool — the parallel, memoized
+    /// equivalent of [`crate::whatif::whatif_study`].
+    pub fn whatif(&self) -> Result<WhatIfStudy> {
+        let scenarios = [
+            RuntimeScenario::AsShipped,
+            RuntimeScenario::SaturatingGrid { waves: 4 },
+            RuntimeScenario::TwoPassCombine,
+            RuntimeScenario::Both { waves: 4 },
+        ];
+        let mut grid: Vec<(Option<RuntimeScenario>, Case)> =
+            Vec::with_capacity(scenarios.len() * 4 + 4);
+        for scenario in scenarios {
+            for case in Case::ALL {
+                grid.push((Some(scenario), case));
+            }
+        }
+        for case in Case::ALL {
+            grid.push((None, case));
+        }
+        let gbps = self.map_grid(&grid, |&(scenario, case)| self.whatif_point(scenario, case));
+        let mut gbps = gbps.into_iter();
+        let mut rows = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            let mut row = [0.0; 4];
+            for g in row.iter_mut() {
+                *g = gbps.next().expect("scenario point")?;
+            }
+            rows.push(WhatIfRow {
+                scenario,
+                gbps: row,
+            });
+        }
+        let mut optimized_gbps = [0.0; 4];
+        for g in optimized_gbps.iter_mut() {
+            *g = gbps.next().expect("optimized point")?;
+        }
+        Ok(WhatIfStudy {
+            rows,
+            optimized_gbps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(threads: usize) -> Engine {
+        Engine::new(MachineConfig::gh200(), threads)
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_machines() {
+        let a = MachineConfig::gh200();
+        let mut b = MachineConfig::gh200();
+        b.cpu.cores += 1;
+        assert_ne!(machine_fingerprint(&a), machine_fingerprint(&b));
+        assert_eq!(machine_fingerprint(&a), machine_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn engine_with_zero_threads_resolves_a_default() {
+        let e = engine(0);
+        assert!(e.threads() >= 1);
+    }
+
+    #[test]
+    fn gpu_point_matches_direct_runtime_call() {
+        let e = engine(1);
+        let region = TargetRegion::optimized(65536, 4);
+        let direct = e
+            .rt()
+            .time_target_reduce(&region, 1 << 20, DType::I32, DType::I32, None)
+            .unwrap()
+            .effective_bw
+            .as_gbps();
+        let cached = e
+            .gpu_point(&region, 1 << 20, DType::I32, DType::I32, None)
+            .unwrap();
+        assert_eq!(direct.to_bits(), cached.to_bits());
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_not_an_evaluation() {
+        let e = engine(1);
+        let region = TargetRegion::baseline();
+        for _ in 0..3 {
+            e.gpu_point(&region, 1 << 20, DType::F32, DType::F32, None)
+                .unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(s.evaluated, 1, "{s:?}");
+        assert_eq!(s.hits, 2, "{s:?}");
+        assert_eq!(s.lookups, 3, "{s:?}");
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supply_cap_is_part_of_the_key() {
+        let e = engine(1);
+        let region = TargetRegion::optimized(65536, 4);
+        let local = e
+            .gpu_point(&region, 1 << 22, DType::I32, DType::I32, None)
+            .unwrap();
+        let capped = e
+            .gpu_point(
+                &region,
+                1 << 22,
+                DType::I32,
+                DType::I32,
+                Some(Bandwidth::gbps(380.0)),
+            )
+            .unwrap();
+        assert!(capped < local);
+        assert_eq!(e.stats().evaluated, 2);
+    }
+
+    #[test]
+    fn whatif_matches_serial_study_bitwise() {
+        let serial = whatif::whatif_study(&MachineConfig::gh200()).unwrap();
+        for threads in [1, 4] {
+            let ours = engine(threads).whatif().unwrap();
+            assert_eq!(ours.rows.len(), serial.rows.len());
+            for (a, b) in ours.rows.iter().zip(&serial.rows) {
+                assert_eq!(a.scenario, b.scenario);
+                for (x, y) in a.gbps.iter().zip(b.gbps) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            for (x, y) in ours.optimized_gbps.iter().zip(serial.optimized_gbps) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -13,10 +13,10 @@ use crate::reduction::ReductionSpec;
 use crate::report::Table;
 use ghr_mem::{RegionId, UnifiedMemory};
 use ghr_types::{Bytes, GhrError, Result, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One repetition's trace at the examined `p`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RepTrace {
     /// Repetition index (0-based).
     pub rep: u32,
@@ -52,7 +52,8 @@ impl RepTrace {
 }
 
 /// The full explanation of one co-execution point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PointExplanation {
     /// The examined configuration.
     pub config: CorunConfig,
@@ -104,11 +105,11 @@ pub fn explain_corun_point(
         let len_h_bytes = Bytes(len_h * elem_size);
         let len_d_bytes = Bytes(len_d * elem_size);
         let gpu_base = if len_d > 0 {
-            Some(
-                pricer
-                    .gpu_model()
-                    .reduce(&region.resolve_launch(len_d, case.elem(), case.acc())?)?,
-            )
+            Some(pricer.gpu_model().reduce(&region.resolve_launch(
+                len_d,
+                case.elem(),
+                case.acc(),
+            )?)?)
         } else {
             None
         };
@@ -162,7 +163,13 @@ impl PointExplanation {
     /// Render the first `head` repetitions plus the final one.
     pub fn to_table(&self, head: usize) -> Table {
         let mut t = Table::new([
-            "rep", "t_cpu", "t_gpu", "t_rep", "bound by", "migrated", "cpu remote",
+            "rep",
+            "t_cpu",
+            "t_gpu",
+            "t_rep",
+            "bound by",
+            "migrated",
+            "cpu remote",
         ]);
         let mut add = |r: &RepTrace| {
             t.row([

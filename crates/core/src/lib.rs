@@ -12,6 +12,7 @@
 //! | [`mod@table1`] | Table 1 — baseline vs optimized, speedup, efficiency |
 //! | [`autotune`] | the "pick the saturating (teams, V)" step of Section IV |
 //! | [`corun`] | Figs. 2a/2b/3/4a/4b/5 — CPU+GPU co-execution in UM mode |
+//! | [`engine`] | parallel, memoized evaluation of every grid above |
 //! | [`verify`] | result verification against the serial reference |
 //! | [`report`] | markdown/CSV rendering shared by the drivers and the CLI |
 //!
@@ -27,6 +28,7 @@ pub mod accuracy;
 pub mod autotune;
 pub mod case;
 pub mod corun;
+pub mod engine;
 pub mod explain;
 pub mod plot;
 pub mod pricing;
@@ -42,6 +44,7 @@ pub mod workload;
 
 pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
+pub use engine::{Engine, EngineStats};
 pub use reduction::{KernelKind, ReductionSpec};
 pub use study::{run_full_study, CorunStudy, StudySummary};
 pub use sweep::{GpuSweep, SweepResult};

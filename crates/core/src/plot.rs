@@ -168,10 +168,8 @@ mod tests {
             .series('*', (7..=16).map(|i| ((1u64 << i) as f64, i as f64)))
             .render();
         // Ten markers must land on ten distinct columns.
-        let marker_cols: std::collections::BTreeSet<usize> = s
-            .lines()
-            .filter_map(|l| l.find('*'))
-            .collect();
+        let marker_cols: std::collections::BTreeSet<usize> =
+            s.lines().filter_map(|l| l.find('*')).collect();
         assert!(marker_cols.len() >= 5, "{s}");
         assert!(s.contains("log scale"));
     }

@@ -4,10 +4,10 @@ use crate::case::Case;
 use ghr_gpusim::GpuKernelBreakdown;
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_types::{Bandwidth, Result};
-use serde::{Deserialize, Serialize};
 
 /// Which kernel variant a driver runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum KernelKind {
     /// Listing 2: no geometry clauses, one element per iteration — the
     /// NVHPC runtime heuristics size the grid.
@@ -23,7 +23,8 @@ pub enum KernelKind {
 }
 
 /// A fully-specified reduction experiment: a case plus a kernel variant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReductionSpec {
     /// The evaluation case (input/accumulator types and scale).
     pub case: Case,
@@ -132,7 +133,9 @@ mod tests {
         let targets_opt = [3795.0, 3596.0, 3790.0, 3833.0];
         for (i, case) in Case::ALL.into_iter().enumerate() {
             let base = ReductionSpec::baseline(case).gbps_paper(&rt).unwrap();
-            let opt = ReductionSpec::optimized_paper(case).gbps_paper(&rt).unwrap();
+            let opt = ReductionSpec::optimized_paper(case)
+                .gbps_paper(&rt)
+                .unwrap();
             assert!(
                 (base - targets_base[i]).abs() / targets_base[i] < 0.02,
                 "{case} baseline: {base}"

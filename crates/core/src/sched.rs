@@ -25,10 +25,10 @@ use crate::report::{fmt_gbps, Table};
 use ghr_machine::MachineConfig;
 use ghr_mem::UnifiedMemory;
 use ghr_types::{Bytes, GhrError, Result, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A policy deciding how each repetition's work splits across devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SplitPolicy {
     /// Fixed CPU fraction (the paper's design).
     Static {
@@ -62,7 +62,8 @@ impl std::fmt::Display for SplitPolicy {
 }
 
 /// Configuration of one scheduling experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedConfig {
     /// The evaluation case.
     pub case: Case,
@@ -100,7 +101,8 @@ impl SchedConfig {
 }
 
 /// Result of one scheduling experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedOutcome {
     /// The configuration.
     pub config: SchedConfig,
@@ -144,28 +146,31 @@ pub fn run_scheduled(machine: &MachineConfig, config: &SchedConfig) -> Result<Sc
     um.cpu_access(rid, Bytes::ZERO, total_bytes);
 
     // Split-at-len helper: price one repetition at CPU share `len_h`.
-    let price_split = |um: &mut UnifiedMemory, len_h: u64| -> Result<(SimTime, PricedLeg, PricedLeg)> {
-        let len_d = config.m - len_h;
-        let len_h_bytes = Bytes(len_h * elem_size);
-        let len_d_bytes = Bytes(len_d * elem_size);
-        let cpu_leg = if len_h > 0 {
-            let cb = pricer
-                .cpu_model()
-                .reduce_local(len_h, case.elem(), config.cpu_threads);
-            pricer.cpu_leg(um, rid, Bytes::ZERO, len_h_bytes, &cb)
-        } else {
-            PricedLeg::idle()
+    let price_split =
+        |um: &mut UnifiedMemory, len_h: u64| -> Result<(SimTime, PricedLeg, PricedLeg)> {
+            let len_d = config.m - len_h;
+            let len_h_bytes = Bytes(len_h * elem_size);
+            let len_d_bytes = Bytes(len_d * elem_size);
+            let cpu_leg = if len_h > 0 {
+                let cb = pricer
+                    .cpu_model()
+                    .reduce_local(len_h, case.elem(), config.cpu_threads);
+                pricer.cpu_leg(um, rid, Bytes::ZERO, len_h_bytes, &cb)
+            } else {
+                PricedLeg::idle()
+            };
+            let gpu_leg = if len_d > 0 {
+                let gb = pricer.gpu_model().reduce(&region.resolve_launch(
+                    len_d,
+                    case.elem(),
+                    case.acc(),
+                )?)?;
+                pricer.gpu_leg(um, rid, len_h_bytes, len_d_bytes, &gb)
+            } else {
+                PricedLeg::idle()
+            };
+            Ok((pricer.rep_time(&cpu_leg, &gpu_leg, true), cpu_leg, gpu_leg))
         };
-        let gpu_leg = if len_d > 0 {
-            let gb = pricer
-                .gpu_model()
-                .reduce(&region.resolve_launch(len_d, case.elem(), case.acc())?)?;
-            pricer.gpu_leg(um, rid, len_h_bytes, len_d_bytes, &gb)
-        } else {
-            PricedLeg::idle()
-        };
-        Ok((pricer.rep_time(&cpu_leg, &gpu_leg, true), cpu_leg, gpu_leg))
-    };
 
     let mut per_rep_p = Vec::with_capacity(config.n_reps as usize);
     let mut total = SimTime::ZERO;
@@ -247,16 +252,19 @@ pub fn run_scheduled(machine: &MachineConfig, config: &SchedConfig) -> Result<Sc
                     let off = Bytes(start * elem_size);
                     let bytes = Bytes(len * elem_size);
                     if t_cpu <= t_gpu {
-                        let cb = pricer
-                            .cpu_model()
-                            .reduce_local(len, case.elem(), config.cpu_threads);
+                        let cb =
+                            pricer
+                                .cpu_model()
+                                .reduce_local(len, case.elem(), config.cpu_threads);
                         let leg = pricer.cpu_leg(&mut um, rid, off, bytes, &cb);
                         t_cpu += leg.time;
                         cpu_elems += len;
                     } else {
-                        let gb = pricer
-                            .gpu_model()
-                            .reduce(&region.resolve_launch(len, case.elem(), case.acc())?)?;
+                        let gb = pricer.gpu_model().reduce(&region.resolve_launch(
+                            len,
+                            case.elem(),
+                            case.acc(),
+                        )?)?;
                         let leg = pricer.gpu_leg(&mut um, rid, off, bytes, &gb);
                         t_gpu += leg.time;
                     }
@@ -342,12 +350,7 @@ pub fn compare_policies(
     ];
     policies
         .iter()
-        .map(|&policy| {
-            run_scheduled(
-                machine,
-                &SchedConfig::paper(case, policy).scaled(m, n_reps),
-            )
-        })
+        .map(|&policy| run_scheduled(machine, &SchedConfig::paper(case, policy).scaled(m, n_reps)))
         .collect()
 }
 

@@ -8,10 +8,10 @@ use crate::reduction::{KernelKind, ReductionSpec};
 use crate::report::{fmt_speedup, Table};
 use ghr_machine::MachineConfig;
 use ghr_types::Result;
-use serde::{Deserialize, Serialize};
 
 /// All sixteen series of Figures 2 and 4, in case order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorunStudy {
     /// Fig. 2a: baseline kernels, allocation at A1.
     pub a1_base: Vec<CorunSeries>,
@@ -24,7 +24,8 @@ pub struct CorunStudy {
 }
 
 /// The aggregate quantities the paper reports in Section IV's text.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StudySummary {
     /// Per-case peak speedups over GPU-only, Fig. 2a (paper: 2.732, 2.246,
     /// 2.692, 2.297; average 2.492).
@@ -46,7 +47,7 @@ pub struct StudySummary {
     pub cpu_only_a2_over_a1: f64,
 }
 
-fn kinds(case: Case) -> (KernelKind, KernelKind) {
+pub(crate) fn kinds(case: Case) -> (KernelKind, KernelKind) {
     (
         KernelKind::Baseline,
         match ReductionSpec::optimized_paper(case).kind {
@@ -165,14 +166,26 @@ impl StudySummary {
                 1.067,
                 Self::avg(&self.a2_opt_peaks),
             ),
-            ("Fig 3 max speedup (optimized/baseline, A1)", 10.654, self.fig3_range.1),
-            ("Fig 5 max speedup (optimized/baseline, A2)", 6.729, self.fig5_range.1),
+            (
+                "Fig 3 max speedup (optimized/baseline, A1)",
+                10.654,
+                self.fig3_range.1,
+            ),
+            (
+                "Fig 5 max speedup (optimized/baseline, A2)",
+                6.729,
+                self.fig5_range.1,
+            ),
             (
                 "Optimized co-run average, A1 over A2",
                 2.299,
                 self.a1_over_a2_optimized,
             ),
-            ("CPU-only bandwidth, A2 over A1", 1.367, self.cpu_only_a2_over_a1),
+            (
+                "CPU-only bandwidth, A2 over A1",
+                1.367,
+                self.cpu_only_a2_over_a1,
+            ),
         ];
         for (label, paper, ours) in rows {
             t.row([label.to_string(), fmt_speedup(paper), fmt_speedup(ours)]);
@@ -239,7 +252,11 @@ mod tests {
     #[test]
     fn a1_over_a2_exceeds_one() {
         let sum = study().summary();
-        assert!(sum.a1_over_a2_optimized > 1.0, "{:.3}", sum.a1_over_a2_optimized);
+        assert!(
+            sum.a1_over_a2_optimized > 1.0,
+            "{:.3}",
+            sum.a1_over_a2_optimized
+        );
     }
 
     #[test]

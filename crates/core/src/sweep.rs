@@ -5,11 +5,11 @@ use crate::case::Case;
 use crate::report::{fmt_gbps, Table};
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_types::Result;
-use serde::{Deserialize, Serialize};
 
 /// The paper's sweep: teams axis 128..65536 (powers of two), V 1..32
 /// (powers of two), thread_limit 256.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuSweep {
     /// The evaluation case.
     pub case: Case,
@@ -24,7 +24,8 @@ pub struct GpuSweep {
 }
 
 /// One measured point of the sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// Teams-axis value (the figure's x-axis).
     pub teams_axis: u64,
@@ -35,7 +36,8 @@ pub struct SweepPoint {
 }
 
 /// The complete sweep result for one case (one of Fig. 1a–1d).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepResult {
     /// The sweep that produced this result.
     pub sweep: GpuSweep,
@@ -68,8 +70,7 @@ impl GpuSweep {
         let mut points = Vec::with_capacity(self.vs.len() * self.teams_axis.len());
         for &v in &self.vs {
             for &teams in &self.teams_axis {
-                let region = TargetRegion::optimized(teams, v)
-                    .with_thread_limit(self.thread_limit);
+                let region = TargetRegion::optimized(teams, v).with_thread_limit(self.thread_limit);
                 let b = rt.time_target_reduce(
                     &region,
                     self.m,
@@ -100,18 +101,29 @@ impl SweepResult {
             .map(|p| p.gbps)
     }
 
-    /// The best point. Ties (within 0.1%) resolve to the smallest `V`,
-    /// then the smallest teams count — mirroring the paper's choice of the
-    /// smallest saturating configuration.
+    /// The best point of the sweep.
+    ///
+    /// "Best" tolerates model jitter: every point whose bandwidth is
+    /// within 0.1% of the true maximum is a candidate, and the tie-break
+    /// among candidates is explicit — smallest `V` first, then smallest
+    /// teams-axis value — mirroring the paper's choice of the smallest
+    /// saturating configuration. The returned point is therefore always
+    /// within 0.1% of the true maximum. (An earlier implementation
+    /// applied the 0.1% hysteresis pairwise while scanning, which let
+    /// chained sub-threshold increments drift the result arbitrarily far
+    /// below the maximum.)
     pub fn best(&self) -> &SweepPoint {
         assert!(!self.points.is_empty(), "empty sweep");
-        let mut best = &self.points[0];
-        for p in &self.points[1..] {
-            if p.gbps > best.gbps * 1.001 {
-                best = p;
-            }
-        }
-        best
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.gbps)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.points
+            .iter()
+            .filter(|p| p.gbps >= max * (1.0 - 1e-3))
+            .min_by_key(|p| (p.v, p.teams_axis))
+            .expect("non-empty candidate set")
     }
 
     /// The highest bandwidth for a given `V` series.
@@ -184,11 +196,67 @@ mod tests {
     }
 
     #[test]
-    fn c2_best_is_v32(){
+    fn c2_best_is_v32() {
         let r = GpuSweep::paper(Case::C2).run(&rt()).unwrap();
         let best = r.best();
         assert_eq!(best.v, 32, "best point {best:?}");
         assert!((best.gbps - 3596.0).abs() / 3596.0 < 0.02);
+    }
+
+    #[test]
+    fn best_is_within_0_1_percent_of_true_max() {
+        let rt = rt();
+        for case in [Case::C1, Case::C2, Case::C3, Case::C4] {
+            let r = GpuSweep::paper(case).run(&rt).unwrap();
+            let max = r
+                .points
+                .iter()
+                .map(|p| p.gbps)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let best = r.best();
+            assert!(
+                best.gbps >= max * (1.0 - 1e-3),
+                "{case}: best {} vs max {max}",
+                best.gbps
+            );
+        }
+    }
+
+    #[test]
+    fn best_tie_break_prefers_smallest_v_then_teams() {
+        // Four points inside the 0.1% band plus one clearly below it: the
+        // winner is the in-band point with the smallest (v, teams), not
+        // the absolute maximum.
+        let mut r = GpuSweep::paper(Case::C1).run(&rt()).unwrap();
+        r.points = vec![
+            SweepPoint {
+                teams_axis: 256,
+                v: 8,
+                gbps: 1000.0,
+            },
+            SweepPoint {
+                teams_axis: 512,
+                v: 4,
+                gbps: 999.5,
+            },
+            SweepPoint {
+                teams_axis: 128,
+                v: 4,
+                gbps: 999.2,
+            },
+            SweepPoint {
+                teams_axis: 128,
+                v: 2,
+                gbps: 998.0,
+            },
+            SweepPoint {
+                teams_axis: 128,
+                v: 16,
+                gbps: 999.9,
+            },
+        ];
+        let best = r.best();
+        assert_eq!((best.v, best.teams_axis), (4, 128));
     }
 
     #[test]
@@ -223,7 +291,9 @@ mod tests {
 
     #[test]
     fn table_rendering_has_all_rows() {
-        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000).run(&rt()).unwrap();
+        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000)
+            .run(&rt())
+            .unwrap();
         let t = r.to_table();
         assert_eq!(t.len(), 10);
         let md = t.to_markdown();
@@ -233,7 +303,9 @@ mod tests {
 
     #[test]
     fn gbps_at_missing_point_is_none() {
-        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000).run(&rt()).unwrap();
+        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000)
+            .run(&rt())
+            .unwrap();
         assert!(r.gbps_at(333, 4).is_none());
         assert!(r.gbps_at(128, 3).is_none());
     }

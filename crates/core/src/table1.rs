@@ -5,7 +5,6 @@ use crate::reduction::ReductionSpec;
 use crate::report::{fmt_gbps, fmt_pct, fmt_speedup, Table};
 use ghr_omp::OmpRuntime;
 use ghr_types::Result;
-use serde::{Deserialize, Serialize};
 
 /// The paper's Table 1 values, for comparison in reports and tests.
 pub mod paper {
@@ -22,7 +21,8 @@ pub mod paper {
 }
 
 /// One row of the reproduced Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table1Row {
     /// The case.
     pub case: Case,
@@ -39,7 +39,8 @@ pub struct Table1Row {
 }
 
 /// The reproduced Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table1 {
     /// Peak GPU memory bandwidth used as the efficiency denominator.
     pub peak_gbps: f64,
@@ -119,10 +120,10 @@ impl Table1 {
     pub fn max_relative_error(&self) -> f64 {
         let mut worst: f64 = 0.0;
         for (i, r) in self.rows.iter().enumerate() {
-            worst = worst
-                .max((r.base_gbps - paper::BASELINE_GBPS[i]).abs() / paper::BASELINE_GBPS[i]);
-            worst = worst
-                .max((r.opt_gbps - paper::OPTIMIZED_GBPS[i]).abs() / paper::OPTIMIZED_GBPS[i]);
+            worst =
+                worst.max((r.base_gbps - paper::BASELINE_GBPS[i]).abs() / paper::BASELINE_GBPS[i]);
+            worst =
+                worst.max((r.opt_gbps - paper::OPTIMIZED_GBPS[i]).abs() / paper::OPTIMIZED_GBPS[i]);
         }
         worst
     }

@@ -25,10 +25,10 @@ use ghr_gpusim::{GpuModel, LaunchConfig};
 use ghr_machine::MachineConfig;
 use ghr_omp::heuristics;
 use ghr_types::Result;
-use serde::{Deserialize, Serialize};
 
 /// A runtime-side scenario applied to the unmodified baseline code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RuntimeScenario {
     /// NVHPC as profiled by the paper.
     AsShipped,
@@ -60,7 +60,8 @@ impl std::fmt::Display for RuntimeScenario {
 }
 
 /// One case's bandwidth under a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WhatIfRow {
     /// The scenario.
     pub scenario: RuntimeScenario,
@@ -69,7 +70,8 @@ pub struct WhatIfRow {
 }
 
 /// The full study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WhatIfStudy {
     /// One row per scenario (AsShipped first).
     pub rows: Vec<WhatIfRow>,
@@ -77,7 +79,11 @@ pub struct WhatIfStudy {
     pub optimized_gbps: [f64; 4],
 }
 
-fn baseline_launch(machine: &MachineConfig, case: Case, scenario: RuntimeScenario) -> LaunchConfig {
+pub(crate) fn baseline_launch(
+    machine: &MachineConfig,
+    case: Case,
+    scenario: RuntimeScenario,
+) -> LaunchConfig {
     let threads = heuristics::DEFAULT_THREADS_PER_TEAM;
     let default_grid = heuristics::default_grid(case.m_paper(), threads);
     let grid = match scenario {
@@ -97,7 +103,7 @@ fn baseline_launch(machine: &MachineConfig, case: Case, scenario: RuntimeScenari
     }
 }
 
-fn model_for(machine: &MachineConfig, scenario: RuntimeScenario) -> GpuModel {
+pub(crate) fn model_for(machine: &MachineConfig, scenario: RuntimeScenario) -> GpuModel {
     let mut model = GpuModel::new(machine.gpu.clone());
     if matches!(
         scenario,

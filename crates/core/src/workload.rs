@@ -7,12 +7,41 @@
 //! deterministic given a seed.
 
 use ghr_types::Element;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+
+/// SplitMix64: the zero-dependency seeded generator behind the random
+/// workloads (replaces the external `rand` crate so the workspace builds
+/// offline). Sequences are stable across platforms and releases — seeds
+/// are part of the reproduction protocol.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output (Steele et al., "Fast splittable
+    /// pseudorandom number generators", OOPSLA 2014).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A reproducible input distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Workload {
     /// The deterministic index pattern used by the verification layer
     /// (exact integer sums, well-conditioned float sums).
@@ -48,18 +77,22 @@ impl Workload {
                 vec![v; m as usize]
             }
             Workload::UniformRandom { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                (0..m).map(|_| T::from_unit(rng.gen::<f64>())).collect()
+                let mut rng = SplitMix64::new(seed);
+                (0..m).map(|_| T::from_unit(rng.next_f64())).collect()
             }
             Workload::SignRuns { seed, run_len } => {
                 let run = run_len.max(1) as u64;
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::new(seed);
                 (0..m)
                     .map(|i| {
                         // Map to the positive or negative half of the range
                         // depending on the run parity.
-                        let half = rng.gen::<f64>() / 2.0;
-                        let u = if (i / run) % 2 == 0 { 0.5 + half } else { half };
+                        let half = rng.next_f64() / 2.0;
+                        let u = if (i / run).is_multiple_of(2) {
+                            0.5 + half
+                        } else {
+                            half
+                        };
                         T::from_unit(u)
                     })
                     .collect()
@@ -91,7 +124,10 @@ mod tests {
             Workload::Indexed,
             Workload::Constant { u: 0.7 },
             Workload::UniformRandom { seed: 1 },
-            Workload::SignRuns { seed: 1, run_len: 8 },
+            Workload::SignRuns {
+                seed: 1,
+                run_len: 8,
+            },
         ] {
             assert_eq!(w.generate::<i32>(1234).len(), 1234, "{}", w.name());
             assert_eq!(w.generate::<f64>(0).len(), 0);
@@ -116,7 +152,11 @@ mod tests {
 
     #[test]
     fn sign_runs_alternate_in_blocks() {
-        let data = Workload::SignRuns { seed: 7, run_len: 16 }.generate::<f64>(64);
+        let data = Workload::SignRuns {
+            seed: 7,
+            run_len: 16,
+        }
+        .generate::<f64>(64);
         for (i, &x) in data.iter().enumerate() {
             let positive_block = (i / 16) % 2 == 0;
             assert_eq!(x >= 0.0, positive_block, "i={i}, x={x}");

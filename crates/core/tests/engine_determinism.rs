@@ -1,0 +1,146 @@
+//! Engine acceptance tests: parallel output bit-identical to the serial
+//! drivers, and repeated experiments answered from the cache.
+
+use ghr_core::engine::Engine;
+use ghr_core::study::run_full_study_scaled;
+use ghr_core::sweep::GpuSweep;
+use ghr_core::table1::table1;
+use ghr_core::Case;
+use ghr_machine::MachineConfig;
+use ghr_omp::OmpRuntime;
+
+fn machine() -> MachineConfig {
+    MachineConfig::gh200()
+}
+
+/// Reduced element count: enough pages for a non-trivial co-run walk,
+/// small enough that the full study stays fast in debug builds.
+const M_SMALL: u64 = 400_000;
+const REPS_SMALL: u32 = 5;
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_for_every_case() {
+    let rt = OmpRuntime::new(machine());
+    let parallel = Engine::new(machine(), 8);
+    for case in Case::ALL {
+        let sweep = GpuSweep::paper_scaled(case, 2_000_000);
+        let serial = sweep.run(&rt).unwrap();
+        let ours = parallel.sweep(&sweep).unwrap();
+        assert_eq!(serial.points.len(), ours.points.len());
+        for (a, b) in serial.points.iter().zip(&ours.points) {
+            assert_eq!(a.teams_axis, b.teams_axis);
+            assert_eq!(a.v, b.v);
+            assert_eq!(a.gbps.to_bits(), b.gbps.to_bits(), "{case} {a:?} vs {b:?}");
+        }
+        // The rendered table (what the CLI prints) matches byte for byte.
+        assert_eq!(
+            serial.to_table().to_markdown(),
+            ours.to_table().to_markdown()
+        );
+    }
+}
+
+#[test]
+fn parallel_study_is_bit_identical_to_serial() {
+    let serial = run_full_study_scaled(&machine(), Some(M_SMALL), Some(REPS_SMALL)).unwrap();
+    for threads in [1, 8] {
+        let e = Engine::new(machine(), threads);
+        let ours = e
+            .full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
+            .unwrap();
+        for (bucket, (a, b)) in [
+            ("a1_base", (&serial.a1_base, &ours.a1_base)),
+            ("a1_opt", (&serial.a1_opt, &ours.a1_opt)),
+            ("a2_base", (&serial.a2_base, &ours.a2_base)),
+            ("a2_opt", (&serial.a2_opt, &ours.a2_opt)),
+        ] {
+            assert_eq!(a.len(), b.len(), "{bucket}");
+            for (sa, sb) in a.iter().zip(b.iter()) {
+                assert_eq!(sa.config, sb.config, "{bucket}");
+                assert_eq!(sa.points.len(), sb.points.len(), "{bucket}");
+                for (pa, pb) in sa.points.iter().zip(&sb.points) {
+                    assert_eq!(pa.p.to_bits(), pb.p.to_bits(), "{bucket}");
+                    assert_eq!(
+                        pa.gbps.to_bits(),
+                        pb.gbps.to_bits(),
+                        "{bucket} threads={threads} p={}",
+                        pa.p
+                    );
+                    assert_eq!(pa.migrated_to_gpu, pb.migrated_to_gpu, "{bucket}");
+                }
+            }
+        }
+        // The aggregate summary table matches byte for byte too.
+        assert_eq!(
+            serial.summary().to_comparison_table().to_markdown(),
+            ours.summary().to_comparison_table().to_markdown(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn repeated_study_evaluates_each_series_once() {
+    let e = Engine::new(machine(), 4);
+    e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
+        .unwrap();
+    let first = e.stats();
+    assert_eq!(first.evaluated, 16, "{first:?}");
+    assert_eq!(first.hits, 0, "{first:?}");
+    e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
+        .unwrap();
+    let second = e.stats();
+    assert_eq!(second.evaluated, 16, "no new evaluations: {second:?}");
+    assert_eq!(second.hits, 16, "{second:?}");
+}
+
+#[test]
+fn engine_table1_is_bit_identical_to_serial() {
+    let rt = OmpRuntime::new(machine());
+    let serial = table1(&rt).unwrap();
+    for threads in [1, 8] {
+        let ours = Engine::new(machine(), threads).table1().unwrap();
+        assert_eq!(serial.peak_gbps.to_bits(), ours.peak_gbps.to_bits());
+        for (a, b) in serial.rows.iter().zip(&ours.rows) {
+            assert_eq!(a.case, b.case);
+            assert_eq!(a.base_gbps.to_bits(), b.base_gbps.to_bits());
+            assert_eq!(a.opt_gbps.to_bits(), b.opt_gbps.to_bits());
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+        assert_eq!(
+            serial.to_table().to_markdown(),
+            ours.to_table().to_markdown()
+        );
+    }
+}
+
+#[test]
+fn sweep_points_are_shared_with_table1_and_autotune() {
+    // The Fig. 1 sweep at the paper scale contains C1's optimized Table-1
+    // point (teams 65536, v 4, thread_limit 256), so running table1 after
+    // fig1 evaluates only the 7 points the sweep did not cover; a later
+    // autotune of the same case is pure cache hits.
+    let e = Engine::new(machine(), 4);
+    e.sweep(&GpuSweep::paper(Case::C1)).unwrap();
+    assert_eq!(e.stats().evaluated, 60);
+    e.table1().unwrap();
+    let after_table1 = e.stats();
+    assert_eq!(after_table1.evaluated, 67, "{after_table1:?}");
+    e.autotune(Case::C1).unwrap();
+    let after_tune = e.stats();
+    assert_eq!(after_tune.evaluated, 67, "{after_tune:?}");
+    assert!(after_tune.hits >= 60, "{after_tune:?}");
+}
+
+#[test]
+fn engine_autotune_matches_serial_autotune() {
+    let rt = OmpRuntime::new(machine());
+    let e = Engine::new(machine(), 8);
+    for case in Case::ALL {
+        let serial = ghr_core::autotune::autotune(&rt, case).unwrap();
+        let ours = e.autotune(case).unwrap();
+        assert_eq!(serial.teams_axis, ours.teams_axis, "{case}");
+        assert_eq!(serial.v, ours.v, "{case}");
+        assert_eq!(serial.gbps.to_bits(), ours.gbps.to_bits(), "{case}");
+    }
+}

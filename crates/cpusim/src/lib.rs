@@ -22,11 +22,11 @@
 
 use ghr_machine::CpuSpec;
 use ghr_types::{Bandwidth, Bytes, DType, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Fitted parameters of the CPU loop model (everything that is not a
 /// datasheet number).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuModelParams {
     /// Cost of entering/leaving the OpenMP parallel region (fork + implicit
     /// barrier + combining per-thread partials).
@@ -54,7 +54,8 @@ impl Default for CpuModelParams {
 }
 
 /// Timing breakdown of one modelled CPU reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuReduceBreakdown {
     /// Time the memory system needs to deliver the elements.
     pub memory: SimTime,

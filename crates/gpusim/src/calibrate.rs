@@ -274,8 +274,7 @@ mod tests {
     fn pattern_search_does_not_regress_from_defaults() {
         let spec = GpuSpec::h100_sxm_gh200();
         let start = GpuModelParams::default();
-        let start_err =
-            mean_relative_error(&GpuModel::new(spec.clone()), &table1_observations());
+        let start_err = mean_relative_error(&GpuModel::new(spec.clone()), &table1_observations());
         let fit = fit(spec, start, 8);
         assert!(fit.error <= start_err + 1e-12);
         assert!(fit.params.validate().is_ok());
@@ -349,10 +348,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "delta must be in")]
     fn sensitivity_rejects_bad_delta() {
-        let _ = sensitivity_analysis(
-            &GpuSpec::h100_sxm_gh200(),
-            &GpuModelParams::default(),
-            1.5,
-        );
+        let _ = sensitivity_analysis(&GpuSpec::h100_sxm_gh200(), &GpuModelParams::default(), 1.5);
     }
 }

@@ -65,7 +65,10 @@ where
     let mut start = 0usize;
     while start < n_iters {
         let end = (start + block).min(n_iters);
-        sum = combine(sum, team_reduce::<T, F>(data, start..end, t, v, identity, combine));
+        sum = combine(
+            sum,
+            team_reduce::<T, F>(data, start..end, t, v, identity, combine),
+        );
         start = end;
     }
 
@@ -227,10 +230,8 @@ mod tests {
             .map(|i| ((i * 37 + 11) % 5001) as i32 - 2500)
             .collect();
         let c = cfg(64, 128, 4, 10_000, DType::I32, DType::I32);
-        let got_min =
-            execute_reduction_with(&data, &c, i32::MAX, |a, b| a.min(b)).unwrap();
-        let got_max =
-            execute_reduction_with(&data, &c, i32::MIN, |a, b| a.max(b)).unwrap();
+        let got_min = execute_reduction_with(&data, &c, i32::MAX, |a, b| a.min(b)).unwrap();
+        let got_max = execute_reduction_with(&data, &c, i32::MIN, |a, b| a.max(b)).unwrap();
         assert_eq!(got_min, *data.iter().min().unwrap());
         assert_eq!(got_max, *data.iter().max().unwrap());
     }
@@ -239,8 +240,7 @@ mod tests {
     fn float_min_over_widened_elements() {
         let data: Vec<f32> = (0..5000u64).map(|i| ((i % 100) as f32) - 50.0).collect();
         let c = cfg(16, 64, 2, 5000, DType::F32, DType::F32);
-        let got =
-            execute_reduction_with(&data, &c, f32::INFINITY, |a, b| a.min(b)).unwrap();
+        let got = execute_reduction_with(&data, &c, f32::INFINITY, |a, b| a.min(b)).unwrap();
         assert_eq!(got, -50.0);
     }
 

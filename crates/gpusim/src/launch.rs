@@ -1,7 +1,6 @@
 //! Kernel launch configuration.
 
 use ghr_types::{Bytes, DType, GhrError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and workload of one offloaded reduction kernel.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// of `threads_per_team` threads, reducing `m` elements of type `elem`
 /// into an accumulator of type `acc`, with `v` elements added per loop
 /// iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LaunchConfig {
     /// Number of teams (the CUDA grid size). This is the value of the
     /// `num_teams` clause — i.e. already divided by `v` if the caller
@@ -36,7 +36,7 @@ impl LaunchConfig {
         if self.threads_per_team == 0 {
             return Err(GhrError::invalid("thread_limit", "must be > 0"));
         }
-        if self.threads_per_team % 32 != 0 {
+        if !self.threads_per_team.is_multiple_of(32) {
             return Err(GhrError::invalid(
                 "thread_limit",
                 format!(

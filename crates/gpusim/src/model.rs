@@ -4,10 +4,10 @@ use crate::launch::LaunchConfig;
 use crate::params::GpuModelParams;
 use ghr_machine::GpuSpec;
 use ghr_types::{Bandwidth, Result, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Timing breakdown of one modelled kernel execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuKernelBreakdown {
     /// Launch / target-region entry overhead.
     pub launch: SimTime,
@@ -113,14 +113,12 @@ impl GpuModel {
         let memory = mem_bw.time_for(cfg.input_bytes());
 
         // --- compute: warp instruction issue -------------------------------
-        let loads_per_iter =
-            (cfg.bytes_per_thread_iter()).div_ceil(p.max_vector_load_bytes) as f64;
+        let loads_per_iter = (cfg.bytes_per_thread_iter()).div_ceil(p.max_vector_load_bytes) as f64;
         let instr_per_iter = p.instr_base
             + p.instr_per_elem(cfg.elem) * cfg.v as f64
             + p.instr_per_load * loads_per_iter;
-        let warp_iters = (cfg.num_teams
-            * cfg.warps_per_team() as u64
-            * cfg.iterations_per_thread()) as f64;
+        let warp_iters =
+            (cfg.num_teams * cfg.warps_per_team() as u64 * cfg.iterations_per_thread()) as f64;
         let sms_used = cfg.num_teams.min(spec.sm_count as u64) as f64;
         let issue_rate = sms_used * spec.issue_width as f64 * spec.clock.hz();
         let compute = SimTime::secs(warp_iters * instr_per_iter / issue_rate);
@@ -140,14 +138,12 @@ impl GpuModel {
         let second_pass = match p.combine_strategy {
             crate::params::CombineStrategy::AtomicPerTeam => SimTime::ZERO,
             crate::params::CombineStrategy::TwoPassKernel => {
-                let partial_bytes =
-                    ghr_types::Bytes(cfg.num_teams * cfg.acc.size_bytes());
+                let partial_bytes = ghr_types::Bytes(cfg.num_teams * cfg.acc.size_bytes());
                 p.launch_overhead + hbm_roof.time_for(partial_bytes)
             }
         };
 
-        let total =
-            p.launch_overhead + memory.max(compute).max(team_pipeline) + second_pass;
+        let total = p.launch_overhead + memory.max(compute).max(team_pipeline) + second_pass;
         debug_assert!(total.is_valid_span());
         Ok(GpuKernelBreakdown {
             launch: p.launch_overhead,

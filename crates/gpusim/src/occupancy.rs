@@ -9,10 +9,10 @@
 //! covers kernels with `V`-scaled register pressure.
 
 use ghr_machine::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Per-SM resource capacities (H100 values by default).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SmResources {
     /// 32-bit registers per SM.
     pub registers: u32,
@@ -33,7 +33,8 @@ impl Default for SmResources {
 }
 
 /// Resource footprint of one team of the generated reduction kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TeamFootprint {
     /// Threads per team.
     pub threads: u32,
@@ -62,7 +63,8 @@ impl TeamFootprint {
 }
 
 /// Which resource bounds occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OccupancyLimit {
     /// Resident-thread ceiling.
     Threads,
@@ -75,7 +77,8 @@ pub enum OccupancyLimit {
 }
 
 /// Occupancy analysis result.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Occupancy {
     /// Teams resident per SM.
     pub teams_per_sm: u32,
@@ -96,16 +99,14 @@ pub fn occupancy(spec: &GpuSpec, resources: &SmResources, team: &TeamFootprint) 
 
     let by_threads = spec.max_threads_per_sm / team.threads;
     let by_slots = spec.max_teams_per_sm;
-    let by_regs = if regs_per_team == 0 {
-        u32::MAX
-    } else {
-        resources.registers / regs_per_team
-    };
-    let by_smem = if team.shared_memory == 0 {
-        u32::MAX
-    } else {
-        resources.shared_memory / team.shared_memory
-    };
+    let by_regs = resources
+        .registers
+        .checked_div(regs_per_team)
+        .unwrap_or(u32::MAX);
+    let by_smem = resources
+        .shared_memory
+        .checked_div(team.shared_memory)
+        .unwrap_or(u32::MAX);
 
     let (teams, limited_by) = [
         (by_threads, OccupancyLimit::Threads),

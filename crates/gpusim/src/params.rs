@@ -1,10 +1,10 @@
 //! Fitted parameters of the GPU timing model.
 
 use ghr_types::{DType, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// How per-team partial results are combined into the final value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CombineStrategy {
     /// One device-wide combine operation per team (NVHPC's generated
     /// code; atomic-like, with per-accumulator-type cost). This is what
@@ -23,7 +23,8 @@ pub enum CombineStrategy {
 /// efficiencies. The defaults are fitted (see [`crate::calibrate`]) so the
 /// GH200 preset reproduces the paper's Table 1; each field's doc comment
 /// records which observation pins it down.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuModelParams {
     /// Kernel launch + OpenMP target-region entry/exit cost per repetition
     /// (driver submission, `target update` of the scalar `sum`).
@@ -202,16 +203,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut p = GpuModelParams::default();
-        p.hbm_efficiency_4b = 1.5;
+        let p = GpuModelParams {
+            hbm_efficiency_4b: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = GpuModelParams::default();
-        p.team_overhead_ns = f64::NAN;
+        let p = GpuModelParams {
+            team_overhead_ns: f64::NAN,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = GpuModelParams::default();
-        p.max_vector_load_bytes = 0;
+        let p = GpuModelParams {
+            max_vector_load_bytes: 0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 }

@@ -1,6 +1,12 @@
 //! Property and structure tests of the GPU timing model across the whole
 //! launch space.
 
+//
+// Gated off by default: compiling this suite needs the `proptest` crate,
+// which is not vendored. Restore it to [dev-dependencies] and build with
+// `--features proptest` (registry access required).
+#![cfg(feature = "proptest")]
+
 use ghr_gpusim::{GpuModel, GpuModelParams, LaunchConfig};
 use ghr_machine::GpuSpec;
 use ghr_types::DType;
@@ -13,7 +19,14 @@ fn model() -> GpuModel {
 fn any_launch() -> impl Strategy<Value = LaunchConfig> {
     (
         1u64..20_000_000,
-        prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512), Just(1024)],
+        prop_oneof![
+            Just(32u32),
+            Just(64),
+            Just(128),
+            Just(256),
+            Just(512),
+            Just(1024)
+        ],
         prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16), Just(32)],
         1u64..5_000_000_000,
         prop_oneof![
@@ -23,14 +36,16 @@ fn any_launch() -> impl Strategy<Value = LaunchConfig> {
             Just((DType::F64, DType::F64)),
         ],
     )
-        .prop_map(|(num_teams, threads_per_team, v, m, (elem, acc))| LaunchConfig {
-            num_teams,
-            threads_per_team,
-            v,
-            m,
-            elem,
-            acc,
-        })
+        .prop_map(
+            |(num_teams, threads_per_team, v, m, (elem, acc))| LaunchConfig {
+                num_teams,
+                threads_per_team,
+                v,
+                m,
+                elem,
+                acc,
+            },
+        )
 }
 
 proptest! {

@@ -1,7 +1,6 @@
 //! CPU hardware description.
 
 use ghr_types::{Bandwidth, Bytes, Frequency};
-use serde::{Deserialize, Serialize};
 
 /// Static description of the host CPU.
 ///
@@ -10,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// theoretical bandwidth; sustained STREAM-style read bandwidth on Grace is
 /// commonly measured around 450 GB/s, which is what a streaming sum
 /// reduction sees.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuSpec {
     /// Marketing name, for reports.
     pub name: String,

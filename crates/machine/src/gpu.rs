@@ -1,14 +1,14 @@
 //! GPU hardware description.
 
 use ghr_types::{Bandwidth, Bytes, Frequency};
-use serde::{Deserialize, Serialize};
 
 /// Static description of an offload-target GPU.
 ///
 /// The `h100_sxm_gh200` preset reflects the paper's device: the H100 in a
 /// GH200 node with 96 GB HBM3 and a measured peak memory bandwidth of
 /// 4022.7 GB/s (the paper's efficiency denominator).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuSpec {
     /// Marketing name, for reports.
     pub name: String,

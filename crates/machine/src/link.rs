@@ -1,7 +1,6 @@
 //! CPU–GPU interconnect and page-migration engine description.
 
 use ghr_types::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// The coherent chip-to-chip interconnect (NVLink-C2C on GH200).
 ///
@@ -11,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// memory around 350–420 GB/s, and CPU reads of GPU-resident (HBM) memory
 /// substantially lower because Grace cores cannot keep enough requests in
 /// flight against the longer cross-chip latency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkSpec {
     /// Marketing name, for reports.
     pub name: String,
@@ -35,7 +35,8 @@ pub struct LinkSpec {
 /// migration of a 4 GB array is spread over the first several kernel
 /// repetitions. These two constants are fitted against the paper's
 /// Section IV observations (see `ghr-core::corun` and EXPERIMENTS.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigrationSpec {
     /// Effective throughput of access-counter-driven CPU→GPU migration.
     pub counter_migration_bw: Bandwidth,

@@ -2,11 +2,11 @@
 
 use crate::{CpuSpec, GpuSpec, LinkSpec};
 use ghr_types::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// A complete node: host CPU, target GPU, interconnect, and the page size
 /// used by the unified-memory system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Host CPU description.
     pub cpu: CpuSpec,

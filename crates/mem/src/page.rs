@@ -1,9 +1,8 @@
 //! Per-page placement state.
 
-use serde::{Deserialize, Serialize};
-
 /// Which physical memory currently backs a page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Residency {
     /// Not yet populated — no physical backing until first touch.
     Untouched,
@@ -14,7 +13,8 @@ pub enum Residency {
 }
 
 /// Mutable state of one unified-memory page.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageState {
     /// Current physical placement.
     pub residency: Residency,

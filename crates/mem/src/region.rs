@@ -2,10 +2,10 @@
 
 use crate::page::PageState;
 use ghr_types::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Opaque handle to a unified-memory allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegionId(pub(crate) u64);
 
 impl std::fmt::Display for RegionId {

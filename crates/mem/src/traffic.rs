@@ -1,7 +1,6 @@
 //! Traffic classification returned by simulated memory accesses.
 
 use ghr_types::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Classification of the bytes touched by one streaming access.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// local bytes at the device's own memory speed, remote bytes at the
 /// cross-link streaming rate, migrated bytes at the (much slower)
 /// driver-mediated migration rate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessOutcome {
     /// Bytes read from the accessing device's local memory.
     pub local: Bytes,
@@ -40,7 +40,8 @@ impl AccessOutcome {
 }
 
 /// Cumulative traffic counters for a whole [`super::UnifiedMemory`] instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficStats {
     /// GPU accesses satisfied from HBM.
     pub gpu_local: Bytes,

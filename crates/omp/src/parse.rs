@@ -274,20 +274,17 @@ mod tests {
 
     #[test]
     fn parses_min_max_reductions() {
-        let r = parse_target_pragma(
-            "target teams distribute parallel for reduction(min : m)",
-        )
-        .unwrap();
+        let r =
+            parse_target_pragma("target teams distribute parallel for reduction(min : m)").unwrap();
         assert_eq!(r.reduction, ReductionOp::Min);
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(parse_target_pragma("parallel for reduction(+:x)").is_err());
-        assert!(parse_target_pragma(
-            "target teams distribute parallel for reduction(*:x)"
-        )
-        .is_err());
+        assert!(
+            parse_target_pragma("target teams distribute parallel for reduction(*:x)").is_err()
+        );
         assert!(parse_target_pragma(
             "target teams distribute parallel for num_teams() reduction(+:x)"
         )

@@ -4,7 +4,6 @@ use crate::clause::{MapKind, ReductionOp};
 use crate::heuristics;
 use ghr_gpusim::LaunchConfig;
 use ghr_types::{DType, GhrError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A typed description of the paper's annotated loop:
 ///
@@ -20,7 +19,8 @@ use serde::{Deserialize, Serialize};
 /// `v` is not an OpenMP clause — it is how the loop body was written
 /// (Listing 4/5); it is carried here because it changes both the iteration
 /// count the runtime sees and the generated kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TargetRegion {
     /// `reduction(op : sum)`.
     pub reduction: ReductionOp,

@@ -358,7 +358,9 @@ mod tests {
 
     #[test]
     fn min_max_reductions_on_device() {
-        let data: Vec<i32> = (0..50_000u64).map(|i| ((i * 31) % 999) as i32 - 500).collect();
+        let data: Vec<i32> = (0..50_000u64)
+            .map(|i| ((i * 31) % 999) as i32 - 500)
+            .collect();
         let mut region = TargetRegion::optimized(1024, 4);
         region.reduction = ReductionOp::Max;
         let out = rt().target_reduce_device(&data, &region).unwrap();
@@ -406,12 +408,8 @@ mod tests {
     fn host_timing_respects_supply_cap() {
         let r = rt();
         let local = r.time_host_reduce(1_048_576_000, DType::F32, 72, None);
-        let remote = r.time_host_reduce(
-            1_048_576_000,
-            DType::F32,
-            72,
-            Some(Bandwidth::gbps(140.0)),
-        );
+        let remote =
+            r.time_host_reduce(1_048_576_000, DType::F32, 72, Some(Bandwidth::gbps(140.0)));
         assert!(remote.total > local.total);
     }
 
@@ -444,7 +442,10 @@ mod tests {
             .host_reduce_region(&data, &HostRegion::for_simd().with_num_threads(4))
             .unwrap()
             .time();
-        let t72 = rt.host_reduce_region(&data, &HostRegion::for_simd()).unwrap().time();
+        let t72 = rt
+            .host_reduce_region(&data, &HostRegion::for_simd())
+            .unwrap()
+            .time();
         assert!(t4 > t72);
     }
 
@@ -456,7 +457,10 @@ mod tests {
         let mut region = HostRegion::for_simd();
         region.reduction = ReductionOp::Min;
         let out = rt.host_reduce_region(&data, &region).unwrap();
-        assert_eq!(out.value, data.iter().cloned().fold(f32::INFINITY, f32::min));
+        assert_eq!(
+            out.value,
+            data.iter().cloned().fold(f32::INFINITY, f32::min)
+        );
     }
 
     #[test]

@@ -155,10 +155,7 @@ mod tests {
         let expect = sum_sequential(&data) as f64;
         for v in [2, 4, 8, 16, 32] {
             let got = sum_unrolled(&data, v) as f64;
-            assert!(
-                (got - expect).abs() < 1e-2,
-                "v={v}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-2, "v={v}: {got} vs {expect}");
         }
     }
 
@@ -167,7 +164,7 @@ mod tests {
         // 1.0 followed by many tiny values that naive f64 summation drops
         // relative to the running sum.
         let mut data = vec![1.0f64];
-        data.extend(std::iter::repeat(1e-16).take(100_000));
+        data.extend(std::iter::repeat_n(1e-16, 100_000));
         let exact = 1.0 + 1e-16 * 100_000.0;
         let naive = sum_sequential(&data);
         let kahan = sum_kahan(&data);

@@ -2,8 +2,11 @@
 //!
 //! The *real* (not simulated) parallel substrate of the reproduction:
 //!
-//! * [`pool::ThreadPool`] — a persistent worker pool built on crossbeam
-//!   channels, used for `'static` jobs;
+//! * [`pool::ThreadPool`] — a persistent worker pool built on
+//!   `std::sync` primitives (zero external dependencies), running both
+//!   fire-and-forget `'static` jobs ([`ThreadPool::submit`]) and scoped
+//!   fork-join work over borrowed data ([`ThreadPool::scope`],
+//!   [`ThreadPool::parallel_map`]);
 //! * [`scope`](scope::parallel_for) — scoped fork-join helpers built on
 //!   `std::thread::scope`, used to run borrowed-data loops the way an
 //!   OpenMP `parallel for` would;
@@ -26,7 +29,7 @@ pub mod reduce;
 pub mod scope;
 
 pub use kernels::{sum_kahan, sum_pairwise, sum_sequential, sum_unrolled};
-pub use pool::ThreadPool;
+pub use pool::{Scope, ThreadPool};
 pub use reduce::{
     parallel_max, parallel_min, parallel_reduce_with, parallel_sum, parallel_sum_unrolled,
     ChunkPolicy,

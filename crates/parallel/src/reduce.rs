@@ -7,9 +7,9 @@
 //! combined in thread order — exactly the OpenMP `reduction(+:sum)`
 //! combiner semantics.
 
-use crate::kernels::sum_unrolled;
 #[cfg(test)]
 use crate::kernels::sum_sequential;
+use crate::kernels::sum_unrolled;
 use crate::scope::parallel_map_chunks;
 use ghr_types::{Accum, Element};
 

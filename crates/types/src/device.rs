@@ -1,13 +1,12 @@
 //! Device identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// A compute device in the node.
 ///
 /// The Grace-Hopper node of the paper has exactly one host (the Grace CPU)
 /// and one offload target (the Hopper GPU); the enum still carries a device
 /// ordinal so multi-GPU extensions do not need an API break.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Device {
     /// The host CPU (initial device in OpenMP terms).
     Host,

@@ -14,13 +14,12 @@
 //! the width matters for timing); [`Element`] / [`Accum`] are the compile-time
 //! traits used by the functional executors.
 
-use serde::{Deserialize, Serialize};
-
 /// Runtime descriptor of an element data type.
 ///
 /// The timing models only care about the byte width; the functional
 /// executors use the [`Element`] trait instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DType {
     /// 8-bit signed integer (paper case C2 input).
     I8,

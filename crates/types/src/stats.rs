@@ -1,11 +1,10 @@
 //! Small online-statistics helper used by harnesses and benches.
 
-use serde::{Deserialize, Serialize};
-
 /// Online summary statistics (count / min / max / mean / variance) over a
 /// stream of `f64` samples, using Welford's algorithm so that long series
 /// (e.g. per-repetition kernel times) stay numerically stable.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -113,7 +112,9 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);

@@ -6,13 +6,11 @@
 //! (decimal GB/s, i.e. `1e9` bytes per second — the paper's
 //! `bandwidth = 1e-9 * M * sizeof(T) * N / elapsed_time`).
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A byte count.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -103,7 +101,8 @@ impl std::fmt::Display for Bytes {
 }
 
 /// A data rate in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bandwidth(pub f64);
 
 impl Bandwidth {
@@ -178,7 +177,8 @@ impl std::fmt::Display for Bandwidth {
 /// Simulated time is distinct from wall-clock time: the performance models
 /// advance it analytically, so a 200-repetition run over 4 GB completes in
 /// microseconds of host time.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(pub f64);
 
 impl SimTime {
@@ -309,7 +309,8 @@ impl std::fmt::Display for SimTime {
 }
 
 /// A clock frequency in hertz.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frequency(pub f64);
 
 impl Frequency {

@@ -26,8 +26,8 @@ fn main() {
     )
     .expect("baseline co-run");
     let spec = ReductionSpec::optimized_paper(case);
-    let opt = run_corun(&machine, &CorunConfig::paper(case, spec.kind, alloc))
-        .expect("optimized co-run");
+    let opt =
+        run_corun(&machine, &CorunConfig::paper(case, spec.kind, alloc)).expect("optimized co-run");
 
     println!("baseline kernel:");
     print!("{}", base.to_table().to_markdown());

@@ -20,7 +20,11 @@ fn main() {
     for cores in [1u32, 2, 4, 8, 16, 24, 32, 48, 64, 72] {
         let b = model.reduce_local(m, DType::I32, cores);
         let gbps = b.total.bandwidth_for(ghr_types::Bytes(m * 4)).as_gbps();
-        let bound = if b.compute > b.memory { "compute" } else { "memory" };
+        let bound = if b.compute > b.memory {
+            "compute"
+        } else {
+            "memory"
+        };
         println!("{cores:>6} {gbps:>10.1} {bound:>12}");
         points.push((cores as f64, gbps));
     }

@@ -55,8 +55,7 @@ fn main() {
     // co-run story collapses.
     let pcie = MachineConfig::x86_pcie();
     table1_line(&OmpRuntime::new(pcie.clone()), "x86 + H100 PCIe");
-    let s = run_corun(&pcie, &CorunConfig::paper(case, spec.kind, AllocSite::A1))
-        .expect("co-run");
+    let s = run_corun(&pcie, &CorunConfig::paper(case, spec.kind, AllocSite::A1)).expect("co-run");
     println!(
         "x86 + H100 PCIe                     A1 CPU-only endpoint: {:.0} GB/s (GH200: 329)",
         s.cpu_only_gbps()

@@ -19,13 +19,7 @@ fn main() {
     for case in Case::ALL {
         let spec = ReductionSpec::optimized_paper(case);
         let (map_in, timed, gbps) = rt
-            .listing6_protocol(
-                &spec.region(),
-                case.m_paper(),
-                case.elem(),
-                case.acc(),
-                200,
-            )
+            .listing6_protocol(&spec.region(), case.m_paper(), case.elem(), case.acc(), 200)
             .expect("protocol runs");
         println!(
             "{:<6} {:>14.2} {:>16} {:>12.0}",

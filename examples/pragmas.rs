@@ -14,16 +14,17 @@ fn main() {
     let expect: i32 = data.iter().sum();
 
     // Listing 2 — the baseline.
-    let listing2 = parse_target_pragma(
-        "#pragma omp target teams distribute parallel for reduction(+:sum)",
-    )
-    .expect("listing 2 parses");
+    let listing2 =
+        parse_target_pragma("#pragma omp target teams distribute parallel for reduction(+:sum)")
+            .expect("listing 2 parses");
     let out = rt.target_reduce_device(&data, &listing2).unwrap();
     assert_eq!(out.value, expect);
     println!("Listing 2: {}", listing2.pragma());
     println!(
         "  -> {} teams x {} threads, {}\n",
-        out.launch.num_teams, out.launch.threads_per_team, out.time()
+        out.launch.num_teams,
+        out.launch.threads_per_team,
+        out.time()
     );
 
     // Listing 5 — the optimized kernel. The V-unrolling is source-level,
@@ -39,7 +40,9 @@ fn main() {
     println!("Listing 5: {}", listing5.pragma());
     println!(
         "  -> {} teams x {} threads, {}\n",
-        out.launch.num_teams, out.launch.threads_per_team, out.time()
+        out.launch.num_teams,
+        out.launch.threads_per_team,
+        out.time()
     );
 
     // Listing 7 — the co-execution pair.

@@ -30,11 +30,15 @@ fn main() {
     println!("sum of {m} elements = {} (verified)", optimized.value);
     println!(
         "baseline : {} teams x {} threads, {}",
-        baseline.launch.num_teams, baseline.launch.threads_per_team, baseline.time(),
+        baseline.launch.num_teams,
+        baseline.launch.threads_per_team,
+        baseline.time(),
     );
     println!(
         "optimized: {} teams x {} threads, {}\n",
-        optimized.launch.num_teams, optimized.launch.threads_per_team, optimized.time(),
+        optimized.launch.num_teams,
+        optimized.launch.threads_per_team,
+        optimized.time(),
     );
 
     // --- timing at the paper's full 4 GB scale --------------------------

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo verification: formatting, lints, build, and the full test suite.
+# Everything here runs offline — the default workspace has zero external
+# dependencies (see README "Offline build") — so this script is exactly
+# what CI runs and exactly what a contributor can run on a plane.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

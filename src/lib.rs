@@ -34,7 +34,7 @@
 //! | [`cpusim`] | Grace CPU timing model |
 //! | [`parallel`] | real thread pool + reduction kernels |
 //! | [`omp`] | OpenMP-offload programming model |
-//! | [`core`] | the paper's experiments (sweeps, Table 1, co-execution) |
+//! | [`core`] | the paper's experiments (sweeps, Table 1, co-execution) and the parallel memoized [`core::engine`] |
 //!
 //! See `DESIGN.md` for the architecture and substitution rationale, and
 //! `EXPERIMENTS.md` for paper-vs-reproduced numbers.
@@ -52,8 +52,8 @@ pub use ghr_types as types;
 pub mod prelude {
     pub use ghr_core::{
         autotune::autotune, case::Case, corun::run_corun, corun::AllocSite, corun::CorunConfig,
-        reduction::KernelKind, reduction::ReductionSpec, study::run_full_study, sweep::GpuSweep,
-        table1::table1,
+        engine::Engine, reduction::KernelKind, reduction::ReductionSpec, study::run_full_study,
+        sweep::GpuSweep, table1::table1,
     };
     pub use ghr_machine::MachineConfig;
     pub use ghr_omp::{OmpRuntime, TargetRegion};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corun_integration-0613954a076ae930.d: tests/corun_integration.rs
+
+/root/repo/target/debug/deps/corun_integration-0613954a076ae930: tests/corun_integration.rs
+
+tests/corun_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corun_integration-808229e352301d9f.d: tests/corun_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorun_integration-808229e352301d9f.rmeta: tests/corun_integration.rs Cargo.toml
+
+tests/corun_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

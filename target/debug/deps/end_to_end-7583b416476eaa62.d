@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7583b416476eaa62.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7583b416476eaa62: tests/end_to_end.rs
+
+tests/end_to_end.rs:

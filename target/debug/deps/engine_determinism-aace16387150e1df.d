@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_determinism-aace16387150e1df.d: crates/core/tests/engine_determinism.rs
+
+/root/repo/target/debug/deps/engine_determinism-aace16387150e1df: crates/core/tests/engine_determinism.rs
+
+crates/core/tests/engine_determinism.rs:

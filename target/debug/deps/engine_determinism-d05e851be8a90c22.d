@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_determinism-d05e851be8a90c22.d: crates/core/tests/engine_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_determinism-d05e851be8a90c22.rmeta: crates/core/tests/engine_determinism.rs Cargo.toml
+
+crates/core/tests/engine_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

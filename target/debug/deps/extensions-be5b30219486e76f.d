@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-be5b30219486e76f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-be5b30219486e76f: tests/extensions.rs
+
+tests/extensions.rs:

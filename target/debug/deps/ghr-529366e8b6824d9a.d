@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr-529366e8b6824d9a.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr-529366e8b6824d9a.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

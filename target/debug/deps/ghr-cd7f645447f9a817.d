@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ghr-cd7f645447f9a817.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ghr-cd7f645447f9a817: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

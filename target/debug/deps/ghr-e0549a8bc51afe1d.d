@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ghr-e0549a8bc51afe1d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ghr-e0549a8bc51afe1d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ghr_cli-02efa2b47cdee254.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libghr_cli-02efa2b47cdee254.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libghr_cli-02efa2b47cdee254.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ghr_cli-29a0233d3d517764.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/ghr_cli-29a0233d3d517764: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_cli-8d1f73cf8bf00d6c.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_cli-8d1f73cf8bf00d6c.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_cli-94f5f218d284aa7a.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_cli-94f5f218d284aa7a.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

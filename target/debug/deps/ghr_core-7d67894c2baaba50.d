@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/ghr_core-7d67894c2baaba50.d: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libghr_core-7d67894c2baaba50.rlib: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libghr_core-7d67894c2baaba50.rmeta: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accuracy.rs:
+crates/core/src/autotune.rs:
+crates/core/src/case.rs:
+crates/core/src/corun.rs:
+crates/core/src/engine.rs:
+crates/core/src/explain.rs:
+crates/core/src/plot.rs:
+crates/core/src/pricing.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/sched.rs:
+crates/core/src/study.rs:
+crates/core/src/sweep.rs:
+crates/core/src/table1.rs:
+crates/core/src/verify.rs:
+crates/core/src/whatif.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ghr_cpusim-0bfd233e666cc0d1.d: crates/cpusim/src/lib.rs
+
+/root/repo/target/debug/deps/ghr_cpusim-0bfd233e666cc0d1: crates/cpusim/src/lib.rs
+
+crates/cpusim/src/lib.rs:

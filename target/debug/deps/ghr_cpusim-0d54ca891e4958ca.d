@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_cpusim-0d54ca891e4958ca.d: crates/cpusim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_cpusim-0d54ca891e4958ca.rmeta: crates/cpusim/src/lib.rs Cargo.toml
+
+crates/cpusim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ghr_cpusim-bfda742b93f9a8cb.d: crates/cpusim/src/lib.rs
+
+/root/repo/target/debug/deps/libghr_cpusim-bfda742b93f9a8cb.rlib: crates/cpusim/src/lib.rs
+
+/root/repo/target/debug/deps/libghr_cpusim-bfda742b93f9a8cb.rmeta: crates/cpusim/src/lib.rs
+
+crates/cpusim/src/lib.rs:

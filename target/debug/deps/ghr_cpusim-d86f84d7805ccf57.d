@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_cpusim-d86f84d7805ccf57.d: crates/cpusim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_cpusim-d86f84d7805ccf57.rmeta: crates/cpusim/src/lib.rs Cargo.toml
+
+crates/cpusim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ghr_gpusim-57487bdc6ee80a41.d: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+/root/repo/target/debug/deps/ghr_gpusim-57487bdc6ee80a41: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/calibrate.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/model.rs:
+crates/gpusim/src/occupancy.rs:
+crates/gpusim/src/params.rs:

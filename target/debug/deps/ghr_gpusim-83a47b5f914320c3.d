@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ghr_gpusim-83a47b5f914320c3.d: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_gpusim-83a47b5f914320c3.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/calibrate.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/model.rs:
+crates/gpusim/src/occupancy.rs:
+crates/gpusim/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

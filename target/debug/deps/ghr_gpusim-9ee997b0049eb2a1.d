@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ghr_gpusim-9ee997b0049eb2a1.d: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+/root/repo/target/debug/deps/libghr_gpusim-9ee997b0049eb2a1.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+/root/repo/target/debug/deps/libghr_gpusim-9ee997b0049eb2a1.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/calibrate.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/model.rs:
+crates/gpusim/src/occupancy.rs:
+crates/gpusim/src/params.rs:

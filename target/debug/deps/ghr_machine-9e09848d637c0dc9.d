@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ghr_machine-9e09848d637c0dc9.d: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/libghr_machine-9e09848d637c0dc9.rlib: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/libghr_machine-9e09848d637c0dc9.rmeta: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/gpu.rs:
+crates/machine/src/link.rs:
+crates/machine/src/machine.rs:

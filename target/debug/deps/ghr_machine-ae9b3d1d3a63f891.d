@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_machine-ae9b3d1d3a63f891.d: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/ghr_machine-ae9b3d1d3a63f891: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/gpu.rs:
+crates/machine/src/link.rs:
+crates/machine/src/machine.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ghr_machine-dec5d4e3b1ba8daa.d: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_machine-dec5d4e3b1ba8daa.rmeta: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/gpu.rs:
+crates/machine/src/link.rs:
+crates/machine/src/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

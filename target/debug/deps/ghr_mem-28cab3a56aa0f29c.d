@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ghr_mem-28cab3a56aa0f29c.d: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_mem-28cab3a56aa0f29c.rmeta: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/traffic.rs:
+crates/mem/src/um.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

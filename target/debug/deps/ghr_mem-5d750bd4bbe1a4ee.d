@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_mem-5d750bd4bbe1a4ee.d: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+/root/repo/target/debug/deps/ghr_mem-5d750bd4bbe1a4ee: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/traffic.rs:
+crates/mem/src/um.rs:

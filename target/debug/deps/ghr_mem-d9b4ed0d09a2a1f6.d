@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ghr_mem-d9b4ed0d09a2a1f6.d: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+/root/repo/target/debug/deps/libghr_mem-d9b4ed0d09a2a1f6.rlib: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+/root/repo/target/debug/deps/libghr_mem-d9b4ed0d09a2a1f6.rmeta: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/traffic.rs:
+crates/mem/src/um.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ghr_omp-20b4f5ce9c393986.d: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs
+
+/root/repo/target/debug/deps/ghr_omp-20b4f5ce9c393986: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs
+
+crates/omp/src/lib.rs:
+crates/omp/src/clause.rs:
+crates/omp/src/data_env.rs:
+crates/omp/src/env.rs:
+crates/omp/src/heuristics.rs:
+crates/omp/src/host_region.rs:
+crates/omp/src/outcome.rs:
+crates/omp/src/parse.rs:
+crates/omp/src/region.rs:
+crates/omp/src/runtime.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ghr_omp-b36ce958928e2666.d: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_omp-b36ce958928e2666.rmeta: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs Cargo.toml
+
+crates/omp/src/lib.rs:
+crates/omp/src/clause.rs:
+crates/omp/src/data_env.rs:
+crates/omp/src/env.rs:
+crates/omp/src/heuristics.rs:
+crates/omp/src/host_region.rs:
+crates/omp/src/outcome.rs:
+crates/omp/src/parse.rs:
+crates/omp/src/region.rs:
+crates/omp/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

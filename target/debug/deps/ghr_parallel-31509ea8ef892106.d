@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghr_parallel-31509ea8ef892106.d: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+/root/repo/target/debug/deps/ghr_parallel-31509ea8ef892106: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/kernels.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/reduce.rs:
+crates/parallel/src/scope.rs:

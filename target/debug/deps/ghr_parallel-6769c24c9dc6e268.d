@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ghr_parallel-6769c24c9dc6e268.d: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+/root/repo/target/debug/deps/libghr_parallel-6769c24c9dc6e268.rlib: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+/root/repo/target/debug/deps/libghr_parallel-6769c24c9dc6e268.rmeta: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/kernels.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/reduce.rs:
+crates/parallel/src/scope.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ghr_parallel-73a7db18aa6b8ca2.d: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_parallel-73a7db18aa6b8ca2.rmeta: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/kernels.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/reduce.rs:
+crates/parallel/src/scope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ghr_types-1670984f2506e495.d: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/ghr_types-1670984f2506e495: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/device.rs:
+crates/types/src/dtype.rs:
+crates/types/src/error.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

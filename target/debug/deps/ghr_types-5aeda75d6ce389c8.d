@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ghr_types-5aeda75d6ce389c8.d: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghr_types-5aeda75d6ce389c8.rmeta: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/device.rs:
+crates/types/src/dtype.rs:
+crates/types/src/error.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

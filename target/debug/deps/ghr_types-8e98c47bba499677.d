@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ghr_types-8e98c47bba499677.d: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/libghr_types-8e98c47bba499677.rlib: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/debug/deps/libghr_types-8e98c47bba499677.rmeta: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/device.rs:
+crates/types/src/dtype.rs:
+crates/types/src/error.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

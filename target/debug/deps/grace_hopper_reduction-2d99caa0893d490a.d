@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grace_hopper_reduction-2d99caa0893d490a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrace_hopper_reduction-2d99caa0893d490a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

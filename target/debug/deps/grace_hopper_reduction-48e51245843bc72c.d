@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grace_hopper_reduction-48e51245843bc72c.d: src/lib.rs
+
+/root/repo/target/debug/deps/grace_hopper_reduction-48e51245843bc72c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grace_hopper_reduction-bf5e4405b556fdf5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgrace_hopper_reduction-bf5e4405b556fdf5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgrace_hopper_reduction-bf5e4405b556fdf5.rmeta: src/lib.rs
+
+src/lib.rs:

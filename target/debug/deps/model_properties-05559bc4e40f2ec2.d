@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-05559bc4e40f2ec2.d: crates/gpusim/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-05559bc4e40f2ec2.rmeta: crates/gpusim/tests/model_properties.rs Cargo.toml
+
+crates/gpusim/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-f165312ec99ea109.d: crates/gpusim/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-f165312ec99ea109: crates/gpusim/tests/model_properties.rs
+
+crates/gpusim/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_regression-70da4b6c78b9920f.d: tests/model_regression.rs
+
+/root/repo/target/debug/deps/model_regression-70da4b6c78b9920f: tests/model_regression.rs
+
+tests/model_regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_regression-dc742840bbd600e0.d: tests/model_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_regression-dc742840bbd600e0.rmeta: tests/model_regression.rs Cargo.toml
+
+tests/model_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

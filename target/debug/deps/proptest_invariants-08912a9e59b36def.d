@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-08912a9e59b36def.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-08912a9e59b36def.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

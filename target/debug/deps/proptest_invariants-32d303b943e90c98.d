@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-32d303b943e90c98.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-32d303b943e90c98: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

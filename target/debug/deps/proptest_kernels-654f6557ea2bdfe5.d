@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_kernels-654f6557ea2bdfe5.d: crates/parallel/tests/proptest_kernels.rs
+
+/root/repo/target/debug/deps/proptest_kernels-654f6557ea2bdfe5: crates/parallel/tests/proptest_kernels.rs
+
+crates/parallel/tests/proptest_kernels.rs:

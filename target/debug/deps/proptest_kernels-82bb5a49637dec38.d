@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_kernels-82bb5a49637dec38.d: crates/parallel/tests/proptest_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_kernels-82bb5a49637dec38.rmeta: crates/parallel/tests/proptest_kernels.rs Cargo.toml
+
+crates/parallel/tests/proptest_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

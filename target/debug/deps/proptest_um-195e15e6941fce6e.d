@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_um-195e15e6941fce6e.d: crates/mem/tests/proptest_um.rs
+
+/root/repo/target/debug/deps/proptest_um-195e15e6941fce6e: crates/mem/tests/proptest_um.rs
+
+crates/mem/tests/proptest_um.rs:

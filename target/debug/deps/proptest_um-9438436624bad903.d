@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_um-9438436624bad903.d: crates/mem/tests/proptest_um.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_um-9438436624bad903.rmeta: crates/mem/tests/proptest_um.rs Cargo.toml
+
+crates/mem/tests/proptest_um.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accuracy-a30d9909bc74e148.d: examples/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccuracy-a30d9909bc74e148.rmeta: examples/accuracy.rs Cargo.toml
+
+examples/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

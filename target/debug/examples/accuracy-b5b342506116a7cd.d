@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy-b5b342506116a7cd.d: examples/accuracy.rs
+
+/root/repo/target/debug/examples/accuracy-b5b342506116a7cd: examples/accuracy.rs
+
+examples/accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune-6ac7202c4450faa4.d: examples/autotune.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune-6ac7202c4450faa4.rmeta: examples/autotune.rs Cargo.toml
+
+examples/autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune-9bed3bd618d95053.d: examples/autotune.rs
+
+/root/repo/target/debug/examples/autotune-9bed3bd618d95053: examples/autotune.rs
+
+examples/autotune.rs:

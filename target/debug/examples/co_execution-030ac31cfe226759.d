@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/co_execution-030ac31cfe226759.d: examples/co_execution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libco_execution-030ac31cfe226759.rmeta: examples/co_execution.rs Cargo.toml
+
+examples/co_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

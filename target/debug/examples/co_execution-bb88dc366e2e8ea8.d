@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/co_execution-bb88dc366e2e8ea8.d: examples/co_execution.rs
+
+/root/repo/target/debug/examples/co_execution-bb88dc366e2e8ea8: examples/co_execution.rs
+
+examples/co_execution.rs:

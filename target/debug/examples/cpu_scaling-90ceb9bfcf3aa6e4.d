@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cpu_scaling-90ceb9bfcf3aa6e4.d: examples/cpu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcpu_scaling-90ceb9bfcf3aa6e4.rmeta: examples/cpu_scaling.rs Cargo.toml
+
+examples/cpu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

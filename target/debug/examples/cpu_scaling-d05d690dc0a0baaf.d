@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_scaling-d05d690dc0a0baaf.d: examples/cpu_scaling.rs
+
+/root/repo/target/debug/examples/cpu_scaling-d05d690dc0a0baaf: examples/cpu_scaling.rs
+
+examples/cpu_scaling.rs:

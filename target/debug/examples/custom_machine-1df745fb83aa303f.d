@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_machine-1df745fb83aa303f.d: examples/custom_machine.rs
+
+/root/repo/target/debug/examples/custom_machine-1df745fb83aa303f: examples/custom_machine.rs
+
+examples/custom_machine.rs:

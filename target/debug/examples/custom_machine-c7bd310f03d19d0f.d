@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_machine-c7bd310f03d19d0f.d: examples/custom_machine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_machine-c7bd310f03d19d0f.rmeta: examples/custom_machine.rs Cargo.toml
+
+examples/custom_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_split-33495e5e52d7a5bf.d: examples/dynamic_split.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_split-33495e5e52d7a5bf.rmeta: examples/dynamic_split.rs Cargo.toml
+
+examples/dynamic_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

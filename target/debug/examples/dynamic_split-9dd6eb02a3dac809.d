@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_split-9dd6eb02a3dac809.d: examples/dynamic_split.rs
+
+/root/repo/target/debug/examples/dynamic_split-9dd6eb02a3dac809: examples/dynamic_split.rs
+
+examples/dynamic_split.rs:

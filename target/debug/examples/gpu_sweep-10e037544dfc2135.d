@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_sweep-10e037544dfc2135.d: examples/gpu_sweep.rs
+
+/root/repo/target/debug/examples/gpu_sweep-10e037544dfc2135: examples/gpu_sweep.rs
+
+examples/gpu_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_sweep-4a8de73619876ef6.d: examples/gpu_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_sweep-4a8de73619876ef6.rmeta: examples/gpu_sweep.rs Cargo.toml
+
+examples/gpu_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/listing6-786270028c16f772.d: examples/listing6.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblisting6-786270028c16f772.rmeta: examples/listing6.rs Cargo.toml
+
+examples/listing6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

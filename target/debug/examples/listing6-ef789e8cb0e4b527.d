@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/listing6-ef789e8cb0e4b527.d: examples/listing6.rs
+
+/root/repo/target/debug/examples/listing6-ef789e8cb0e4b527: examples/listing6.rs
+
+examples/listing6.rs:

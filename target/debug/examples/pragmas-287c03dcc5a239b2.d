@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pragmas-287c03dcc5a239b2.d: examples/pragmas.rs
+
+/root/repo/target/debug/examples/pragmas-287c03dcc5a239b2: examples/pragmas.rs
+
+examples/pragmas.rs:

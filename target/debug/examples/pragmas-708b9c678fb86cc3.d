@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pragmas-708b9c678fb86cc3.d: examples/pragmas.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpragmas-708b9c678fb86cc3.rmeta: examples/pragmas.rs Cargo.toml
+
+examples/pragmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

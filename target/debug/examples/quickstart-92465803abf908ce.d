@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-92465803abf908ce.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-92465803abf908ce: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ghr-46bbc02bec46f781.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ghr-46bbc02bec46f781: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

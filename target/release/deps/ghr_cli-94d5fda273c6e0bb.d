@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ghr_cli-94d5fda273c6e0bb.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libghr_cli-94d5fda273c6e0bb.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libghr_cli-94d5fda273c6e0bb.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/ghr_core-c6ce33a5f25e8d7b.d: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libghr_core-c6ce33a5f25e8d7b.rlib: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libghr_core-c6ce33a5f25e8d7b.rmeta: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/autotune.rs crates/core/src/case.rs crates/core/src/corun.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/plot.rs crates/core/src/pricing.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/sched.rs crates/core/src/study.rs crates/core/src/sweep.rs crates/core/src/table1.rs crates/core/src/verify.rs crates/core/src/whatif.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accuracy.rs:
+crates/core/src/autotune.rs:
+crates/core/src/case.rs:
+crates/core/src/corun.rs:
+crates/core/src/engine.rs:
+crates/core/src/explain.rs:
+crates/core/src/plot.rs:
+crates/core/src/pricing.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/sched.rs:
+crates/core/src/study.rs:
+crates/core/src/sweep.rs:
+crates/core/src/table1.rs:
+crates/core/src/verify.rs:
+crates/core/src/whatif.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ghr_cpusim-2938a98a632a5b23.d: crates/cpusim/src/lib.rs
+
+/root/repo/target/release/deps/libghr_cpusim-2938a98a632a5b23.rlib: crates/cpusim/src/lib.rs
+
+/root/repo/target/release/deps/libghr_cpusim-2938a98a632a5b23.rmeta: crates/cpusim/src/lib.rs
+
+crates/cpusim/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ghr_gpusim-f1fa8e892e645840.d: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+/root/repo/target/release/deps/libghr_gpusim-f1fa8e892e645840.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+/root/repo/target/release/deps/libghr_gpusim-f1fa8e892e645840.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/calibrate.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/model.rs crates/gpusim/src/occupancy.rs crates/gpusim/src/params.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/calibrate.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/model.rs:
+crates/gpusim/src/occupancy.rs:
+crates/gpusim/src/params.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ghr_machine-c9af9c4a33e0871c.d: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+/root/repo/target/release/deps/libghr_machine-c9af9c4a33e0871c.rlib: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+/root/repo/target/release/deps/libghr_machine-c9af9c4a33e0871c.rmeta: crates/machine/src/lib.rs crates/machine/src/cpu.rs crates/machine/src/gpu.rs crates/machine/src/link.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/gpu.rs:
+crates/machine/src/link.rs:
+crates/machine/src/machine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ghr_mem-2b5b56aecda82675.d: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+/root/repo/target/release/deps/libghr_mem-2b5b56aecda82675.rlib: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+/root/repo/target/release/deps/libghr_mem-2b5b56aecda82675.rmeta: crates/mem/src/lib.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/traffic.rs crates/mem/src/um.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/traffic.rs:
+crates/mem/src/um.rs:

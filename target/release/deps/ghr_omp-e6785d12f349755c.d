@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ghr_omp-e6785d12f349755c.d: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs
+
+/root/repo/target/release/deps/libghr_omp-e6785d12f349755c.rlib: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs
+
+/root/repo/target/release/deps/libghr_omp-e6785d12f349755c.rmeta: crates/omp/src/lib.rs crates/omp/src/clause.rs crates/omp/src/data_env.rs crates/omp/src/env.rs crates/omp/src/heuristics.rs crates/omp/src/host_region.rs crates/omp/src/outcome.rs crates/omp/src/parse.rs crates/omp/src/region.rs crates/omp/src/runtime.rs
+
+crates/omp/src/lib.rs:
+crates/omp/src/clause.rs:
+crates/omp/src/data_env.rs:
+crates/omp/src/env.rs:
+crates/omp/src/heuristics.rs:
+crates/omp/src/host_region.rs:
+crates/omp/src/outcome.rs:
+crates/omp/src/parse.rs:
+crates/omp/src/region.rs:
+crates/omp/src/runtime.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ghr_parallel-19a899b5792b6a1f.d: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+/root/repo/target/release/deps/libghr_parallel-19a899b5792b6a1f.rlib: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+/root/repo/target/release/deps/libghr_parallel-19a899b5792b6a1f.rmeta: crates/parallel/src/lib.rs crates/parallel/src/kernels.rs crates/parallel/src/pool.rs crates/parallel/src/reduce.rs crates/parallel/src/scope.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/kernels.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/reduce.rs:
+crates/parallel/src/scope.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ghr_types-cda1a7f15e9c5b9d.d: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/release/deps/libghr_types-cda1a7f15e9c5b9d.rlib: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+/root/repo/target/release/deps/libghr_types-cda1a7f15e9c5b9d.rmeta: crates/types/src/lib.rs crates/types/src/device.rs crates/types/src/dtype.rs crates/types/src/error.rs crates/types/src/stats.rs crates/types/src/units.rs
+
+crates/types/src/lib.rs:
+crates/types/src/device.rs:
+crates/types/src/dtype.rs:
+crates/types/src/error.rs:
+crates/types/src/stats.rs:
+crates/types/src/units.rs:

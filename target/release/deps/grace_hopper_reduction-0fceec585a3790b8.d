@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/grace_hopper_reduction-0fceec585a3790b8.d: src/lib.rs
+
+/root/repo/target/release/deps/libgrace_hopper_reduction-0fceec585a3790b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgrace_hopper_reduction-0fceec585a3790b8.rmeta: src/lib.rs
+
+src/lib.rs:

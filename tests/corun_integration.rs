@@ -31,8 +31,7 @@ fn a1_history_carries_across_p_values() {
     // array to HBM, and every later CPU part reads it remotely. Assert the
     // bandwidth consequences on a scaled run.
     let machine = MachineConfig::gh200();
-    let cfg =
-        CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A1).scaled(2_000_000, 20);
+    let cfg = CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A1).scaled(2_000_000, 20);
     let s = run_corun(&machine, &cfg).unwrap();
     // p=0 migrated everything...
     assert!(s.points[0].migrated_to_gpu.0 > 0);
@@ -45,8 +44,7 @@ fn a1_history_carries_across_p_values() {
 #[test]
 fn a2_fresh_allocations_reset_history() {
     let machine = MachineConfig::gh200();
-    let cfg =
-        CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A2).scaled(2_000_000, 20);
+    let cfg = CorunConfig::paper(Case::C1, opt_kind(Case::C1), AllocSite::A2).scaled(2_000_000, 20);
     let s = run_corun(&machine, &cfg).unwrap();
     // The CPU part is freshly CPU-resident. At scaled sizes the p boundary
     // can land mid-page, so the single boundary page may be pulled to the
@@ -90,9 +88,11 @@ fn baseline_vs_optimized_gap_closes_as_cpu_takes_over() {
     // Fig. 3's qualitative claim: the optimized kernel only matters while
     // the GPU holds a large share.
     let machine = MachineConfig::gh200();
-    let base =
-        run_corun(&machine, &CorunConfig::paper(Case::C2, KernelKind::Baseline, AllocSite::A1))
-            .unwrap();
+    let base = run_corun(
+        &machine,
+        &CorunConfig::paper(Case::C2, KernelKind::Baseline, AllocSite::A1),
+    )
+    .unwrap();
     let opt = run_corun(
         &machine,
         &CorunConfig::paper(Case::C2, opt_kind(Case::C2), AllocSite::A1),

@@ -1,8 +1,8 @@
 //! End-to-end integration: the full pipeline from machine description to
 //! reproduced paper numbers, spanning every crate.
 
-use grace_hopper_reduction::prelude::*;
 use grace_hopper_reduction::core::{study, sweep::GpuSweep, table1, verify};
+use grace_hopper_reduction::prelude::*;
 
 fn rt() -> OmpRuntime {
     OmpRuntime::new(MachineConfig::gh200())
@@ -55,8 +55,7 @@ fn every_case_verifies_functionally_at_scale() {
             ReductionSpec::baseline(case),
             ReductionSpec::optimized_paper(case),
         ] {
-            verify::verify_spec(&rt, &spec, m)
-                .unwrap_or_else(|e| panic!("{case}: {e}"));
+            verify::verify_spec(&rt, &spec, m).unwrap_or_else(|e| panic!("{case}: {e}"));
         }
     }
 }

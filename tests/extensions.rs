@@ -42,7 +42,13 @@ fn advice_dominates_no_advice_across_the_whole_sweep() {
     )
     .unwrap();
     for (a, p) in advised.points.iter().zip(&plain.points) {
-        assert!(a.gbps >= p.gbps * 0.95, "p={}: {} vs {}", a.p, a.gbps, p.gbps);
+        assert!(
+            a.gbps >= p.gbps * 0.95,
+            "p={}: {} vs {}",
+            a.p,
+            a.gbps,
+            p.gbps
+        );
     }
     assert!(advised.cpu_only_gbps() > plain.cpu_only_gbps());
 }
@@ -51,8 +57,7 @@ fn advice_dominates_no_advice_across_the_whole_sweep() {
 fn scheduling_policies_run_for_every_case() {
     let machine = MachineConfig::gh200();
     for case in Case::ALL {
-        let cfg = SchedConfig::paper(case, SplitPolicy::Adaptive { p0: 0.3 })
-            .scaled(2_000_000, 12);
+        let cfg = SchedConfig::paper(case, SplitPolicy::Adaptive { p0: 0.3 }).scaled(2_000_000, 12);
         let out = run_scheduled(&machine, &cfg).unwrap();
         assert!(out.gbps > 0.0, "{case}");
         assert_eq!(out.per_rep_p.len(), 12);

@@ -65,9 +65,11 @@ fn golden_corun_endpoints_c1() {
     close(a1.peak().gbps, 3269.0, "A1 opt peak");
     assert_eq!(a1.peak().p, 0.1);
 
-    let base =
-        run_corun(&machine, &CorunConfig::paper(Case::C1, KernelKind::Baseline, AllocSite::A1))
-            .unwrap();
+    let base = run_corun(
+        &machine,
+        &CorunConfig::paper(Case::C1, KernelKind::Baseline, AllocSite::A1),
+    )
+    .unwrap();
     close(base.gpu_only_gbps(), 494.0, "A1 base GPU-only");
     close(base.peak().gbps, 884.0, "A1 base peak");
 

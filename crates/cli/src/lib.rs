@@ -12,14 +12,21 @@
 //! ghr calibrate [sweeps]        re-fit the GPU model against Table 1
 //! ghr machine                   print the simulated node description
 //! ghr all <dir>                 write every artifact as markdown into dir
+//! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
 //! ```
 //!
 //! Every command accepts the global flags `--threads N` (worker threads
 //! for the evaluation engine; default `GHR_THREADS`, then the host's
 //! available parallelism; `--threads 1` forces the serial reference path)
 //! and `--stats` (append engine counters — points evaluated, cache hit
-//! rate, wall time — to the output). Output is byte-identical at every
-//! thread count.
+//! rate, persistent-store traffic, wall time — to the output). Output is
+//! byte-identical at every thread count.
+//!
+//! Results persist across processes in a versioned on-disk store
+//! (`$GHR_CACHE_DIR`, else `$XDG_CACHE_HOME/ghr`, else `~/.cache/ghr`);
+//! `--cache-dir DIR` overrides the location and `--no-cache` disables it
+//! for one invocation. A second `ghr all` over the same store re-renders
+//! every artifact without evaluating a single point.
 
 use ghr_core::{
     accuracy::accuracy_study,
@@ -37,14 +44,18 @@ use ghr_gpusim::calibrate;
 use ghr_machine::MachineConfig;
 use ghr_omp::OmpRuntime;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|calibrate|machine|all> [args]\n\
+whatif|sensitivity|explain|verify|calibrate|machine|all|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
-     global flags: --threads N (or GHR_THREADS; engine worker threads) and\n\
-     --stats (append points evaluated / cache hit rate / wall time);\n\
+     `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
+     global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
+     --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
+     --cache-dir DIR (persistent store location; default GHR_CACHE_DIR, then\n\
+     ~/.cache/ghr) and --no-cache (skip the persistent store entirely);\n\
      run `ghr help` or see the crate docs for details"
 }
 
@@ -56,12 +67,18 @@ struct GlobalOpts {
     threads: usize,
     /// Append engine counters to the output.
     stats: bool,
+    /// Skip the persistent store for this invocation.
+    no_cache: bool,
+    /// Explicit persistent-store directory (overrides `GHR_CACHE_DIR`).
+    cache_dir: Option<String>,
 }
 
 fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
     let mut opts = GlobalOpts {
         threads: 0,
         stats: false,
+        no_cache: false,
+        cache_dir: None,
     };
     let mut filtered = Vec::with_capacity(rest.len());
     let parse_threads = |s: &str| -> Result<usize, String> {
@@ -74,11 +91,18 @@ fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
     while let Some(a) = it.next() {
         if a == "--stats" {
             opts.stats = true;
+        } else if a == "--no-cache" {
+            opts.no_cache = true;
         } else if a == "--threads" {
             let v = it.next().ok_or("--threads needs a count")?;
             opts.threads = parse_threads(v)?;
         } else if let Some(v) = a.strip_prefix("--threads=") {
             opts.threads = parse_threads(v)?;
+        } else if a == "--cache-dir" {
+            let v = it.next().ok_or("--cache-dir needs a directory")?;
+            opts.cache_dir = Some(v.clone());
+        } else if let Some(v) = a.strip_prefix("--cache-dir=") {
+            opts.cache_dir = Some(v.to_string());
         } else {
             filtered.push(a.clone());
         }
@@ -86,14 +110,45 @@ fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
     Ok((opts, filtered))
 }
 
+/// Where this invocation keeps its persistent store, if anywhere.
+///
+/// `--no-cache` wins outright; an explicit `--cache-dir` or
+/// `GHR_CACHE_DIR` is always honored; otherwise the home-directory
+/// default applies — except under `cargo test`, where falling back to the
+/// developer's real `~/.cache/ghr` would make test output depend on (and
+/// pollute) state outside the test tree.
+fn effective_cache_dir(opts: &GlobalOpts) -> Option<PathBuf> {
+    if opts.no_cache {
+        return None;
+    }
+    if let Some(dir) = &opts.cache_dir {
+        return Some(PathBuf::from(dir));
+    }
+    match std::env::var("GHR_CACHE_DIR") {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ if cfg!(test) => None,
+        _ => ghr_core::resolve_cache_dir(None),
+    }
+}
+
 pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
     if matches!(cmd, "help" | "--help" | "-h") {
         return Ok(format!("{}\n", usage()));
     }
     let (opts, rest) = parse_global(rest)?;
-    let engine = Engine::new(MachineConfig::gh200(), opts.threads);
+    let cache_dir = effective_cache_dir(&opts);
+    if cmd == "cache" {
+        return cmd_cache(cache_dir.as_deref(), &rest);
+    }
+    let mut engine = Engine::new(MachineConfig::gh200(), opts.threads);
+    if let Some(dir) = &cache_dir {
+        engine = engine.with_store_dir(dir);
+    }
     let start = std::time::Instant::now();
     let mut out = dispatch(&engine, cmd, &rest)?;
+    if let Err(e) = engine.flush_store() {
+        let _ = writeln!(out, "\nwarning: persistent cache flush failed: {e}");
+    }
     if opts.stats {
         let s = engine.stats();
         let _ = writeln!(
@@ -106,8 +161,97 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
             s.threads,
             start.elapsed().as_secs_f64() * 1000.0
         );
+        if engine.store().is_some() {
+            let _ = writeln!(
+                out,
+                "persistent cache: {} entries loaded, {} hits, {} misses, {} stored",
+                s.persistent_loaded, s.persistent_hits, s.persistent_misses, s.persistent_stored
+            );
+        }
+        if s.sweep_evaluated > 0 {
+            let _ = writeln!(
+                out,
+                "refined sweeps: {} grid points evaluated, {} skipped",
+                s.sweep_evaluated, s.sweep_skipped
+            );
+        }
     }
     Ok(out)
+}
+
+/// `ghr cache <stats|clear|path>` — manage the persistent store without
+/// constructing an engine.
+fn cmd_cache(dir: Option<&std::path::Path>, rest: &[String]) -> Result<String, String> {
+    let sub = rest.first().map(String::as_str).unwrap_or("stats");
+    let Some(dir) = dir else {
+        return Ok("persistent cache disabled (no cache directory; \
+                   set GHR_CACHE_DIR or pass --cache-dir)\n"
+            .to_string());
+    };
+    let fingerprint = ghr_core::engine::machine_fingerprint(&MachineConfig::gh200());
+    match sub {
+        "path" => {
+            let file = dir.join(ghr_core::store::store_file_name(fingerprint));
+            Ok(format!("{}\n", file.display()))
+        }
+        "stats" => {
+            let store = ghr_core::PersistentStore::open(dir, fingerprint);
+            let size = std::fs::metadata(store.path())
+                .map(|m| m.len())
+                .unwrap_or(0);
+            let mut out = String::new();
+            let _ = writeln!(out, "persistent cache at {}", store.path().display());
+            let _ = writeln!(
+                out,
+                "  {} entries for this machine fingerprint ({fingerprint:016x}), {size} bytes",
+                store.loaded()
+            );
+            let others = cache_store_files(dir)?
+                .into_iter()
+                .filter(|p| p.as_path() != store.path())
+                .count();
+            let _ = writeln!(
+                out,
+                "  {others} store file(s) for other fingerprints/schemas"
+            );
+            Ok(out)
+        }
+        "clear" => {
+            let files = cache_store_files(dir)?;
+            let mut removed = 0usize;
+            for f in &files {
+                std::fs::remove_file(f).map_err(|e| format!("{}: {e}", f.display()))?;
+                removed += 1;
+            }
+            Ok(format!(
+                "removed {removed} store file(s) from {}\n",
+                dir.display()
+            ))
+        }
+        other => Err(format!(
+            "unknown cache subcommand {other:?}; use stats|clear|path"
+        )),
+    }
+}
+
+/// Every `results-*.ghr` store file in `dir` (any schema or fingerprint);
+/// nothing else in the directory is ever touched.
+fn cache_store_files(dir: &std::path::Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(files), // missing dir = empty cache
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("results-") && name.ends_with(".ghr") {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
 }
 
 fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
@@ -715,8 +859,102 @@ mod tests {
         assert!(out.contains("hit rate"), "{out}");
         assert!(out.contains("wall"), "{out}");
         assert!(out.contains("2 threads"), "{out}");
+        // No store attached (tests never fall back to ~/.cache), so no
+        // persistent-cache line.
+        assert!(!out.contains("persistent cache"), "{out}");
         // Without the flag the counters stay out of the output.
         let plain = run("table1", &[]).unwrap();
         assert!(!plain.contains("points evaluated"));
+    }
+
+    fn cache_tmp(tag: &str) -> String {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ghr-cli-cache-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn second_run_answers_from_the_persistent_cache() {
+        let dir = cache_tmp("rerun");
+        let first = run(
+            "table1",
+            &args(&["--stats", "--cache-dir", &dir, "--threads", "2"]),
+        )
+        .unwrap();
+        assert!(first.contains("8 points evaluated"), "{first}");
+        assert!(
+            first.contains("persistent cache: 0 entries loaded"),
+            "{first}"
+        );
+        assert!(first.contains("8 stored"), "{first}");
+        // A fresh process (engine) over the same directory evaluates
+        // nothing and renders byte-identical rows.
+        let second = run(
+            "table1",
+            &args(&["--stats", "--cache-dir", &dir, "--threads", "2"]),
+        )
+        .unwrap();
+        assert!(second.contains("0 points evaluated"), "{second}");
+        assert!(second.contains("8 hits, 0 misses"), "{second}");
+        let body = |s: &str| s.split("\nengine:").next().unwrap().to_string();
+        assert_eq!(body(&first), body(&second));
+    }
+
+    #[test]
+    fn no_cache_flag_disables_the_store() {
+        let dir = cache_tmp("nocache");
+        let out = run(
+            "table1",
+            &args(&["--stats", "--no-cache", "--cache-dir", &dir]),
+        )
+        .unwrap();
+        assert!(!out.contains("persistent cache"), "{out}");
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+    }
+
+    #[test]
+    fn cache_subcommand_reports_and_clears() {
+        let dir = cache_tmp("subcmd");
+        let path = run("cache", &args(&["path", "--cache-dir", &dir])).unwrap();
+        assert!(path.contains(&dir), "{path}");
+        assert!(path.trim_end().ends_with(".ghr"), "{path}");
+
+        let empty = run("cache", &args(&["stats", "--cache-dir", &dir])).unwrap();
+        assert!(empty.contains("0 entries"), "{empty}");
+
+        run("table1", &args(&["--cache-dir", &dir])).unwrap();
+        let full = run("cache", &args(&["stats", "--cache-dir", &dir])).unwrap();
+        assert!(full.contains("8 entries"), "{full}");
+
+        let cleared = run("cache", &args(&["clear", "--cache-dir", &dir])).unwrap();
+        assert!(cleared.contains("removed 1 store file"), "{cleared}");
+        let after = run("cache", &args(&["stats", "--cache-dir", &dir])).unwrap();
+        assert!(after.contains("0 entries"), "{after}");
+
+        assert!(run("cache", &args(&["frobnicate", "--cache-dir", &dir])).is_err());
+    }
+
+    #[test]
+    fn cache_subcommand_without_a_directory_says_disabled() {
+        // Under cfg(test) there is no home-directory fallback, so with no
+        // explicit flag the cache is simply off.
+        if std::env::var("GHR_CACHE_DIR").is_ok() {
+            return; // respect an externally-forced cache dir
+        }
+        let out = run("cache", &args(&["stats"])).unwrap();
+        assert!(out.contains("persistent cache disabled"), "{out}");
+    }
+
+    #[test]
+    fn refined_sweep_counters_appear_for_autotune() {
+        let out = run("autotune", &args(&["--stats", "--threads", "2"])).unwrap();
+        assert!(out.contains("refined sweeps:"), "{out}");
+        assert!(out.contains("skipped"), "{out}");
     }
 }

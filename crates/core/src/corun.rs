@@ -152,34 +152,99 @@ pub struct CorunSeries {
 
 /// Run one co-execution series.
 pub fn run_corun(machine: &MachineConfig, config: &CorunConfig) -> Result<CorunSeries> {
-    let case = config.case;
-    let elem_size = case.elem().size_bytes();
-    let total_bytes = Bytes(config.m * elem_size);
-    let spec = config.spec();
-    let region = spec.region();
-
-    let pricer = LegPricer::new(machine, config.cpu_threads);
+    let runner = SeriesRunner::new(machine, config);
     let mut um = UnifiedMemory::new(machine);
     let mut rid: Option<RegionId> = None;
     if config.alloc == AllocSite::A1 {
-        rid = Some(alloc_and_init(&mut um, total_bytes));
+        rid = Some(alloc_and_init(&mut um, runner.total_bytes));
     }
 
     let mut points = Vec::with_capacity(config.p_steps as usize + 1);
     for i in 0..=config.p_steps {
-        let p = i as f64 / config.p_steps as f64;
         if config.alloc == AllocSite::A2 {
             if let Some(old) = rid.take() {
                 um.free(old);
             }
-            rid = Some(alloc_and_init(&mut um, total_bytes));
+            rid = Some(alloc_and_init(&mut um, runner.total_bytes));
         }
         let rid = rid.expect("region allocated");
+        points.push(runner.eval_point(&mut um, rid, i)?);
+    }
+
+    Ok(CorunSeries {
+        config: *config,
+        points,
+    })
+}
+
+/// Evaluate a single `p` point of an **A2** co-run series in isolation.
+///
+/// Each A2 iteration frees and re-allocates the array, so no allocation or
+/// page-placement state survives from one `p` value to the next: evaluating
+/// point `i` against a fresh [`UnifiedMemory`] is byte-identical to what
+/// the sequential loop in [`run_corun`] produces for that index. That makes
+/// each of the 11 points an independent, cacheable work item the engine
+/// fans across its pool. A1 series carry allocation state across `p` and
+/// must stay sequential; asking for an A1 point here is rejected.
+pub fn run_corun_point(
+    machine: &MachineConfig,
+    config: &CorunConfig,
+    i: u32,
+) -> Result<CorunPoint> {
+    if config.alloc != AllocSite::A2 {
+        return Err(ghr_types::GhrError::invalid(
+            "alloc",
+            format!(
+                "per-point evaluation requires A2 (independent re-allocation per p); \
+                 got {} which carries state across the p loop",
+                config.alloc
+            ),
+        ));
+    }
+    if i > config.p_steps {
+        return Err(ghr_types::GhrError::invalid(
+            "p index",
+            format!("index {i} out of range 0..={}", config.p_steps),
+        ));
+    }
+    let runner = SeriesRunner::new(machine, config);
+    let mut um = UnifiedMemory::new(machine);
+    let rid = alloc_and_init(&mut um, runner.total_bytes);
+    runner.eval_point(&mut um, rid, i)
+}
+
+/// The per-point evaluation shared by the sequential series loop and the
+/// A2 per-point entry.
+struct SeriesRunner<'a> {
+    config: &'a CorunConfig,
+    pricer: LegPricer,
+    elem_size: u64,
+    total_bytes: Bytes,
+    region: ghr_omp::TargetRegion,
+}
+
+impl<'a> SeriesRunner<'a> {
+    fn new(machine: &MachineConfig, config: &'a CorunConfig) -> Self {
+        let elem_size = config.case.elem().size_bytes();
+        SeriesRunner {
+            config,
+            pricer: LegPricer::new(machine, config.cpu_threads),
+            elem_size,
+            total_bytes: Bytes(config.m * elem_size),
+            region: config.spec().region(),
+        }
+    }
+
+    /// Evaluate point `i` (p = i / p_steps) against `rid` in `um`.
+    fn eval_point(&self, um: &mut UnifiedMemory, rid: RegionId, i: u32) -> Result<CorunPoint> {
+        let config = self.config;
+        let case = config.case;
+        let p = i as f64 / config.p_steps as f64;
 
         let len_h = config.m * i as u64 / config.p_steps as u64;
         let len_d = config.m - len_h;
-        let len_h_bytes = Bytes(len_h * elem_size);
-        let len_d_bytes = Bytes(len_d * elem_size);
+        let len_h_bytes = Bytes(len_h * self.elem_size);
+        let len_d_bytes = Bytes(len_d * self.elem_size);
 
         if config.advise_split {
             use ghr_mem::MemAdvise;
@@ -205,7 +270,7 @@ pub fn run_corun(machine: &MachineConfig, config: &CorunConfig) -> Result<CorunS
         // Resolve the device launch once per p (the geometry depends on
         // LenD through the runtime heuristics for the baseline kernel).
         let gpu_local = if len_d > 0 {
-            Some(pricer.gpu_model().reduce(&region.resolve_launch(
+            Some(self.pricer.gpu_model().reduce(&self.region.resolve_launch(
                 len_d,
                 case.elem(),
                 case.acc(),
@@ -215,7 +280,7 @@ pub fn run_corun(machine: &MachineConfig, config: &CorunConfig) -> Result<CorunS
         };
         let cpu_ref = if len_h > 0 {
             Some(
-                pricer
+                self.pricer
                     .cpu_model()
                     .reduce_local(len_h, case.elem(), config.cpu_threads),
             )
@@ -230,36 +295,33 @@ pub fn run_corun(machine: &MachineConfig, config: &CorunConfig) -> Result<CorunS
 
         for _ in 0..config.n_reps {
             let cpu_leg = match cpu_ref {
-                Some(ref cb) => pricer.cpu_leg(&mut um, rid, Bytes::ZERO, len_h_bytes, cb),
+                Some(ref cb) => self.pricer.cpu_leg(um, rid, Bytes::ZERO, len_h_bytes, cb),
                 None => crate::pricing::PricedLeg::idle(),
             };
             let gpu_leg = match gpu_local {
-                Some(ref gb) => pricer.gpu_leg(&mut um, rid, len_h_bytes, len_d_bytes, gb),
+                Some(ref gb) => self.pricer.gpu_leg(um, rid, len_h_bytes, len_d_bytes, gb),
                 None => crate::pricing::PricedLeg::idle(),
             };
             cpu_remote += cpu_leg.outcome.remote;
             gpu_remote += gpu_leg.outcome.remote;
             // `nowait` + implicit barrier: the legs overlap; optionally a
             // shared-LPDDR pipeline binds them together.
-            total += pricer.rep_time(&cpu_leg, &gpu_leg, config.lpddr_contention);
+            total += self
+                .pricer
+                .rep_time(&cpu_leg, &gpu_leg, config.lpddr_contention);
         }
 
-        points.push(CorunPoint {
+        Ok(CorunPoint {
             p,
             gbps: total
-                .bandwidth_for(Bytes(total_bytes.0 * config.n_reps as u64))
+                .bandwidth_for(Bytes(self.total_bytes.0 * config.n_reps as u64))
                 .as_gbps(),
             total,
             migrated_to_gpu: um.stats().migrated_to_gpu.saturating_sub(migrated_before),
             cpu_remote,
             gpu_remote,
-        });
+        })
     }
-
-    Ok(CorunSeries {
-        config: *config,
-        points,
-    })
 }
 
 fn alloc_and_init(um: &mut UnifiedMemory, bytes: Bytes) -> RegionId {
@@ -486,6 +548,24 @@ mod tests {
         assert!(cfg.m <= 100_000);
         let s = run_corun(&machine(), &cfg).unwrap();
         assert_eq!(s.points.len(), 11);
+    }
+
+    #[test]
+    fn a2_per_point_entry_matches_sequential_loop() {
+        let cfg = CorunConfig::paper(Case::C1, opt(), AllocSite::A2);
+        let seq = run_corun(&machine(), &cfg).unwrap();
+        for (i, expect) in seq.points.iter().enumerate() {
+            let got = run_corun_point(&machine(), &cfg, i as u32).unwrap();
+            assert_eq!(&got, expect, "p index {i}");
+        }
+    }
+
+    #[test]
+    fn per_point_entry_rejects_a1_and_out_of_range() {
+        let a1 = CorunConfig::paper(Case::C1, opt(), AllocSite::A1);
+        assert!(run_corun_point(&machine(), &a1, 0).is_err());
+        let a2 = CorunConfig::paper(Case::C1, opt(), AllocSite::A2);
+        assert!(run_corun_point(&machine(), &a2, a2.p_steps + 1).is_err());
     }
 
     #[test]

@@ -21,30 +21,40 @@
 //! `TargetRegion::optimized(65536, v)` at the case's paper scale, so
 //! `ghr all` pays for each unique kernel timing exactly once.
 //!
-//! A co-run series ([`CorunConfig`]) is cached as a single unit: its A1
-//! variant is *stateful* across the `p` loop (the allocation survives and
-//! pages stay where earlier iterations migrated them), so the series — not
-//! the `p` point — is the smallest independently evaluable grid element.
-//! The sixteen series of the full study are fanned across the pool.
+//! A co-run series ([`CorunConfig`]) has two granularities. Its A1 variant
+//! is *stateful* across the `p` loop (the allocation survives and pages
+//! stay where earlier iterations migrated them), so the series — not the
+//! `p` point — is its smallest independently evaluable unit and it is
+//! cached whole. An **A2** series frees and re-allocates per `p`
+//! iteration, so each of its eleven points is independent: the engine fans
+//! them across the pool as individual cacheable work items and reassembles
+//! the series in `p` order ([`crate::corun::run_corun_point`]).
+//!
+//! When a [`PersistentStore`] is attached ([`Engine::with_store_dir`]),
+//! every memoized point also round-trips through a versioned on-disk store
+//! keyed by the same fingerprint × geometry, so a second `ghr all` in
+//! another process answers from disk instead of re-evaluating.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::autotune::TunedConfig;
 use crate::case::Case;
-use crate::corun::{run_corun, AllocSite, CorunConfig, CorunSeries};
+use crate::corun::{run_corun, run_corun_point, AllocSite, CorunConfig, CorunPoint, CorunSeries};
 use crate::reduction::ReductionSpec;
+use crate::store::{self, PersistentStore};
 use crate::study::{self, CorunStudy};
-use crate::sweep::{GpuSweep, SweepPoint, SweepResult};
+use crate::sweep::{GpuSweep, SweepMode, SweepPoint, SweepResult};
 use crate::table1::{Table1, Table1Row};
 use crate::whatif::{self, RuntimeScenario, WhatIfRow, WhatIfStudy};
 use ghr_gpusim::GpuModel;
 use ghr_machine::MachineConfig;
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_parallel::ThreadPool;
-use ghr_types::{Bandwidth, DType, Result};
+use ghr_types::{Bandwidth, DType, GhrError, Result};
 
 /// FNV-1a, used for the machine fingerprint and for shard selection.
 /// Deterministic across processes and platforms (unlike the std
@@ -150,20 +160,37 @@ pub struct EngineStats {
     pub threads: usize,
     /// Cache lookups performed.
     pub lookups: u64,
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-process cache.
     pub hits: u64,
-    /// Points actually evaluated (a co-run series counts as one point —
-    /// it is the atomic unit of evaluation; see the module docs).
+    /// Points actually evaluated (an A1 co-run series counts as one point
+    /// — it is its atomic unit of evaluation; each A2 `p` point counts
+    /// individually; see the module docs).
     pub evaluated: u64,
+    /// Entries the persistent store held when it was opened (0 when no
+    /// store is attached).
+    pub persistent_loaded: u64,
+    /// In-process misses answered from the persistent store.
+    pub persistent_hits: u64,
+    /// Lookups that missed both caches and had to evaluate (only counted
+    /// while a store is attached).
+    pub persistent_misses: u64,
+    /// Freshly evaluated results written to the persistent store.
+    pub persistent_stored: u64,
+    /// Grid points refined sweeps actually evaluated.
+    pub sweep_evaluated: u64,
+    /// Grid points refined sweeps skipped (full grid minus evaluated) —
+    /// reported so an adaptively truncated grid is never silent.
+    pub sweep_skipped: u64,
 }
 
 impl EngineStats {
-    /// Fraction of lookups answered from the cache.
+    /// Fraction of lookups answered from either cache (in-process or
+    /// persistent) — i.e. not freshly evaluated.
     pub fn hit_rate(&self) -> f64 {
         if self.lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / self.lookups as f64
+            (self.hits + self.persistent_hits) as f64 / self.lookups as f64
         }
     }
 }
@@ -195,11 +222,18 @@ pub struct Engine {
     fingerprint: u64,
     threads: usize,
     pool: Option<ThreadPool>,
+    store: Option<PersistentStore>,
     points: ShardedCache<PointKey, f64>,
     series: ShardedCache<(u64, CorunConfig), Arc<CorunSeries>>,
+    corun_pts: ShardedCache<(u64, CorunConfig, u32), CorunPoint>,
     lookups: AtomicU64,
     hits: AtomicU64,
     evaluated: AtomicU64,
+    pstore_hits: AtomicU64,
+    pstore_misses: AtomicU64,
+    pstore_stored: AtomicU64,
+    sweep_evaluated: AtomicU64,
+    sweep_skipped: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -232,11 +266,42 @@ impl Engine {
             fingerprint,
             threads,
             pool,
+            store: None,
             points: ShardedCache::new(),
             series: ShardedCache::new(),
+            corun_pts: ShardedCache::new(),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evaluated: AtomicU64::new(0),
+            pstore_hits: AtomicU64::new(0),
+            pstore_misses: AtomicU64::new(0),
+            pstore_stored: AtomicU64::new(0),
+            sweep_evaluated: AtomicU64::new(0),
+            sweep_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach the persistent result store under `dir` (created on flush if
+    /// missing). The engine opens the file matching its machine
+    /// fingerprint and the current schema version; a mismatched or corrupt
+    /// file loads as empty. Call [`Engine::flush_store`] (or rely on
+    /// `Drop`) to write freshly evaluated points back.
+    pub fn with_store_dir(mut self, dir: &Path) -> Self {
+        self.store = Some(PersistentStore::open(dir, self.fingerprint));
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&PersistentStore> {
+        self.store.as_ref()
+    }
+
+    /// Flush the persistent store (no-op when none is attached or nothing
+    /// is dirty). Returns the number of entries written.
+    pub fn flush_store(&self) -> std::io::Result<u64> {
+        match &self.store {
+            Some(store) => store.flush(),
+            None => Ok(0),
         }
     }
 
@@ -262,33 +327,79 @@ impl Engine {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             evaluated: self.evaluated.load(Ordering::Relaxed),
+            persistent_loaded: self.store.as_ref().map_or(0, |s| s.loaded()),
+            persistent_hits: self.pstore_hits.load(Ordering::Relaxed),
+            persistent_misses: self.pstore_misses.load(Ordering::Relaxed),
+            persistent_stored: self.pstore_stored.load(Ordering::Relaxed),
+            sweep_evaluated: self.sweep_evaluated.load(Ordering::Relaxed),
+            sweep_skipped: self.sweep_skipped.load(Ordering::Relaxed),
         }
     }
 
     /// Fan `f` over `items` and return results in item order. Uses the
     /// pool when one exists and the grid has more than one point; the
-    /// reassembled vector is identical to the serial map either way.
-    fn map_grid<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// reassembled vector is identical to the serial map either way. A
+    /// worker that panics surfaces as [`GhrError::Internal`] (after every
+    /// other job has drained) instead of aborting the whole study.
+    fn map_grid<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
         match &self.pool {
-            Some(pool) if items.len() > 1 => pool.parallel_map(items, f),
-            _ => items.iter().map(f).collect(),
+            Some(pool) if items.len() > 1 => pool.try_parallel_map(items, f).map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                GhrError::internal(format!("worker panicked: {msg}"))
+            }),
+            _ => Ok(items.iter().map(f).collect()),
         }
     }
 
-    /// Memoized scalar evaluation.
+    /// Look up an in-process miss in the persistent store; decode with
+    /// `dec`. Counts a persistent hit or miss as a side effect.
+    fn store_get<V>(&self, key: &str, dec: impl FnOnce(&str) -> Option<V>) -> Option<V> {
+        let store = self.store.as_ref()?;
+        match store.get(key).as_deref().and_then(dec) {
+            Some(v) => {
+                self.pstore_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.pstore_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record a freshly evaluated result in the persistent store.
+    fn store_put(&self, key: String, value: String) {
+        if let Some(store) = &self.store {
+            store.put(key, value);
+            self.pstore_stored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Memoized scalar evaluation: in-process cache, then the persistent
+    /// store, then `eval` (whose result feeds both).
     fn cached(&self, key: PointKey, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.points.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
+        let skey = format!("{key:?}");
+        if let Some(v) = self.store_get(&skey, store::decode_f64) {
+            self.points.insert(key, v);
+            return Ok(v);
+        }
         let v = eval()?;
         self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.store_put(skey, store::encode_f64(v));
         self.points.insert(key, v);
         Ok(v)
     }
@@ -334,19 +445,16 @@ impl Engine {
         )
     }
 
-    /// Run a Fig. 1 sweep with the grid fanned across the pool. Point
+    /// Run a Fig. 1 sweep with the full grid fanned across the pool. Point
     /// order and values are bit-identical to [`GpuSweep::run`].
     pub fn sweep(&self, sweep: &GpuSweep) -> Result<SweepResult> {
-        let mut grid = Vec::with_capacity(sweep.vs.len() * sweep.teams_axis.len());
+        let mut grid = Vec::with_capacity(sweep.grid_size());
         for &v in &sweep.vs {
             for &teams in &sweep.teams_axis {
                 grid.push((v, teams));
             }
         }
-        let gbps = self.map_grid(&grid, |&(v, teams)| {
-            let region = TargetRegion::optimized(teams, v).with_thread_limit(sweep.thread_limit);
-            self.gpu_point(&region, sweep.m, sweep.case.elem(), sweep.case.acc(), None)
-        });
+        let gbps = self.map_grid(&grid, |&(v, teams)| self.sweep_point(sweep, teams, v))?;
         let mut points = Vec::with_capacity(grid.len());
         for (&(v, teams), g) in grid.iter().zip(gbps) {
             points.push(SweepPoint {
@@ -358,6 +466,121 @@ impl Engine {
         Ok(SweepResult {
             sweep: sweep.clone(),
             points,
+            mode: SweepMode::Exhaustive,
+        })
+    }
+
+    /// One point of a Fig. 1 sweep (memoized like any other GPU point).
+    fn sweep_point(&self, sweep: &GpuSweep, teams: u64, v: u32) -> Result<f64> {
+        let region = TargetRegion::optimized(teams, v).with_thread_limit(sweep.thread_limit);
+        self.gpu_point(&region, sweep.m, sweep.case.elem(), sweep.case.acc(), None)
+    }
+
+    /// Run a sweep in the requested [`SweepMode`].
+    pub fn sweep_mode(&self, sweep: &GpuSweep, mode: SweepMode) -> Result<SweepResult> {
+        match mode {
+            SweepMode::Exhaustive => self.sweep(sweep),
+            SweepMode::Refined => self.sweep_refined(sweep),
+        }
+    }
+
+    /// Coarse-to-fine sweep: find the same [`SweepResult::best`] as the
+    /// exhaustive grid while evaluating only a fraction of it.
+    ///
+    /// Exploits one model property, pinned by the exhaustive sweep tests
+    /// (`bandwidth_monotone_in_v_at_fixed_teams`): **at a fixed teams
+    /// value, bandwidth is non-decreasing in `V`** — a larger `V` only
+    /// widens each team's strided slice, it never adds launch overhead.
+    /// Nothing is assumed about the shape along the teams axis (at small
+    /// element counts the series rise and then *fall* as teams outgrow the
+    /// work, so a plateau at the largest teams value cannot be assumed).
+    ///
+    /// 1. **Coarse pass**: evaluate the largest-`V` series over the whole
+    ///    teams axis (fanned across the pool). By column monotonicity it
+    ///    dominates every column, so its maximum is the grid's true
+    ///    maximum `M`, and only teams values where it reaches the 0.1%
+    ///    hysteresis band of [`SweepResult::best`] can host *any* in-band
+    ///    point.
+    /// 2. **Fine pass**: for each in-band teams value, binary-search the
+    ///    smallest `V` still in band (each column is sorted, so
+    ///    ≤ log2(|vs|) probes). The lexicographically smallest
+    ///    `(V, teams)` among those column minima is exactly the point the
+    ///    exhaustive sweep's `best()` returns.
+    ///
+    /// The returned result holds only the evaluated points (reported via
+    /// [`SweepResult::coverage`] and the engine's `sweep_evaluated` /
+    /// `sweep_skipped` counters), and its `best()` is the same point —
+    /// bit-identical bandwidth — as the exhaustive sweep's. Falls back to
+    /// the exhaustive path when the space is degenerate or too small for
+    /// refinement to pay for itself.
+    pub fn sweep_refined(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        let mut vs_sorted = sweep.vs.clone();
+        vs_sorted.sort_unstable();
+        vs_sorted.dedup();
+        // Worst case: the coarse pass plus one binary search per teams
+        // value. If that cannot undercut the full grid (tiny spaces),
+        // refinement has nothing to offer.
+        let log2_vs = usize::BITS - vs_sorted.len().leading_zeros();
+        let worst = sweep.teams_axis.len() * (1 + log2_vs as usize);
+        if vs_sorted.len() < 2 || sweep.teams_axis.is_empty() || worst >= sweep.grid_size() {
+            return self.sweep(sweep);
+        }
+        let v_max = *vs_sorted.last().expect("non-empty vs");
+
+        // 1. Coarse pass: the dominating largest-V series, whole axis.
+        let coarse = self.map_grid(&sweep.teams_axis, |&t| self.sweep_point(sweep, t, v_max))?;
+        let mut evaluated: Vec<SweepPoint> = Vec::with_capacity(sweep.teams_axis.len() + 8);
+        let mut max = f64::NEG_INFINITY;
+        for (&t, g) in sweep.teams_axis.iter().zip(coarse) {
+            let gbps = g?;
+            max = max.max(gbps);
+            evaluated.push(SweepPoint {
+                teams_axis: t,
+                v: v_max,
+                gbps,
+            });
+        }
+        let band = max * (1.0 - 1e-3);
+
+        // 2. Fine pass: per in-band teams value, binary-search the
+        // smallest in-band V. Invariant: vs_sorted[hi] is in band,
+        // everything below vs_sorted[lo] is not.
+        let in_band_teams: Vec<u64> = evaluated
+            .iter()
+            .filter(|p| p.gbps >= band)
+            .map(|p| p.teams_axis)
+            .collect();
+        for t in in_band_teams {
+            let (mut lo, mut hi) = (0usize, vs_sorted.len() - 1);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let gbps = self.sweep_point(sweep, t, vs_sorted[mid])?;
+                evaluated.push(SweepPoint {
+                    teams_axis: t,
+                    v: vs_sorted[mid],
+                    gbps,
+                });
+                if gbps >= band {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        // Deterministic (v-major, teams-minor) order, like the full grid.
+        evaluated.sort_by_key(|p| (p.v, p.teams_axis));
+        evaluated.dedup_by_key(|p| (p.v, p.teams_axis));
+        self.sweep_evaluated
+            .fetch_add(evaluated.len() as u64, Ordering::Relaxed);
+        self.sweep_skipped.fetch_add(
+            sweep.grid_size().saturating_sub(evaluated.len()) as u64,
+            Ordering::Relaxed,
+        );
+        Ok(SweepResult {
+            sweep: sweep.clone(),
+            points: evaluated,
+            mode: SweepMode::Refined,
         })
     }
 
@@ -370,12 +593,16 @@ impl Engine {
             specs.push(ReductionSpec::baseline(case));
             specs.push(ReductionSpec::optimized_paper(case));
         }
-        let gbps = self.map_grid(&specs, |spec| self.spec_gbps_paper(spec));
+        let gbps = self.map_grid(&specs, |spec| self.spec_gbps_paper(spec))?;
         let mut gbps = gbps.into_iter();
+        let mut next = |what: &str| {
+            gbps.next()
+                .ok_or_else(|| GhrError::internal(format!("table1 grid lost its {what}")))?
+        };
         let mut rows = Vec::with_capacity(4);
         for case in Case::ALL {
-            let base_gbps = gbps.next().expect("base point")?;
-            let opt_gbps = gbps.next().expect("opt point")?;
+            let base_gbps = next("baseline point")?;
+            let opt_gbps = next("optimized point")?;
             rows.push(Table1Row {
                 case,
                 base_gbps,
@@ -394,10 +621,12 @@ impl Engine {
     }
 
     /// Autotune at a reduced element count (for tests). The underlying
-    /// sweep is the Fig. 1 sweep, so after `ghr fig1` the tuning is pure
+    /// sweep runs in [`SweepMode::Refined`] — it returns the same best
+    /// point as the full grid while probing only a fraction of it — and
+    /// shares the Fig. 1 cache, so after `ghr fig1` the tuning is pure
     /// cache hits.
     pub fn autotune_scaled(&self, case: Case, m: u64) -> Result<TunedConfig> {
-        let result = self.sweep(&GpuSweep::paper_scaled(case, m))?;
+        let result = self.sweep_refined(&GpuSweep::paper_scaled(case, m))?;
         let best = result.best();
         Ok(TunedConfig {
             case,
@@ -412,8 +641,11 @@ impl Engine {
         Case::ALL.into_iter().map(|c| self.autotune(c)).collect()
     }
 
-    /// One co-execution series, memoized as a unit (see the module docs
-    /// for why the series, not the `p` point, is the cache granule).
+    /// One co-execution series, memoized. The cache granule depends on
+    /// the allocation site (see the module docs): an A1 series is
+    /// stateful across `p` and cached whole; an A2 series is assembled
+    /// from its independent per-`p` points, each fanned across the pool
+    /// and cached (in process and persistently) on its own.
     pub fn corun(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
         let key = (self.fingerprint, *config);
         self.lookups.fetch_add(1, Ordering::Relaxed);
@@ -421,16 +653,64 @@ impl Engine {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(s);
         }
-        let s = Arc::new(run_corun(&self.machine, config)?);
-        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        let s = match config.alloc {
+            AllocSite::A1 => {
+                let skey = format!("corun-series {config:?}");
+                if let Some(points) = self.store_get(&skey, store::decode_corun_points) {
+                    Arc::new(CorunSeries {
+                        config: *config,
+                        points,
+                    })
+                } else {
+                    let s = Arc::new(run_corun(&self.machine, config)?);
+                    self.evaluated.fetch_add(1, Ordering::Relaxed);
+                    self.store_put(skey, store::encode_corun_points(&s.points));
+                    s
+                }
+            }
+            AllocSite::A2 => {
+                let idxs: Vec<u32> = (0..=config.p_steps).collect();
+                let points = self
+                    .map_grid(&idxs, |&i| self.corun_point_a2(config, i))?
+                    .into_iter()
+                    .collect::<Result<Vec<_>>>()?;
+                Arc::new(CorunSeries {
+                    config: *config,
+                    points,
+                })
+            }
+        };
         self.series.insert(key, Arc::clone(&s));
         Ok(s)
+    }
+
+    /// One `p` point of an A2 co-run series, memoized individually —
+    /// byte-identical to the corresponding point of the sequential
+    /// [`run_corun`] loop (each A2 iteration re-allocates, so no state
+    /// crosses `p`; see [`run_corun_point`]).
+    fn corun_point_a2(&self, config: &CorunConfig, i: u32) -> Result<CorunPoint> {
+        let key = (self.fingerprint, *config, i);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = self.corun_pts.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        let skey = format!("corun-point {i} {config:?}");
+        if let Some(p) = self.store_get(&skey, store::decode_corun_point) {
+            self.corun_pts.insert(key, p);
+            return Ok(p);
+        }
+        let p = run_corun_point(&self.machine, config, i)?;
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.store_put(skey, store::encode_corun_point(&p));
+        self.corun_pts.insert(key, p);
+        Ok(p)
     }
 
     /// Evaluate several co-run series, fanned across the pool; results
     /// come back in config order.
     pub fn corun_many(&self, configs: &[CorunConfig]) -> Result<Vec<Arc<CorunSeries>>> {
-        self.map_grid(configs, |cfg| self.corun(cfg))
+        self.map_grid(configs, |cfg| self.corun(cfg))?
             .into_iter()
             .collect()
     }
@@ -464,7 +744,7 @@ impl Engine {
                 configs.push(cfg);
             }
         }
-        let series = self.map_grid(&configs, |cfg| self.corun(cfg));
+        let series = self.map_grid(&configs, |cfg| self.corun(cfg))?;
         let mut out = CorunStudy {
             a1_base: Vec::with_capacity(4),
             a1_opt: Vec::with_capacity(4),
@@ -533,13 +813,17 @@ impl Engine {
         for case in Case::ALL {
             grid.push((None, case));
         }
-        let gbps = self.map_grid(&grid, |&(scenario, case)| self.whatif_point(scenario, case));
+        let gbps = self.map_grid(&grid, |&(scenario, case)| self.whatif_point(scenario, case))?;
         let mut gbps = gbps.into_iter();
+        let mut next = |what: &str| {
+            gbps.next()
+                .ok_or_else(|| GhrError::internal(format!("what-if grid lost a {what}")))?
+        };
         let mut rows = Vec::with_capacity(scenarios.len());
         for scenario in scenarios {
             let mut row = [0.0; 4];
             for g in row.iter_mut() {
-                *g = gbps.next().expect("scenario point")?;
+                *g = next("scenario point")?;
             }
             rows.push(WhatIfRow {
                 scenario,
@@ -548,12 +832,20 @@ impl Engine {
         }
         let mut optimized_gbps = [0.0; 4];
         for g in optimized_gbps.iter_mut() {
-            *g = gbps.next().expect("optimized point")?;
+            *g = next("optimized point")?;
         }
         Ok(WhatIfStudy {
             rows,
             optimized_gbps,
         })
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Backstop flush of the persistent store; callers that care about
+        // the entry count (or the I/O error) call `flush_store` directly.
+        let _ = self.flush_store();
     }
 }
 
@@ -629,6 +921,78 @@ mod tests {
             .unwrap();
         assert!(capped < local);
         assert_eq!(e.stats().evaluated, 2);
+    }
+
+    #[test]
+    fn refined_sweep_finds_the_exhaustive_best() {
+        let e = engine(2);
+        for case in Case::ALL {
+            let sweep = GpuSweep::paper_scaled(case, 1 << 22);
+            let full = e.sweep(&sweep).unwrap();
+            let refined = e.sweep_refined(&sweep).unwrap();
+            assert_eq!(refined.mode, SweepMode::Refined);
+            let (fb, rb) = (full.best(), refined.best());
+            assert_eq!(
+                (fb.teams_axis, fb.v),
+                (rb.teams_axis, rb.v),
+                "{case}: exhaustive {fb:?} vs refined {rb:?}"
+            );
+            assert_eq!(fb.gbps.to_bits(), rb.gbps.to_bits(), "{case}");
+            let (eval, grid) = refined.coverage();
+            assert!(eval * 2 <= grid, "{case}: {eval}/{grid} evaluated");
+        }
+        let s = e.stats();
+        assert!(s.sweep_evaluated > 0);
+        assert!(s.sweep_skipped > 0);
+    }
+
+    #[test]
+    fn sweep_mode_dispatches() {
+        let e = engine(1);
+        let sweep = GpuSweep::paper_scaled(Case::C1, 1 << 20);
+        let a = e.sweep_mode(&sweep, SweepMode::Exhaustive).unwrap();
+        let b = e.sweep_mode(&sweep, SweepMode::Refined).unwrap();
+        assert_eq!(a.mode, SweepMode::Exhaustive);
+        assert_eq!(b.mode, SweepMode::Refined);
+        assert!(b.points.len() < a.points.len());
+    }
+
+    #[test]
+    fn a2_series_assembled_from_points_matches_sequential_run() {
+        let cfg = CorunConfig::paper(
+            Case::C1,
+            crate::reduction::KernelKind::Optimized {
+                teams_axis: 65536,
+                v: 4,
+            },
+            AllocSite::A2,
+        );
+        let reference = run_corun(&MachineConfig::gh200(), &cfg).unwrap();
+        for threads in [1, 8] {
+            let s = engine(threads).corun(&cfg).unwrap();
+            assert_eq!(s.points.len(), reference.points.len(), "{threads} threads");
+            for (a, b) in s.points.iter().zip(&reference.points) {
+                assert_eq!(a, b, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn a2_series_is_cached_as_points_and_as_a_series() {
+        let e = engine(1);
+        let cfg = CorunConfig::paper(
+            Case::C2,
+            crate::reduction::KernelKind::Baseline,
+            AllocSite::A2,
+        );
+        e.corun(&cfg).unwrap();
+        let s = e.stats();
+        assert_eq!(s.evaluated, 11, "one evaluation per p point: {s:?}");
+        assert_eq!(s.lookups, 12, "one series + eleven point lookups: {s:?}");
+        e.corun(&cfg).unwrap();
+        let s = e.stats();
+        assert_eq!(s.evaluated, 11, "{s:?}");
+        assert_eq!(s.hits, 1, "second run is one series hit: {s:?}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod pricing;
 pub mod reduction;
 pub mod report;
 pub mod sched;
+pub mod store;
 pub mod study;
 pub mod sweep;
 pub mod table1;
@@ -46,6 +47,7 @@ pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
 pub use engine::{Engine, EngineStats};
 pub use reduction::{KernelKind, ReductionSpec};
+pub use store::{resolve_cache_dir, PersistentStore};
 pub use study::{run_full_study, CorunStudy, StudySummary};
-pub use sweep::{GpuSweep, SweepResult};
+pub use sweep::{GpuSweep, SweepMode, SweepResult};
 pub use table1::{table1, Table1, Table1Row};

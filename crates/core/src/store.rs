@@ -1,0 +1,486 @@
+//! The persistent, cross-process result store behind the engine cache.
+//!
+//! [`crate::engine::Engine`] memoizes every grid point in process memory;
+//! this module makes those results survive the process. The store is a
+//! deliberately boring, std-only file format so the workspace keeps its
+//! zero-dependency offline build:
+//!
+//! * **One file per (schema version, machine fingerprint)** —
+//!   `results-v<SCHEMA>-<fingerprint>.ghr` inside the cache directory. A
+//!   schema bump or a different machine description resolves to a different
+//!   file name, so stale results are never even read.
+//! * **A header line** repeating the schema version and fingerprint. A file
+//!   whose header does not match what the opener expects is discarded
+//!   wholesale (it will be rebuilt on the next flush), never trusted and
+//!   never a panic.
+//! * **One `key<TAB>value` record per line.** Keys are the engine's
+//!   deterministic `Debug` renders of its cache keys; values are hex-encoded
+//!   `f64` bit patterns (bit-exact round trips) or `;`/`,`-joined tuples for
+//!   co-run points. A line that fails to parse — e.g. the torn tail of a
+//!   crashed writer — is skipped individually.
+//! * **Atomic flush**: the merged map is written to a temp file in the same
+//!   directory and `rename`d over the target, so concurrent engines can
+//!   flush the same store without ever producing a half-written file. The
+//!   flush re-reads the file first and merges, so two engines caching
+//!   disjoint grids both contribute.
+//!
+//! The cache directory resolves from `GHR_CACHE_DIR`, then
+//! `$XDG_CACHE_HOME/ghr`, then `~/.cache/ghr` (see [`resolve_cache_dir`]);
+//! the CLI exposes `--cache-dir`, `--no-cache` and a `ghr cache`
+//! subcommand on top.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::corun::CorunPoint;
+use ghr_types::{Bytes, SimTime};
+
+/// Version of the on-disk record format. Bump whenever the key or value
+/// encoding changes meaning; old files are then ignored (different file
+/// name *and* rejected header) and rebuilt.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Resolve the cache directory: `explicit` (a CLI flag), then the
+/// `GHR_CACHE_DIR` environment variable, then `$XDG_CACHE_HOME/ghr`, then
+/// `$HOME/.cache/ghr`. `None` when nothing resolves (caching disabled).
+pub fn resolve_cache_dir(explicit: Option<&str>) -> Option<PathBuf> {
+    if let Some(dir) = explicit {
+        return Some(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::var("GHR_CACHE_DIR") {
+        if !dir.is_empty() {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    if let Ok(dir) = std::env::var("XDG_CACHE_HOME") {
+        if !dir.is_empty() {
+            return Some(Path::new(&dir).join("ghr"));
+        }
+    }
+    if let Ok(home) = std::env::var("HOME") {
+        if !home.is_empty() {
+            return Some(Path::new(&home).join(".cache").join("ghr"));
+        }
+    }
+    None
+}
+
+/// File name of the store for a fingerprint under the current schema.
+pub fn store_file_name(fingerprint: u64) -> String {
+    format!("results-v{SCHEMA_VERSION}-{fingerprint:016x}.ghr")
+}
+
+fn header_line(fingerprint: u64) -> String {
+    format!("ghr-store v{SCHEMA_VERSION} fp={fingerprint:016x}")
+}
+
+/// A cross-process result store for one (schema, machine fingerprint).
+///
+/// Opening never fails: an unreadable, mismatched or corrupt file simply
+/// yields an empty store (and the bad file is replaced on the next flush).
+/// All methods are `&self` and internally locked, so one store can back a
+/// multi-threaded engine.
+pub struct PersistentStore {
+    path: PathBuf,
+    header: String,
+    entries: Mutex<HashMap<String, String>>,
+    loaded: u64,
+    /// Entries inserted since the last flush.
+    dirty: AtomicU64,
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("path", &self.path)
+            .field("loaded", &self.loaded)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl PersistentStore {
+    /// Open (or create empty) the store for `fingerprint` inside `dir`.
+    pub fn open(dir: &Path, fingerprint: u64) -> Self {
+        let path = dir.join(store_file_name(fingerprint));
+        let header = header_line(fingerprint);
+        let entries = read_store_file(&path, &header).unwrap_or_default();
+        let loaded = entries.len() as u64;
+        PersistentStore {
+            path,
+            header,
+            entries: Mutex::new(entries),
+            loaded,
+            dirty: AtomicU64::new(0),
+        }
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Entries read from disk when the store was opened.
+    pub fn loaded(&self) -> u64 {
+        self.loaded
+    }
+
+    /// Entries currently held (loaded + inserted).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Entries inserted since the last flush.
+    pub fn dirty(&self) -> u64 {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.lock().get(key).cloned()
+    }
+
+    /// Insert a value. Keys and values must be single-line and tab-free
+    /// (the engine's keys are `Debug` renders, which are); offending
+    /// records are dropped rather than corrupting the file.
+    pub fn put(&self, key: String, value: String) {
+        if key.contains(['\t', '\n']) || value.contains(['\t', '\n']) {
+            debug_assert!(false, "store record must be single-line and tab-free");
+            return;
+        }
+        if self.lock().insert(key, value).is_none() {
+            self.dirty.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Write the store to disk: merge with whatever is on disk now (another
+    /// engine may have flushed since we loaded), write a temp file in the
+    /// same directory, and atomically rename it over the target. Returns
+    /// the number of entries written. A no-op when nothing is dirty.
+    pub fn flush(&self) -> io::Result<u64> {
+        if self.dirty.load(Ordering::Relaxed) == 0 {
+            return Ok(0);
+        }
+        let mut entries = self.lock();
+        // Merge-in concurrent flushes; our own entries win ties (the values
+        // are deterministic, so ties are byte-identical anyway).
+        if let Some(on_disk) = read_store_file(&self.path, &self.header) {
+            for (k, v) in on_disk {
+                entries.entry(k).or_insert(v);
+            }
+        }
+        let sorted: BTreeMap<&String, &String> = entries.iter().collect();
+        let mut body = String::with_capacity(64 * (sorted.len() + 1));
+        body.push_str(&self.header);
+        body.push('\n');
+        for (k, v) in &sorted {
+            body.push_str(k);
+            body.push('\t');
+            body.push_str(v);
+            body.push('\n');
+        }
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.dirty.store(0, Ordering::Relaxed);
+        Ok(sorted.len() as u64)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, String>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Read a store file. `None` when the file is missing, unreadable, or its
+/// header does not match (wrong schema or fingerprint — treated as absent,
+/// never an error). Individually corrupt records are skipped.
+fn read_store_file(path: &Path, header: &str) -> Option<HashMap<String, String>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != header {
+        return None;
+    }
+    let mut map = HashMap::new();
+    // A torn final line (crashed writer) has no trailing newline; detect it
+    // so a record that merely *looks* parseable is not trusted.
+    let complete_tail = text.ends_with('\n');
+    let mut records = lines.peekable();
+    while let Some(line) = records.next() {
+        if records.peek().is_none() && !complete_tail {
+            break;
+        }
+        if let Some((k, v)) = line.split_once('\t') {
+            if !k.is_empty() && !v.is_empty() && !v.contains('\t') {
+                map.insert(k.to_string(), v.to_string());
+            }
+        }
+    }
+    Some(map)
+}
+
+// ---------------------------------------------------------------------------
+// Value encodings (bit-exact, std-only)
+// ---------------------------------------------------------------------------
+
+/// Encode an `f64` as its hex bit pattern (bit-exact round trip).
+pub fn encode_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decode [`encode_f64`] output.
+pub fn decode_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Encode one co-run point as comma-separated fields.
+pub fn encode_corun_point(p: &CorunPoint) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        encode_f64(p.p),
+        encode_f64(p.gbps),
+        encode_f64(p.total.as_secs()),
+        p.migrated_to_gpu.0,
+        p.cpu_remote.0,
+        p.gpu_remote.0
+    )
+}
+
+/// Decode [`encode_corun_point`] output.
+pub fn decode_corun_point(s: &str) -> Option<CorunPoint> {
+    let mut it = s.split(',');
+    let p = decode_f64(it.next()?)?;
+    let gbps = decode_f64(it.next()?)?;
+    let total = SimTime::secs(decode_f64(it.next()?)?);
+    let migrated_to_gpu = Bytes(it.next()?.parse().ok()?);
+    let cpu_remote = Bytes(it.next()?.parse().ok()?);
+    let gpu_remote = Bytes(it.next()?.parse().ok()?);
+    if it.next().is_some() {
+        return None;
+    }
+    Some(CorunPoint {
+        p,
+        gbps,
+        total,
+        migrated_to_gpu,
+        cpu_remote,
+        gpu_remote,
+    })
+}
+
+/// Encode a whole co-run series' points (`;`-joined).
+pub fn encode_corun_points(points: &[CorunPoint]) -> String {
+    points
+        .iter()
+        .map(encode_corun_point)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Decode [`encode_corun_points`] output. `None` on any malformed point.
+pub fn decode_corun_points(s: &str) -> Option<Vec<CorunPoint>> {
+    if s.is_empty() {
+        return None;
+    }
+    s.split(';').map(decode_corun_point).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ghr-store-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, 3795.123456789, f64::MIN_POSITIVE, 1e300] {
+            let enc = encode_f64(v);
+            assert_eq!(decode_f64(&enc).unwrap().to_bits(), v.to_bits(), "{v}");
+        }
+        assert!(decode_f64("not-hex").is_none());
+        assert!(decode_f64("123").is_none());
+    }
+
+    #[test]
+    fn corun_point_roundtrip() {
+        let p = CorunPoint {
+            p: 0.3,
+            gbps: 812.25,
+            total: SimTime::millis(4.25),
+            migrated_to_gpu: Bytes(123456),
+            cpu_remote: Bytes(0),
+            gpu_remote: Bytes(987),
+        };
+        let one = decode_corun_point(&encode_corun_point(&p)).unwrap();
+        assert_eq!(one, p);
+        let series = vec![p, p, p];
+        let back = decode_corun_points(&encode_corun_points(&series)).unwrap();
+        assert_eq!(back, series);
+        assert!(decode_corun_point("1,2,3").is_none());
+        assert!(decode_corun_points("").is_none());
+    }
+
+    #[test]
+    fn put_flush_reopen_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let store = PersistentStore::open(&dir, 42);
+        assert_eq!(store.loaded(), 0);
+        store.put("key-a".into(), encode_f64(1.25));
+        store.put("key-b".into(), "payload".into());
+        assert_eq!(store.dirty(), 2);
+        assert_eq!(store.flush().unwrap(), 2);
+        assert_eq!(store.dirty(), 0);
+
+        let again = PersistentStore::open(&dir, 42);
+        assert_eq!(again.loaded(), 2);
+        assert_eq!(decode_f64(&again.get("key-a").unwrap()).unwrap(), 1.25);
+        assert_eq!(again.get("key-b").unwrap(), "payload");
+    }
+
+    #[test]
+    fn flush_with_nothing_dirty_is_a_noop() {
+        let dir = tmp_dir("noop");
+        let store = PersistentStore::open(&dir, 1);
+        assert_eq!(store.flush().unwrap(), 0);
+        assert!(!store.path().exists(), "no-op flush must not create a file");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_reads_nothing() {
+        let dir = tmp_dir("fp");
+        let store = PersistentStore::open(&dir, 7);
+        store.put("k".into(), "v".into());
+        store.flush().unwrap();
+        // A different fingerprint resolves to a different file entirely.
+        assert_eq!(PersistentStore::open(&dir, 8).loaded(), 0);
+        // A file whose header lies about its fingerprint is discarded too.
+        std::fs::write(
+            dir.join(store_file_name(9)),
+            format!("{}\nk\tv\n", header_line(7)),
+        )
+        .unwrap();
+        assert_eq!(PersistentStore::open(&dir, 9).loaded(), 0);
+    }
+
+    #[test]
+    fn schema_mismatch_reads_nothing() {
+        let dir = tmp_dir("schema");
+        std::fs::write(
+            dir.join(store_file_name(5)),
+            format!("ghr-store v999 fp={:016x}\nk\tv\n", 5),
+        )
+        .unwrap();
+        assert_eq!(PersistentStore::open(&dir, 5).loaded(), 0);
+    }
+
+    #[test]
+    fn corrupt_file_is_discarded_not_a_panic() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join(store_file_name(3));
+        std::fs::write(&path, b"\xff\xfe garbage \x00\x01").unwrap();
+        let store = PersistentStore::open(&dir, 3);
+        assert_eq!(store.loaded(), 0);
+        // And a flush rebuilds a valid file over the garbage.
+        store.put("fresh".into(), "1".into());
+        store.flush().unwrap();
+        assert_eq!(PersistentStore::open(&dir, 3).loaded(), 1);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_skipped() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(store_file_name(11));
+        std::fs::write(
+            &path,
+            format!("{}\ngood\tvalue\ntorn\tvalu", header_line(11)),
+        )
+        .unwrap();
+        let store = PersistentStore::open(&dir, 11);
+        assert_eq!(store.loaded(), 1);
+        assert_eq!(store.get("good").unwrap(), "value");
+        assert!(store.get("torn").is_none());
+    }
+
+    #[test]
+    fn malformed_interior_records_are_skipped_individually() {
+        let dir = tmp_dir("interior");
+        let path = dir.join(store_file_name(12));
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nno-tab-line\na\t1\n\tmissing-key\nb\t2\n",
+                header_line(12)
+            ),
+        )
+        .unwrap();
+        let store = PersistentStore::open(&dir, 12);
+        assert_eq!(store.loaded(), 2);
+        assert_eq!(store.get("a").unwrap(), "1");
+        assert_eq!(store.get("b").unwrap(), "2");
+    }
+
+    #[test]
+    fn concurrent_stores_merge_on_flush() {
+        let dir = tmp_dir("merge");
+        let a = PersistentStore::open(&dir, 21);
+        let b = PersistentStore::open(&dir, 21);
+        a.put("from-a".into(), "1".into());
+        b.put("from-b".into(), "2".into());
+        a.flush().unwrap();
+        b.flush().unwrap(); // merges a's flush before writing
+        let merged = PersistentStore::open(&dir, 21);
+        assert_eq!(merged.loaded(), 2);
+        assert_eq!(merged.get("from-a").unwrap(), "1");
+        assert_eq!(merged.get("from-b").unwrap(), "2");
+    }
+
+    #[test]
+    fn multiline_records_are_rejected_not_written() {
+        let dir = tmp_dir("reject");
+        let store = PersistentStore::open(&dir, 31);
+        // debug_assert fires in debug builds; use release semantics here by
+        // checking the observable behavior only when assertions are off.
+        if !cfg!(debug_assertions) {
+            store.put("bad\tkey".into(), "v".into());
+            store.put("k".into(), "bad\nvalue".into());
+            assert!(store.is_empty());
+        }
+    }
+
+    #[test]
+    fn resolve_cache_dir_prefers_explicit() {
+        assert_eq!(
+            resolve_cache_dir(Some("/tmp/explicit")),
+            Some(PathBuf::from("/tmp/explicit"))
+        );
+    }
+}

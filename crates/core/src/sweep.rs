@@ -35,14 +35,41 @@ pub struct SweepPoint {
     pub gbps: f64,
 }
 
+/// How a sweep's (teams, V) grid was explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SweepMode {
+    /// Every grid point evaluated (the paper's full 10×6 grid).
+    Exhaustive,
+    /// Coarse-to-fine: one coarse pass over the dominating largest-`V`
+    /// series, then a per-column binary search toward the smallest in-band
+    /// `(V, teams)`. Returns the same [`SweepResult::best`] as
+    /// [`SweepMode::Exhaustive`] while evaluating a fraction of the grid
+    /// (bandwidth is non-decreasing in `V` at fixed teams — see
+    /// `bandwidth_monotone_in_v_at_fixed_teams`).
+    Refined,
+}
+
+impl std::fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SweepMode::Exhaustive => "exhaustive",
+            SweepMode::Refined => "refined",
+        })
+    }
+}
+
 /// The complete sweep result for one case (one of Fig. 1a–1d).
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepResult {
     /// The sweep that produced this result.
     pub sweep: GpuSweep,
-    /// All points, in (v-major, teams-minor) order.
+    /// All evaluated points, in (v-major, teams-minor) order. Under
+    /// [`SweepMode::Refined`] this holds only the evaluated subset.
     pub points: Vec<SweepPoint>,
+    /// How the grid was explored.
+    pub mode: SweepMode,
 }
 
 impl GpuSweep {
@@ -88,11 +115,25 @@ impl GpuSweep {
         Ok(SweepResult {
             sweep: self.clone(),
             points,
+            mode: SweepMode::Exhaustive,
         })
+    }
+
+    /// Size of the full (teams, V) grid.
+    pub fn grid_size(&self) -> usize {
+        self.teams_axis.len() * self.vs.len()
     }
 }
 
 impl SweepResult {
+    /// (evaluated, full-grid) point counts — how much of the grid this
+    /// result actually touched. Equal under [`SweepMode::Exhaustive`];
+    /// under [`SweepMode::Refined`] the first number is the evaluated
+    /// subset, never silently conflated with full coverage.
+    pub fn coverage(&self) -> (usize, usize) {
+        (self.points.len(), self.sweep.grid_size())
+    }
+
     /// The bandwidth at a specific point, if it was swept.
     pub fn gbps_at(&self, teams_axis: u64, v: u32) -> Option<f64> {
         self.points
@@ -276,6 +317,32 @@ mod tests {
     }
 
     #[test]
+    fn bandwidth_monotone_in_v_at_fixed_teams() {
+        // The property the engine's refined sweep mode relies on: at a
+        // fixed teams value a larger V never loses bandwidth (it widens
+        // each team's strided slice without adding launch overhead). Pin
+        // it at both a small scale (where the teams axis is *not*
+        // monotone) and the paper scale.
+        let rt = rt();
+        for case in [Case::C1, Case::C2, Case::C3, Case::C4] {
+            for sweep in [GpuSweep::paper_scaled(case, 1 << 20), GpuSweep::paper(case)] {
+                let r = sweep.run(&rt).unwrap();
+                for &t in &r.sweep.teams_axis {
+                    let col: Vec<f64> = r
+                        .sweep
+                        .vs
+                        .iter()
+                        .map(|&v| r.gbps_at(t, v).unwrap())
+                        .collect();
+                    for w in col.windows(2) {
+                        assert!(w[1] >= w[0], "{case} teams={t}: {col:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn knee_positions_match_paper() {
         let rt = rt();
         let c1 = GpuSweep::paper(Case::C1).run(&rt).unwrap();
@@ -299,6 +366,16 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("v32"));
         assert!(md.contains("65536"));
+    }
+
+    #[test]
+    fn exhaustive_run_reports_full_coverage() {
+        let r = GpuSweep::paper_scaled(Case::C1, 1_000_000)
+            .run(&rt())
+            .unwrap();
+        assert_eq!(r.mode, SweepMode::Exhaustive);
+        assert_eq!(r.coverage(), (60, 60));
+        assert_eq!(SweepMode::Refined.to_string(), "refined");
     }
 
     #[test]

@@ -81,16 +81,21 @@ fn parallel_study_is_bit_identical_to_serial() {
 
 #[test]
 fn repeated_study_evaluates_each_series_once() {
+    // 16 series: the 8 A1 series evaluate as one unit each, the 8 A2
+    // series fan into 11 independently cached p points each (8 + 88 = 96
+    // evaluations, 16 series + 88 point lookups on a cold cache). A
+    // repeat answers from the 16 series entries alone.
     let e = Engine::new(machine(), 4);
     e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
         .unwrap();
     let first = e.stats();
-    assert_eq!(first.evaluated, 16, "{first:?}");
+    assert_eq!(first.evaluated, 96, "{first:?}");
+    assert_eq!(first.lookups, 104, "{first:?}");
     assert_eq!(first.hits, 0, "{first:?}");
     e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
         .unwrap();
     let second = e.stats();
-    assert_eq!(second.evaluated, 16, "no new evaluations: {second:?}");
+    assert_eq!(second.evaluated, 96, "no new evaluations: {second:?}");
     assert_eq!(second.hits, 16, "{second:?}");
 }
 
@@ -129,7 +134,21 @@ fn sweep_points_are_shared_with_table1_and_autotune() {
     e.autotune(Case::C1).unwrap();
     let after_tune = e.stats();
     assert_eq!(after_tune.evaluated, 67, "{after_tune:?}");
-    assert!(after_tune.hits >= 60, "{after_tune:?}");
+    // The refined autotune sweep probed a strict subset of the grid (all
+    // cache hits), and reported its evaluated-vs-skipped split.
+    let tune_lookups = after_tune.lookups - after_table1.lookups;
+    assert_eq!(
+        after_tune.hits - after_table1.hits,
+        tune_lookups,
+        "{after_tune:?}"
+    );
+    assert!(tune_lookups <= 30, "{after_tune:?}");
+    assert_eq!(
+        after_tune.sweep_evaluated + after_tune.sweep_skipped,
+        60,
+        "{after_tune:?}"
+    );
+    assert!(after_tune.sweep_evaluated * 2 <= 60, "{after_tune:?}");
 }
 
 #[test]

@@ -185,6 +185,20 @@ impl ThreadPool {
     /// spawned job panics, the first panic payload is re-raised here after
     /// the remaining jobs finish.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        match self.try_scope(f) {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Like [`ThreadPool::scope`], but a panic — in a spawned job or in the
+    /// closure itself — is returned as its payload instead of re-raised, so
+    /// the caller can convert a poisoned worker into an error value.
+    /// Borrowed data is still drained before returning either way.
+    pub fn try_scope<'env, R>(
+        &self,
+        f: impl FnOnce(&Scope<'_, 'env>) -> R,
+    ) -> Result<R, Box<dyn std::any::Any + Send>> {
         let scope = Scope {
             pool: self,
             state: Arc::new(ScopeState {
@@ -199,12 +213,9 @@ impl ThreadPool {
         // data must outlive every spawned job.
         scope.wait_all();
         if let Some(payload) = scope.take_panic() {
-            resume_unwind(payload);
+            return Err(payload);
         }
-        match result {
-            Ok(r) => r,
-            Err(payload) => resume_unwind(payload),
-        }
+        result
     }
 
     /// Map `items` through the pool, preserving index order.
@@ -220,20 +231,47 @@ impl ThreadPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        match self.try_parallel_map(items, f) {
+            Ok(out) => out,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Like [`ThreadPool::parallel_map`], but a panicking job yields
+    /// `Err(payload)` instead of re-raising, so callers can degrade a
+    /// poisoned worker into an error value. On `Err` every non-panicking
+    /// job has still run to completion (structured join, no cancellation).
+    pub fn try_parallel_map<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, Box<dyn std::any::Any + Send>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(items.len(), || None);
         {
             let f = &f;
-            self.scope(|s| {
+            self.try_scope(|s| {
                 for (item, slot) in items.iter().zip(slots.iter_mut()) {
                     s.spawn(move || *slot = Some(f(item)));
                 }
-            });
+            })?;
         }
-        slots
-            .into_iter()
-            .map(|r| r.expect("scope drained every job"))
-            .collect()
+        let mut out = Vec::with_capacity(items.len());
+        for slot in slots {
+            match slot {
+                Some(r) => out.push(r),
+                // Unreachable in practice: the scope drained every job and
+                // no panic was reported. Surface it as a payload anyway
+                // rather than aborting the caller.
+                None => return Err(Box::new("parallel_map slot left empty")),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -509,6 +547,45 @@ mod tests {
             }
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    fn try_parallel_map_returns_payload_instead_of_panicking() {
+        let pool = ThreadPool::new(2);
+        let items: Vec<u64> = (0..16).collect();
+        let result = pool.try_parallel_map(&items, |&x| {
+            if x == 7 {
+                panic!("poisoned worker {x}");
+            }
+            x * 2
+        });
+        let payload = result.expect_err("panic must surface as Err");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned worker"), "{msg:?}");
+        // The pool is healthy afterwards.
+        assert_eq!(
+            pool.try_parallel_map(&items, |&x| x + 1).unwrap(),
+            (1..=16).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn try_scope_reports_closure_panic_as_payload() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r: Result<(), _> = pool.try_scope(|s| {
+            let ran = Arc::clone(&ran);
+            s.spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            panic!("closure failure");
+        });
+        assert!(r.is_err());
+        // The spawned job still drained before try_scope returned.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub enum GhrError {
         /// Description of the request.
         detail: String,
     },
+    /// An internal engine failure (a panicked or poisoned worker, a grid
+    /// that failed to reassemble) surfaced as an error instead of a
+    /// process abort, so one bad point cannot take down a whole study.
+    Internal {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GhrError {
@@ -50,6 +57,7 @@ impl std::fmt::Display for GhrError {
                 "verification failed: expected {expected}, got {actual} (tolerance {tolerance})"
             ),
             GhrError::UnsupportedDevice { detail } => write!(f, "unsupported device: {detail}"),
+            GhrError::Internal { detail } => write!(f, "internal engine failure: {detail}"),
         }
     }
 }
@@ -61,6 +69,13 @@ impl GhrError {
     pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
         GhrError::InvalidConfig {
             what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`GhrError::Internal`].
+    pub fn internal(detail: impl Into<String>) -> Self {
+        GhrError::Internal {
             detail: detail.into(),
         }
     }
@@ -83,6 +98,11 @@ mod tests {
             tolerance: 0.1,
         };
         assert!(v.to_string().contains("verification failed"));
+        let i = GhrError::internal("worker panicked: boom");
+        assert_eq!(
+            i.to_string(),
+            "internal engine failure: worker panicked: boom"
+        );
     }
 
     #[test]

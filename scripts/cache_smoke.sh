@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Cross-process persistent-cache smoke test: run the full artifact suite
+# twice against a fresh cache directory and require the second run to
+# evaluate nothing, answer >= 95% of lookups from cache, and emit
+# byte-identical artifacts.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GHR="${GHR:-target/release/ghr}"
+if [ ! -x "$GHR" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+export GHR_CACHE_DIR="$WORK/cache"
+
+echo "==> first run (cold cache)"
+"$GHR" all "$WORK/run1" --stats --threads 2 > "$WORK/out1"
+grep -E '^(engine|persistent cache|refined sweeps):' "$WORK/out1"
+
+echo "==> second run (fresh process, warm cache)"
+"$GHR" all "$WORK/run2" --stats --threads 2 > "$WORK/out2"
+grep -E '^(engine|persistent cache|refined sweeps):' "$WORK/out2"
+
+echo "==> artifacts byte-identical across runs"
+diff -r "$WORK/run1" "$WORK/run2"
+
+# Second run's counters:
+#   engine: E points evaluated, H cache hits (...)
+#   persistent cache: L entries loaded, P hits, M misses, S stored
+evaluated=$(sed -n 's/^engine: \([0-9]*\) points evaluated.*/\1/p' "$WORK/out2")
+mem_hits=$(sed -n 's/^engine: [0-9]* points evaluated, \([0-9]*\) cache hits.*/\1/p' "$WORK/out2")
+p_hits=$(sed -n 's/^persistent cache: .* loaded, \([0-9]*\) hits.*/\1/p' "$WORK/out2")
+misses=$(sed -n 's/^persistent cache: .* \([0-9]*\) misses.*/\1/p' "$WORK/out2")
+
+echo "second run: evaluated=$evaluated persistent_hits=$p_hits" \
+     "in_process_hits=$mem_hits persistent_misses=$misses"
+
+if [ "$evaluated" -ne 0 ]; then
+    echo "FAIL: warm run evaluated $evaluated points (want 0)" >&2
+    exit 1
+fi
+
+served=$((p_hits + mem_hits))
+total=$((served + evaluated + misses))
+if [ "$total" -eq 0 ]; then
+    echo "FAIL: no lookups recorded" >&2
+    exit 1
+fi
+pct=$((100 * served / total))
+echo "cache answered $served of $total resolved lookups ($pct%)"
+if [ "$pct" -lt 95 ]; then
+    echo "FAIL: cache-hit rate $pct% < 95%" >&2
+    exit 1
+fi
+
+echo "cache smoke: OK"

@@ -3,8 +3,7 @@
 //! ablation table (what the headline numbers become when a mechanism is
 //! removed or perturbed), then measures the perturbed-model evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::machine;
+use ghr_bench::{machine, Harness};
 use ghr_core::{
     case::Case,
     corun::{run_corun, AllocSite, CorunConfig},
@@ -44,22 +43,35 @@ fn print_gpu_ablation() {
     };
     row("fitted (shipped defaults)", GpuModelParams::default());
 
-    let mut p = GpuModelParams::default();
-    p.team_overhead_ns = 0.0;
-    p.combine_ns_i32 = 0.0;
-    row("no per-team overhead", p);
-
-    let mut p = GpuModelParams::default();
-    p.mlp_factor = 10.0;
-    row("unlimited memory concurrency", p);
-
-    let mut p = GpuModelParams::default();
-    p.instr_base = 0.0;
-    row("free loop overhead", p);
-
-    let mut p = GpuModelParams::default();
-    p.hbm_efficiency_4b = 1.0;
-    row("ideal HBM streaming", p);
+    row(
+        "no per-team overhead",
+        GpuModelParams {
+            team_overhead_ns: 0.0,
+            combine_ns_i32: 0.0,
+            ..Default::default()
+        },
+    );
+    row(
+        "unlimited memory concurrency",
+        GpuModelParams {
+            mlp_factor: 10.0,
+            ..Default::default()
+        },
+    );
+    row(
+        "free loop overhead",
+        GpuModelParams {
+            instr_base: 0.0,
+            ..Default::default()
+        },
+    );
+    row(
+        "ideal HBM streaming",
+        GpuModelParams {
+            hbm_efficiency_4b: 1.0,
+            ..Default::default()
+        },
+    );
     eprint!("{}", t.to_markdown());
 }
 
@@ -91,20 +103,22 @@ fn print_corun_ablation() {
     eprint!("{}", t.to_markdown());
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("ablation");
     print_gpu_ablation();
     print_corun_ablation();
 
     // Measure model evaluation under a perturbed parameter set (the
     // ablation costs exactly what the fitted model costs).
-    let mut p = GpuModelParams::default();
-    p.mlp_factor = 10.0;
+    let p = GpuModelParams {
+        mlp_factor: 10.0,
+        ..Default::default()
+    };
     let model = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), p);
     let launch = calibrate::optimized_launch(1);
-    c.bench_function("ablated_model_eval", |b| {
-        b.iter(|| black_box(model.reduce(&launch).unwrap().total))
+    h.group("ablation");
+    h.time("ablated_model_eval", || {
+        black_box(model.reduce(&launch).unwrap().total)
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

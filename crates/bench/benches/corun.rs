@@ -1,8 +1,7 @@
 //! Figures 2a/2b/3/4a/4b/5: regenerate the co-execution series and measure
 //! the co-run simulation (page walk + pricing) per case and site.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::machine;
+use ghr_bench::{machine, Harness};
 use ghr_core::{
     case::Case,
     corun::{run_corun, AllocSite, CorunConfig},
@@ -19,7 +18,9 @@ fn print_figures() {
         ("Fig. 4a/4b (A2)", &study.a2_base, &study.a2_opt),
     ] {
         eprintln!("\n=== {name}: GB/s vs p, baseline | optimized ===");
-        let mut t = Table::new(["p", "C1 b", "C1 o", "C2 b", "C2 o", "C3 b", "C3 o", "C4 b", "C4 o"]);
+        let mut t = Table::new([
+            "p", "C1 b", "C1 o", "C2 b", "C2 o", "C3 b", "C3 o", "C4 b", "C4 o",
+        ]);
         for i in 0..=10 {
             let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
             for k in 0..4 {
@@ -35,24 +36,21 @@ fn print_figures() {
     eprint!("{}", sum.to_comparison_table().to_markdown());
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("corun");
     print_figures();
     let machine = machine();
-    let mut g = c.benchmark_group("corun");
-    g.sample_size(10);
+    h.group("corun");
     for alloc in [AllocSite::A1, AllocSite::A2] {
         for (kname, kind) in [
             ("base", KernelKind::Baseline),
             ("opt", ReductionSpec::optimized_paper(Case::C1).kind),
         ] {
-            g.bench_function(format!("c1_{kname}_{alloc}"), |b| {
-                let cfg = CorunConfig::paper(Case::C1, kind, alloc);
-                b.iter(|| run_corun(&machine, &cfg).unwrap().points.len())
+            let cfg = CorunConfig::paper(Case::C1, kind, alloc);
+            h.time(&format!("c1_{kname}_{alloc}"), || {
+                run_corun(&machine, &cfg).unwrap().points.len()
             });
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

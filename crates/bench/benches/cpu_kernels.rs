@@ -1,64 +1,98 @@
 //! Real CPU reduction kernels (the loop bodies of Listings 1 and 5),
-//! measured for real on the build host with throughput reporting.
+//! measured for real on the build host with throughput reporting —
+//! including the scalar-vs-SIMD comparison of the substrate kernel layer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ghr_bench::{bytes_of, data};
+use ghr_bench::{bytes_of, data, Harness};
 use ghr_parallel::{
-    parallel_sum_unrolled, sum_kahan, sum_pairwise, sum_sequential, sum_unrolled, ChunkPolicy,
+    parallel_sum_unrolled, simd, sum_kahan, sum_pairwise, sum_sequential, sum_unrolled,
+    sum_unrolled_with_backend, Backend, ChunkPolicy,
 };
 use std::hint::black_box;
 
 const N: usize = 4 << 20; // 4 Mi elements
 
-fn bench_unrolled(c: &mut Criterion) {
-    let i32s: Vec<i32> = data(N);
-    let f64s: Vec<f64> = data(N);
-    let i8s: Vec<i8> = data(4 * N);
+fn bench_unrolled(h: &mut Harness) {
+    let n = if h.quick() { N / 4 } else { N };
+    let i32s: Vec<i32> = data(n);
+    let f64s: Vec<f64> = data(n);
+    let i8s: Vec<i8> = data(4 * n);
 
-    let mut g = c.benchmark_group("sum_unrolled");
-    g.throughput(Throughput::Bytes(bytes_of::<i32>(N)));
-    g.bench_function("i32_sequential", |b| {
-        b.iter(|| black_box(sum_sequential(&i32s)))
+    h.group("sum_unrolled");
+    h.time_bytes("i32_sequential", bytes_of::<i32>(n), || {
+        black_box(sum_sequential(&i32s))
     });
     for v in [2usize, 4, 8, 32] {
-        g.bench_function(format!("i32_v{v}"), |b| {
-            b.iter(|| black_box(sum_unrolled(&i32s, v)))
+        h.time_bytes(&format!("i32_v{v}"), bytes_of::<i32>(n), || {
+            black_box(sum_unrolled(&i32s, v))
         });
     }
-    g.throughput(Throughput::Bytes(bytes_of::<i8>(4 * N)));
     for v in [1usize, 32] {
-        g.bench_function(format!("i8_to_i64_v{v}"), |b| {
-            b.iter(|| black_box(sum_unrolled(&i8s, v)))
+        h.time_bytes(&format!("i8_to_i64_v{v}"), bytes_of::<i8>(4 * n), || {
+            black_box(sum_unrolled(&i8s, v))
         });
     }
-    g.throughput(Throughput::Bytes(bytes_of::<f64>(N)));
-    g.bench_function("f64_v8", |b| b.iter(|| black_box(sum_unrolled(&f64s, 8))));
-    g.finish();
+    h.time_bytes("f64_v8", bytes_of::<f64>(n), || {
+        black_box(sum_unrolled(&f64s, 8))
+    });
 }
 
-fn bench_accurate(c: &mut Criterion) {
-    let f64s: Vec<f64> = data(N);
-    let mut g = c.benchmark_group("accurate_sums");
-    g.throughput(Throughput::Bytes(bytes_of::<f64>(N)));
-    g.bench_function("kahan", |b| b.iter(|| black_box(sum_kahan(&f64s))));
-    g.bench_function("pairwise", |b| b.iter(|| black_box(sum_pairwise(&f64s))));
-    g.finish();
+fn bench_simd_vs_scalar(h: &mut Harness) {
+    let n = if h.quick() { N / 4 } else { N };
+    let i32s: Vec<i32> = data(n);
+    let f32s: Vec<f32> = data(n);
+    let f64s: Vec<f64> = data(n);
+    let i8s: Vec<i8> = data(4 * n);
+    let simd = Backend::active();
+
+    h.group(&format!("scalar vs simd ({})", simd::report()));
+    for backend in [Backend::Scalar, simd] {
+        let tag = backend.label();
+        h.time_bytes(&format!("i32_v8_{tag}"), bytes_of::<i32>(n), || {
+            black_box(sum_unrolled_with_backend(&i32s, 8, backend))
+        });
+        h.time_bytes(
+            &format!("i8_to_i64_v32_{tag}"),
+            bytes_of::<i8>(4 * n),
+            || black_box(sum_unrolled_with_backend(&i8s, 32, backend)),
+        );
+        h.time_bytes(&format!("f32_v8_{tag}"), bytes_of::<f32>(n), || {
+            black_box(sum_unrolled_with_backend(&f32s, 8, backend))
+        });
+        h.time_bytes(&format!("f64_v8_{tag}"), bytes_of::<f64>(n), || {
+            black_box(sum_unrolled_with_backend(&f64s, 8, backend))
+        });
+    }
 }
 
-fn bench_parallel(c: &mut Criterion) {
-    let i32s: Vec<i32> = data(4 * N);
+fn bench_accurate(h: &mut Harness) {
+    let n = if h.quick() { N / 4 } else { N };
+    let f64s: Vec<f64> = data(n);
+    h.group("accurate_sums");
+    h.time_bytes("kahan", bytes_of::<f64>(n), || black_box(sum_kahan(&f64s)));
+    h.time_bytes("pairwise", bytes_of::<f64>(n), || {
+        black_box(sum_pairwise(&f64s))
+    });
+}
+
+fn bench_parallel(h: &mut Harness) {
+    let n = if h.quick() { N } else { 4 * N };
+    let i32s: Vec<i32> = data(n);
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let mut g = c.benchmark_group("parallel_sum");
-    g.throughput(Throughput::Bytes(bytes_of::<i32>(4 * N)));
+    h.group("parallel_sum");
     for t in [1usize, 2, threads] {
-        g.bench_function(format!("i32_threads{t}"), |b| {
-            b.iter(|| black_box(parallel_sum_unrolled(&i32s, t, 8, ChunkPolicy::Static)))
+        h.time_bytes(&format!("i32_threads{t}"), bytes_of::<i32>(n), || {
+            black_box(parallel_sum_unrolled(&i32s, t, 8, ChunkPolicy::Static))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_unrolled, bench_accurate, bench_parallel);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("cpu_kernels");
+    bench_unrolled(&mut h);
+    bench_simd_vs_scalar(&mut h);
+    bench_accurate(&mut h);
+    bench_parallel(&mut h);
+    h.finish();
+}

@@ -7,83 +7,69 @@
 //! * `sweep_cold` vs `sweep_warm` — a Fig. 1 sweep against an empty cache
 //!   vs a populated one (the `ghr all` cross-driver memoization win).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::machine;
-use ghr_core::{
-    case::Case,
-    engine::Engine,
-    study::run_full_study_scaled,
-    sweep::GpuSweep,
-};
+use ghr_bench::{machine, Harness};
+use ghr_core::{case::Case, engine::Engine, study::run_full_study_scaled, sweep::GpuSweep};
 use ghr_omp::OmpRuntime;
 
 /// Reduced scale keeps a single study iteration in the tens of
-/// milliseconds so Criterion can take enough samples.
+/// milliseconds so the min-of-N loop can take enough samples.
 const M: u64 = 2_000_000;
 const REPS: u32 = 10;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("engine");
     let machine = machine();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let mut g = c.benchmark_group("engine_study");
-    g.sample_size(10);
-    g.bench_function("study_serial_driver", |b| {
-        b.iter(|| {
-            run_full_study_scaled(&machine, Some(M), Some(REPS))
-                .unwrap()
-                .a1_base
-                .len()
-        })
+    h.group("engine_study");
+    h.time("study_serial_driver", || {
+        run_full_study_scaled(&machine, Some(M), Some(REPS))
+            .unwrap()
+            .a1_base
+            .len()
     });
-    g.bench_function("study_engine_threads_1", |b| {
-        b.iter(|| {
-            // Fresh engine per iteration: measures the grid driver, not
-            // the cache.
-            Engine::new(machine.clone(), 1)
-                .full_study_scaled(Some(M), Some(REPS))
-                .unwrap()
-                .a1_base
-                .len()
-        })
+    h.time("study_engine_threads_1", || {
+        // Fresh engine per iteration: measures the grid driver, not
+        // the cache.
+        Engine::new(machine.clone(), 1)
+            .full_study_scaled(Some(M), Some(REPS))
+            .unwrap()
+            .a1_base
+            .len()
     });
-    g.bench_function(format!("study_engine_threads_{threads}"), |b| {
-        b.iter(|| {
-            Engine::new(machine.clone(), threads)
-                .full_study_scaled(Some(M), Some(REPS))
-                .unwrap()
-                .a1_base
-                .len()
-        })
+    h.time(&format!("study_engine_threads_{threads}"), || {
+        Engine::new(machine.clone(), threads)
+            .full_study_scaled(Some(M), Some(REPS))
+            .unwrap()
+            .a1_base
+            .len()
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("engine_sweep");
-    g.bench_function("sweep_serial_driver", |b| {
+    h.group("engine_sweep");
+    {
         let rt = OmpRuntime::new(machine.clone());
         let sweep = GpuSweep::paper(Case::C1);
-        b.iter(|| sweep.run(&rt).unwrap().points.len())
-    });
-    g.bench_function("sweep_cold", |b| {
+        h.time("sweep_serial_driver", || {
+            sweep.run(&rt).unwrap().points.len()
+        });
+    }
+    {
         let sweep = GpuSweep::paper(Case::C1);
-        b.iter(|| {
+        h.time("sweep_cold", || {
             Engine::new(machine.clone(), threads)
                 .sweep(&sweep)
                 .unwrap()
                 .points
                 .len()
-        })
-    });
-    g.bench_function("sweep_warm", |b| {
+        });
+    }
+    {
         let engine = Engine::new(machine.clone(), threads);
         let sweep = GpuSweep::paper(Case::C1);
         engine.sweep(&sweep).unwrap();
-        b.iter(|| engine.sweep(&sweep).unwrap().points.len())
-    });
-    g.finish();
+        h.time("sweep_warm", || engine.sweep(&sweep).unwrap().points.len());
+    }
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Fig. 1a–1d: regenerate the (teams x V) bandwidth matrices and measure
 //! the sweep evaluation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::runtime;
+use ghr_bench::{runtime, Harness};
 use ghr_core::{case::Case, sweep::GpuSweep};
 use std::hint::black_box;
 
@@ -23,18 +22,17 @@ fn print_figures() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("fig1_sweep");
     print_figures();
     let rt = runtime();
-    let mut g = c.benchmark_group("fig1_sweep");
+    h.group("fig1_sweep");
     for case in Case::ALL {
-        g.bench_function(format!("sweep_{}", case.label().to_ascii_lowercase()), |b| {
-            let sweep = GpuSweep::paper(case);
-            b.iter(|| black_box(sweep.run(&rt).unwrap().points.len()))
-        });
+        let sweep = GpuSweep::paper(case);
+        h.time(
+            &format!("sweep_{}", case.label().to_ascii_lowercase()),
+            || black_box(sweep.run(&rt).unwrap().points.len()),
+        );
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

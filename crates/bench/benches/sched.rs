@@ -1,33 +1,29 @@
 //! Scheduling-extension bench: regenerate the policy-comparison table and
 //! measure the scheduled co-execution simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::machine;
+use ghr_bench::{machine, Harness};
 use ghr_core::{
     case::Case,
     sched::{compare_policies, comparison_table, run_scheduled, SchedConfig, SplitPolicy},
 };
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("sched");
     let machine = machine();
     let outcomes = compare_policies(&machine, Case::C1, 10_000_000, 200).expect("policies");
     eprintln!("\n=== co-scheduling policy comparison (C1, optimized, UM) ===");
     eprint!("{}", comparison_table(&outcomes).to_markdown());
 
-    let mut g = c.benchmark_group("sched");
-    g.sample_size(10);
+    h.group("sched");
     for policy in [
         SplitPolicy::Static { p: 0.1 },
         SplitPolicy::Adaptive { p0: 0.5 },
         SplitPolicy::DynamicChunks { chunks: 20 },
     ] {
-        g.bench_function(format!("{policy}"), |b| {
-            let cfg = SchedConfig::paper(Case::C1, policy).scaled(10_000_000, 50);
-            b.iter(|| run_scheduled(&machine, &cfg).unwrap().gbps)
+        let cfg = SchedConfig::paper(Case::C1, policy).scaled(10_000_000, 50);
+        h.time(&format!("{policy}"), || {
+            run_scheduled(&machine, &cfg).unwrap().gbps
         });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,39 +1,38 @@
 //! Substrate micro-benchmarks: unified-memory page walks, the functional
 //! GPU executor, and timing-model evaluation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ghr_bench::{data, machine};
+use ghr_bench::{data, machine, Harness};
 use ghr_gpusim::{execute_reduction, GpuModel, LaunchConfig};
 use ghr_machine::GpuSpec;
 use ghr_mem::UnifiedMemory;
 use ghr_types::{Bytes, DType};
 use std::hint::black_box;
 
-fn bench_um(c: &mut Criterion) {
+fn bench_um(h: &mut Harness) {
     let machine = machine();
-    let mut g = c.benchmark_group("unified_memory");
+    h.group("unified_memory");
     // One full GPU pass over a 4 GiB region = 65536 page visits.
     let len = Bytes::gib(4);
-    g.throughput(Throughput::Elements(machine.pages_for(len)));
-    g.bench_function("gpu_pass_4gib", |b| {
+    {
         let mut um = UnifiedMemory::new(&machine);
         let rid = um.alloc(len);
         um.cpu_access(rid, Bytes::ZERO, len);
         um.gpu_access(rid, Bytes::ZERO, len); // migrate once
-        b.iter(|| black_box(um.gpu_access(rid, Bytes::ZERO, len).local))
-    });
-    g.bench_function("alloc_init_free_256mib", |b| {
+        h.time("gpu_pass_4gib", || {
+            black_box(um.gpu_access(rid, Bytes::ZERO, len).local)
+        });
+    }
+    {
         let mut um = UnifiedMemory::new(&machine);
-        b.iter(|| {
+        h.time("alloc_init_free_256mib", || {
             let rid = um.alloc(Bytes::mib(256));
             um.cpu_access(rid, Bytes::ZERO, Bytes::mib(256));
             um.free(rid);
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor(h: &mut Harness) {
     let n = 1 << 20;
     let i32s: Vec<i32> = data(n);
     let cfg = LaunchConfig {
@@ -44,15 +43,13 @@ fn bench_executor(c: &mut Criterion) {
         elem: DType::I32,
         acc: DType::I32,
     };
-    let mut g = c.benchmark_group("functional_executor");
-    g.throughput(Throughput::Bytes(4 * n as u64));
-    g.bench_function("i32_1mi_elements", |b| {
-        b.iter(|| black_box(execute_reduction(&i32s, &cfg).unwrap()))
+    h.group("functional_executor");
+    h.time_bytes("i32_1mi_elements", 4 * n as u64, || {
+        black_box(execute_reduction(&i32s, &cfg).unwrap())
     });
-    g.finish();
 }
 
-fn bench_model(c: &mut Criterion) {
+fn bench_model(h: &mut Harness) {
     let model = GpuModel::new(GpuSpec::h100_sxm_gh200());
     let cfg = LaunchConfig {
         num_teams: 16384,
@@ -62,30 +59,36 @@ fn bench_model(c: &mut Criterion) {
         elem: DType::I32,
         acc: DType::I32,
     };
-    c.bench_function("gpu_model_eval", |b| {
-        b.iter(|| black_box(model.reduce(&cfg).unwrap().total))
+    h.group("timing_model");
+    h.time("gpu_model_eval", || {
+        black_box(model.reduce(&cfg).unwrap().total)
     });
 
     let resources = ghr_gpusim::occupancy::SmResources::default();
     let team = ghr_gpusim::occupancy::TeamFootprint::reduction_kernel(256, 4, 8);
     let spec = GpuSpec::h100_sxm_gh200();
-    c.bench_function("occupancy_eval", |b| {
-        b.iter(|| black_box(ghr_gpusim::occupancy::occupancy(&spec, &resources, &team)))
+    h.time("occupancy_eval", || {
+        black_box(ghr_gpusim::occupancy::occupancy(&spec, &resources, &team))
     });
 }
 
-fn bench_data_env(c: &mut Criterion) {
+fn bench_data_env(h: &mut Harness) {
     use ghr_omp::{DataEnvironment, MemoryMode};
     let machine = machine();
-    c.bench_function("data_env_map_cycle", |b| {
-        let mut env = DataEnvironment::new(&machine, MemoryMode::Separate);
-        b.iter(|| {
-            let (h, t) = env.enter_data_to(Bytes::mib(64)).unwrap();
-            let t2 = env.exit_data_from(h).unwrap();
-            black_box(t + t2)
-        })
+    h.group("data_environment");
+    let mut env = DataEnvironment::new(&machine, MemoryMode::Separate);
+    h.time("data_env_map_cycle", || {
+        let (handle, t) = env.enter_data_to(Bytes::mib(64)).unwrap();
+        let t2 = env.exit_data_from(handle).unwrap();
+        black_box(t + t2)
     });
 }
 
-criterion_group!(benches, bench_um, bench_executor, bench_model, bench_data_env);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("substrates");
+    bench_um(&mut h);
+    bench_executor(&mut h);
+    bench_model(&mut h);
+    bench_data_env(&mut h);
+    h.finish();
+}

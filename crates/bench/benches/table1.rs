@@ -1,12 +1,12 @@
 //! Table 1: regenerate the baseline-vs-optimized comparison and measure
 //! one full regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ghr_bench::runtime;
+use ghr_bench::{runtime, Harness};
 use ghr_core::table1::table1;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env("table1");
     let rt = runtime();
     let t = table1(&rt).expect("table1");
     eprintln!("\n=== Table 1 (reproduced) ===");
@@ -15,10 +15,8 @@ fn bench(c: &mut Criterion) {
     eprint!("{}", t.to_comparison_table().to_markdown());
     eprintln!("max relative error: {:.2}%", t.max_relative_error() * 100.0);
 
-    c.bench_function("table1_regenerate", |b| {
-        b.iter(|| black_box(table1(&rt).unwrap().rows.len()))
+    h.time("table1_regenerate", || {
+        black_box(table1(&rt).unwrap().rows.len())
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,34 @@
 //! # ghr-bench
 //!
-//! Shared helpers for the Criterion benchmark harness. Each bench target
-//! regenerates one of the paper's artifacts (printing the same rows/series
-//! the paper reports) and then measures the relevant code path:
+//! Std-only benchmark harness. Each bench target regenerates one of the
+//! paper's artifacts (printing the same rows/series the paper reports)
+//! and then measures the relevant code path with the same warmup +
+//! min-of-N timing core the CLI's `ghr bench` uses
+//! ([`ghr_parallel::microbench::time_min`]) — no Criterion, so the whole
+//! workspace resolves and builds offline.
 //!
 //! | target | paper artifact | measured path |
 //! |--------|----------------|---------------|
 //! | `fig1_sweep` | Fig. 1a–1d | full (teams x V) sweep evaluation |
 //! | `table1` | Table 1 | baseline + optimized model evaluation |
 //! | `corun` | Figs. 2/3/4/5 | co-execution page-sim + pricing |
-//! | `cpu_kernels` | Listing 1/5 loop bodies | real CPU reduction kernels |
+//! | `cpu_kernels` | Listing 1/5 loop bodies | real CPU reduction kernels, scalar vs SIMD |
 //! | `substrates` | — | UM page walks, executor, model throughput |
 //! | `ablation` | DESIGN.md ablations | model under perturbed parameters |
+//! | `sched` | — (extension) | scheduled co-execution policies |
+//! | `engine` | — | serial vs pooled grids, cold vs warm cache |
+//!
+//! Run with `cargo bench` (all targets) or
+//! `cargo bench -p ghr-bench --bench cpu_kernels`. Set `GHR_BENCH_QUICK=1`
+//! (or pass `--quick`) for a fast smoke pass with fewer repetitions.
 
 #![warn(missing_docs)]
 
 use ghr_machine::MachineConfig;
 use ghr_omp::OmpRuntime;
+use ghr_parallel::time_min;
 use ghr_types::Element;
+use std::time::Duration;
 
 /// The paper's machine.
 pub fn machine() -> MachineConfig {
@@ -34,7 +45,108 @@ pub fn data<T: Element>(n: usize) -> Vec<T> {
     (0..n as u64).map(T::from_index).collect()
 }
 
-/// Bytes processed by a slice of `T`, for Criterion throughput reporting.
+/// Bytes processed by a slice of `T`, for throughput reporting.
 pub fn bytes_of<T>(n: usize) -> u64 {
     (n * std::mem::size_of::<T>()) as u64
+}
+
+/// Per-target bench driver: owns the warmup/repetition policy and prints
+/// one aligned line per measured function.
+pub struct Harness {
+    warmup: usize,
+    reps: usize,
+    quick: bool,
+    measured: usize,
+}
+
+impl Harness {
+    /// Build a harness for one bench target, honouring `--quick` /
+    /// `GHR_BENCH_QUICK=1` and ignoring the arguments cargo's bench
+    /// runner passes through (`--bench`, filter strings).
+    pub fn from_env(target: &str) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("GHR_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        let (warmup, reps) = if quick { (1, 3) } else { (2, 7) };
+        eprintln!(
+            "\n=== bench target `{target}` (std-only harness: min of {reps} timed reps, \
+             {warmup} warmup{}) ===",
+            if quick { ", quick mode" } else { "" }
+        );
+        Harness {
+            warmup,
+            reps,
+            quick,
+            measured: 0,
+        }
+    }
+
+    /// Quick mode requested (targets can shrink their workloads too).
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Print a group header, mirroring Criterion's benchmark groups.
+    pub fn group(&self, name: &str) {
+        eprintln!("\n--- {name} ---");
+    }
+
+    /// Time `f` (warmup + min-of-N) and print the best time.
+    pub fn time<R, F: FnMut() -> R>(&mut self, name: &str, f: F) -> Duration {
+        self.time_inner(name, None, f)
+    }
+
+    /// Time `f` and print the best time plus input throughput for a
+    /// workload of `bytes` per repetition.
+    pub fn time_bytes<R, F: FnMut() -> R>(&mut self, name: &str, bytes: u64, f: F) -> Duration {
+        self.time_inner(name, Some(bytes), f)
+    }
+
+    fn time_inner<R, F: FnMut() -> R>(&mut self, name: &str, bytes: Option<u64>, f: F) -> Duration {
+        let (best, _) = time_min(self.warmup, self.reps, f);
+        let secs = best.as_secs_f64().max(1e-12);
+        match bytes {
+            Some(b) => eprintln!(
+                "{name:<44} best {:>10.3} ms   {:>8.2} GB/s",
+                secs * 1e3,
+                b as f64 / secs / 1e9
+            ),
+            None => eprintln!("{name:<44} best {:>10.3} ms", secs * 1e3),
+        }
+        self.measured += 1;
+        best
+    }
+
+    /// Print the closing line. Call last from the target's `main`.
+    pub fn finish(self) {
+        eprintln!("\n{} function(s) measured", self.measured);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_counts() {
+        let mut h = Harness {
+            warmup: 0,
+            reps: 1,
+            quick: true,
+            measured: 0,
+        };
+        let d = h.time("noop", || 1 + 1);
+        assert!(d.as_nanos() > 0);
+        let d = h.time_bytes("bytes", 1 << 20, || (0..100u64).sum::<u64>());
+        assert!(d.as_nanos() > 0);
+        assert_eq!(h.measured, 2);
+        h.finish();
+    }
+
+    #[test]
+    fn helpers_build_paper_machine_and_data() {
+        assert_eq!(machine().cpu.cores, 72);
+        let v: Vec<i32> = data(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(bytes_of::<i32>(10), 40);
+    }
 }

@@ -9,7 +9,9 @@
 //! ghr summary                   Section IV aggregate numbers vs the paper
 //! ghr autotune                  tuned (teams, V) per case
 //! ghr verify [m]                functional verification at m elements
+//! ghr bench [--quick]           time the real kernels (scalar vs SIMD)
 //! ghr calibrate [sweeps]        re-fit the GPU model against Table 1
+//! ghr calibrate cpu [--quick]   fit the CPU model to measured throughput
 //! ghr machine                   print the simulated node description
 //! ghr all <dir>                 write every artifact as markdown into dir
 //! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
@@ -27,6 +29,11 @@
 //! `--cache-dir DIR` overrides the location and `--no-cache` disables it
 //! for one invocation. A second `ghr all` over the same store re-renders
 //! every artifact without evaluating a single point.
+//!
+//! The functional reductions behind `verify`, `bench` and `calibrate cpu`
+//! run on the vectorized kernel layer in `ghr-parallel::simd`; the
+//! `GHR_SIMD` environment variable (`off|sse2|avx2|neon|auto`) forces a
+//! backend, and `--stats` reports which one was selected.
 
 use ghr_core::{
     accuracy::accuracy_study,
@@ -43,15 +50,20 @@ use ghr_core::{
 use ghr_gpusim::calibrate;
 use ghr_machine::MachineConfig;
 use ghr_omp::OmpRuntime;
+use ghr_types::DType;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|calibrate|machine|all|cache> [args]\n\
+whatif|sensitivity|explain|verify|bench|calibrate|machine|all|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
+     `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
+     and SIMD kernels on this host (GHR_SIMD=off|sse2|avx2|neon|auto forces\n\
+     a backend); `ghr calibrate cpu [--quick]` fits the CPU model to those\n\
+     measurements;\n\
      global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
      --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
      --cache-dir DIR (persistent store location; default GHR_CACHE_DIR, then\n\
@@ -175,6 +187,7 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
                 s.sweep_evaluated, s.sweep_skipped
             );
         }
+        let _ = writeln!(out, "kernel backend: {}", ghr_parallel::simd::report());
     }
     Ok(out)
 }
@@ -293,7 +306,11 @@ fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, Strin
             };
             cmd_verify(machine, m)
         }
+        "bench" => cmd_bench(rest),
         "calibrate" => {
+            if rest.first().map(String::as_str) == Some("cpu") {
+                return cmd_calibrate_cpu(machine, &rest[1..]);
+            }
             let sweeps = match rest.first() {
                 Some(s) => s
                     .parse::<u32>()
@@ -694,6 +711,230 @@ fn cmd_calibrate(sweeps: u32) -> Result<String, String> {
     ))
 }
 
+/// Flags shared by `ghr bench` and `ghr calibrate cpu`.
+struct BenchOpts {
+    /// CI-friendly grid: fewer shapes, fewer repetitions, smaller arrays.
+    quick: bool,
+    /// Pin the unroll factor instead of sweeping the default set.
+    v: Option<usize>,
+    /// Pin the kernel worker-thread count (`--threads` already names the
+    /// evaluation engine's pool, hence the distinct flag).
+    kernel_threads: Option<usize>,
+}
+
+fn parse_bench(rest: &[String]) -> Result<BenchOpts, String> {
+    let mut opts = BenchOpts {
+        quick: false,
+        v: None,
+        kernel_threads: None,
+    };
+    let parse_n = |what: &str, s: &str| -> Result<usize, String> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad {what} {s:?} (need an integer >= 1)")),
+        }
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--quick" {
+            opts.quick = true;
+        } else if a == "--v" {
+            let v = it.next().ok_or("--v needs an unroll factor")?;
+            opts.v = Some(parse_n("unroll factor", v)?);
+        } else if let Some(v) = a.strip_prefix("--v=") {
+            opts.v = Some(parse_n("unroll factor", v)?);
+        } else if a == "--kernel-threads" {
+            let v = it.next().ok_or("--kernel-threads needs a count")?;
+            opts.kernel_threads = Some(parse_n("thread count", v)?);
+        } else if let Some(v) = a.strip_prefix("--kernel-threads=") {
+            opts.kernel_threads = Some(parse_n("thread count", v)?);
+        } else {
+            return Err(format!("unknown bench argument {a:?}"));
+        }
+    }
+    if let Some(v) = opts.v {
+        ghr_parallel::validate_v(v).map_err(|e| e.to_string())?;
+    }
+    Ok(opts)
+}
+
+/// `ghr bench` — time the real scalar and SIMD kernels on this host with
+/// the std-only warmup + min-of-N harness.
+fn cmd_bench(rest: &[String]) -> Result<String, String> {
+    let opts = parse_bench(rest)?;
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut grid = ghr_parallel::microbench::default_grid(opts.quick, host);
+    if let Some(v) = opts.v {
+        for s in &mut grid {
+            s.v = v;
+        }
+    }
+    if let Some(threads) = opts.kernel_threads {
+        for s in &mut grid {
+            s.threads = threads;
+        }
+    }
+    grid.dedup();
+    let backend = ghr_parallel::Backend::active();
+    let mut t = Table::new([
+        "dtype",
+        "V",
+        "threads",
+        "backend",
+        "scalar GB/s",
+        "simd GB/s",
+        "speedup",
+        "parity",
+    ]);
+    let mut mismatches = 0usize;
+    for spec in &grid {
+        let pair = ghr_parallel::measure_pair(spec, backend).map_err(|e| e.to_string())?;
+        if !pair.parity() {
+            mismatches += 1;
+        }
+        t.row([
+            spec.dtype.to_string(),
+            spec.v.to_string(),
+            spec.threads.to_string(),
+            pair.simd.backend.label().to_string(),
+            format!("{:.2}", pair.scalar.gbps()),
+            format!("{:.2}", pair.simd.gbps()),
+            format!("{:.2}x", pair.speedup()),
+            if pair.parity() { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "std-only microbenchmark of the real reduction kernels on this host\n\
+         ({} elements per point, min of {} timed reps; scalar unrolled vs SIMD):\n",
+        grid.first().map(|s| s.n).unwrap_or(0),
+        grid.first().map(|s| s.reps).unwrap_or(0),
+    );
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(out, "\nkernel backend: {}", ghr_parallel::simd::report());
+    if mismatches == 0 {
+        let _ = writeln!(
+            out,
+            "parity: ok ({}/{} points bit-identical to the scalar kernel)",
+            grid.len(),
+            grid.len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "parity: FAILED ({mismatches}/{} points differ from the scalar kernel)",
+            grid.len()
+        );
+    }
+    Ok(out)
+}
+
+/// `ghr calibrate cpu` — fit the CPU compute model to the throughput the
+/// kernels actually sustain on this host.
+fn cmd_calibrate_cpu(machine: &MachineConfig, rest: &[String]) -> Result<String, String> {
+    let opts = parse_bench(rest)?;
+    if opts.kernel_threads.is_some() {
+        return Err("calibration always measures at threads=1 (the model's \
+                    thread scaling is linear by construction)"
+            .to_string());
+    }
+    let v = opts.v.unwrap_or(32);
+    let (n, warmup, reps) = if opts.quick {
+        (1 << 20, 1, 3)
+    } else {
+        (1 << 22, 2, 7)
+    };
+    let backend = ghr_parallel::Backend::active();
+    let dtypes = [DType::I32, DType::I8, DType::F32, DType::F64];
+    let mut samples = Vec::new();
+    for dtype in dtypes {
+        let spec = ghr_parallel::BenchSpec {
+            dtype,
+            v,
+            threads: 1,
+            n,
+            warmup,
+            reps,
+        };
+        let s = ghr_parallel::measure(&spec, backend).map_err(|e| e.to_string())?;
+        if !s.parity_with_scalar {
+            return Err(format!(
+                "refusing to calibrate: {dtype} SIMD sum differs from the scalar kernel"
+            ));
+        }
+        samples.push(ghr_cpusim::MeasuredSample {
+            dtype,
+            v,
+            threads: 1,
+            elems_per_sec: s.elems_per_sec,
+        });
+    }
+    let start = ghr_cpusim::CpuModelParams::default();
+    let fit =
+        ghr_cpusim::fit_from_samples(&machine.cpu, start, &samples).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CPU compute-model calibration against measured kernel throughput\n\
+         (this host, backend {}, V={v}, threads=1, {n} elements per sample):\n",
+        ghr_parallel::simd::report()
+    );
+    let _ = writeln!(
+        out,
+        "  shipped params: elems_per_cycle_4b={:.2} widen_i8_penalty={:.2} \
+         (mean rel err {:.1}%)",
+        fit.start.elems_per_cycle_4b,
+        fit.start.widen_i8_penalty,
+        fit.start_err * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  fitted params:  elems_per_cycle_4b={:.2} widen_i8_penalty={:.2} \
+         (mean rel err {:.1}%)",
+        fit.params.elems_per_cycle_4b,
+        fit.params.widen_i8_penalty,
+        fit.err * 100.0
+    );
+    if fit.converged {
+        let _ = writeln!(out, "  fit converged after {} rounds", fit.iterations);
+    } else {
+        let _ = writeln!(
+            out,
+            "  fit did NOT converge after {} rounds",
+            fit.iterations
+        );
+    }
+    let mut t = Table::new([
+        "case",
+        "measured Melem/s/core",
+        "modelled Melem/s/core",
+        "rel err",
+    ]);
+    for r in &fit.residuals {
+        t.row([
+            r.dtype.to_string(),
+            format!("{:.1}", r.measured_eps / 1e6),
+            format!("{:.1}", r.modeled_eps / 1e6),
+            format!("{:.1}%", r.rel_err() * 100.0),
+        ]);
+    }
+    let _ = writeln!(
+        out,
+        "\nmeasured vs modelled compute rate per case (roofline residual):\n\n{}",
+        t.to_markdown()
+    );
+    let _ = writeln!(
+        out,
+        "note: only the compute leg is fitted; the memory leg keeps the Grace\n\
+         datasheet STREAM numbers — this build host is not a Grace, but the\n\
+         clock-normalized instruction-throughput shape transfers."
+    );
+    Ok(out)
+}
+
 fn cmd_all(engine: &Engine, dir: &str) -> Result<String, String> {
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     let machine = engine.machine();
@@ -753,6 +994,10 @@ fn cmd_all(engine: &Engine, dir: &str) -> Result<String, String> {
     save("accuracy.md", cmd_accuracy()?, &mut written)?;
     save("whatif.md", cmd_whatif(engine)?, &mut written)?;
     save("sensitivity.md", cmd_sensitivity()?, &mut written)?;
+    // Deterministic (unlike bench/calibrate-cpu, which time real kernels),
+    // and it routes every case through the substrate kernels — so a forced
+    // GHR_SIMD backend is genuinely exercised by this artifact set.
+    save("verify.md", cmd_verify(machine, 1_000_000)?, &mut written)?;
     Ok(format!(
         "wrote {} files:\n  {}\n",
         written.len(),
@@ -859,6 +1104,7 @@ mod tests {
         assert!(out.contains("hit rate"), "{out}");
         assert!(out.contains("wall"), "{out}");
         assert!(out.contains("2 threads"), "{out}");
+        assert!(out.contains("kernel backend: "), "{out}");
         // No store attached (tests never fall back to ~/.cache), so no
         // persistent-cache line.
         assert!(!out.contains("persistent cache"), "{out}");
@@ -949,6 +1195,37 @@ mod tests {
         }
         let out = run("cache", &args(&["stats"])).unwrap();
         assert!(out.contains("persistent cache disabled"), "{out}");
+    }
+
+    #[test]
+    fn bench_quick_reports_backend_and_parity() {
+        let out = run("bench", &args(&["--quick", "--v", "8"])).unwrap();
+        assert!(out.contains("| dtype |"), "{out}");
+        assert!(out.contains("kernel backend: "), "{out}");
+        assert!(out.contains("parity: ok (4/4"), "{out}");
+        // All four paper input types are measured.
+        for dtype in ["i32", "i8", "f32", "f64"] {
+            assert!(out.contains(dtype), "{out}");
+        }
+    }
+
+    #[test]
+    fn bench_rejects_bad_arguments() {
+        assert!(run("bench", &args(&["--v", "3"])).is_err());
+        assert!(run("bench", &args(&["--v"])).is_err());
+        assert!(run("bench", &args(&["--kernel-threads", "0"])).is_err());
+        assert!(run("bench", &args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn calibrate_cpu_fits_and_converges() {
+        let out = run("calibrate", &args(&["cpu", "--quick"])).unwrap();
+        assert!(out.contains("fit converged"), "{out}");
+        assert!(out.contains("elems_per_cycle_4b="), "{out}");
+        assert!(out.contains("widen_i8_penalty="), "{out}");
+        assert!(out.contains("rel err"), "{out}");
+        // The GPU calibration path is untouched.
+        assert!(run("calibrate", &args(&["cpu", "--kernel-threads", "4"])).is_err());
     }
 
     #[test]

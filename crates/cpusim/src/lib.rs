@@ -20,6 +20,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calibrate;
+
+pub use calibrate::{fit_from_samples, CaseResidual, CpuFit, MeasuredSample};
+
 use ghr_machine::CpuSpec;
 use ghr_types::{Bandwidth, Bytes, DType, SimTime};
 

@@ -284,12 +284,14 @@ impl OmpRuntime {
         let threads = region.num_threads.unwrap_or(self.machine.cpu.cores);
         let real = host_threads(threads);
         let value = match region.reduction {
-            ReductionOp::Plus => ghr_parallel::parallel_sum_unrolled(
+            // The fallible variant: a bad unroll/schedule clause surfaces
+            // as `GhrError::InvalidArg` instead of a panic backtrace.
+            ReductionOp::Plus => ghr_parallel::try_parallel_sum_unrolled(
                 data,
                 real,
                 region.unroll(),
                 region.chunk_policy()?,
-            ),
+            )?,
             ReductionOp::Min => {
                 ghr_parallel::parallel_reduce_with(data, real, T::Acc::min_identity(), |a, b| {
                     a.acc_min(b)

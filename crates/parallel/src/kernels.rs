@@ -10,7 +10,8 @@
 //! * [`sum_kahan`] / [`sum_pairwise`] are accuracy-oriented alternatives
 //!   used to bound floating-point error in the verification layer.
 
-use ghr_types::{Accum, Element};
+use crate::simd::{self, Backend};
+use ghr_types::{Accum, Element, GhrError, Result};
 
 /// Serial sum reduction (the paper's Listing 1).
 pub fn sum_sequential<T: Element>(data: &[T]) -> T::Acc {
@@ -21,21 +22,66 @@ pub fn sum_sequential<T: Element>(data: &[T]) -> T::Acc {
     sum
 }
 
+/// Check that `v` is in the paper's parameter space (a power of two in
+/// 1..=32), returning [`GhrError::InvalidArg`] otherwise so CLI-supplied
+/// values surface as a diagnostic rather than a panic backtrace.
+pub fn validate_v(v: usize) -> Result<()> {
+    if matches!(v, 1 | 2 | 4 | 8 | 16 | 32) {
+        Ok(())
+    } else {
+        Err(GhrError::arg(
+            "v",
+            format!("V must be a power of two in 1..=32 (got {v})"),
+        ))
+    }
+}
+
 /// Sum with `V` elements accumulated per loop iteration (the paper's
 /// Listing 5 body), using `V` independent accumulators that are combined at
 /// the end. The tail (`data.len() % V`) is handled serially.
 ///
-/// `v` must be one of 1, 2, 4, 8, 16, 32 — the paper's parameter space.
+/// `v` must be one of 1, 2, 4, 8, 16, 32 — the paper's parameter space;
+/// this wrapper panics on other values (see [`try_sum_unrolled`] for the
+/// fallible variant used on argument paths).
+///
+/// When the host supports it, the loop runs on the vectorized kernels in
+/// [`crate::simd`] (selected via [`Backend::active`], overridable with the
+/// `GHR_SIMD` environment variable); the SIMD path reproduces the scalar
+/// accumulation tree bit-for-bit, so the result does not depend on the
+/// backend.
 ///
 /// For floating-point types the result can differ from [`sum_sequential`]
 /// by rounding, because the accumulation tree differs; the deviation is
 /// bounded by the usual recursive-summation error bounds (exercised by the
 /// property tests).
 pub fn sum_unrolled<T: Element>(data: &[T], v: usize) -> T::Acc {
-    assert!(
-        matches!(v, 1 | 2 | 4 | 8 | 16 | 32),
-        "V must be a power of two in 1..=32 (got {v})"
-    );
+    try_sum_unrolled(data, v).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`sum_unrolled`]: invalid `v` values come back as
+/// [`GhrError::InvalidArg`] instead of panicking.
+pub fn try_sum_unrolled<T: Element>(data: &[T], v: usize) -> Result<T::Acc> {
+    validate_v(v)?;
+    Ok(sum_unrolled_on(data, v, Backend::active()))
+}
+
+/// [`sum_unrolled`] with an explicitly chosen kernel backend. Used by the
+/// parallel reductions (which resolve the backend once, outside the worker
+/// loop), the microbenchmarks, and the parity tests; results are
+/// bit-identical across backends by construction.
+///
+/// Panics if `v` is not a power of two in 1..=32.
+pub fn sum_unrolled_with_backend<T: Element>(data: &[T], v: usize, backend: Backend) -> T::Acc {
+    validate_v(v).unwrap_or_else(|e| panic!("{e}"));
+    sum_unrolled_on(data, v, backend)
+}
+
+/// Dispatch a validated `v` to the vector kernel when covered, otherwise
+/// to the scalar monomorphized loop.
+fn sum_unrolled_on<T: Element>(data: &[T], v: usize, backend: Backend) -> T::Acc {
+    if let Some(sum) = simd::simd_sum(data, v, backend) {
+        return sum;
+    }
     match v {
         1 => sum_sequential(data),
         2 => sum_unrolled_const::<T, 2>(data),
@@ -147,6 +193,34 @@ mod tests {
     #[should_panic(expected = "V must be a power of two")]
     fn unrolled_rejects_bad_v() {
         let _ = sum_unrolled(&[1i32], 3);
+    }
+
+    #[test]
+    fn try_unrolled_reports_bad_v_as_invalid_arg() {
+        let err = try_sum_unrolled(&[1i32], 3).unwrap_err();
+        assert!(matches!(err, GhrError::InvalidArg { what: "v", .. }));
+        assert!(err.to_string().contains("power of two"), "{err}");
+        assert_eq!(try_sum_unrolled(&[1i32, 2, 3], 4).unwrap(), 6);
+    }
+
+    #[test]
+    fn every_backend_agrees_with_scalar_on_awkward_lengths() {
+        for n in [0usize, 1, 3, 7, 31, 32, 33, 100, 1023] {
+            let data = ramp_i32(n);
+            for v in [1, 2, 4, 8, 16, 32] {
+                let scalar = sum_unrolled_with_backend(&data, v, Backend::Scalar);
+                for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+                    if !b.available() {
+                        continue;
+                    }
+                    assert_eq!(
+                        sum_unrolled_with_backend(&data, v, b),
+                        scalar,
+                        "n={n} v={v} backend={b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,26 +12,39 @@
 //!   OpenMP `parallel for` would;
 //! * [`kernels`] — sequential, unrolled (the paper's "V elements per
 //!   iteration"), Kahan and pairwise sum-reduction kernels;
+//! * [`simd`] — vectorized versions of the unrolled kernel (x86_64
+//!   SSE2/AVX2, aarch64 NEON) behind runtime feature detection, bit-identical
+//!   to the scalar accumulation tree and selectable via `GHR_SIMD`;
 //! * [`reduce`] — parallel reductions combining the above, with
-//!   OpenMP-style static chunking.
+//!   OpenMP-style static chunking;
+//! * [`microbench`] — std-only (no Criterion) warmup + min-of-N timing of
+//!   the real kernels, backing `ghr bench` / `ghr calibrate cpu` and the
+//!   `crates/bench` targets.
 //!
 //! The functional executors in `ghr-omp` call into this crate so that every
 //! simulated experiment also *computes* its reduction for verification, and
-//! the Criterion benches in `ghr-bench` measure these kernels for real on
+//! the std-only benches in `ghr-bench` measure these kernels for real on
 //! the build host.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod kernels;
+pub mod microbench;
 pub mod pool;
 pub mod reduce;
 pub mod scope;
+pub mod simd;
 
-pub use kernels::{sum_kahan, sum_pairwise, sum_sequential, sum_unrolled};
+pub use kernels::{
+    sum_kahan, sum_pairwise, sum_sequential, sum_unrolled, sum_unrolled_with_backend,
+    try_sum_unrolled, validate_v,
+};
+pub use microbench::{measure, measure_pair, time_min, BenchSpec, Pair, Sample};
 pub use pool::{Scope, ThreadPool};
 pub use reduce::{
     parallel_max, parallel_min, parallel_reduce_with, parallel_sum, parallel_sum_unrolled,
-    ChunkPolicy,
+    parallel_sum_unrolled_on, try_parallel_sum_unrolled, ChunkPolicy,
 };
 pub use scope::{parallel_for, parallel_map_chunks, split_evenly};
+pub use simd::Backend;

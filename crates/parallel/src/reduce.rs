@@ -9,9 +9,10 @@
 
 #[cfg(test)]
 use crate::kernels::sum_sequential;
-use crate::kernels::sum_unrolled;
+use crate::kernels::{sum_unrolled_with_backend, validate_v};
 use crate::scope::parallel_map_chunks;
-use ghr_types::{Accum, Element};
+use crate::simd::Backend;
+use ghr_types::{Accum, Element, GhrError, Result};
 
 /// How the index space is divided among threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,22 +33,60 @@ pub fn parallel_sum<T: Element>(data: &[T], threads: usize) -> T::Acc {
 
 /// Parallel sum with per-thread kernels unrolled by `v` (the paper's
 /// "elements per loop iteration") and a selectable chunking policy.
+///
+/// Panics on a zero thread/chunk count or an invalid `v`; see
+/// [`try_parallel_sum_unrolled`] for the fallible variant used on
+/// CLI-argument paths.
 pub fn parallel_sum_unrolled<T: Element>(
     data: &[T],
     threads: usize,
     v: usize,
     policy: ChunkPolicy,
 ) -> T::Acc {
-    assert!(threads > 0, "threads must be > 0");
+    try_parallel_sum_unrolled(data, threads, v, policy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`parallel_sum_unrolled`]: bad `threads`, `chunk` or
+/// `v` values come back as [`GhrError::InvalidArg`] instead of panicking,
+/// so `ghr` can exit with a diagnostic.
+///
+/// The kernel backend ([`Backend::active`], overridable via `GHR_SIMD`) is
+/// resolved once here and shared by every worker, so per-chunk kernel calls
+/// pay no environment lookups.
+pub fn try_parallel_sum_unrolled<T: Element>(
+    data: &[T],
+    threads: usize,
+    v: usize,
+    policy: ChunkPolicy,
+) -> Result<T::Acc> {
+    parallel_sum_unrolled_on(data, threads, v, policy, Backend::active())
+}
+
+/// [`try_parallel_sum_unrolled`] with an explicitly chosen kernel backend.
+/// Used by the microbenchmarks to time scalar and SIMD paths of the *same*
+/// reduction against each other.
+pub fn parallel_sum_unrolled_on<T: Element>(
+    data: &[T],
+    threads: usize,
+    v: usize,
+    policy: ChunkPolicy,
+    backend: Backend,
+) -> Result<T::Acc> {
+    if threads == 0 {
+        return Err(GhrError::arg("threads", "threads must be > 0"));
+    }
+    validate_v(v)?;
     match policy {
         ChunkPolicy::Static => {
             let partials = parallel_map_chunks(data.len(), threads, |_tid, range| {
-                sum_unrolled(&data[range], v)
+                sum_unrolled_with_backend(&data[range], v, backend)
             });
-            combine(partials)
+            Ok(combine(partials))
         }
         ChunkPolicy::StaticChunked(chunk) => {
-            assert!(chunk > 0, "chunk must be > 0");
+            if chunk == 0 {
+                return Err(GhrError::arg("chunk", "chunk must be > 0"));
+            }
             let partials = parallel_map_chunks(threads, threads, |_tid, thread_range| {
                 let mut acc = T::Acc::zero();
                 for tid in thread_range {
@@ -55,13 +94,13 @@ pub fn parallel_sum_unrolled<T: Element>(
                     let mut start = tid * chunk;
                     while start < data.len() {
                         let end = (start + chunk).min(data.len());
-                        acc = acc + sum_unrolled(&data[start..end], v);
+                        acc = acc + sum_unrolled_with_backend(&data[start..end], v, backend);
                         start += threads * chunk;
                     }
                 }
                 acc
             });
-            combine(partials)
+            Ok(combine(partials))
         }
     }
 }
@@ -201,5 +240,32 @@ mod tests {
     #[should_panic(expected = "threads must be > 0")]
     fn zero_threads_rejected() {
         let _ = parallel_sum(&[1i32], 0);
+    }
+
+    #[test]
+    fn try_variant_reports_invalid_args_instead_of_panicking() {
+        let data = [1i32, 2, 3];
+        let e = try_parallel_sum_unrolled(&data, 0, 4, ChunkPolicy::Static).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                GhrError::InvalidArg {
+                    what: "threads",
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        let e = try_parallel_sum_unrolled(&data, 2, 5, ChunkPolicy::Static).unwrap_err();
+        assert!(matches!(e, GhrError::InvalidArg { what: "v", .. }), "{e}");
+        let e = try_parallel_sum_unrolled(&data, 2, 4, ChunkPolicy::StaticChunked(0)).unwrap_err();
+        assert!(
+            matches!(e, GhrError::InvalidArg { what: "chunk", .. }),
+            "{e}"
+        );
+        assert_eq!(
+            try_parallel_sum_unrolled(&data, 2, 4, ChunkPolicy::Static).unwrap(),
+            6
+        );
     }
 }

@@ -13,6 +13,17 @@ pub enum GhrError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A user-supplied argument (CLI flag, kernel parameter) is outside its
+    /// legal domain. Unlike [`GhrError::InvalidConfig`] — which flags an
+    /// internally built launch configuration — this is the diagnostic path
+    /// for values that arrive from the command line, so `ghr` can exit with
+    /// a message instead of a panic backtrace.
+    InvalidArg {
+        /// Which argument was rejected (e.g. `"v"`, `"threads"`).
+        what: &'static str,
+        /// Human-readable detail, including the offending value.
+        detail: String,
+    },
     /// A data mapping was requested for memory the runtime does not know.
     UnmappedMemory {
         /// Description of the missing mapping.
@@ -47,6 +58,9 @@ impl std::fmt::Display for GhrError {
             GhrError::InvalidConfig { what, detail } => {
                 write!(f, "invalid configuration for {what}: {detail}")
             }
+            GhrError::InvalidArg { what, detail } => {
+                write!(f, "invalid argument {what}: {detail}")
+            }
             GhrError::UnmappedMemory { detail } => write!(f, "unmapped memory: {detail}"),
             GhrError::VerificationFailed {
                 expected,
@@ -79,6 +93,14 @@ impl GhrError {
             detail: detail.into(),
         }
     }
+
+    /// Shorthand constructor for [`GhrError::InvalidArg`].
+    pub fn arg(what: &'static str, detail: impl Into<String>) -> Self {
+        GhrError::InvalidArg {
+            what,
+            detail: detail.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +124,11 @@ mod tests {
         assert_eq!(
             i.to_string(),
             "internal engine failure: worker panicked: boom"
+        );
+        let a = GhrError::arg("v", "must be a power of two in 1..=32 (got 3)");
+        assert_eq!(
+            a.to_string(),
+            "invalid argument v: must be a power of two in 1..=32 (got 3)"
         );
     }
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# SIMD substrate smoke test:
+#   (a) `ghr bench --quick` reports bit-identical scalar/SIMD sums for all
+#       four paper cases, both with auto-detection and with the SIMD layer
+#       forced off via GHR_SIMD;
+#   (b) `ghr calibrate cpu --quick` fits the CPU compute model to the
+#       measured kernel throughput and the fit converges;
+#   (c) the kernel parity test suite passes under both GHR_SIMD=off and
+#       GHR_SIMD=auto.
+# Timing *values* are never asserted (CI machines are noisy); only
+# correctness and convergence are.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GHR="${GHR:-target/release/ghr}"
+if [ ! -x "$GHR" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "==> ghr bench --quick (GHR_SIMD=auto)"
+GHR_SIMD=auto "$GHR" bench --quick > "$WORK/bench_auto"
+grep '^kernel backend: ' "$WORK/bench_auto"
+grep -q '^parity: ok' "$WORK/bench_auto" || {
+    echo "FAIL: SIMD sums differ from scalar under GHR_SIMD=auto" >&2
+    cat "$WORK/bench_auto" >&2
+    exit 1
+}
+
+echo "==> ghr bench --quick (GHR_SIMD=off)"
+GHR_SIMD=off "$GHR" bench --quick > "$WORK/bench_off"
+grep -q '^kernel backend: scalar' "$WORK/bench_off" || {
+    echo "FAIL: GHR_SIMD=off did not force the scalar backend" >&2
+    grep '^kernel backend: ' "$WORK/bench_off" >&2
+    exit 1
+}
+grep -q '^parity: ok' "$WORK/bench_off" || {
+    echo "FAIL: scalar-vs-scalar parity failed (harness bug)" >&2
+    exit 1
+}
+
+echo "==> ghr calibrate cpu --quick (fit must converge)"
+"$GHR" calibrate cpu --quick > "$WORK/calibrate"
+grep -q 'fit converged' "$WORK/calibrate" || {
+    echo "FAIL: CPU-model calibration did not converge" >&2
+    cat "$WORK/calibrate" >&2
+    exit 1
+}
+sed -n '/measured vs modelled/,$p' "$WORK/calibrate"
+
+echo "==> kernel parity tests under forced backends"
+GHR_SIMD=off cargo test -q -p ghr-parallel --test simd_parity
+GHR_SIMD=auto cargo test -q -p ghr-parallel --test simd_parity
+
+echo "bench smoke: OK"

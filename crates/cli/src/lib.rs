@@ -14,14 +14,26 @@
 //! ghr calibrate cpu [--quick]   fit the CPU model to measured throughput
 //! ghr machine                   print the simulated node description
 //! ghr all <dir>                 write every artifact as markdown into dir
+//! ghr plan <command|all>        dry-run: print the lowered work-item DAG
+//! ghr serve [--socket PATH]     long-lived request loop over one warm engine
 //! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
 //! ```
 //!
+//! Every experiment command routes through the engine's declarative
+//! pipeline: the command resolves to a [`ghr_core::Request`], the planner
+//! lowers it into a deduplicated DAG of cacheable work items, and the
+//! executor walks that DAG on the worker pool. `ghr plan <command>`
+//! prints the lowered DAG without executing anything; `ghr serve` keeps
+//! one engine warm across many requests so repeats are answered from the
+//! response cache with zero re-planning (see [`serve`]).
+//!
 //! Every command accepts the global flags `--threads N` (worker threads
 //! for the evaluation engine; default `GHR_THREADS`, then the host's
-//! available parallelism; `--threads 1` forces the serial reference path)
-//! and `--stats` (append engine counters — points evaluated, cache hit
-//! rate, persistent-store traffic, wall time — to the output). Output is
+//! available parallelism; `--threads 1` forces the serial reference path),
+//! `--stats` (append engine counters — points evaluated, cache hit
+//! rate, persistent-store traffic, wall time — to the output) and
+//! `--stats-json` (emit the same counters plus per-stage executor timings
+//! as one JSON object on stderr, leaving stdout byte-identical). Output is
 //! byte-identical at every thread count.
 //!
 //! Results persist across processes in a versioned on-disk store
@@ -43,6 +55,7 @@ use ghr_core::{
     plot::AsciiChart,
     reduction::{KernelKind, ReductionSpec},
     report::{fmt_gbps, fmt_speedup, Table},
+    request::{corun_config, Request},
     sched::{compare_policies, comparison_table},
     sweep::GpuSweep,
     verify,
@@ -55,17 +68,24 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod serve;
+
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|bench|calibrate|machine|all|cache> [args]\n\
+whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
      `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
      and SIMD kernels on this host (GHR_SIMD=off|sse2|avx2|neon|auto forces\n\
      a backend); `ghr calibrate cpu [--quick]` fits the CPU model to those\n\
      measurements;\n\
+     `ghr plan <command|all>` prints the lowered work-item DAG (a dry run:\n\
+     stages, items, predicted cache hits — nothing executes); `ghr serve\n\
+     [--socket PATH]` answers line-delimited experiment requests over one\n\
+     warm engine (quit/exit ends the session);\n\
      global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
      --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
+     --stats-json (engine counters + per-stage timings as JSON on stderr),\n\
      --cache-dir DIR (persistent store location; default GHR_CACHE_DIR, then\n\
      ~/.cache/ghr) and --no-cache (skip the persistent store entirely);\n\
      run `ghr help` or see the crate docs for details"
@@ -79,6 +99,8 @@ struct GlobalOpts {
     threads: usize,
     /// Append engine counters to the output.
     stats: bool,
+    /// Emit engine counters + per-stage timings as JSON on stderr.
+    stats_json: bool,
     /// Skip the persistent store for this invocation.
     no_cache: bool,
     /// Explicit persistent-store directory (overrides `GHR_CACHE_DIR`).
@@ -89,6 +111,7 @@ fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
     let mut opts = GlobalOpts {
         threads: 0,
         stats: false,
+        stats_json: false,
         no_cache: false,
         cache_dir: None,
     };
@@ -103,6 +126,8 @@ fn parse_global(rest: &[String]) -> Result<(GlobalOpts, Vec<String>), String> {
     while let Some(a) = it.next() {
         if a == "--stats" {
             opts.stats = true;
+        } else if a == "--stats-json" {
+            opts.stats_json = true;
         } else if a == "--no-cache" {
             opts.no_cache = true;
         } else if a == "--threads" {
@@ -187,7 +212,26 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
                 s.sweep_evaluated, s.sweep_skipped
             );
         }
+        if s.requests > 0 {
+            let _ = writeln!(
+                out,
+                "pipeline: {} requests, {} response hits, {} stages executed",
+                s.requests,
+                s.response_hits,
+                engine.stage_timings().len()
+            );
+        }
         let _ = writeln!(out, "kernel backend: {}", ghr_parallel::simd::report());
+    }
+    if opts.stats_json {
+        eprintln!(
+            "{}",
+            serve::stats_json(
+                &engine.stats(),
+                &engine.stage_timings(),
+                start.elapsed().as_secs_f64() * 1000.0
+            )
+        );
     }
     Ok(out)
 }
@@ -267,7 +311,7 @@ fn cache_store_files(dir: &std::path::Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
+pub(crate) fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
     let machine = engine.machine();
     match cmd {
         "machine" => cmd_machine(machine),
@@ -325,8 +369,184 @@ fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, Strin
                 .ok_or_else(|| "`ghr all` needs an output directory".to_string())?;
             cmd_all(engine, dir)
         }
+        "plan" => cmd_plan(engine, rest),
+        "serve" => cmd_serve(engine, rest),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// The experiment commands that resolve to a declarative request (and are
+/// therefore plannable and servable).
+pub(crate) const SERVABLE: &str =
+    "table1, fig1 <case>, fig2a, fig2b, fig3, fig4a, fig4b, fig5, summary, autotune, whatif";
+
+/// Resolve an experiment command line to the declarative [`Request`] it
+/// runs — the single source of truth shared by `ghr plan`, `ghr serve`
+/// and (through the engine's typed shorthands) the one-shot commands.
+/// `Ok(None)` means the command exists but is not request-backed
+/// (`bench`, `verify`, `machine`, …).
+pub(crate) fn request_for(cmd: &str, rest: &[String]) -> Result<Option<Request>, String> {
+    let advice = rest.iter().any(|a| a == "--advice");
+    Ok(Some(match cmd {
+        "table1" => Request::Table1,
+        "fig1" => Request::fig1(parse_case(
+            rest.first().map(String::as_str).unwrap_or("c1"),
+        )?),
+        "fig2a" => Request::corun_fig(AllocSite::A1, false, advice),
+        "fig2b" => Request::corun_fig(AllocSite::A1, true, advice),
+        "fig4a" => Request::corun_fig(AllocSite::A2, false, advice),
+        "fig4b" => Request::corun_fig(AllocSite::A2, true, advice),
+        "fig3" => Request::speedup_fig(AllocSite::A1),
+        "fig5" => Request::speedup_fig(AllocSite::A2),
+        "summary" => Request::Study {
+            m: None,
+            n_reps: None,
+        },
+        "autotune" => Request::autotune_all(),
+        "whatif" => Request::WhatIf,
+        _ => return Ok(None),
+    }))
+}
+
+/// The request set behind `ghr all`'s artifact sweep, in artifact order —
+/// what `ghr plan all` lowers into one combined, cross-request-
+/// deduplicated plan.
+fn all_requests() -> Vec<Request> {
+    let mut requests = vec![Request::Table1];
+    requests.extend(Case::ALL.into_iter().map(Request::fig1));
+    requests.extend([
+        Request::corun_fig(AllocSite::A1, false, false),
+        Request::corun_fig(AllocSite::A1, true, false),
+        Request::speedup_fig(AllocSite::A1),
+        Request::corun_fig(AllocSite::A2, false, false),
+        Request::corun_fig(AllocSite::A2, true, false),
+        Request::speedup_fig(AllocSite::A2),
+        Request::Study {
+            m: None,
+            n_reps: None,
+        },
+        Request::autotune_all(),
+        Request::WhatIf,
+    ]);
+    requests
+}
+
+/// `ghr plan <command|all>` — lower the command's request(s) and print the
+/// resulting DAG without executing anything.
+fn cmd_plan(engine: &Engine, rest: &[String]) -> Result<String, String> {
+    let sub = rest.first().map(String::as_str).ok_or_else(|| {
+        format!("`ghr plan` needs a command to lower: one of {SERVABLE}, or `all`")
+    })?;
+    let requests = if sub == "all" {
+        all_requests()
+    } else {
+        vec![request_for(sub, &rest[1..])?.ok_or_else(|| {
+            format!("{sub:?} does not lower to a request; plannable: {SERVABLE}, or `all`")
+        })?]
+    };
+    let plan = engine.plan_many(&requests).map_err(|e| e.to_string())?;
+    let summary = plan.summary();
+    let mut out = String::new();
+    let _ = writeln!(out, "plan for {} (id {})\n", summary.request, summary.id);
+    let mut t = Table::new(["stage", "items", "predicted hits", "mode"]);
+    for stage in &summary.stages {
+        t.row([
+            stage.name.clone(),
+            if stage.adaptive {
+                "?".to_string()
+            } else {
+                stage.items.to_string()
+            },
+            stage.predicted_hits.to_string(),
+            if stage.adaptive {
+                "adaptive".to_string()
+            } else {
+                "fan".to_string()
+            },
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
+        "\ntotals: {} work items, {} predicted cache hits ({:.1}%), {} duplicate items folded",
+        summary.items(),
+        summary.predicted_hits(),
+        summary.predicted_hit_ratio() * 100.0,
+        summary.deduped
+    );
+    if summary.adaptive_stages() > 0 {
+        let _ = writeln!(
+            out,
+            "({} adaptive stage(s) choose their probes at run time from the coarse results)",
+            summary.adaptive_stages()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "nothing was executed; run the command itself to evaluate"
+    );
+    Ok(out)
+}
+
+/// `ghr serve [--socket PATH]` — the long-lived request loop (see
+/// [`serve`]). Frames stream to stdout (or the socket); the returned
+/// string stays empty so framing is never polluted.
+fn cmd_serve(engine: &Engine, rest: &[String]) -> Result<String, String> {
+    let mut socket: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--socket" {
+            socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+        } else if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(v.to_string());
+        } else {
+            return Err(format!("unknown serve argument {a:?}"));
+        }
+    }
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let mut out = std::io::stdout().lock();
+            let mut err = std::io::stderr().lock();
+            serve::serve_loop(engine, stdin.lock(), &mut out, &mut err)?;
+            Ok(String::new())
+        }
+        #[cfg(unix)]
+        Some(path) => serve_socket(engine, &path),
+        #[cfg(not(unix))]
+        Some(_) => Err("--socket needs a unix platform; pipe requests over stdin".to_string()),
+    }
+}
+
+/// Accept connections on a unix socket one at a time, running the serve
+/// loop over each; an explicit `quit`/`exit` on a connection also shuts
+/// the listener down (EOF only ends that connection).
+#[cfg(unix)]
+fn serve_socket(engine: &Engine, path: &str) -> Result<String, String> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path); // stale socket from a previous run
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+    eprintln!("serve: listening on {path} (send `quit` to shut down)");
+    let mut served = 0u64;
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        let mut writer = stream;
+        let mut err = std::io::stderr().lock();
+        let summary = serve::serve_loop(engine, reader, &mut writer, &mut err)?;
+        served += summary.served;
+        if summary.quit {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(format!("served {served} request(s) on {path}\n"))
 }
 
 fn wants_plot(rest: &[String]) -> bool {
@@ -428,19 +648,6 @@ fn cmd_fig1(engine: &Engine, case: Case, csv: bool, plot: bool) -> Result<String
         best.v
     );
     Ok(out)
-}
-
-fn corun_config(case: Case, alloc: AllocSite, optimized: bool, advice: bool) -> CorunConfig {
-    let kind = if optimized {
-        ReductionSpec::optimized_paper(case).kind
-    } else {
-        KernelKind::Baseline
-    };
-    let mut cfg = CorunConfig::paper(case, kind, alloc);
-    if advice {
-        cfg = cfg.with_advice();
-    }
-    cfg
 }
 
 fn cmd_corun_fig(
@@ -1233,5 +1440,33 @@ mod tests {
         let out = run("autotune", &args(&["--stats", "--threads", "2"])).unwrap();
         assert!(out.contains("refined sweeps:"), "{out}");
         assert!(out.contains("skipped"), "{out}");
+    }
+
+    #[test]
+    fn plan_dry_run_prints_the_dag_without_executing() {
+        let out = run("plan", &args(&["table1"])).unwrap();
+        assert!(out.contains("plan for table1 (id "), "{out}");
+        assert!(out.contains("table1: kernels"), "{out}");
+        assert!(out.contains("8 work items"), "{out}");
+        assert!(out.contains("nothing was executed"), "{out}");
+        // Dry-running is free: a follow-up cold run still evaluates all
+        // eight kernels (the plan itself touched no caches).
+        let stats = run("plan", &args(&["table1", "--stats"])).unwrap();
+        assert!(stats.contains("0 points evaluated"), "{stats}");
+    }
+
+    #[test]
+    fn plan_all_folds_duplicates_across_requests() {
+        let out = run("plan", &args(&["all"])).unwrap();
+        assert!(out.contains("236 duplicate items folded"), "{out}");
+        assert!(out.contains("adaptive stage(s)"), "{out}");
+        assert!(out.contains("autotune x4 C1: refine"), "{out}");
+    }
+
+    #[test]
+    fn plan_rejects_unplannable_commands() {
+        assert!(run("plan", &[]).is_err());
+        let err = run("plan", &args(&["bench"])).unwrap_err();
+        assert!(err.contains("plannable"), "{err}");
     }
 }

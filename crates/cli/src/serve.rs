@@ -1,0 +1,251 @@
+//! `ghr serve` — a long-lived request loop over one warm engine.
+//!
+//! The serve loop reads line-delimited requests (the same words as the
+//! CLI's experiment commands: `table1`, `fig1 c2 --csv`, `summary`, …)
+//! from stdin or a unix socket, runs each through the engine's
+//! request → plan → execute pipeline, and writes framed responses:
+//!
+//! ```text
+//! ghr-response id=<hash16> status=ok|error bytes=<n> evals=<n> cached=<yes|no>
+//! <body bytes>
+//! ghr-end
+//! ```
+//!
+//! The engine — and therefore its point caches, persistent store and
+//! response cache — lives for the whole session, so a repeated identical
+//! request (same [`ghr_core::Request::id`]) is answered from the response cache with
+//! zero re-planning and zero evaluations (`evals=0 cached=yes`). `quit` or
+//! `exit` (or EOF) ends the loop; blank lines and `#` comments are
+//! ignored. The store is flushed after every request, so a concurrent or
+//! later process sees results as soon as they exist.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use ghr_core::engine::{Engine, EngineStats};
+use ghr_types::StageTiming;
+
+/// What one pass of the serve loop did (returned for logging and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (ok or error frames written).
+    pub served: u64,
+    /// Whether the loop ended on an explicit `quit`/`exit` (vs EOF).
+    pub quit: bool,
+}
+
+/// Run the serve loop until EOF or `quit`. Frames go to `out`; one
+/// human-readable log line per request goes to `err`. Public so the
+/// integration tests can drive it over in-memory pipes.
+pub fn serve_loop(
+    engine: &Engine,
+    input: impl BufRead,
+    out: &mut impl Write,
+    err: &mut impl Write,
+) -> Result<ServeSummary, String> {
+    let mut summary = ServeSummary {
+        served: 0,
+        quit: false,
+    };
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("serve: read failed: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            summary.quit = true;
+            break;
+        }
+        let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let (cmd, rest) = (words[0].as_str(), &words[1..]);
+
+        let before = engine.stats();
+        let t0 = std::time::Instant::now();
+        let answer = serve_one(engine, cmd, rest);
+        let after = engine.stats();
+        let evals = after.evaluated - before.evaluated;
+        let cached = after.response_hits > before.response_hits;
+        summary.served += 1;
+
+        let (status, id, body) = match answer {
+            Ok((id, body)) => ("ok", id, body),
+            Err(e) => ("error", "-".repeat(16), format!("error: {e}\n")),
+        };
+        write_frame(out, &id, status, &body, evals, cached)
+            .map_err(|e| format!("serve: write failed: {e}"))?;
+        if let Err(e) = engine.flush_store() {
+            let _ = writeln!(err, "serve: warning: persistent cache flush failed: {e}");
+        }
+        let _ = writeln!(
+            err,
+            "serve: {line} -> {status} id={id} evals={evals} cached={} {:.1} ms",
+            if cached { "yes" } else { "no" },
+            t0.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    Ok(summary)
+}
+
+/// Answer one request line: resolve it to a declarative [`Request`] (the
+/// id in the frame header), then render through the same command
+/// implementations the one-shot CLI uses — so a serve body is
+/// byte-identical to the corresponding `ghr <command>` output.
+fn serve_one(engine: &Engine, cmd: &str, rest: &[String]) -> Result<(String, String), String> {
+    let request = crate::request_for(cmd, rest)?.ok_or_else(|| {
+        format!(
+            "{cmd:?} is not a servable experiment request \
+             (serve answers: {})",
+            crate::SERVABLE
+        )
+    })?;
+    let body = crate::dispatch(engine, cmd, rest)?;
+    Ok((request.id().to_string(), body))
+}
+
+fn write_frame(
+    out: &mut impl Write,
+    id: &str,
+    status: &str,
+    body: &str,
+    evals: u64,
+    cached: bool,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "ghr-response id={id} status={status} bytes={} evals={evals} cached={}",
+        body.len(),
+        if cached { "yes" } else { "no" }
+    )?;
+    out.write_all(body.as_bytes())?;
+    writeln!(out, "ghr-end")?;
+    out.flush()
+}
+
+/// Render the engine counters and per-stage executor timings as one JSON
+/// object (std-only; no serializer dependency). This is what
+/// `--stats-json` prints to stderr.
+pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> String {
+    use ghr_types::pipeline::{json_escape, json_f64};
+    let mut s = String::with_capacity(256 + stages.len() * 96);
+    let _ = write!(
+        s,
+        "{{\"threads\":{},\"requests\":{},\"response_hits\":{},\
+         \"response_hit_rate\":{},\"lookups\":{},\"hits\":{},\"evaluated\":{},\
+         \"hit_rate\":{},\"persistent\":{{\"loaded\":{},\"hits\":{},\
+         \"misses\":{},\"stored\":{}}},\"sweep\":{{\"evaluated\":{},\
+         \"skipped\":{}}},\"wall_ms\":{},\"stages\":[",
+        stats.threads,
+        stats.requests,
+        stats.response_hits,
+        json_f64(stats.response_hit_rate()),
+        stats.lookups,
+        stats.hits,
+        stats.evaluated,
+        json_f64(stats.hit_rate()),
+        stats.persistent_loaded,
+        stats.persistent_hits,
+        stats.persistent_misses,
+        stats.persistent_stored,
+        stats.sweep_evaluated,
+        stats.sweep_skipped,
+        json_f64(wall_ms),
+    );
+    for (i, st) in stages.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"items\":{},\"evaluated\":{},\"millis\":{}}}",
+            json_escape(&st.name),
+            st.items,
+            st.evaluated,
+            json_f64(st.millis),
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_machine::MachineConfig;
+    use std::io::BufReader;
+
+    fn engine() -> Engine {
+        Engine::new(MachineConfig::gh200(), 2)
+    }
+
+    fn serve(input: &str) -> (ServeSummary, String, String) {
+        let e = engine();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let summary = serve_loop(&e, BufReader::new(input.as_bytes()), &mut out, &mut err).unwrap();
+        (
+            summary,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_ignored() {
+        let (summary, out, _) = serve("\n# warm-up batch\n\n");
+        assert_eq!(summary.served, 0);
+        assert!(!summary.quit);
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn quit_ends_the_loop_before_later_requests() {
+        let (summary, out, _) = serve("quit\ntable1\n");
+        assert_eq!(summary.served, 0);
+        assert!(summary.quit);
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn unknown_requests_get_an_error_frame_and_the_loop_survives() {
+        let (summary, out, _) = serve("frobnicate\nbench --quick\n");
+        assert_eq!(summary.served, 2, "{out}");
+        assert_eq!(out.matches("status=error").count(), 2, "{out}");
+        assert!(out.contains("not a servable experiment request"), "{out}");
+    }
+
+    #[test]
+    fn frame_header_accounts_bytes_exactly() {
+        let (_, out, _) = serve("table1\n");
+        let header = out.lines().next().unwrap();
+        let bytes: usize = header
+            .split(" bytes=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body_start = out.find('\n').unwrap() + 1;
+        let body_end = out.rfind("ghr-end\n").unwrap();
+        assert_eq!(bytes, body_end - body_start, "{header}");
+    }
+
+    #[test]
+    fn stats_json_is_well_formed_and_guarded() {
+        let e = engine();
+        e.table1().unwrap();
+        let json = stats_json(&e.stats(), &e.stage_timings(), 12.5);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"requests\":1"), "{json}");
+        assert!(json.contains("\"evaluated\":8"), "{json}");
+        assert!(json.contains("\"name\":\"assemble\""), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        // A fresh engine has zero lookups and zero requests; the ratios
+        // must render as numbers (0), not NaN/null noise.
+        let fresh = stats_json(&engine().stats(), &[], 0.0);
+        assert!(fresh.contains("\"hit_rate\":0"), "{fresh}");
+        assert!(fresh.contains("\"response_hit_rate\":0"), "{fresh}");
+    }
+}

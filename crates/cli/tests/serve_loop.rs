@@ -1,0 +1,124 @@
+//! Serve-loop acceptance: a batch of requests piped through one session,
+//! with a duplicate answered from the response cache byte-identically.
+
+use ghr_cli::serve::serve_loop;
+use ghr_core::engine::Engine;
+use ghr_machine::MachineConfig;
+use std::io::BufReader;
+
+/// One parsed response frame.
+#[derive(Debug)]
+struct Frame {
+    id: String,
+    status: String,
+    evals: u64,
+    cached: bool,
+    body: String,
+}
+
+fn parse_frames(out: &str) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut lines = out.lines();
+    while let Some(header) = lines.next() {
+        assert!(
+            header.starts_with("ghr-response "),
+            "expected a frame header, got {header:?}"
+        );
+        let field = |name: &str| -> String {
+            header
+                .split(&format!(" {name}="))
+                .nth(1)
+                .unwrap_or_else(|| panic!("missing {name} in {header:?}"))
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let bytes: usize = field("bytes").parse().unwrap();
+        let mut body = String::with_capacity(bytes);
+        for line in lines.by_ref() {
+            if line == "ghr-end" {
+                break;
+            }
+            body.push_str(line);
+            body.push('\n');
+        }
+        assert_eq!(body.len(), bytes, "header byte count vs actual body");
+        frames.push(Frame {
+            id: field("id"),
+            status: field("status"),
+            evals: field("evals").parse().unwrap(),
+            cached: field("cached") == "yes",
+            body,
+        });
+    }
+    frames
+}
+
+#[test]
+fn duplicate_request_in_a_batch_is_answered_from_cache_byte_identically() {
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    let input = "table1\nwhatif\ntable1\nquit\n";
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let summary = serve_loop(
+        &engine,
+        BufReader::new(input.as_bytes()),
+        &mut out,
+        &mut err,
+    )
+    .unwrap();
+    assert_eq!(summary.served, 3);
+    assert!(summary.quit);
+
+    let out = String::from_utf8(out).unwrap();
+    let frames = parse_frames(&out);
+    assert_eq!(frames.len(), 3, "{out}");
+    for f in &frames {
+        assert_eq!(f.status, "ok", "{f:?}");
+    }
+
+    // Cold table1 evaluates its eight kernels; the duplicate is answered
+    // whole from the response cache: zero evaluations, same id, and a
+    // byte-identical body.
+    let (first, dup) = (&frames[0], &frames[2]);
+    assert_eq!(first.evals, 8, "{first:?}");
+    assert!(!first.cached, "{first:?}");
+    assert_eq!(dup.evals, 0, "warm duplicate must not evaluate: {dup:?}");
+    assert!(dup.cached, "{dup:?}");
+    assert_eq!(dup.id, first.id);
+    assert_eq!(
+        dup.body, first.body,
+        "duplicate must render byte-identically"
+    );
+    assert!(first.body.contains("Table 1"), "{}", first.body);
+
+    // The interleaved distinct request got its own id and fresh work.
+    assert_ne!(frames[1].id, first.id);
+    assert!(frames[1].evals > 0, "{:?}", frames[1]);
+
+    // The engine saw three pipeline requests, one answered from the
+    // response cache.
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 3, "{stats:?}");
+    assert_eq!(stats.response_hits, 1, "{stats:?}");
+}
+
+#[test]
+fn serve_bodies_match_the_one_shot_cli_output() {
+    // A serve frame's body must be byte-identical to what `ghr <cmd>`
+    // prints, so clients can switch between the two freely.
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    serve_loop(
+        &engine,
+        BufReader::new("autotune\n".as_bytes()),
+        &mut out,
+        &mut err,
+    )
+    .unwrap();
+    let frames = parse_frames(&String::from_utf8(out).unwrap());
+    let oneshot = ghr_cli::run("autotune", &[]).unwrap();
+    assert_eq!(frames[0].body, oneshot);
+}

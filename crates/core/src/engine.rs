@@ -1,17 +1,34 @@
-//! The parallel, memoizing experiment engine.
+//! The parallel, memoizing experiment engine — the execution end of the
+//! request → plan → execute pipeline.
 //!
 //! Every result the paper reports is a grid of *independent* model
 //! evaluations — Fig. 1 is a 10×6 `(teams, V)` sweep per case, Table 1 is
 //! eight kernel timings, the Section IV study is sixteen co-run series —
 //! and many points recur verbatim across drivers (the paper's optimized
 //! configurations appear in the Fig. 1 sweeps, Table 1, `autotune`, and
-//! the co-run GPU-only leg). The [`Engine`] exploits both properties:
+//! the co-run GPU-only leg). The pipeline exploits both properties in
+//! three explicit layers:
 //!
-//! * a **sharded, hash-keyed result cache** keyed by machine fingerprint ×
+//! 1. A declarative [`Request`](crate::request::Request) says *what* to
+//!    compute and nothing about how (see [`crate::request`]).
+//! 2. The [`Planner`] lowers a request into a [`Plan`]: a deduplicated
+//!    DAG of cacheable [`WorkItem`]s, consulting both caches *without
+//!    executing anything* so the plan predicts its own hit rate (see
+//!    [`crate::plan`]).
+//! 3. The [`Executor`](crate::exec::Executor) walks the plan's stages on
+//!    the worker pool with per-stage timing, then assembles typed
+//!    responses from the now-warm caches (see [`crate::exec`]).
+//!
+//! [`Engine::run`] ties them together and memoizes whole responses by
+//! [`Request::id`](crate::request::Request::id) — a repeated identical
+//! request (the `ghr serve` steady state) is answered with zero
+//! re-planning. Underneath sit:
+//!
+//! * a **sharded, hash-keyed result cache** keyed by [`WorkItem`] — the
 //!   resolved [`TargetRegion`] geometry × element count/types × supply
-//!   constraint, so identical points are evaluated once per process no
-//!   matter which driver asks;
-//! * a **parallel grid driver** that fans grid points across the
+//!   constraint — so identical points are evaluated once per process no
+//!   matter which request asks;
+//! * a **parallel fan driver** that spreads a stage's items across the
 //!   [`ghr_parallel::ThreadPool`] and reassembles results in deterministic
 //!   index order — tables are bit-identical to the serial path at any
 //!   thread count.
@@ -24,16 +41,17 @@
 //! A co-run series ([`CorunConfig`]) has two granularities. Its A1 variant
 //! is *stateful* across the `p` loop (the allocation survives and pages
 //! stay where earlier iterations migrated them), so the series — not the
-//! `p` point — is its smallest independently evaluable unit and it is
-//! cached whole. An **A2** series frees and re-allocates per `p`
-//! iteration, so each of its eleven points is independent: the engine fans
-//! them across the pool as individual cacheable work items and reassembles
-//! the series in `p` order ([`crate::corun::run_corun_point`]).
+//! `p` point — is its smallest independently evaluable unit and it is one
+//! [`WorkItem`]. An **A2** series frees and re-allocates per `p`
+//! iteration, so each of its eleven points is an independent item: the
+//! planner fans them and the assembly stitches the series in `p` order
+//! ([`crate::corun::run_corun_point`]).
 //!
 //! When a [`PersistentStore`] is attached ([`Engine::with_store_dir`]),
 //! every memoized point also round-trips through a versioned on-disk store
-//! keyed by the same fingerprint × geometry, so a second `ghr all` in
-//! another process answers from disk instead of re-evaluating.
+//! keyed by the same `WorkItem` render (one file per machine fingerprint),
+//! so a second `ghr all` in another process answers from disk instead of
+//! re-evaluating.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -44,7 +62,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use crate::autotune::TunedConfig;
 use crate::case::Case;
 use crate::corun::{run_corun, run_corun_point, AllocSite, CorunConfig, CorunPoint, CorunSeries};
+use crate::exec::Executor;
+use crate::plan::{refine_axes, Plan, Planner, WorkItem};
 use crate::reduction::ReductionSpec;
+use crate::request::{autotune_sweep, Request, Response};
 use crate::store::{self, PersistentStore};
 use crate::study::{self, CorunStudy};
 use crate::sweep::{GpuSweep, SweepMode, SweepPoint, SweepResult};
@@ -54,7 +75,7 @@ use ghr_gpusim::GpuModel;
 use ghr_machine::MachineConfig;
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_parallel::ThreadPool;
-use ghr_types::{Bandwidth, DType, GhrError, Result};
+use ghr_types::{Bandwidth, DType, GhrError, Result, StageTiming};
 
 /// FNV-1a, used for the machine fingerprint and for shard selection.
 /// Deterministic across processes and platforms (unlike the std
@@ -84,34 +105,25 @@ impl Hasher for Fnv1aHasher {
 type BuildFnv = BuildHasherDefault<Fnv1aHasher>;
 
 /// Fingerprint of a machine description (FNV-1a over its debug render):
-/// results cached under one machine are never served for another.
+/// results cached under one machine are never served for another. Selects
+/// the persistent store *file*; within a file, keys are fingerprint-free
+/// [`WorkItem`] renders.
 pub fn machine_fingerprint(machine: &MachineConfig) -> u64 {
     let mut h = Fnv1aHasher::default();
     h.write(format!("{machine:?}").as_bytes());
     h.finish()
 }
 
-/// A cacheable scalar evaluation (one grid point).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum PointKey {
-    /// A GPU kernel timing: the resolved region geometry plus everything
-    /// else that determines the modelled bandwidth.
-    Gpu {
-        fingerprint: u64,
-        region: TargetRegion,
-        m: u64,
-        elem: DType,
-        acc: DType,
-        /// Bit pattern of the supply cap in GB/s (`None` = local HBM).
-        supply_bits: Option<u64>,
-    },
-    /// A what-if point: the baseline code under a runtime-side scenario
-    /// (`None` = the optimized source-level-V reference row).
-    WhatIf {
-        fingerprint: u64,
-        scenario: Option<RuntimeScenario>,
-        case: Case,
-    },
+/// The eight Table 1 kernel specs in row order (baseline then optimized
+/// per case) — one definition for the planner's lowering and the
+/// executor's assembly.
+pub(crate) fn table1_specs() -> Vec<ReductionSpec> {
+    let mut specs = Vec::with_capacity(8);
+    for case in Case::ALL {
+        specs.push(ReductionSpec::baseline(case));
+        specs.push(ReductionSpec::optimized_paper(case));
+    }
+    specs
 }
 
 const SHARDS: usize = 16;
@@ -145,6 +157,15 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
             .cloned()
     }
 
+    /// Existence probe without cloning the value or touching counters —
+    /// the planner's dry-run path.
+    fn contains(&self, key: &K) -> bool {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(key)
+    }
+
     fn insert(&self, key: K, value: V) {
         self.shard(&key)
             .lock()
@@ -158,6 +179,10 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
 pub struct EngineStats {
     /// Worker threads the engine fans grids across (1 = serial).
     pub threads: usize,
+    /// Requests run through the pipeline ([`Engine::run`]).
+    pub requests: u64,
+    /// Requests answered whole from the response cache — zero re-planning.
+    pub response_hits: u64,
     /// Cache lookups performed.
     pub lookups: u64,
     /// Lookups answered from the in-process cache.
@@ -185,12 +210,23 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Fraction of lookups answered from either cache (in-process or
-    /// persistent) — i.e. not freshly evaluated.
+    /// persistent) — i.e. not freshly evaluated. 0.0 before any lookup,
+    /// never a division by zero.
     pub fn hit_rate(&self) -> f64 {
         if self.lookups == 0 {
             0.0
         } else {
             (self.hits + self.persistent_hits) as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of requests answered whole from the response cache. 0.0
+    /// before any request, never a division by zero.
+    pub fn response_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.response_hits as f64 / self.requests as f64
         }
     }
 }
@@ -214,8 +250,10 @@ pub fn default_threads() -> usize {
 /// The evaluation engine: one machine, one worker pool, one result cache.
 ///
 /// Construct it once per process (or per `ghr` invocation) and route every
-/// driver through it; repeated and overlapping experiments then share both
-/// the pool and the memoized points.
+/// request through it; repeated and overlapping experiments then share
+/// both the pool and the memoized points. [`Engine::run`] is the pipeline
+/// front door; the named methods ([`Engine::table1`], [`Engine::sweep`],
+/// …) are typed shorthands that build the equivalent request.
 pub struct Engine {
     machine: MachineConfig,
     rt: OmpRuntime,
@@ -223,9 +261,13 @@ pub struct Engine {
     threads: usize,
     pool: Option<ThreadPool>,
     store: Option<PersistentStore>,
-    points: ShardedCache<PointKey, f64>,
-    series: ShardedCache<(u64, CorunConfig), Arc<CorunSeries>>,
-    corun_pts: ShardedCache<(u64, CorunConfig, u32), CorunPoint>,
+    points: ShardedCache<WorkItem, f64>,
+    series: ShardedCache<CorunConfig, Arc<CorunSeries>>,
+    corun_pts: ShardedCache<(CorunConfig, u32), CorunPoint>,
+    responses: ShardedCache<u64, Arc<Response>>,
+    stage_log: Mutex<Vec<StageTiming>>,
+    requests: AtomicU64,
+    response_hits: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
     evaluated: AtomicU64,
@@ -270,6 +312,10 @@ impl Engine {
             points: ShardedCache::new(),
             series: ShardedCache::new(),
             corun_pts: ShardedCache::new(),
+            responses: ShardedCache::new(),
+            stage_log: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            response_hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evaluated: AtomicU64::new(0),
@@ -324,6 +370,8 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             threads: self.threads,
+            requests: self.requests.load(Ordering::Relaxed),
+            response_hits: self.response_hits.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             evaluated: self.evaluated.load(Ordering::Relaxed),
@@ -334,6 +382,117 @@ impl Engine {
             sweep_evaluated: self.sweep_evaluated.load(Ordering::Relaxed),
             sweep_skipped: self.sweep_skipped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-stage wall-clock and work accounting for every plan this
+    /// engine has executed, in execution order (`--stats-json` reads it).
+    pub fn stage_timings(&self) -> Vec<StageTiming> {
+        self.stage_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    pub(crate) fn log_stage(&self, timing: StageTiming) {
+        self.stage_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(timing);
+    }
+
+    // -----------------------------------------------------------------
+    // The pipeline front door
+    // -----------------------------------------------------------------
+
+    /// Run one request through the pipeline: response cache → plan →
+    /// execute → assemble. A repeated identical request (same
+    /// [`Request::id`]) is answered from the response cache with zero
+    /// re-planning — the `ghr serve` steady state.
+    pub fn run(&self, request: &Request) -> Result<Arc<Response>> {
+        request.validate()?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let id = request.id();
+        if let Some(r) = self.responses.get(&id.0) {
+            self.response_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r);
+        }
+        let plan = Planner::new(self).plan(request)?;
+        let mut responses = Executor::new(self).run(&plan)?;
+        let response = responses
+            .pop()
+            .ok_or_else(|| GhrError::internal("plan produced no response".to_string()))?;
+        self.responses.insert(id.0, Arc::clone(&response));
+        Ok(response)
+    }
+
+    /// Lower a request into its plan without executing anything (the
+    /// `ghr plan` dry run).
+    pub fn plan(&self, request: &Request) -> Result<Plan> {
+        Planner::new(self).plan(request)
+    }
+
+    /// Lower several requests into one combined, cross-request-deduplicated
+    /// plan without executing anything.
+    pub fn plan_many(&self, requests: &[Request]) -> Result<Plan> {
+        Planner::new(self).plan_many(requests)
+    }
+
+    // -----------------------------------------------------------------
+    // Work-item evaluation (the executor's fan target)
+    // -----------------------------------------------------------------
+
+    /// Whether `item` would be answered from a cache right now, without
+    /// cloning anything or touching any counter — the planner's probe.
+    pub(crate) fn probe_item(&self, item: &WorkItem) -> bool {
+        let in_memory = match item {
+            WorkItem::CorunSeries(cfg) => self.series.contains(cfg),
+            WorkItem::CorunPoint(cfg, i) => self.corun_pts.contains(&(*cfg, *i)),
+            WorkItem::Gpu { .. } | WorkItem::WhatIf { .. } => self.points.contains(item),
+        };
+        in_memory
+            || self
+                .store
+                .as_ref()
+                .is_some_and(|s| s.contains(&format!("{item:?}")))
+    }
+
+    /// Evaluate (or cache-fill) one work item. Results land in the item
+    /// caches; the assembly re-reads them as hits.
+    pub(crate) fn eval_item(&self, item: &WorkItem) -> Result<()> {
+        match *item {
+            WorkItem::Gpu {
+                region,
+                m,
+                elem,
+                acc,
+                supply_bits,
+            } => {
+                self.gpu_point(
+                    &region,
+                    m,
+                    elem,
+                    acc,
+                    supply_bits.map(|bits| Bandwidth::gbps(f64::from_bits(bits))),
+                )?;
+            }
+            WorkItem::CorunSeries(cfg) => {
+                self.corun_series(&cfg)?;
+            }
+            WorkItem::CorunPoint(cfg, i) => {
+                self.corun_point_a2(&cfg, i)?;
+            }
+            WorkItem::WhatIf { scenario, case } => {
+                self.whatif_point(scenario, case)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fan a stage's items across the pool (see [`Engine::map_grid`]).
+    pub(crate) fn map_items(&self, items: &[WorkItem]) -> Result<()> {
+        self.map_grid(items, |item| self.eval_item(item))?
+            .into_iter()
+            .collect()
     }
 
     /// Fan `f` over `items` and return results in item order. Uses the
@@ -386,7 +545,7 @@ impl Engine {
 
     /// Memoized scalar evaluation: in-process cache, then the persistent
     /// store, then `eval` (whose result feeds both).
-    fn cached(&self, key: PointKey, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
+    fn cached(&self, key: WorkItem, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.points.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -405,9 +564,9 @@ impl Engine {
     }
 
     /// Bandwidth (GB/s) of one GPU kernel timing, memoized. This is the
-    /// primitive under [`Engine::sweep`], [`Engine::table1`] and
-    /// [`Engine::autotune`]; its key is the *resolved* region geometry, so
-    /// the same point reached through different drivers hits the cache.
+    /// primitive under every sweep, Table 1 and autotune item; its key is
+    /// the *resolved* region geometry, so the same point reached through
+    /// different requests hits the cache.
     pub fn gpu_point(
         &self,
         region: &TargetRegion,
@@ -416,8 +575,7 @@ impl Engine {
         acc: DType,
         supply: Option<Bandwidth>,
     ) -> Result<f64> {
-        let key = PointKey::Gpu {
-            fingerprint: self.fingerprint,
+        let key = WorkItem::Gpu {
             region: *region,
             m,
             elem,
@@ -445,47 +603,109 @@ impl Engine {
         )
     }
 
-    /// Run a Fig. 1 sweep with the full grid fanned across the pool. Point
-    /// order and values are bit-identical to [`GpuSweep::run`].
-    pub fn sweep(&self, sweep: &GpuSweep) -> Result<SweepResult> {
-        let mut grid = Vec::with_capacity(sweep.grid_size());
-        for &v in &sweep.vs {
-            for &teams in &sweep.teams_axis {
-                grid.push((v, teams));
-            }
-        }
-        let gbps = self.map_grid(&grid, |&(v, teams)| self.sweep_point(sweep, teams, v))?;
-        let mut points = Vec::with_capacity(grid.len());
-        for (&(v, teams), g) in grid.iter().zip(gbps) {
-            points.push(SweepPoint {
-                teams_axis: teams,
-                v,
-                gbps: g?,
-            });
-        }
-        Ok(SweepResult {
-            sweep: sweep.clone(),
-            points,
-            mode: SweepMode::Exhaustive,
-        })
-    }
-
     /// One point of a Fig. 1 sweep (memoized like any other GPU point).
     fn sweep_point(&self, sweep: &GpuSweep, teams: u64, v: u32) -> Result<f64> {
         let region = TargetRegion::optimized(teams, v).with_thread_limit(sweep.thread_limit);
         self.gpu_point(&region, sweep.m, sweep.case.elem(), sweep.case.acc(), None)
     }
 
-    /// Run a sweep in the requested [`SweepMode`].
-    pub fn sweep_mode(&self, sweep: &GpuSweep, mode: SweepMode) -> Result<SweepResult> {
-        match mode {
-            SweepMode::Exhaustive => self.sweep(sweep),
-            SweepMode::Refined => self.sweep_refined(sweep),
+    /// One co-execution series, memoized, in whatever granularity its
+    /// allocation site dictates (see the module docs). An A1 series is
+    /// stateful across `p` and evaluated whole; an A2 series is stitched
+    /// from its independently cached per-`p` points — when the executor
+    /// has already fanned those points, this is pure cache traffic.
+    pub(crate) fn corun_series(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.series.get(config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(s);
         }
+        let s = match config.alloc {
+            AllocSite::A1 => {
+                let skey = format!("{:?}", WorkItem::CorunSeries(*config));
+                if let Some(points) = self.store_get(&skey, store::decode_corun_points) {
+                    Arc::new(CorunSeries {
+                        config: *config,
+                        points,
+                    })
+                } else {
+                    let s = Arc::new(run_corun(&self.machine, config)?);
+                    self.evaluated.fetch_add(1, Ordering::Relaxed);
+                    self.store_put(skey, store::encode_corun_points(&s.points));
+                    s
+                }
+            }
+            AllocSite::A2 => {
+                let points = (0..=config.p_steps)
+                    .map(|i| self.corun_point_a2(config, i))
+                    .collect::<Result<Vec<_>>>()?;
+                Arc::new(CorunSeries {
+                    config: *config,
+                    points,
+                })
+            }
+        };
+        self.series.insert(*config, Arc::clone(&s));
+        Ok(s)
     }
 
-    /// Coarse-to-fine sweep: find the same [`SweepResult::best`] as the
-    /// exhaustive grid while evaluating only a fraction of it.
+    /// One `p` point of an A2 co-run series, memoized individually —
+    /// byte-identical to the corresponding point of the sequential
+    /// [`run_corun`] loop (each A2 iteration re-allocates, so no state
+    /// crosses `p`; see [`run_corun_point`]).
+    fn corun_point_a2(&self, config: &CorunConfig, i: u32) -> Result<CorunPoint> {
+        let key = (*config, i);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = self.corun_pts.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        let skey = format!("{:?}", WorkItem::CorunPoint(*config, i));
+        if let Some(p) = self.store_get(&skey, store::decode_corun_point) {
+            self.corun_pts.insert(key, p);
+            return Ok(p);
+        }
+        let p = run_corun_point(&self.machine, config, i)?;
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.store_put(skey, store::encode_corun_point(&p));
+        self.corun_pts.insert(key, p);
+        Ok(p)
+    }
+
+    /// One what-if point: the baseline code under a runtime scenario, or
+    /// (`scenario == None`) the optimized source-level-V reference.
+    fn whatif_point(&self, scenario: Option<RuntimeScenario>, case: Case) -> Result<f64> {
+        let key = WorkItem::WhatIf { scenario, case };
+        self.cached(key, || {
+            let gbps = match scenario {
+                Some(sc) => {
+                    let model = whatif::model_for(&self.machine, sc);
+                    let launch = whatif::baseline_launch(&self.machine, case, sc);
+                    model.reduce(&launch)?.effective_bw.as_gbps()
+                }
+                None => {
+                    let model = GpuModel::new(self.machine.gpu.clone());
+                    let launch = ghr_gpusim::calibrate::optimized_launch(match case {
+                        Case::C1 => 1,
+                        Case::C2 => 2,
+                        Case::C3 => 3,
+                        Case::C4 => 4,
+                    });
+                    model.reduce(&launch)?.effective_bw.as_gbps()
+                }
+            };
+            Ok(gbps)
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Refinement and assembly (the executor's read-back path)
+    // -----------------------------------------------------------------
+
+    /// The refined sweep's adaptive follow-up: given the coarse largest-`V`
+    /// pass (already in cache after the plan's coarse stage), binary-search
+    /// each in-band teams column for the smallest `V` still inside the
+    /// 0.1% hysteresis band of [`SweepResult::best`].
     ///
     /// Exploits one model property, pinned by the exhaustive sweep tests
     /// (`bandwidth_monotone_in_v_at_fixed_teams`): **at a fixed teams
@@ -494,45 +714,31 @@ impl Engine {
     /// Nothing is assumed about the shape along the teams axis (at small
     /// element counts the series rise and then *fall* as teams outgrow the
     /// work, so a plateau at the largest teams value cannot be assumed).
-    ///
-    /// 1. **Coarse pass**: evaluate the largest-`V` series over the whole
-    ///    teams axis (fanned across the pool). By column monotonicity it
-    ///    dominates every column, so its maximum is the grid's true
-    ///    maximum `M`, and only teams values where it reaches the 0.1%
-    ///    hysteresis band of [`SweepResult::best`] can host *any* in-band
-    ///    point.
-    /// 2. **Fine pass**: for each in-band teams value, binary-search the
-    ///    smallest `V` still in band (each column is sorted, so
-    ///    ≤ log2(|vs|) probes). The lexicographically smallest
-    ///    `(V, teams)` among those column minima is exactly the point the
-    ///    exhaustive sweep's `best()` returns.
+    /// By column monotonicity the largest-`V` series dominates every
+    /// column, so its maximum is the grid's true maximum, and only teams
+    /// values reaching its band can host any in-band point; each of those
+    /// columns is sorted, so ≤ log2(|vs|) probes find its minimum. The
+    /// lexicographically smallest `(V, teams)` among those column minima
+    /// is exactly the point the exhaustive sweep's `best()` returns.
     ///
     /// The returned result holds only the evaluated points (reported via
     /// [`SweepResult::coverage`] and the engine's `sweep_evaluated` /
     /// `sweep_skipped` counters), and its `best()` is the same point —
     /// bit-identical bandwidth — as the exhaustive sweep's. Falls back to
-    /// the exhaustive path when the space is degenerate or too small for
-    /// refinement to pay for itself.
-    pub fn sweep_refined(&self, sweep: &GpuSweep) -> Result<SweepResult> {
-        let mut vs_sorted = sweep.vs.clone();
-        vs_sorted.sort_unstable();
-        vs_sorted.dedup();
-        // Worst case: the coarse pass plus one binary search per teams
-        // value. If that cannot undercut the full grid (tiny spaces),
-        // refinement has nothing to offer.
-        let log2_vs = usize::BITS - vs_sorted.len().leading_zeros();
-        let worst = sweep.teams_axis.len() * (1 + log2_vs as usize);
-        if vs_sorted.len() < 2 || sweep.teams_axis.is_empty() || worst >= sweep.grid_size() {
-            return self.sweep(sweep);
-        }
-        let v_max = *vs_sorted.last().expect("non-empty vs");
+    /// the exhaustive grid when the space is degenerate or too small for
+    /// refinement to pay for itself ([`refine_axes`] — the same predicate
+    /// the planner lowers with, so plan and execution always agree).
+    pub(crate) fn refine_search(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        let Some((vs_sorted, v_max)) = refine_axes(sweep) else {
+            return self.assemble_sweep_exhaustive(sweep);
+        };
 
-        // 1. Coarse pass: the dominating largest-V series, whole axis.
-        let coarse = self.map_grid(&sweep.teams_axis, |&t| self.sweep_point(sweep, t, v_max))?;
+        // 1. Coarse pass: the dominating largest-V series, whole axis
+        // (cache hits when the plan's coarse stage ran first).
         let mut evaluated: Vec<SweepPoint> = Vec::with_capacity(sweep.teams_axis.len() + 8);
         let mut max = f64::NEG_INFINITY;
-        for (&t, g) in sweep.teams_axis.iter().zip(coarse) {
-            let gbps = g?;
+        for &t in &sweep.teams_axis {
+            let gbps = self.sweep_point(sweep, t, v_max)?;
             max = max.max(gbps);
             evaluated.push(SweepPoint {
                 teams_axis: t,
@@ -584,35 +790,166 @@ impl Engine {
         })
     }
 
+    /// Assemble the full (v-major, teams-minor) grid from the point cache
+    /// — pure hits after the plan's grid stage ran.
+    fn assemble_sweep_exhaustive(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        let mut points = Vec::with_capacity(sweep.grid_size());
+        for &v in &sweep.vs {
+            for &teams in &sweep.teams_axis {
+                points.push(SweepPoint {
+                    teams_axis: teams,
+                    v,
+                    gbps: self.sweep_point(sweep, teams, v)?,
+                });
+            }
+        }
+        Ok(SweepResult {
+            sweep: sweep.clone(),
+            points,
+            mode: SweepMode::Exhaustive,
+        })
+    }
+
+    /// Assemble the typed response for one request from the warm caches.
+    /// `refined` holds the adaptive stages' results keyed by their sweep
+    /// (an adaptive search cannot be re-read from the point cache alone —
+    /// *which* points it probed is part of the result).
+    pub(crate) fn assemble(
+        &self,
+        request: &Request,
+        refined: &HashMap<GpuSweep, SweepResult>,
+    ) -> Result<Response> {
+        match request {
+            Request::Sweep { sweep, mode } => {
+                let result = match mode {
+                    SweepMode::Exhaustive => self.assemble_sweep_exhaustive(sweep)?,
+                    SweepMode::Refined => match refined.get(sweep) {
+                        Some(r) => r.clone(),
+                        // Degenerate space: the planner lowered the full
+                        // grid and refine_search falls back to it too.
+                        None => self.refine_search(sweep)?,
+                    },
+                };
+                Ok(Response::Sweep(result))
+            }
+            Request::Table1 => {
+                let peak_gbps = self.machine.gpu.hbm_peak_bw.as_gbps();
+                let mut rows = Vec::with_capacity(4);
+                for case in Case::ALL {
+                    let base_gbps = self.spec_gbps_paper(&ReductionSpec::baseline(case))?;
+                    let opt_gbps = self.spec_gbps_paper(&ReductionSpec::optimized_paper(case))?;
+                    rows.push(Table1Row {
+                        case,
+                        base_gbps,
+                        opt_gbps,
+                        speedup: opt_gbps / base_gbps,
+                        eff_base: base_gbps / peak_gbps,
+                        eff_opt: opt_gbps / peak_gbps,
+                    });
+                }
+                Ok(Response::Table1(Table1 { peak_gbps, rows }))
+            }
+            Request::Corun { configs } => Ok(Response::Corun(
+                configs
+                    .iter()
+                    .map(|cfg| self.corun_series(cfg))
+                    .collect::<Result<Vec<_>>>()?,
+            )),
+            Request::Study { m, n_reps } => {
+                let mut out = CorunStudy {
+                    a1_base: Vec::with_capacity(4),
+                    a1_opt: Vec::with_capacity(4),
+                    a2_base: Vec::with_capacity(4),
+                    a2_opt: Vec::with_capacity(4),
+                };
+                for (i, cfg) in study::study_configs(*m, *n_reps).iter().enumerate() {
+                    let s = (*self.corun_series(cfg)?).clone();
+                    match i % 4 {
+                        0 => out.a1_base.push(s),
+                        1 => out.a1_opt.push(s),
+                        2 => out.a2_base.push(s),
+                        _ => out.a2_opt.push(s),
+                    }
+                }
+                Ok(Response::Study(out))
+            }
+            Request::WhatIf => {
+                let mut rows = Vec::with_capacity(whatif::SCENARIOS.len());
+                for scenario in whatif::SCENARIOS {
+                    let mut gbps = [0.0; 4];
+                    for (g, case) in gbps.iter_mut().zip(Case::ALL) {
+                        *g = self.whatif_point(Some(scenario), case)?;
+                    }
+                    rows.push(WhatIfRow { scenario, gbps });
+                }
+                let mut optimized_gbps = [0.0; 4];
+                for (g, case) in optimized_gbps.iter_mut().zip(Case::ALL) {
+                    *g = self.whatif_point(None, case)?;
+                }
+                Ok(Response::WhatIf(WhatIfStudy {
+                    rows,
+                    optimized_gbps,
+                }))
+            }
+            Request::Autotune { cases, m } => {
+                let mut out = Vec::with_capacity(cases.len());
+                for &case in cases {
+                    let sweep = autotune_sweep(case, *m);
+                    let result = match refined.get(&sweep) {
+                        Some(r) => r.clone(),
+                        None => self.refine_search(&sweep)?,
+                    };
+                    let best = result.best();
+                    out.push(TunedConfig {
+                        case,
+                        teams_axis: best.teams_axis,
+                        v: best.v,
+                        gbps: best.gbps,
+                    });
+                }
+                Ok(Response::Autotune(out))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Typed shorthands (each builds and runs the equivalent request)
+    // -----------------------------------------------------------------
+
+    /// Run a Fig. 1 sweep over the full grid, fanned across the pool.
+    /// Point order and values are bit-identical to [`GpuSweep::run`].
+    pub fn sweep(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        Ok(self
+            .run(&Request::Sweep {
+                sweep: sweep.clone(),
+                mode: SweepMode::Exhaustive,
+            })?
+            .sweep()?
+            .clone())
+    }
+
+    /// Run a sweep in the requested [`SweepMode`].
+    pub fn sweep_mode(&self, sweep: &GpuSweep, mode: SweepMode) -> Result<SweepResult> {
+        Ok(self
+            .run(&Request::Sweep {
+                sweep: sweep.clone(),
+                mode,
+            })?
+            .sweep()?
+            .clone())
+    }
+
+    /// Coarse-to-fine sweep: the same [`SweepResult::best`] as the
+    /// exhaustive grid while evaluating only a fraction of it (see
+    /// [`Engine::refine_search`] for the algorithm and its invariant).
+    pub fn sweep_refined(&self, sweep: &GpuSweep) -> Result<SweepResult> {
+        self.sweep_mode(sweep, SweepMode::Refined)
+    }
+
     /// Regenerate Table 1 with the eight kernel timings fanned across the
     /// pool (memoized equivalent of [`crate::table1::table1`]).
     pub fn table1(&self) -> Result<Table1> {
-        let peak_gbps = self.machine.gpu.hbm_peak_bw.as_gbps();
-        let mut specs = Vec::with_capacity(8);
-        for case in Case::ALL {
-            specs.push(ReductionSpec::baseline(case));
-            specs.push(ReductionSpec::optimized_paper(case));
-        }
-        let gbps = self.map_grid(&specs, |spec| self.spec_gbps_paper(spec))?;
-        let mut gbps = gbps.into_iter();
-        let mut next = |what: &str| {
-            gbps.next()
-                .ok_or_else(|| GhrError::internal(format!("table1 grid lost its {what}")))?
-        };
-        let mut rows = Vec::with_capacity(4);
-        for case in Case::ALL {
-            let base_gbps = next("baseline point")?;
-            let opt_gbps = next("optimized point")?;
-            rows.push(Table1Row {
-                case,
-                base_gbps,
-                opt_gbps,
-                speedup: opt_gbps / base_gbps,
-                eff_base: base_gbps / peak_gbps,
-                eff_opt: opt_gbps / peak_gbps,
-            });
-        }
-        Ok(Table1 { peak_gbps, rows })
+        Ok(self.run(&Request::Table1)?.table1()?.clone())
     }
 
     /// Autotune one case over the paper's space at the paper's scale.
@@ -622,101 +959,60 @@ impl Engine {
 
     /// Autotune at a reduced element count (for tests). The underlying
     /// sweep runs in [`SweepMode::Refined`] — it returns the same best
-    /// point as the full grid while probing only a fraction of it — and
-    /// shares the Fig. 1 cache, so after `ghr fig1` the tuning is pure
-    /// cache hits.
+    /// point as the full grid while probing only a fraction of it.
     pub fn autotune_scaled(&self, case: Case, m: u64) -> Result<TunedConfig> {
-        let result = self.sweep_refined(&GpuSweep::paper_scaled(case, m))?;
-        let best = result.best();
-        Ok(TunedConfig {
-            case,
-            teams_axis: best.teams_axis,
-            v: best.v,
-            gbps: best.gbps,
-        })
-    }
-
-    /// Autotune all four cases (each case's sweep fans its own grid).
-    pub fn autotune_all(&self) -> Result<Vec<TunedConfig>> {
-        Case::ALL.into_iter().map(|c| self.autotune(c)).collect()
-    }
-
-    /// One co-execution series, memoized. The cache granule depends on
-    /// the allocation site (see the module docs): an A1 series is
-    /// stateful across `p` and cached whole; an A2 series is assembled
-    /// from its independent per-`p` points, each fanned across the pool
-    /// and cached (in process and persistently) on its own.
-    pub fn corun(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
-        let key = (self.fingerprint, *config);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(s) = self.series.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(s);
-        }
-        let s = match config.alloc {
-            AllocSite::A1 => {
-                let skey = format!("corun-series {config:?}");
-                if let Some(points) = self.store_get(&skey, store::decode_corun_points) {
-                    Arc::new(CorunSeries {
-                        config: *config,
-                        points,
-                    })
-                } else {
-                    let s = Arc::new(run_corun(&self.machine, config)?);
-                    self.evaluated.fetch_add(1, Ordering::Relaxed);
-                    self.store_put(skey, store::encode_corun_points(&s.points));
-                    s
-                }
-            }
-            AllocSite::A2 => {
-                let idxs: Vec<u32> = (0..=config.p_steps).collect();
-                let points = self
-                    .map_grid(&idxs, |&i| self.corun_point_a2(config, i))?
-                    .into_iter()
-                    .collect::<Result<Vec<_>>>()?;
-                Arc::new(CorunSeries {
-                    config: *config,
-                    points,
-                })
-            }
-        };
-        self.series.insert(key, Arc::clone(&s));
-        Ok(s)
-    }
-
-    /// One `p` point of an A2 co-run series, memoized individually —
-    /// byte-identical to the corresponding point of the sequential
-    /// [`run_corun`] loop (each A2 iteration re-allocates, so no state
-    /// crosses `p`; see [`run_corun_point`]).
-    fn corun_point_a2(&self, config: &CorunConfig, i: u32) -> Result<CorunPoint> {
-        let key = (self.fingerprint, *config, i);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(p) = self.corun_pts.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(p);
-        }
-        let skey = format!("corun-point {i} {config:?}");
-        if let Some(p) = self.store_get(&skey, store::decode_corun_point) {
-            self.corun_pts.insert(key, p);
-            return Ok(p);
-        }
-        let p = run_corun_point(&self.machine, config, i)?;
-        self.evaluated.fetch_add(1, Ordering::Relaxed);
-        self.store_put(skey, store::encode_corun_point(&p));
-        self.corun_pts.insert(key, p);
-        Ok(p)
-    }
-
-    /// Evaluate several co-run series, fanned across the pool; results
-    /// come back in config order.
-    pub fn corun_many(&self, configs: &[CorunConfig]) -> Result<Vec<Arc<CorunSeries>>> {
-        self.map_grid(configs, |cfg| self.corun(cfg))?
+        let tuned = self
+            .run(&Request::Autotune {
+                cases: vec![case],
+                m: Some(m),
+            })?
+            .autotune()?
+            .to_vec();
+        tuned
             .into_iter()
-            .collect()
+            .next()
+            .ok_or_else(|| GhrError::internal("autotune produced no config".to_string()))
     }
 
-    /// The full Section IV study at the paper's scale, its sixteen series
-    /// fanned across the pool.
+    /// Autotune all four cases in one request.
+    pub fn autotune_all(&self) -> Result<Vec<TunedConfig>> {
+        Ok(self
+            .run(&Request::Autotune {
+                cases: Case::ALL.to_vec(),
+                m: None,
+            })?
+            .autotune()?
+            .to_vec())
+    }
+
+    /// One co-execution series, memoized (see the module docs for the
+    /// A1/A2 granularity split).
+    pub fn corun(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
+        let response = self.run(&Request::Corun {
+            configs: vec![*config],
+        })?;
+        let series = response.corun()?;
+        series
+            .first()
+            .cloned()
+            .ok_or_else(|| GhrError::internal("corun produced no series".to_string()))
+    }
+
+    /// Evaluate several co-run series in one request; results come back
+    /// in config order.
+    pub fn corun_many(&self, configs: &[CorunConfig]) -> Result<Vec<Arc<CorunSeries>>> {
+        if configs.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .run(&Request::Corun {
+                configs: configs.to_vec(),
+            })?
+            .corun()?
+            .to_vec())
+    }
+
+    /// The full Section IV study at the paper's scale.
     pub fn full_study(&self) -> Result<CorunStudy> {
         self.full_study_scaled(None, None)
     }
@@ -725,119 +1021,14 @@ impl Engine {
     /// equivalent of [`crate::study::run_full_study_scaled`], assembling
     /// buckets in the same order.
     pub fn full_study_scaled(&self, m: Option<u64>, n_reps: Option<u32>) -> Result<CorunStudy> {
-        let mut configs = Vec::with_capacity(16);
-        for case in Case::ALL {
-            let (base, opt) = study::kinds(case);
-            for (kind, alloc) in [
-                (base, AllocSite::A1),
-                (opt, AllocSite::A1),
-                (base, AllocSite::A2),
-                (opt, AllocSite::A2),
-            ] {
-                let mut cfg = CorunConfig::paper(case, kind, alloc);
-                if let Some(m) = m {
-                    cfg.m = case.m_scaled(m);
-                }
-                if let Some(n) = n_reps {
-                    cfg.n_reps = n;
-                }
-                configs.push(cfg);
-            }
-        }
-        let series = self.map_grid(&configs, |cfg| self.corun(cfg))?;
-        let mut out = CorunStudy {
-            a1_base: Vec::with_capacity(4),
-            a1_opt: Vec::with_capacity(4),
-            a2_base: Vec::with_capacity(4),
-            a2_opt: Vec::with_capacity(4),
-        };
-        for (i, s) in series.into_iter().enumerate() {
-            let s = (*s?).clone();
-            match i % 4 {
-                0 => out.a1_base.push(s),
-                1 => out.a1_opt.push(s),
-                2 => out.a2_base.push(s),
-                _ => out.a2_opt.push(s),
-            }
-        }
-        Ok(out)
-    }
-
-    /// One what-if point: the baseline code under a runtime scenario, or
-    /// (`scenario == None`) the optimized source-level-V reference.
-    fn whatif_point(&self, scenario: Option<RuntimeScenario>, case: Case) -> Result<f64> {
-        let key = PointKey::WhatIf {
-            fingerprint: self.fingerprint,
-            scenario,
-            case,
-        };
-        self.cached(key, || {
-            let gbps = match scenario {
-                Some(sc) => {
-                    let model = whatif::model_for(&self.machine, sc);
-                    let launch = whatif::baseline_launch(&self.machine, case, sc);
-                    model.reduce(&launch)?.effective_bw.as_gbps()
-                }
-                None => {
-                    let model = GpuModel::new(self.machine.gpu.clone());
-                    let launch = ghr_gpusim::calibrate::optimized_launch(match case {
-                        Case::C1 => 1,
-                        Case::C2 => 2,
-                        Case::C3 => 3,
-                        Case::C4 => 4,
-                    });
-                    model.reduce(&launch)?.effective_bw.as_gbps()
-                }
-            };
-            Ok(gbps)
-        })
+        Ok(self.run(&Request::Study { m, n_reps })?.study()?.clone())
     }
 
     /// The what-if study (runtime-side recovery of the baseline deficit),
     /// its 20 points fanned across the pool — the parallel, memoized
     /// equivalent of [`crate::whatif::whatif_study`].
     pub fn whatif(&self) -> Result<WhatIfStudy> {
-        let scenarios = [
-            RuntimeScenario::AsShipped,
-            RuntimeScenario::SaturatingGrid { waves: 4 },
-            RuntimeScenario::TwoPassCombine,
-            RuntimeScenario::Both { waves: 4 },
-        ];
-        let mut grid: Vec<(Option<RuntimeScenario>, Case)> =
-            Vec::with_capacity(scenarios.len() * 4 + 4);
-        for scenario in scenarios {
-            for case in Case::ALL {
-                grid.push((Some(scenario), case));
-            }
-        }
-        for case in Case::ALL {
-            grid.push((None, case));
-        }
-        let gbps = self.map_grid(&grid, |&(scenario, case)| self.whatif_point(scenario, case))?;
-        let mut gbps = gbps.into_iter();
-        let mut next = |what: &str| {
-            gbps.next()
-                .ok_or_else(|| GhrError::internal(format!("what-if grid lost a {what}")))?
-        };
-        let mut rows = Vec::with_capacity(scenarios.len());
-        for scenario in scenarios {
-            let mut row = [0.0; 4];
-            for g in row.iter_mut() {
-                *g = next("scenario point")?;
-            }
-            rows.push(WhatIfRow {
-                scenario,
-                gbps: row,
-            });
-        }
-        let mut optimized_gbps = [0.0; 4];
-        for g in optimized_gbps.iter_mut() {
-            *g = next("optimized point")?;
-        }
-        Ok(WhatIfStudy {
-            rows,
-            optimized_gbps,
-        })
+        Ok(self.run(&Request::WhatIf)?.whatif()?.clone())
     }
 }
 
@@ -904,6 +1095,17 @@ mod tests {
     }
 
     #[test]
+    fn fresh_engine_rates_are_zero_not_nan() {
+        let s = engine(1).stats();
+        assert_eq!(s.lookups, 0);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.response_hit_rate(), 0.0);
+        assert!(!s.hit_rate().is_nan());
+        assert!(!s.response_hit_rate().is_nan());
+    }
+
+    #[test]
     fn supply_cap_is_part_of_the_key() {
         let e = engine(1);
         let region = TargetRegion::optimized(65536, 4);
@@ -958,6 +1160,43 @@ mod tests {
     }
 
     #[test]
+    fn repeated_request_is_a_response_hit_with_no_new_work() {
+        let e = engine(1);
+        let first = e.table1().unwrap();
+        let after_first = e.stats();
+        assert_eq!(after_first.evaluated, 8, "{after_first:?}");
+        let second = e.table1().unwrap();
+        let s = e.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.response_hits, 1, "{s:?}");
+        assert_eq!(
+            s.lookups, after_first.lookups,
+            "a response hit must not re-walk the point caches"
+        );
+        assert_eq!(s.evaluated, 8);
+        assert!((s.response_hit_rate() - 0.5).abs() < 1e-12);
+        for (a, b) in first.rows.iter().zip(&second.rows) {
+            assert_eq!(a.base_gbps.to_bits(), b.base_gbps.to_bits());
+            assert_eq!(a.opt_gbps.to_bits(), b.opt_gbps.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_records_stage_timings() {
+        let e = engine(2);
+        e.table1().unwrap();
+        let timings = e.stage_timings();
+        assert_eq!(timings.len(), 2, "{timings:?}");
+        assert!(timings[0].name.contains("kernels"), "{timings:?}");
+        assert_eq!(timings[0].evaluated, 8);
+        assert_eq!(timings[1].name, "assemble");
+        assert_eq!(timings[1].evaluated, 0, "assembly must be pure hits");
+        // A response hit adds no stages.
+        e.table1().unwrap();
+        assert_eq!(e.stage_timings().len(), 2);
+    }
+
+    #[test]
     fn a2_series_assembled_from_points_matches_sequential_run() {
         let cfg = CorunConfig::paper(
             Case::C1,
@@ -988,11 +1227,15 @@ mod tests {
         e.corun(&cfg).unwrap();
         let s = e.stats();
         assert_eq!(s.evaluated, 11, "one evaluation per p point: {s:?}");
-        assert_eq!(s.lookups, 12, "one series + eleven point lookups: {s:?}");
+        // 11 fanned point evaluations + the assembly's series probe and
+        // its 11 point re-reads (all hits).
+        assert_eq!(s.lookups, 23, "{s:?}");
+        assert_eq!(s.hits, 11, "{s:?}");
         e.corun(&cfg).unwrap();
         let s = e.stats();
         assert_eq!(s.evaluated, 11, "{s:?}");
-        assert_eq!(s.hits, 1, "second run is one series hit: {s:?}");
+        assert_eq!(s.response_hits, 1, "repeat is a whole-response hit: {s:?}");
+        assert_eq!(s.lookups, 23, "{s:?}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! | [`mod@table1`] | Table 1 — baseline vs optimized, speedup, efficiency |
 //! | [`autotune`] | the "pick the saturating (teams, V)" step of Section IV |
 //! | [`corun`] | Figs. 2a/2b/3/4a/4b/5 — CPU+GPU co-execution in UM mode |
+//! | [`request`] | declarative experiment requests and typed responses |
+//! | [`plan`] | lowering a request into a deduplicated DAG of work items |
+//! | [`exec`] | walking a plan on the pool with per-stage accounting |
 //! | [`engine`] | parallel, memoized evaluation of every grid above |
 //! | [`verify`] | result verification against the serial reference |
 //! | [`report`] | markdown/CSV rendering shared by the drivers and the CLI |
@@ -29,11 +32,14 @@ pub mod autotune;
 pub mod case;
 pub mod corun;
 pub mod engine;
+pub mod exec;
 pub mod explain;
+pub mod plan;
 pub mod plot;
 pub mod pricing;
 pub mod reduction;
 pub mod report;
+pub mod request;
 pub mod sched;
 pub mod store;
 pub mod study;
@@ -46,7 +52,10 @@ pub mod workload;
 pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
 pub use engine::{Engine, EngineStats};
+pub use exec::Executor;
+pub use plan::{Plan, Planner, Stage, StageKind, WorkItem};
 pub use reduction::{KernelKind, ReductionSpec};
+pub use request::{Request, Response};
 pub use store::{resolve_cache_dir, PersistentStore};
 pub use study::{run_full_study, CorunStudy, StudySummary};
 pub use sweep::{GpuSweep, SweepMode, SweepResult};

@@ -40,8 +40,10 @@ use ghr_types::{Bytes, SimTime};
 
 /// Version of the on-disk record format. Bump whenever the key or value
 /// encoding changes meaning; old files are then ignored (different file
-/// name *and* rejected header) and rebuilt.
-pub const SCHEMA_VERSION: u32 = 1;
+/// name *and* rejected header) and rebuilt. v2: keys are the engine's
+/// `WorkItem` renders (the machine fingerprint moved out of the key and
+/// into the file name alone).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Resolve the cache directory: `explicit` (a CLI flag), then the
 /// `GHR_CACHE_DIR` environment variable, then `$XDG_CACHE_HOME/ghr`, then
@@ -146,6 +148,12 @@ impl PersistentStore {
     /// Look up a value by key.
     pub fn get(&self, key: &str) -> Option<String> {
         self.lock().get(key).cloned()
+    }
+
+    /// Whether a value exists for `key` — the planner's dry-run probe,
+    /// which must not clone the value or touch any hit/miss counter.
+    pub fn contains(&self, key: &str) -> bool {
+        self.lock().contains_key(key)
     }
 
     /// Insert a value. Keys and values must be single-line and tab-free

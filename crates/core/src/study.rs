@@ -57,6 +57,33 @@ pub(crate) fn kinds(case: Case) -> (KernelKind, KernelKind) {
     )
 }
 
+/// The study's sixteen configs in canonical order: for each case,
+/// (baseline, A1), (optimized, A1), (baseline, A2), (optimized, A2) —
+/// i.e. bucket `i % 4`. Shared by the serial driver and the engine's
+/// planner/assembly so both lower to identical cache keys.
+pub(crate) fn study_configs(m: Option<u64>, n_reps: Option<u32>) -> Vec<CorunConfig> {
+    let mut configs = Vec::with_capacity(16);
+    for case in Case::ALL {
+        let (base, opt) = kinds(case);
+        for (kind, alloc) in [
+            (base, AllocSite::A1),
+            (opt, AllocSite::A1),
+            (base, AllocSite::A2),
+            (opt, AllocSite::A2),
+        ] {
+            let mut cfg = CorunConfig::paper(case, kind, alloc);
+            if let Some(m) = m {
+                cfg.m = case.m_scaled(m);
+            }
+            if let Some(n) = n_reps {
+                cfg.n_reps = n;
+            }
+            configs.push(cfg);
+        }
+    }
+    configs
+}
+
 /// Run the full study at the paper's scale.
 pub fn run_full_study(machine: &MachineConfig) -> Result<CorunStudy> {
     run_full_study_scaled(machine, None, None)
@@ -75,22 +102,13 @@ pub fn run_full_study_scaled(
         a2_base: Vec::with_capacity(4),
         a2_opt: Vec::with_capacity(4),
     };
-    for case in Case::ALL {
-        let (base, opt) = kinds(case);
-        for (kind, alloc, bucket) in [
-            (base, AllocSite::A1, &mut study.a1_base),
-            (opt, AllocSite::A1, &mut study.a1_opt),
-            (base, AllocSite::A2, &mut study.a2_base),
-            (opt, AllocSite::A2, &mut study.a2_opt),
-        ] {
-            let mut cfg = CorunConfig::paper(case, kind, alloc);
-            if let Some(m) = m {
-                cfg.m = case.m_scaled(m);
-            }
-            if let Some(n) = n_reps {
-                cfg.n_reps = n;
-            }
-            bucket.push(run_corun(machine, &cfg)?);
+    for (i, cfg) in study_configs(m, n_reps).iter().enumerate() {
+        let series = run_corun(machine, cfg)?;
+        match i % 4 {
+            0 => study.a1_base.push(series),
+            1 => study.a1_opt.push(series),
+            2 => study.a2_base.push(series),
+            _ => study.a2_opt.push(series),
         }
     }
     Ok(study)

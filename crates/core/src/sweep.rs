@@ -8,7 +8,7 @@ use ghr_types::Result;
 
 /// The paper's sweep: teams axis 128..65536 (powers of two), V 1..32
 /// (powers of two), thread_limit 256.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuSweep {
     /// The evaluation case.

@@ -79,6 +79,30 @@ pub struct WhatIfStudy {
     pub optimized_gbps: [f64; 4],
 }
 
+/// The study's scenarios in report order. Shared by the serial driver and
+/// the engine's planner/assembly so both enumerate the same points.
+pub(crate) const SCENARIOS: [RuntimeScenario; 4] = [
+    RuntimeScenario::AsShipped,
+    RuntimeScenario::SaturatingGrid { waves: 4 },
+    RuntimeScenario::TwoPassCombine,
+    RuntimeScenario::Both { waves: 4 },
+];
+
+/// The study's full point grid in evaluation order: every scenario across
+/// the four cases, then the optimized (`None`) reference row.
+pub(crate) fn point_grid() -> Vec<(Option<RuntimeScenario>, Case)> {
+    let mut grid = Vec::with_capacity(SCENARIOS.len() * 4 + 4);
+    for scenario in SCENARIOS {
+        for case in Case::ALL {
+            grid.push((Some(scenario), case));
+        }
+    }
+    for case in Case::ALL {
+        grid.push((None, case));
+    }
+    grid
+}
+
 pub(crate) fn baseline_launch(
     machine: &MachineConfig,
     case: Case,
@@ -116,14 +140,8 @@ pub(crate) fn model_for(machine: &MachineConfig, scenario: RuntimeScenario) -> G
 
 /// Run the study at the paper's scale.
 pub fn whatif_study(machine: &MachineConfig) -> Result<WhatIfStudy> {
-    let scenarios = [
-        RuntimeScenario::AsShipped,
-        RuntimeScenario::SaturatingGrid { waves: 4 },
-        RuntimeScenario::TwoPassCombine,
-        RuntimeScenario::Both { waves: 4 },
-    ];
-    let mut rows = Vec::with_capacity(scenarios.len());
-    for scenario in scenarios {
+    let mut rows = Vec::with_capacity(SCENARIOS.len());
+    for scenario in SCENARIOS {
         let model = model_for(machine, scenario);
         let mut gbps = [0.0; 4];
         for (g, case) in gbps.iter_mut().zip(Case::ALL) {

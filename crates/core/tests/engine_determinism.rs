@@ -83,20 +83,23 @@ fn parallel_study_is_bit_identical_to_serial() {
 fn repeated_study_evaluates_each_series_once() {
     // 16 series: the 8 A1 series evaluate as one unit each, the 8 A2
     // series fan into 11 independently cached p points each (8 + 88 = 96
-    // evaluations, 16 series + 88 point lookups on a cold cache). A
-    // repeat answers from the 16 series entries alone.
+    // evaluations in the plan's fan stage). The assembly then re-reads
+    // everything as cache hits: 8 A1 series hits, plus 8 A2 series
+    // stitched from their 88 point hits. A repeated identical request is
+    // answered whole from the response cache — no new cache traffic.
     let e = Engine::new(machine(), 4);
     e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
         .unwrap();
     let first = e.stats();
     assert_eq!(first.evaluated, 96, "{first:?}");
-    assert_eq!(first.lookups, 104, "{first:?}");
-    assert_eq!(first.hits, 0, "{first:?}");
+    assert_eq!(first.lookups, 200, "{first:?}");
+    assert_eq!(first.hits, 96, "{first:?}");
     e.full_study_scaled(Some(M_SMALL), Some(REPS_SMALL))
         .unwrap();
     let second = e.stats();
     assert_eq!(second.evaluated, 96, "no new evaluations: {second:?}");
-    assert_eq!(second.hits, 16, "{second:?}");
+    assert_eq!(second.response_hits, 1, "{second:?}");
+    assert_eq!(second.lookups, 200, "a response hit is free: {second:?}");
 }
 
 #[test]

@@ -50,6 +50,14 @@ pub enum GhrError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// A declarative experiment request is malformed (empty grid, unknown
+    /// verb, response of the wrong shape). This is the diagnostic path of
+    /// the request → plan → execute pipeline and of `ghr serve`, where a
+    /// bad request line must produce an error reply, never a panic.
+    BadRequest {
+        /// Human-readable description of what was rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GhrError {
@@ -72,6 +80,7 @@ impl std::fmt::Display for GhrError {
             ),
             GhrError::UnsupportedDevice { detail } => write!(f, "unsupported device: {detail}"),
             GhrError::Internal { detail } => write!(f, "internal engine failure: {detail}"),
+            GhrError::BadRequest { detail } => write!(f, "bad request: {detail}"),
         }
     }
 }
@@ -98,6 +107,13 @@ impl GhrError {
     pub fn arg(what: &'static str, detail: impl Into<String>) -> Self {
         GhrError::InvalidArg {
             what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`GhrError::BadRequest`].
+    pub fn bad_request(detail: impl Into<String>) -> Self {
+        GhrError::BadRequest {
             detail: detail.into(),
         }
     }

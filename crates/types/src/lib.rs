@@ -16,11 +16,13 @@
 pub mod device;
 pub mod dtype;
 pub mod error;
+pub mod pipeline;
 pub mod stats;
 pub mod units;
 
 pub use device::Device;
 pub use dtype::{Accum, DType, Element};
 pub use error::{GhrError, Result};
+pub use pipeline::{PlanSummary, RequestId, StagePlan, StageTiming};
 pub use stats::Summary;
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# Serve-loop smoke test: start `ghr serve`, feed three requests (one a
+# duplicate) over a pipe, and require the warm duplicate to be answered
+# from the response cache with 0 evaluations — both in its frame header
+# and in the session's --stats-json object on stderr.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GHR="${GHR:-target/release/ghr}"
+if [ ! -x "$GHR" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+export GHR_CACHE_DIR="$WORK/cache"
+
+echo "==> serve session: table1, whatif, table1 (duplicate), quit"
+printf 'table1\nwhatif\ntable1\nquit\n' \
+    | "$GHR" serve --stats-json --threads 2 > "$WORK/out" 2> "$WORK/err"
+
+frames=$(grep -c '^ghr-response ' "$WORK/out")
+if [ "$frames" -ne 3 ]; then
+    echo "FAIL: expected 3 response frames, got $frames" >&2
+    cat "$WORK/out" >&2
+    exit 1
+fi
+grep '^ghr-response ' "$WORK/out"
+
+first=$(grep '^ghr-response ' "$WORK/out" | sed -n 1p)
+third=$(grep '^ghr-response ' "$WORK/out" | sed -n 3p)
+
+case "$first" in
+    *" status=ok "*) ;;
+    *) echo "FAIL: cold request did not succeed: $first" >&2; exit 1 ;;
+esac
+case "$third" in
+    *" evals=0 "*) ;;
+    *) echo "FAIL: warm duplicate re-evaluated: $third" >&2; exit 1 ;;
+esac
+case "$third" in
+    *" cached=yes"*) ;;
+    *) echo "FAIL: warm duplicate not served from the response cache: $third" >&2; exit 1 ;;
+esac
+if [ "${first##* id=}" = "$first" ] || \
+   [ "$(echo "$first" | sed 's/.* id=\([0-9a-f]*\).*/\1/')" != \
+     "$(echo "$third" | sed 's/.* id=\([0-9a-f]*\).*/\1/')" ]; then
+    echo "FAIL: duplicate request ids differ" >&2
+    exit 1
+fi
+
+# The duplicate bodies must be byte-identical: split the frames apart and
+# compare the first and third bodies.
+awk '/^ghr-response /{n++; next} /^ghr-end$/{next} {print > sprintf("'"$WORK"'/body%d", n)}' "$WORK/out"
+if ! cmp -s "$WORK/body1" "$WORK/body3"; then
+    echo "FAIL: duplicate response bodies differ" >&2
+    exit 1
+fi
+
+echo "==> --stats-json on stderr records the response hit"
+json=$(grep '^{' "$WORK/err")
+echo "$json"
+case "$json" in
+    *'"requests":3'*) ;;
+    *) echo "FAIL: stats JSON does not show 3 requests" >&2; exit 1 ;;
+esac
+case "$json" in
+    *'"response_hits":1'*) ;;
+    *) echo "FAIL: stats JSON does not show the response-cache hit" >&2; exit 1 ;;
+esac
+case "$json" in
+    *'"stages":['*'"name":"assemble"'*) ;;
+    *) echo "FAIL: stats JSON lacks per-stage executor timings" >&2; exit 1 ;;
+esac
+
+echo "serve smoke: OK"

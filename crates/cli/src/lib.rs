@@ -15,7 +15,8 @@
 //! ghr machine                   print the simulated node description
 //! ghr all <dir>                 write every artifact as markdown into dir
 //! ghr plan <command|all>        dry-run: print the lowered work-item DAG
-//! ghr serve [--socket PATH]     long-lived request loop over one warm engine
+//! ghr serve [--socket PATH]     concurrent request loop over one warm engine
+//! ghr client --socket PATH ...  send request lines to a serve socket
 //! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
 //! ```
 //!
@@ -49,16 +50,20 @@
 
 use ghr_core::{
     accuracy::accuracy_study,
+    autotune::TunedConfig,
     case::Case,
     corun::{AllocSite, CorunConfig, CorunSeries},
     engine::Engine,
     plot::AsciiChart,
     reduction::{KernelKind, ReductionSpec},
     report::{fmt_gbps, fmt_speedup, Table},
-    request::{corun_config, Request},
+    request::{corun_config, Request, Response},
     sched::{compare_policies, comparison_table},
-    sweep::GpuSweep,
+    study::CorunStudy,
+    sweep::{GpuSweep, SweepResult},
+    table1::Table1,
     verify,
+    whatif::WhatIfStudy,
 };
 use ghr_gpusim::calibrate;
 use ghr_machine::MachineConfig;
@@ -72,7 +77,7 @@ pub mod serve;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|cache> [args]\n\
+whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
      `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
@@ -81,8 +86,12 @@ whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|cache> 
      measurements;\n\
      `ghr plan <command|all>` prints the lowered work-item DAG (a dry run:\n\
      stages, items, predicted cache hits — nothing executes); `ghr serve\n\
-     [--socket PATH]` answers line-delimited experiment requests over one\n\
-     warm engine (quit/exit ends the session);\n\
+     [--socket PATH] [--sessions N] [--max-idle SECS]` answers line-delimited\n\
+     experiment requests over one warm engine — socket connections run\n\
+     concurrently on up to N sessions (default GHR_SESSIONS, then engine\n\
+     threads); quit/exit ends one session, `ghr-shutdown`/SIGTERM drains the\n\
+     server; `ghr client --socket PATH [request...]` sends request lines to\n\
+     a serve socket and prints the frames;\n\
      global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
      --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
      --stats-json (engine counters + per-stage timings as JSON on stderr),\n\
@@ -177,10 +186,16 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
     if cmd == "cache" {
         return cmd_cache(cache_dir.as_deref(), &rest);
     }
+    if cmd == "client" {
+        return cmd_client(&rest);
+    }
     let mut engine = Engine::new(MachineConfig::gh200(), opts.threads);
     if let Some(dir) = &cache_dir {
         engine = engine.with_store_dir(dir);
     }
+    // Serve sessions run on their own threads over this one engine, so it
+    // lives behind an `Arc`; every other command just derefs through it.
+    let engine = Arc::new(engine);
     let start = std::time::Instant::now();
     let mut out = dispatch(&engine, cmd, &rest)?;
     if let Err(e) = engine.flush_store() {
@@ -311,7 +326,7 @@ fn cache_store_files(dir: &std::path::Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-pub(crate) fn dispatch(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
+pub(crate) fn dispatch(engine: &Arc<Engine>, cmd: &str, rest: &[String]) -> Result<String, String> {
     let machine = engine.machine();
     match cmd {
         "machine" => cmd_machine(machine),
@@ -488,17 +503,44 @@ fn cmd_plan(engine: &Engine, rest: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `ghr serve [--socket PATH]` — the long-lived request loop (see
-/// [`serve`]). Frames stream to stdout (or the socket); the returned
-/// string stays empty so framing is never polluted.
-fn cmd_serve(engine: &Engine, rest: &[String]) -> Result<String, String> {
+/// `ghr serve [--socket PATH] [--sessions N] [--max-idle SECS]` — the
+/// long-lived request loop (see [`serve`]). Stdin is one sequential
+/// session (frame order is the batch order); a socket serves up to N
+/// concurrent sessions over the shared engine. Frames stream to stdout
+/// (or each session's stream); the returned string stays empty on the
+/// stdin path so framing is never polluted.
+fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
     let mut socket: Option<String> = None;
+    let mut sessions: Option<usize> = None;
+    let mut max_idle: Option<f64> = None;
+    let parse_sessions = |s: &str| -> Result<usize, String> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad session count {s:?} (need an integer >= 1)")),
+        }
+    };
+    let parse_idle = |s: &str| -> Result<f64, String> {
+        match s.parse::<f64>() {
+            Ok(v) if v > 0.0 && v.is_finite() => Ok(v),
+            _ => Err(format!("bad idle timeout {s:?} (need seconds > 0)")),
+        }
+    };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         if a == "--socket" {
             socket = Some(it.next().ok_or("--socket needs a path")?.clone());
         } else if let Some(v) = a.strip_prefix("--socket=") {
             socket = Some(v.to_string());
+        } else if a == "--sessions" {
+            sessions = Some(parse_sessions(
+                it.next().ok_or("--sessions needs a count")?,
+            )?);
+        } else if let Some(v) = a.strip_prefix("--sessions=") {
+            sessions = Some(parse_sessions(v)?);
+        } else if a == "--max-idle" {
+            max_idle = Some(parse_idle(it.next().ok_or("--max-idle needs seconds")?)?);
+        } else if let Some(v) = a.strip_prefix("--max-idle=") {
+            max_idle = Some(parse_idle(v)?);
         } else {
             return Err(format!("unknown serve argument {a:?}"));
         }
@@ -512,41 +554,75 @@ fn cmd_serve(engine: &Engine, rest: &[String]) -> Result<String, String> {
             Ok(String::new())
         }
         #[cfg(unix)]
-        Some(path) => serve_socket(engine, &path),
+        Some(path) => {
+            let sessions = sessions
+                .or_else(|| {
+                    std::env::var("GHR_SESSIONS")
+                        .ok()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                })
+                .unwrap_or_else(|| engine.threads());
+            let opts = serve::ServeOptions {
+                sessions,
+                max_idle: max_idle.map(std::time::Duration::from_secs_f64),
+            };
+            serve::serve_socket(engine, &path, &opts)
+        }
         #[cfg(not(unix))]
-        Some(_) => Err("--socket needs a unix platform; pipe requests over stdin".to_string()),
+        Some(_) => {
+            let _ = (sessions, max_idle);
+            Err("--socket needs a unix platform; pipe requests over stdin".to_string())
+        }
     }
 }
 
-/// Accept connections on a unix socket one at a time, running the serve
-/// loop over each; an explicit `quit`/`exit` on a connection also shuts
-/// the listener down (EOF only ends that connection).
+/// `ghr client --socket PATH [request...]` — send request lines to a
+/// running serve socket and print the raw frames. Each argument is one
+/// full request line (quote multi-word requests: `'fig1 c3'`); with no
+/// requests the connection just opens and closes. The write side is shut
+/// down after sending, so the session drains on EOF — no trailing `quit`
+/// needed (send `ghr-shutdown` as a request line to stop the server).
 #[cfg(unix)]
-fn serve_socket(engine: &Engine, path: &str) -> Result<String, String> {
-    use std::io::BufReader;
-    use std::os::unix::net::UnixListener;
-    let _ = std::fs::remove_file(path); // stale socket from a previous run
-    let listener =
-        UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
-    eprintln!("serve: listening on {path} (send `quit` to shut down)");
-    let mut served = 0u64;
-    for stream in listener.incoming() {
-        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("cannot clone socket stream: {e}"))?,
-        );
-        let mut writer = stream;
-        let mut err = std::io::stderr().lock();
-        let summary = serve::serve_loop(engine, reader, &mut writer, &mut err)?;
-        served += summary.served;
-        if summary.quit {
-            break;
+fn cmd_client(rest: &[String]) -> Result<String, String> {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    let mut socket: Option<String> = None;
+    let mut lines: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--socket" {
+            socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+        } else if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(v.to_string());
+        } else {
+            lines.push(a.clone());
         }
     }
-    let _ = std::fs::remove_file(path);
-    Ok(format!("served {served} request(s) on {path}\n"))
+    let path = socket.ok_or("ghr client needs --socket PATH")?;
+    let mut stream =
+        UnixStream::connect(&path).map_err(|e| format!("cannot connect to {path:?}: {e}"))?;
+    let mut payload = String::new();
+    for line in &lines {
+        payload.push_str(line);
+        payload.push('\n');
+    }
+    stream
+        .write_all(payload.as_bytes())
+        .map_err(|e| format!("write to {path:?} failed: {e}"))?;
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| format!("cannot half-close {path:?}: {e}"))?;
+    let mut out = String::new();
+    stream
+        .read_to_string(&mut out)
+        .map_err(|e| format!("read from {path:?} failed: {e}"))?;
+    Ok(out)
+}
+
+#[cfg(not(unix))]
+fn cmd_client(_rest: &[String]) -> Result<String, String> {
+    Err("ghr client needs a unix platform".to_string())
 }
 
 fn wants_plot(rest: &[String]) -> bool {
@@ -589,8 +665,53 @@ fn cmd_machine(machine: &MachineConfig) -> Result<String, String> {
     Ok(out)
 }
 
+/// Render a servable command's body from an already-evaluated typed
+/// [`Response`] — the serve path. The one-shot `cmd_*` functions call the
+/// same `render_*` helpers, so a serve frame body is byte-identical to
+/// the corresponding `ghr <command>` output.
+pub(crate) fn render_servable(
+    cmd: &str,
+    rest: &[String],
+    response: &Response,
+) -> Result<String, String> {
+    let shape = |e: ghr_types::GhrError| e.to_string();
+    Ok(match cmd {
+        "table1" => render_table1(
+            response.table1().map_err(shape)?,
+            rest.iter().any(|a| a == "--compare"),
+        ),
+        "fig1" => {
+            let case = parse_case(rest.first().map(String::as_str).unwrap_or("c1"))?;
+            render_fig1(
+                case,
+                response.sweep().map_err(shape)?,
+                rest.iter().any(|a| a == "--csv"),
+                wants_plot(rest),
+            )
+        }
+        "fig2a" => render_corun_fig(AllocSite::A1, false, rest, response.corun().map_err(shape)?),
+        "fig2b" => render_corun_fig(AllocSite::A1, true, rest, response.corun().map_err(shape)?),
+        "fig4a" => render_corun_fig(AllocSite::A2, false, rest, response.corun().map_err(shape)?),
+        "fig4b" => render_corun_fig(AllocSite::A2, true, rest, response.corun().map_err(shape)?),
+        "fig3" => render_speedup_fig(AllocSite::A1, response.corun().map_err(shape)?),
+        "fig5" => render_speedup_fig(AllocSite::A2, response.corun().map_err(shape)?),
+        "summary" => render_summary(response.study().map_err(shape)?),
+        "autotune" => render_autotune(response.autotune().map_err(shape)?),
+        "whatif" => render_whatif(response.whatif().map_err(shape)?),
+        other => {
+            return Err(format!(
+                "{other:?} is not a servable experiment request (serve answers: {SERVABLE})"
+            ))
+        }
+    })
+}
+
 fn cmd_table1(engine: &Engine, compare: bool) -> Result<String, String> {
     let t = engine.table1().map_err(|e| e.to_string())?;
+    Ok(render_table1(&t, compare))
+}
+
+fn render_table1(t: &Table1, compare: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -607,13 +728,17 @@ fn cmd_table1(engine: &Engine, compare: bool) -> Result<String, String> {
             t.max_relative_error() * 100.0
         );
     }
-    Ok(out)
+    out
 }
 
 fn cmd_fig1(engine: &Engine, case: Case, csv: bool, plot: bool) -> Result<String, String> {
     let r = engine
         .sweep(&GpuSweep::paper(case))
         .map_err(|e| e.to_string())?;
+    Ok(render_fig1(case, &r, csv, plot))
+}
+
+fn render_fig1(case: Case, r: &SweepResult, csv: bool, plot: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -647,7 +772,7 @@ fn cmd_fig1(engine: &Engine, case: Case, csv: bool, plot: bool) -> Result<String
         best.teams_axis,
         best.v
     );
-    Ok(out)
+    out
 }
 
 fn cmd_corun_fig(
@@ -656,6 +781,23 @@ fn cmd_corun_fig(
     optimized: bool,
     rest: &[String],
 ) -> Result<String, String> {
+    let advice = rest.iter().any(|a| a == "--advice");
+    let configs: Vec<CorunConfig> = Case::ALL
+        .into_iter()
+        .map(|c| corun_config(c, alloc, optimized, advice))
+        .collect();
+    let series: Vec<Arc<CorunSeries>> = engine.corun_many(&configs).map_err(|e| e.to_string())?;
+    Ok(render_corun_fig(alloc, optimized, rest, &series))
+}
+
+/// Render fig2a/2b/4a/4b from the four per-case series (the
+/// [`Request::corun_fig`] response order).
+fn render_corun_fig(
+    alloc: AllocSite,
+    optimized: bool,
+    rest: &[String],
+    series: &[Arc<CorunSeries>],
+) -> String {
     let plot = wants_plot(rest);
     let advice = rest.iter().any(|a| a == "--advice");
     let which = if optimized { "optimized" } else { "baseline" };
@@ -666,15 +808,10 @@ fn cmd_corun_fig(
         "Co-execution in UM mode — {which} kernels, allocation at {alloc} (GB/s vs CPU part p){}\n",
         if advice { " — with preferred-location advice" } else { "" }
     );
-    let configs: Vec<CorunConfig> = Case::ALL
-        .into_iter()
-        .map(|c| corun_config(c, alloc, optimized, advice))
-        .collect();
-    let series: Vec<Arc<CorunSeries>> = engine.corun_many(&configs).map_err(|e| e.to_string())?;
     let mut t = Table::new(["p", "C1", "C2", "C3", "C4"]);
     for i in 0..=10 {
         let mut row = vec![format!("{:.1}", i as f64 / 10.0)];
-        for s in &series {
+        for s in series {
             row.push(fmt_gbps(s.points[i].gbps));
         }
         t.row(row);
@@ -689,7 +826,7 @@ fn cmd_corun_fig(
         let _ = writeln!(out, "\n{}", chart.render());
     }
     let _ = writeln!(out, "\npeak speedup over GPU-only:");
-    for (case, s) in Case::ALL.into_iter().zip(&series) {
+    for (case, s) in Case::ALL.into_iter().zip(series) {
         let _ = writeln!(
             out,
             "  {case}: {}x (peak {} GB/s at p={:.1})",
@@ -698,20 +835,10 @@ fn cmd_corun_fig(
             s.peak().p
         );
     }
-    Ok(out)
+    out
 }
 
 fn cmd_speedup_fig(engine: &Engine, alloc: AllocSite) -> Result<String, String> {
-    let mut out = String::new();
-    let fig = if alloc == AllocSite::A1 {
-        "Fig. 3"
-    } else {
-        "Fig. 5"
-    };
-    let _ = writeln!(
-        out,
-        "{fig} — speedup of optimized over baseline co-execution, allocation at {alloc}\n"
-    );
     // One fan-out over all eight series (base + optimized per case); the
     // engine's cache shares them with fig2a/2b/4a/4b and summary.
     let configs: Vec<CorunConfig> = Case::ALL
@@ -724,6 +851,22 @@ fn cmd_speedup_fig(engine: &Engine, alloc: AllocSite) -> Result<String, String> 
         })
         .collect();
     let series = engine.corun_many(&configs).map_err(|e| e.to_string())?;
+    Ok(render_speedup_fig(alloc, &series))
+}
+
+/// Render fig3/fig5 from the eight `[base, opt]`-interleaved series (the
+/// [`Request::speedup_fig`] response order).
+fn render_speedup_fig(alloc: AllocSite, series: &[Arc<CorunSeries>]) -> String {
+    let mut out = String::new();
+    let fig = if alloc == AllocSite::A1 {
+        "Fig. 3"
+    } else {
+        "Fig. 5"
+    };
+    let _ = writeln!(
+        out,
+        "{fig} — speedup of optimized over baseline co-execution, allocation at {alloc}\n"
+    );
     let mut columns = Vec::new();
     for pair in series.chunks(2) {
         columns.push(pair[1].speedup_vs(&pair[0]));
@@ -737,11 +880,15 @@ fn cmd_speedup_fig(engine: &Engine, alloc: AllocSite) -> Result<String, String> 
         t.row(row);
     }
     out.push_str(&t.to_markdown());
-    Ok(out)
+    out
 }
 
 fn cmd_summary(engine: &Engine) -> Result<String, String> {
     let study = engine.full_study().map_err(|e| e.to_string())?;
+    Ok(render_summary(&study))
+}
+
+fn render_summary(study: &CorunStudy) -> String {
     let sum = study.summary();
     let mut out = String::new();
     let _ = writeln!(
@@ -765,12 +912,17 @@ fn cmd_summary(engine: &Engine) -> Result<String, String> {
         "  Fig 4b (optimized, A2): ours {:?} (paper [1.139, 1.062, 1.050, 1.017])",
         sum.a2_opt_peaks.map(|x| (x * 1000.0).round() / 1000.0)
     );
-    Ok(out)
+    out
 }
 
 fn cmd_autotune(engine: &Engine) -> Result<String, String> {
+    let tuned = engine.autotune_all().map_err(|e| e.to_string())?;
+    Ok(render_autotune(&tuned))
+}
+
+fn render_autotune(tuned: &[TunedConfig]) -> String {
     let mut t = Table::new(["Case", "teams axis", "V", "GB/s", "paper V"]);
-    for tuned in engine.autotune_all().map_err(|e| e.to_string())? {
+    for tuned in tuned {
         t.row([
             tuned.case.label().to_string(),
             tuned.teams_axis.to_string(),
@@ -779,10 +931,10 @@ fn cmd_autotune(engine: &Engine) -> Result<String, String> {
             tuned.case.v_optimized().to_string(),
         ]);
     }
-    Ok(format!(
+    format!(
         "Autotuned configurations (paper space: teams 128..65536, V 1..32):\n\n{}",
         t.to_markdown()
-    ))
+    )
 }
 
 fn cmd_verify(machine: &MachineConfig, m: u64) -> Result<String, String> {
@@ -848,14 +1000,18 @@ fn cmd_explain(machine: &MachineConfig, rest: &[String]) -> Result<String, Strin
 
 fn cmd_whatif(engine: &Engine) -> Result<String, String> {
     let s = engine.whatif().map_err(|e| e.to_string())?;
-    Ok(format!(
+    Ok(render_whatif(&s))
+}
+
+fn render_whatif(s: &WhatIfStudy) -> String {
+    format!(
         "What could the runtime recover without touching user code?\n\
          (the paper: \"the heuristics may be further optimized\")\n\n{}\n\
          Either runtime fix removes the team-pipeline bottleneck and lands on\n\
          the V=1 concurrency ceiling; the remaining gap to the optimized row\n\
          requires the paper's source-level V unrolling.\n",
         s.to_table().to_markdown()
-    ))
+    )
 }
 
 fn cmd_accuracy() -> Result<String, String> {

@@ -6,49 +6,187 @@
 //! request → plan → execute pipeline, and writes framed responses:
 //!
 //! ```text
-//! ghr-response id=<hash16> status=ok|error bytes=<n> evals=<n> cached=<yes|no>
+//! ghr-response id=<hash16> status=ok|error bytes=<n> evals=<n> cached=<yes|no|coalesced>
 //! <body bytes>
 //! ghr-end
 //! ```
 //!
 //! The engine — and therefore its point caches, persistent store and
-//! response cache — lives for the whole session, so a repeated identical
-//! request (same [`ghr_core::Request::id`]) is answered from the response cache with
-//! zero re-planning and zero evaluations (`evals=0 cached=yes`). `quit` or
-//! `exit` (or EOF) ends the loop; blank lines and `#` comments are
-//! ignored. The store is flushed after every request, so a concurrent or
-//! later process sees results as soon as they exist.
+//! response cache — lives for the whole server, so a repeated identical
+//! request (same [`ghr_core::Request::id`]) is answered from the response
+//! cache with zero re-planning and zero evaluations (`evals=0 cached=yes`),
+//! and a request that duplicates another session's *in-flight* evaluation
+//! coalesces onto it (`evals=0 cached=coalesced`) instead of evaluating
+//! again. `quit` or `exit` (or EOF) ends one session; blank lines and `#`
+//! comments are ignored. The store is flushed after every request, so a
+//! concurrent or later process sees results as soon as they exist.
+//!
+//! ## Framing discipline
+//!
+//! Request lines are read as raw bytes, not trusted text. A line with a
+//! trailing `\r` (a CRLF client), an interior NUL, more than
+//! [`MAX_REQUEST_LINE`] bytes, invalid UTF-8, or a missing final newline
+//! (a truncated frame) is rejected *before* request parsing with a
+//! two-line error frame — and the session keeps serving:
+//!
+//! ```text
+//! ghr-error reason=<slug>
+//! ghr-end
+//! ```
+//!
+//! ## Concurrency and shutdown
+//!
+//! With `--socket PATH` the server accepts connections on a bounded
+//! session set (`--sessions N`, default = engine worker threads); each
+//! session runs on its own thread over the shared engine, so warm requests
+//! answer from the response cache while cold ones plan/execute, and
+//! frames never interleave (each session owns its stream). Stdin is one
+//! sequential session. Shutdown is graceful — in-flight requests finish,
+//! sessions drain, then the listener exits — and is triggered by a
+//! `ghr-shutdown` frame on any session, SIGTERM, or `--max-idle SECS`
+//! elapsing with no active session.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use ghr_core::engine::{Engine, EngineStats};
-use ghr_types::StageTiming;
+use ghr_core::engine::{Engine, EngineStats, ResponseSource};
+use ghr_types::{SessionStats, StageTiming};
 
-/// What one pass of the serve loop did (returned for logging and tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Longest accepted request line, in bytes. Real requests are a few words;
+/// anything longer is a confused client or a protocol attack.
+pub const MAX_REQUEST_LINE: usize = 4096;
+
+/// Hard ceiling on buffered bytes for a single (oversized) line: beyond
+/// this the remainder is consumed but not stored, so a malicious client
+/// cannot balloon server memory before the `oversized-line` rejection.
+const HARD_LINE_CAP: usize = 1 << 20;
+
+/// What one serve session did (returned for logging and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSummary {
     /// Requests answered (ok or error frames written).
     pub served: u64,
-    /// Whether the loop ended on an explicit `quit`/`exit` (vs EOF).
+    /// Whether the session ended on an explicit `quit`/`exit`/
+    /// `ghr-shutdown` (vs EOF or server shutdown).
     pub quit: bool,
+    /// Full per-session accounting.
+    pub stats: SessionStats,
 }
 
-/// Run the serve loop until EOF or `quit`. Frames go to `out`; one
-/// human-readable log line per request goes to `err`. Public so the
-/// integration tests can drive it over in-memory pipes.
-pub fn serve_loop(
+/// Result of one raw line read.
+enum RawRead {
+    /// End of input (the accumulated partial line, if any, is truncated).
+    Eof,
+    /// A complete newline-terminated line is in the buffer.
+    Line,
+    /// No data right now (socket read timeout); partial bytes are kept.
+    Pending,
+}
+
+/// Append raw bytes into `buf` until a newline, EOF, or read timeout.
+/// The newline itself is consumed but not stored. Bytes beyond
+/// [`HARD_LINE_CAP`] are consumed but dropped (the stored prefix is enough
+/// to reject the line as oversized). Hard I/O errors read as EOF — for a
+/// socket that is a vanished client, not a server fault.
+fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> RawRead {
+    loop {
+        let chunk = match input.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return RawRead::Pending;
+            }
+            Err(_) => return RawRead::Eof,
+        };
+        if chunk.is_empty() {
+            return RawRead::Eof;
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(chunk.len());
+        let room = HARD_LINE_CAP.saturating_sub(buf.len());
+        buf.extend_from_slice(&chunk[..upto.min(room)]);
+        if upto > room {
+            // Remember that bytes were dropped so the length check below
+            // still sees an oversized line.
+            buf.resize(HARD_LINE_CAP.max(MAX_REQUEST_LINE + 1), b'#');
+        }
+        input.consume(upto + usize::from(newline.is_some()));
+        if newline.is_some() {
+            return RawRead::Line;
+        }
+    }
+}
+
+/// Validate one raw line and decode it, or name the protocol violation.
+fn classify_line(buf: &[u8]) -> Result<&str, &'static str> {
+    if buf.last() == Some(&b'\r') {
+        return Err("crlf-line-ending");
+    }
+    if buf.contains(&0) {
+        return Err("nul-byte");
+    }
+    if buf.len() > MAX_REQUEST_LINE {
+        return Err("oversized-line");
+    }
+    std::str::from_utf8(buf).map_err(|_| "invalid-utf8")
+}
+
+/// Run one serve session until EOF, `quit`, or shutdown. Frames go to
+/// `out` (owned by this session — frames from concurrent sessions never
+/// interleave); one human-readable log line per request goes to `err`.
+/// `shutdown` is the server-wide drain flag: the session observes it
+/// between requests (and on socket read timeouts) and exits promptly; a
+/// `ghr-shutdown` frame *sets* it, draining every session.
+pub fn serve_session(
     engine: &Engine,
-    input: impl BufRead,
+    session: u64,
+    input: &mut impl BufRead,
     out: &mut impl Write,
     err: &mut impl Write,
+    shutdown: &AtomicBool,
 ) -> Result<ServeSummary, String> {
-    let mut summary = ServeSummary {
-        served: 0,
-        quit: false,
-    };
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("serve: read failed: {e}"))?;
+    let mut summary = ServeSummary::default();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_raw_line(input, &mut buf) {
+            RawRead::Pending => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            RawRead::Eof => {
+                if !buf.is_empty() {
+                    summary.stats.malformed += 1;
+                    write_error_frame(out, "truncated-frame")
+                        .map_err(|e| format!("serve: write failed: {e}"))?;
+                    let _ = writeln!(
+                        err,
+                        "serve[{session}]: rejected malformed frame (truncated-frame)"
+                    );
+                    buf.clear();
+                }
+                break;
+            }
+            RawRead::Line => {}
+        }
+        let line = match classify_line(&buf) {
+            Ok(s) => s.to_string(),
+            Err(reason) => {
+                summary.stats.malformed += 1;
+                write_error_frame(out, reason).map_err(|e| format!("serve: write failed: {e}"))?;
+                let _ = writeln!(err, "serve[{session}]: rejected malformed frame ({reason})");
+                buf.clear();
+                continue;
+            }
+        };
+        buf.clear();
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -57,41 +195,85 @@ pub fn serve_loop(
             summary.quit = true;
             break;
         }
+        if line == "ghr-shutdown" {
+            summary.quit = true;
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = writeln!(err, "serve[{session}]: shutdown frame received; draining");
+            break;
+        }
         let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
         let (cmd, rest) = (words[0].as_str(), &words[1..]);
 
-        let before = engine.stats();
         let t0 = std::time::Instant::now();
         let answer = serve_one(engine, cmd, rest);
-        let after = engine.stats();
-        let evals = after.evaluated - before.evaluated;
-        let cached = after.response_hits > before.response_hits;
         summary.served += 1;
-
-        let (status, id, body) = match answer {
-            Ok((id, body)) => ("ok", id, body),
-            Err(e) => ("error", "-".repeat(16), format!("error: {e}\n")),
+        summary.stats.served += 1;
+        let (status, id, body, cached, evals) = match answer {
+            Ok((id, body, source, evals)) => {
+                summary.stats.ok += 1;
+                summary.stats.evals += evals;
+                let cached = match source {
+                    ResponseSource::Fresh => "no",
+                    ResponseSource::ResponseCache => {
+                        summary.stats.response_cache_hits += 1;
+                        "yes"
+                    }
+                    ResponseSource::Coalesced => {
+                        summary.stats.coalesced += 1;
+                        "coalesced"
+                    }
+                };
+                ("ok", id, body, cached, evals)
+            }
+            Err(e) => {
+                summary.stats.errors += 1;
+                ("error", "-".repeat(16), format!("error: {e}\n"), "no", 0)
+            }
         };
         write_frame(out, &id, status, &body, evals, cached)
             .map_err(|e| format!("serve: write failed: {e}"))?;
         if let Err(e) = engine.flush_store() {
-            let _ = writeln!(err, "serve: warning: persistent cache flush failed: {e}");
+            let _ = writeln!(
+                err,
+                "serve[{session}]: warning: persistent cache flush failed: {e}"
+            );
         }
         let _ = writeln!(
             err,
-            "serve: {line} -> {status} id={id} evals={evals} cached={} {:.1} ms",
-            if cached { "yes" } else { "no" },
+            "serve[{session}]: {line} -> {status} id={id} evals={evals} cached={cached} {:.1} ms",
             t0.elapsed().as_secs_f64() * 1000.0
         );
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
     }
     Ok(summary)
 }
 
-/// Answer one request line: resolve it to a declarative [`Request`] (the
-/// id in the frame header), then render through the same command
-/// implementations the one-shot CLI uses — so a serve body is
-/// byte-identical to the corresponding `ghr <command>` output.
-fn serve_one(engine: &Engine, cmd: &str, rest: &[String]) -> Result<(String, String), String> {
+/// Run one sequential serve session until EOF or `quit` — the stdin mode,
+/// and the entry point the integration tests drive over in-memory pipes.
+pub fn serve_loop(
+    engine: &Engine,
+    mut input: impl BufRead,
+    out: &mut impl Write,
+    err: &mut impl Write,
+) -> Result<ServeSummary, String> {
+    let shutdown = AtomicBool::new(false);
+    serve_session(engine, 0, &mut input, out, err, &shutdown)
+}
+
+/// Answer one request line: resolve it to a declarative [`ghr_core::Request`]
+/// (the id in the frame header), run it through [`Engine::respond`] —
+/// single-flight, so a duplicate of another session's in-flight request
+/// waits for that evaluation instead of repeating it — and render the
+/// typed response through the same renderers the one-shot CLI uses, so a
+/// serve body is byte-identical to the corresponding `ghr <command>`
+/// output.
+fn serve_one(
+    engine: &Engine,
+    cmd: &str,
+    rest: &[String],
+) -> Result<(String, String, ResponseSource, u64), String> {
     let request = crate::request_for(cmd, rest)?.ok_or_else(|| {
         format!(
             "{cmd:?} is not a servable experiment request \
@@ -99,8 +281,14 @@ fn serve_one(engine: &Engine, cmd: &str, rest: &[String]) -> Result<(String, Str
             crate::SERVABLE
         )
     })?;
-    let body = crate::dispatch(engine, cmd, rest)?;
-    Ok((request.id().to_string(), body))
+    let responded = engine.respond(&request).map_err(|e| e.to_string())?;
+    let body = crate::render_servable(cmd, rest, &responded.response)?;
+    Ok((
+        request.id().to_string(),
+        body,
+        responded.source,
+        responded.evals,
+    ))
 }
 
 fn write_frame(
@@ -109,15 +297,23 @@ fn write_frame(
     status: &str,
     body: &str,
     evals: u64,
-    cached: bool,
+    cached: &str,
 ) -> std::io::Result<()> {
     writeln!(
         out,
-        "ghr-response id={id} status={status} bytes={} evals={evals} cached={}",
+        "ghr-response id={id} status={status} bytes={} evals={evals} cached={cached}",
         body.len(),
-        if cached { "yes" } else { "no" }
     )?;
     out.write_all(body.as_bytes())?;
+    writeln!(out, "ghr-end")?;
+    out.flush()
+}
+
+/// Reject a malformed line at the framing layer: a body-less error frame
+/// naming the violation, so the client learns *why* without the server
+/// ever parsing the bytes as a request.
+fn write_error_frame(out: &mut impl Write, reason: &str) -> std::io::Result<()> {
+    writeln!(out, "ghr-error reason={reason}")?;
     writeln!(out, "ghr-end")?;
     out.flush()
 }
@@ -131,13 +327,14 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
     let _ = write!(
         s,
         "{{\"threads\":{},\"requests\":{},\"response_hits\":{},\
-         \"response_hit_rate\":{},\"lookups\":{},\"hits\":{},\"evaluated\":{},\
-         \"hit_rate\":{},\"persistent\":{{\"loaded\":{},\"hits\":{},\
-         \"misses\":{},\"stored\":{}}},\"sweep\":{{\"evaluated\":{},\
+         \"coalesced\":{},\"response_hit_rate\":{},\"lookups\":{},\"hits\":{},\
+         \"evaluated\":{},\"hit_rate\":{},\"persistent\":{{\"loaded\":{},\
+         \"hits\":{},\"misses\":{},\"stored\":{}}},\"sweep\":{{\"evaluated\":{},\
          \"skipped\":{}}},\"wall_ms\":{},\"stages\":[",
         stats.threads,
         stats.requests,
         stats.response_hits,
+        stats.coalesced,
         json_f64(stats.response_hit_rate()),
         stats.lookups,
         stats.hits,
@@ -166,6 +363,219 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
     }
     s.push_str("]}");
     s
+}
+
+#[cfg(unix)]
+pub use socket::{serve_socket, ServeOptions};
+
+#[cfg(unix)]
+mod socket {
+    use super::{serve_session, ServeSummary};
+    use ghr_core::engine::Engine;
+    use ghr_types::SessionStats;
+    use std::io::BufReader;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    /// How long an idle session sleeps between reads, and therefore the
+    /// worst-case latency for a drained session to observe shutdown.
+    const READ_TICK: Duration = Duration::from_millis(50);
+
+    /// Acceptor poll interval when all session slots are busy or no
+    /// connection is pending.
+    const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+    /// How the socket server bounds and drains its sessions.
+    #[derive(Debug, Clone)]
+    pub struct ServeOptions {
+        /// Concurrent session cap; further connections queue in the
+        /// listener backlog until a slot drains.
+        pub sessions: usize,
+        /// Shut down after this long with no active session.
+        pub max_idle: Option<Duration>,
+    }
+
+    /// Std-only SIGTERM latch: the handler just stores an atomic flag the
+    /// accept loop polls, which is the whole async-signal-safe repertoire.
+    mod sig {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        static TERM: AtomicBool = AtomicBool::new(false);
+
+        extern "C" fn on_sigterm(_signum: i32) {
+            TERM.store(true, Ordering::SeqCst);
+        }
+
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+
+        const SIGTERM: i32 = 15;
+
+        /// Install the handler (and clear any latch from a previous
+        /// server in this process, e.g. back-to-back tests).
+        pub fn install() {
+            TERM.store(false, Ordering::SeqCst);
+            unsafe {
+                signal(SIGTERM, on_sigterm);
+            }
+        }
+
+        pub fn seen() -> bool {
+            TERM.load(Ordering::SeqCst)
+        }
+    }
+
+    /// Accept connections on a unix socket onto a bounded session set over
+    /// the shared engine. Runs until a `ghr-shutdown` frame, SIGTERM, or
+    /// the idle timeout, then drains: in-flight sessions finish their
+    /// current request and exit, their counters are absorbed, and the
+    /// socket file is removed.
+    pub fn serve_socket(
+        engine: &Arc<Engine>,
+        path: &str,
+        opts: &ServeOptions,
+    ) -> Result<String, String> {
+        let cap = opts.sessions.max(1);
+        let _ = std::fs::remove_file(path); // stale socket from a previous run
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll socket {path:?}: {e}"))?;
+        sig::install();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        eprintln!(
+            "serve: listening on {path} ({cap} session slot(s); \
+             `ghr-shutdown` or SIGTERM stops the server)"
+        );
+        let mut active: Vec<JoinHandle<ServeSummary>> = Vec::new();
+        let mut total = SessionStats::default();
+        let mut drained = 0u64;
+        let mut next_session = 1u64;
+        let mut last_activity = Instant::now();
+        loop {
+            if sig::seen() {
+                shutdown.store(true, Ordering::SeqCst);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            reap_finished(&mut active, &mut total, &mut drained);
+            if !active.is_empty() {
+                last_activity = Instant::now();
+            } else if let Some(idle) = opts.max_idle {
+                if last_activity.elapsed() >= idle {
+                    eprintln!(
+                        "serve: idle for {:.1}s with no session; shutting down",
+                        idle.as_secs_f64()
+                    );
+                    break;
+                }
+            }
+            if active.len() < cap {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        last_activity = Instant::now();
+                        let id = next_session;
+                        next_session += 1;
+                        active.push(spawn_session(engine, stream, id, &shutdown));
+                        continue; // a burst of clients: accept eagerly
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(format!("accept on {path:?} failed: {e}")),
+                }
+            }
+            std::thread::sleep(ACCEPT_TICK);
+        }
+        // Drain: no new sessions; the flag (plus each session's read
+        // timeout) lets every in-flight session finish its current request
+        // and exit.
+        shutdown.store(true, Ordering::SeqCst);
+        for handle in active {
+            if let Ok(summary) = handle.join() {
+                total.absorb(&summary.stats);
+            }
+            drained += 1;
+        }
+        let _ = std::fs::remove_file(path);
+        eprintln!("serve: drained — {}", total.summary_line());
+        Ok(format!(
+            "served {} request(s) across {drained} session(s) on {path}\n",
+            total.served
+        ))
+    }
+
+    /// Join every finished session (without blocking on live ones) and
+    /// absorb its counters.
+    fn reap_finished(
+        active: &mut Vec<JoinHandle<ServeSummary>>,
+        total: &mut SessionStats,
+        drained: &mut u64,
+    ) {
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].is_finished() {
+                let handle = active.swap_remove(i);
+                if let Ok(summary) = handle.join() {
+                    total.absorb(&summary.stats);
+                }
+                *drained += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn spawn_session(
+        engine: &Arc<Engine>,
+        stream: UnixStream,
+        id: u64,
+        shutdown: &Arc<AtomicBool>,
+    ) -> JoinHandle<ServeSummary> {
+        let engine = Arc::clone(engine);
+        let shutdown = Arc::clone(shutdown);
+        std::thread::spawn(move || {
+            // The read timeout is what lets an idle session notice the
+            // shutdown flag; frames still arrive whole because partial
+            // line bytes survive across timed-out reads.
+            let _ = stream.set_read_timeout(Some(READ_TICK));
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve[{id}]: cannot clone stream: {e}");
+                    return ServeSummary::default();
+                }
+            };
+            let mut input = BufReader::new(reader);
+            let mut writer = stream;
+            match serve_session(
+                &engine,
+                id,
+                &mut input,
+                &mut writer,
+                &mut std::io::stderr(),
+                &shutdown,
+            ) {
+                Ok(summary) => {
+                    eprintln!(
+                        "serve[{id}]: session done — {}",
+                        summary.stats.summary_line()
+                    );
+                    summary
+                }
+                Err(e) => {
+                    // A vanished client mid-write is a session event, not a
+                    // server fault.
+                    eprintln!("serve[{id}]: session ended: {e}");
+                    ServeSummary::default()
+                }
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -207,11 +617,38 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_frame_ends_the_session_and_sets_the_flag() {
+        let e = engine();
+        let shutdown = AtomicBool::new(false);
+        let mut input = BufReader::new("ghr-shutdown\ntable1\n".as_bytes());
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let summary = serve_session(&e, 7, &mut input, &mut out, &mut err, &shutdown).unwrap();
+        assert_eq!(summary.served, 0);
+        assert!(summary.quit);
+        assert!(shutdown.load(Ordering::SeqCst), "shutdown flag must latch");
+        assert!(out.is_empty(), "{:?}", String::from_utf8(out));
+    }
+
+    #[test]
     fn unknown_requests_get_an_error_frame_and_the_loop_survives() {
         let (summary, out, _) = serve("frobnicate\nbench --quick\n");
         assert_eq!(summary.served, 2, "{out}");
+        assert_eq!(summary.stats.errors, 2, "{:?}", summary.stats);
         assert_eq!(out.matches("status=error").count(), 2, "{out}");
         assert!(out.contains("not a servable experiment request"), "{out}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_at_the_framing_layer() {
+        let (summary, out, err) = serve("table1\r\nbad\0byte\nquit\n");
+        assert_eq!(summary.served, 0, "{out}");
+        assert_eq!(summary.stats.malformed, 2, "{:?}", summary.stats);
+        assert!(summary.quit);
+        assert_eq!(out.matches("ghr-error ").count(), 2, "{out}");
+        assert!(out.contains("reason=crlf-line-ending"), "{out}");
+        assert!(out.contains("reason=nul-byte"), "{out}");
+        assert!(err.contains("rejected malformed frame"), "{err}");
     }
 
     #[test]
@@ -233,12 +670,23 @@ mod tests {
     }
 
     #[test]
+    fn session_stats_track_ok_and_cache_hits() {
+        let (summary, out, _) = serve("table1\ntable1\nquit\n");
+        assert_eq!(summary.stats.served, 2, "{out}");
+        assert_eq!(summary.stats.ok, 2);
+        assert_eq!(summary.stats.response_cache_hits, 1);
+        assert_eq!(summary.stats.coalesced, 0);
+        assert_eq!(summary.stats.evals, 8, "{:?}", summary.stats);
+    }
+
+    #[test]
     fn stats_json_is_well_formed_and_guarded() {
         let e = engine();
         e.table1().unwrap();
         let json = stats_json(&e.stats(), &e.stage_timings(), 12.5);
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"requests\":1"), "{json}");
+        assert!(json.contains("\"coalesced\":0"), "{json}");
         assert!(json.contains("\"evaluated\":8"), "{json}");
         assert!(json.contains("\"name\":\"assemble\""), "{json}");
         assert!(!json.contains("NaN"), "{json}");

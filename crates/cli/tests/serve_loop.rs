@@ -1,5 +1,9 @@
 //! Serve-loop acceptance: a batch of requests piped through one session,
-//! with a duplicate answered from the response cache byte-identically.
+//! with a duplicate answered from the response cache byte-identically; a
+//! protocol-fuzz pass over the framing layer; and the multi-client stress
+//! test — ≥8 threads hammering one serve socket with overlapping request
+//! ids, asserting byte-identical bodies, coalesced evaluations, and a
+//! graceful drain.
 
 use ghr_cli::serve::serve_loop;
 use ghr_core::engine::Engine;
@@ -121,4 +125,199 @@ fn serve_bodies_match_the_one_shot_cli_output() {
     let frames = parse_frames(&String::from_utf8(out).unwrap());
     let oneshot = ghr_cli::run("autotune", &[]).unwrap();
     assert_eq!(frames[0].body, oneshot);
+}
+
+#[test]
+fn protocol_fuzz_malformed_lines_are_rejected_and_the_session_survives() {
+    // Feed the framing layer every malformed shape it documents: a CRLF
+    // line ending, an interior NUL, an oversized line, invalid UTF-8 and a
+    // truncated final frame. Each must be answered with a `ghr-error`
+    // frame, none may reach the request parser, and a valid request in the
+    // middle must still be served normally.
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    let mut input: Vec<u8> = Vec::new();
+    input.extend_from_slice(b"table1\r\n"); // CRLF line ending
+    input.extend_from_slice(b"\n\n# a comment, ignored\n"); // blank noise
+    input.extend_from_slice(b"bad\0request\n"); // interior NUL
+    input.extend_from_slice(format!("table1 {}\n", "x".repeat(8 * 1024)).as_bytes());
+    input.extend_from_slice(b"bad \xff\xfe utf8\n"); // invalid UTF-8
+    input.extend_from_slice(b"table1\n"); // still a working session
+    input.extend_from_slice(b"whati"); // truncated frame: EOF, no newline
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let summary = serve_loop(&engine, BufReader::new(&input[..]), &mut out, &mut err).unwrap();
+    assert_eq!(summary.served, 1, "{summary:?}");
+    assert_eq!(summary.stats.malformed, 5, "{:?}", summary.stats);
+    assert!(!summary.quit, "{summary:?}");
+
+    let out = String::from_utf8(out).unwrap();
+    assert_eq!(out.matches("ghr-error ").count(), 5, "{out}");
+    for reason in [
+        "crlf-line-ending",
+        "nul-byte",
+        "oversized-line",
+        "invalid-utf8",
+        "truncated-frame",
+    ] {
+        assert!(out.contains(&format!("reason={reason}")), "{out}");
+    }
+
+    // The one valid request between the garbage was answered in full.
+    assert!(out.contains("status=ok"), "{out}");
+    assert!(out.contains("Table 1"), "{out}");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.requests, 1,
+        "malformed lines must never reach the engine: {stats:?}"
+    );
+}
+
+/// Connect to a serve socket, retrying while the server thread binds it.
+#[cfg(unix)]
+fn connect_with_retry(path: &str) -> std::os::unix::net::UnixStream {
+    for _ in 0..200 {
+        if let Ok(s) = std::os::unix::net::UnixStream::connect(path) {
+            return s;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server socket {path} never came up");
+}
+
+#[cfg(unix)]
+#[test]
+fn stress_concurrent_clients_coalesce_work_and_get_identical_bodies() {
+    use ghr_cli::serve::{serve_socket, ServeOptions};
+    use ghr_core::{Case, Request};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 8;
+    const REQS: [&str; 3] = ["table1", "whatif", "fig1 c1"];
+
+    let engine = Arc::new(Engine::new(MachineConfig::gh200(), 2));
+    let sock = std::env::temp_dir().join(format!("ghr-stress-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let sock_str = sock.to_string_lossy().into_owned();
+    let server = {
+        let engine = Arc::clone(&engine);
+        let path = sock_str.clone();
+        std::thread::spawn(move || {
+            let opts = ServeOptions {
+                sessions: CLIENTS,
+                max_idle: None,
+            };
+            serve_socket(&engine, &path, &opts)
+        })
+    };
+
+    // Reference bodies from the one-shot CLI: a serve frame body must be
+    // byte-identical to `ghr <cmd>` stdout for the same request.
+    let oneshot: Vec<String> = REQS
+        .iter()
+        .map(|line| {
+            let mut words = line.split_whitespace();
+            let cmd = words.next().unwrap();
+            let rest: Vec<String> = words.map(str::to_string).collect();
+            ghr_cli::run(cmd, &rest).unwrap()
+        })
+        .collect();
+
+    // Hammer the socket: every client sends all three requests, rotated so
+    // that at any instant several sessions race on the same request id.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let path = sock_str.clone();
+            std::thread::spawn(move || {
+                let mut stream = connect_with_retry(&path);
+                let mut payload = String::new();
+                for k in 0..REQS.len() {
+                    payload.push_str(REQS[(t + k) % REQS.len()]);
+                    payload.push('\n');
+                }
+                payload.push_str("quit\n");
+                stream.write_all(payload.as_bytes()).unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut out = String::new();
+                stream.read_to_string(&mut out).unwrap();
+                (t, out)
+            })
+        })
+        .collect();
+
+    for client in clients {
+        let (t, out) = client.join().unwrap();
+        // parse_frames also re-checks the byte count in every header, so a
+        // torn or interleaved frame fails loudly here.
+        let frames = parse_frames(&out);
+        assert_eq!(frames.len(), REQS.len(), "client {t}: {out}");
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.status, "ok", "client {t} frame {k}: {frame:?}");
+            let want = &oneshot[(t + k) % REQS.len()];
+            assert_eq!(
+                &frame.body, want,
+                "client {t} frame {k} body diverged from the one-shot CLI"
+            );
+        }
+    }
+
+    // Coalescing bound: 24 requests over 3 distinct ids may evaluate at
+    // most the distinct work items of those 3 requests — every duplicate
+    // was answered from the response cache or coalesced onto a flight.
+    let reqs = [Request::Table1, Request::WhatIf, Request::fig1(Case::C1)];
+    let items = Engine::new(MachineConfig::gh200(), 1)
+        .plan_many(&reqs)
+        .unwrap()
+        .summary()
+        .items();
+    let stats = engine.stats();
+    assert_eq!(stats.requests as usize, CLIENTS * REQS.len(), "{stats:?}");
+    assert!(
+        stats.evaluated as usize <= items,
+        "evaluations exceeded distinct work items: {stats:?} vs {items}"
+    );
+    assert_eq!(
+        (stats.response_hits + stats.coalesced) as usize,
+        CLIENTS * REQS.len() - REQS.len(),
+        "exactly one request per distinct id does fresh work: {stats:?}"
+    );
+
+    // Graceful drain: a control frame shuts the whole server down, the
+    // server reports every session it served and removes its socket file.
+    let mut stream = connect_with_retry(&sock_str);
+    stream.write_all(b"ghr-shutdown\n").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rest = String::new();
+    let _ = stream.read_to_string(&mut rest);
+    let result = server.join().unwrap().unwrap();
+    assert!(
+        result.contains(&format!("served {} request(s)", CLIENTS * REQS.len())),
+        "{result}"
+    );
+    assert!(result.contains("session(s)"), "{result}");
+    assert!(!sock.exists(), "socket file must be removed after drain");
+}
+
+#[cfg(unix)]
+#[test]
+fn idle_server_shuts_itself_down_after_max_idle() {
+    use ghr_cli::serve::{serve_socket, ServeOptions};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let engine = Arc::new(Engine::new(MachineConfig::gh200(), 1));
+    let sock = std::env::temp_dir().join(format!("ghr-idle-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let opts = ServeOptions {
+        sessions: 2,
+        max_idle: Some(Duration::from_millis(200)),
+    };
+    let start = Instant::now();
+    let result = serve_socket(&engine, &sock.to_string_lossy(), &opts).unwrap();
+    assert!(start.elapsed() >= Duration::from_millis(200));
+    assert!(result.contains("served 0 request(s)"), "{result}");
+    assert!(
+        !sock.exists(),
+        "socket file must be removed after idle exit"
+    );
 }

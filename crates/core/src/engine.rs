@@ -57,7 +57,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::autotune::TunedConfig;
 use crate::case::Case;
@@ -128,6 +128,104 @@ pub(crate) fn table1_specs() -> Vec<ReductionSpec> {
 
 const SHARDS: usize = 16;
 
+/// Stripes in the per-work-item evaluation lock table. A stripe is held
+/// only while one item is being evaluated (never across items, and never
+/// by the A2 series assembly, which re-reads already-fanned points), so
+/// collisions cost contention, not correctness — and no lock ordering
+/// issue can arise because no thread ever holds two stripes.
+const EVAL_STRIPES: usize = 64;
+
+/// One in-flight request in the single-flight table: the leader publishes
+/// its result here; followers block on the condvar instead of planning a
+/// duplicate evaluation.
+struct Flight {
+    result: Mutex<Option<Result<Arc<Response>>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, r: Result<Arc<Response>>) {
+        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<Response>> {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        while slot.is_none() {
+            slot = self.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+        slot.clone().expect("checked some above")
+    }
+}
+
+/// Unregisters a leader's flight on drop so a panicking evaluation never
+/// strands its followers: they receive an error instead of blocking
+/// forever, and the id becomes evaluable again.
+struct FlightGuard<'a> {
+    engine: &'a Engine,
+    id: u64,
+    flight: &'a Flight,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(&mut self, result: Result<Arc<Response>>) {
+        // Publish before unregistering: a new arrival that misses the
+        // response cache under the map lock must either find this flight
+        // (and get the published value) or — after removal — find the
+        // response already cached (`evaluate` inserts it first).
+        self.flight.publish(result);
+        self.engine.lock_inflight().remove(&self.id);
+        self.published = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.publish(Err(GhrError::internal(
+                "request leader panicked before publishing".to_string(),
+            )));
+            self.engine.lock_inflight().remove(&self.id);
+        }
+    }
+}
+
+/// How [`Engine::respond`] obtained its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Planned and executed by this call (the single-flight leader).
+    Fresh,
+    /// Answered whole from the response cache.
+    ResponseCache,
+    /// An identical request was already in flight on another thread; this
+    /// call waited for its result instead of duplicating the work.
+    Coalesced,
+}
+
+/// A response plus its provenance, as [`Engine::respond`] reports it —
+/// what the serve layer renders frame headers from.
+#[derive(Debug, Clone)]
+pub struct Responded {
+    /// The assembled (or cached) response.
+    pub response: Arc<Response>,
+    /// Where the response came from.
+    pub source: ResponseSource,
+    /// Points freshly evaluated while this call led the request. Exact
+    /// when requests run one at a time; an upper bound under concurrency
+    /// (the global counter also advances for overlapping work other
+    /// requests evaluate meanwhile). Always 0 for cache hits and
+    /// coalesced waits.
+    pub evals: u64,
+}
+
 /// A sharded hash map: N independent mutexes instead of one, so parallel
 /// grid evaluations rarely contend on the cache.
 struct ShardedCache<K, V> {
@@ -183,6 +281,10 @@ pub struct EngineStats {
     pub requests: u64,
     /// Requests answered whole from the response cache — zero re-planning.
     pub response_hits: u64,
+    /// Requests that waited for an identical in-flight request instead of
+    /// planning a duplicate evaluation (single-flight coalescing; only
+    /// nonzero when [`Engine::respond`] runs concurrently).
+    pub coalesced: u64,
     /// Cache lookups performed.
     pub lookups: u64,
     /// Lookups answered from the in-process cache.
@@ -265,9 +367,12 @@ pub struct Engine {
     series: ShardedCache<CorunConfig, Arc<CorunSeries>>,
     corun_pts: ShardedCache<(CorunConfig, u32), CorunPoint>,
     responses: ShardedCache<u64, Arc<Response>>,
+    inflight: Mutex<HashMap<u64, Arc<Flight>, BuildFnv>>,
+    eval_locks: Vec<Mutex<()>>,
     stage_log: Mutex<Vec<StageTiming>>,
     requests: AtomicU64,
     response_hits: AtomicU64,
+    coalesced: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
     evaluated: AtomicU64,
@@ -313,9 +418,12 @@ impl Engine {
             series: ShardedCache::new(),
             corun_pts: ShardedCache::new(),
             responses: ShardedCache::new(),
+            inflight: Mutex::new(HashMap::default()),
+            eval_locks: (0..EVAL_STRIPES).map(|_| Mutex::new(())).collect(),
             stage_log: Mutex::new(Vec::new()),
             requests: AtomicU64::new(0),
             response_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evaluated: AtomicU64::new(0),
@@ -372,6 +480,7 @@ impl Engine {
             threads: self.threads,
             requests: self.requests.load(Ordering::Relaxed),
             response_hits: self.response_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             evaluated: self.evaluated.load(Ordering::Relaxed),
@@ -407,22 +516,111 @@ impl Engine {
     /// Run one request through the pipeline: response cache → plan →
     /// execute → assemble. A repeated identical request (same
     /// [`Request::id`]) is answered from the response cache with zero
-    /// re-planning — the `ghr serve` steady state.
+    /// re-planning — the `ghr serve` steady state. Shorthand for
+    /// [`Engine::respond`] when the provenance does not matter.
     pub fn run(&self, request: &Request) -> Result<Arc<Response>> {
+        Ok(self.respond(request)?.response)
+    }
+
+    /// [`Engine::run`] with provenance: says whether the response was
+    /// freshly evaluated, answered from the response cache, or coalesced
+    /// onto an identical request already in flight on another thread
+    /// (single-flight: concurrent duplicates wait for the leader's result
+    /// instead of planning their own evaluation). Safe to call from any
+    /// number of threads over one shared engine — every cache and counter
+    /// behind it is mutex- or atomic-guarded.
+    pub fn respond(&self, request: &Request) -> Result<Responded> {
         request.validate()?;
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let id = request.id();
-        if let Some(r) = self.responses.get(&id.0) {
+        let id = request.id().0;
+        if let Some(r) = self.responses.get(&id) {
             self.response_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(r);
+            return Ok(Responded {
+                response: r,
+                source: ResponseSource::ResponseCache,
+                evals: 0,
+            });
         }
+        // Join an existing flight or register as the leader. Decided under
+        // the map lock; the cache is re-probed there because the previous
+        // leader publishes to the cache *before* leaving the map, so a
+        // miss inside the lock means the id is either in flight or cold.
+        let claim = {
+            let mut inflight = self.lock_inflight();
+            if let Some(r) = self.responses.get(&id) {
+                self.response_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Responded {
+                    response: r,
+                    source: ResponseSource::ResponseCache,
+                    evals: 0,
+                });
+            }
+            match inflight.get(&id) {
+                Some(f) => Err(Arc::clone(f)),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    inflight.insert(id, Arc::clone(&f));
+                    Ok(f)
+                }
+            }
+        };
+        let flight = match claim {
+            Err(f) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let response = f.wait()?;
+                return Ok(Responded {
+                    response,
+                    source: ResponseSource::Coalesced,
+                    evals: 0,
+                });
+            }
+            Ok(f) => f,
+        };
+        let evals_before = self.evaluated.load(Ordering::Relaxed);
+        let mut guard = FlightGuard {
+            engine: self,
+            id,
+            flight: &flight,
+            published: false,
+        };
+        let result = self.evaluate(request, id);
+        guard.finish(result.clone());
+        let response = result?;
+        Ok(Responded {
+            response,
+            source: ResponseSource::Fresh,
+            evals: self
+                .evaluated
+                .load(Ordering::Relaxed)
+                .saturating_sub(evals_before),
+        })
+    }
+
+    /// Plan and execute one cold request, caching the assembled response
+    /// (the single-flight leader's body).
+    fn evaluate(&self, request: &Request, id: u64) -> Result<Arc<Response>> {
         let plan = Planner::new(self).plan(request)?;
         let mut responses = Executor::new(self).run(&plan)?;
         let response = responses
             .pop()
             .ok_or_else(|| GhrError::internal("plan produced no response".to_string()))?;
-        self.responses.insert(id.0, Arc::clone(&response));
+        self.responses.insert(id, Arc::clone(&response));
         Ok(response)
+    }
+
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Flight>, BuildFnv>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock the evaluation stripe for a cache key: at most one thread
+    /// evaluates a given work item; racing threads take the stripe after
+    /// the leader and re-probe the cache (double-checked locking).
+    fn eval_stripe(&self, key: &impl Hash) -> std::sync::MutexGuard<'_, ()> {
+        let mut h = Fnv1aHasher::default();
+        key.hash(&mut h);
+        self.eval_locks[(h.finish() % EVAL_STRIPES as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Lower a request into its plan without executing anything (the
@@ -544,9 +742,17 @@ impl Engine {
     }
 
     /// Memoized scalar evaluation: in-process cache, then the persistent
-    /// store, then `eval` (whose result feeds both).
+    /// store, then `eval` (whose result feeds both). The miss path runs
+    /// under the key's evaluation stripe, so concurrent requests racing on
+    /// the same point evaluate it once — the losers re-probe the cache
+    /// after the leader's insert and count a hit.
     fn cached(&self, key: WorkItem, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.points.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let stripe = self.eval_stripe(&key);
         if let Some(v) = self.points.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
@@ -560,6 +766,7 @@ impl Engine {
         self.evaluated.fetch_add(1, Ordering::Relaxed);
         self.store_put(skey, store::encode_f64(v));
         self.points.insert(key, v);
+        drop(stripe);
         Ok(v)
     }
 
@@ -622,8 +829,19 @@ impl Engine {
         }
         let s = match config.alloc {
             AllocSite::A1 => {
-                let skey = format!("{:?}", WorkItem::CorunSeries(*config));
-                if let Some(points) = self.store_get(&skey, store::decode_corun_points) {
+                // An A1 series is one atomic work item: take its stripe so
+                // concurrent requests evaluate it once. (The A2 arm below
+                // takes no stripe — its points each take their own inside
+                // `corun_point_a2`, and holding a series stripe across
+                // those would nest stripe acquisitions.)
+                let item = WorkItem::CorunSeries(*config);
+                let stripe = self.eval_stripe(&item);
+                if let Some(s) = self.series.get(config) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(s);
+                }
+                let skey = format!("{item:?}");
+                let s = if let Some(points) = self.store_get(&skey, store::decode_corun_points) {
                     Arc::new(CorunSeries {
                         config: *config,
                         points,
@@ -633,7 +851,10 @@ impl Engine {
                     self.evaluated.fetch_add(1, Ordering::Relaxed);
                     self.store_put(skey, store::encode_corun_points(&s.points));
                     s
-                }
+                };
+                self.series.insert(*config, Arc::clone(&s));
+                drop(stripe);
+                return Ok(s);
             }
             AllocSite::A2 => {
                 let points = (0..=config.p_steps)
@@ -660,7 +881,13 @@ impl Engine {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
-        let skey = format!("{:?}", WorkItem::CorunPoint(*config, i));
+        let item = WorkItem::CorunPoint(*config, i);
+        let stripe = self.eval_stripe(&item);
+        if let Some(p) = self.corun_pts.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        let skey = format!("{item:?}");
         if let Some(p) = self.store_get(&skey, store::decode_corun_point) {
             self.corun_pts.insert(key, p);
             return Ok(p);
@@ -669,6 +896,7 @@ impl Engine {
         self.evaluated.fetch_add(1, Ordering::Relaxed);
         self.store_put(skey, store::encode_corun_point(&p));
         self.corun_pts.insert(key, p);
+        drop(stripe);
         Ok(p)
     }
 
@@ -1254,5 +1482,40 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let e = engine(2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| e.run(&Request::Table1).unwrap());
+            }
+        });
+        let st = e.stats();
+        assert_eq!(st.requests, 4, "{st:?}");
+        // One leader evaluates Table 1's eight kernels; the other three
+        // arrivals either coalesce onto the in-flight evaluation or hit
+        // the response cache, depending on timing — never re-evaluate.
+        assert_eq!(st.evaluated, 8, "{st:?}");
+        assert_eq!(st.response_hits + st.coalesced, 3, "{st:?}");
+    }
+
+    #[test]
+    fn respond_reports_the_response_source() {
+        let e = engine(1);
+        let cold = e.respond(&Request::Table1).unwrap();
+        assert_eq!(cold.source, ResponseSource::Fresh);
+        assert_eq!(cold.evals, 8, "{cold:?}");
+        let warm = e.respond(&Request::Table1).unwrap();
+        assert_eq!(warm.source, ResponseSource::ResponseCache);
+        assert_eq!(warm.evals, 0, "{warm:?}");
+        assert!(Arc::ptr_eq(&warm.response, &cold.response));
     }
 }

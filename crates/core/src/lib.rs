@@ -51,7 +51,7 @@ pub mod workload;
 
 pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, Responded, ResponseSource};
 pub use exec::Executor;
 pub use plan::{Plan, Planner, Stage, StageKind, WorkItem};
 pub use reduction::{KernelKind, ReductionSpec};

@@ -173,10 +173,20 @@ impl PersistentStore {
     /// engine may have flushed since we loaded), write a temp file in the
     /// same directory, and atomically rename it over the target. Returns
     /// the number of entries written. A no-op when nothing is dirty.
+    ///
+    /// In-process flushes (any number of stores, any threads) are
+    /// serialized by a process-global lock, so each read-merge-write-rename
+    /// sequence sees the previous one's renamed file and the on-disk store
+    /// only ever grows toward the union. Cross-process writers still race
+    /// benignly: renames are atomic, so a loser's *file* is replaced intact
+    /// and its entries are re-merged on its next flush or reopen.
     pub fn flush(&self) -> io::Result<u64> {
+        static FLUSH: Mutex<()> = Mutex::new(());
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         if self.dirty.load(Ordering::Relaxed) == 0 {
             return Ok(0);
         }
+        let _serial = FLUSH.lock().unwrap_or_else(PoisonError::into_inner);
         let mut entries = self.lock();
         // Merge-in concurrent flushes; our own entries win ties (the values
         // are deterministic, so ties are byte-identical anyway).
@@ -198,9 +208,13 @@ impl PersistentStore {
         if let Some(dir) = self.path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let tmp = self
-            .path
-            .with_extension(format!("tmp.{}", std::process::id()));
+        // Unique per (process, flush): two stores over the same file in one
+        // process must not scribble on the same temp path.
+        let tmp = self.path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(body.as_bytes())?;
@@ -469,6 +483,53 @@ mod tests {
         assert_eq!(merged.loaded(), 2);
         assert_eq!(merged.get("from-a").unwrap(), "1");
         assert_eq!(merged.get("from-b").unwrap(), "2");
+    }
+
+    #[test]
+    fn interleaved_flushes_from_two_stores_union_on_disk() {
+        // Two stores over the same file, each flushing after every insert
+        // from its own thread. Serialized read-merge-write-rename means the
+        // on-disk file only ever grows toward the union — no flush may
+        // clobber the other store's records or tear the temp file.
+        let dir = tmp_dir("torture");
+        let a = PersistentStore::open(&dir, 51);
+        let b = PersistentStore::open(&dir, 51);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50 {
+                    a.put(format!("a-{i}"), format!("{i}"));
+                    a.flush().unwrap();
+                }
+            });
+            s.spawn(|| {
+                for i in 0..50 {
+                    b.put(format!("b-{i}"), format!("{i}"));
+                    b.flush().unwrap();
+                }
+            });
+        });
+        // One last dirty flush from each side: the later one merges the
+        // earlier's renamed file, so whoever "loses" the race is merged,
+        // not dropped.
+        a.put("a-final".into(), "1".into());
+        a.flush().unwrap();
+        b.put("b-final".into(), "1".into());
+        b.flush().unwrap();
+        let merged = PersistentStore::open(&dir, 51);
+        assert_eq!(merged.loaded(), 102, "{merged:?}");
+        for i in 0..50 {
+            assert_eq!(merged.get(&format!("a-{i}")).unwrap(), format!("{i}"));
+            assert_eq!(merged.get(&format!("b-{i}")).unwrap(), format!("{i}"));
+        }
+        assert!(merged.get("a-final").is_some());
+        assert!(merged.get("b-final").is_some());
+        // No stray temp files survive.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "ghr"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
     }
 
     #[test]

@@ -149,6 +149,49 @@ fn concurrent_engines_merge_instead_of_clobbering() {
 }
 
 #[test]
+fn interleaved_flushes_from_racing_engines_merge_not_clobber() {
+    // Torture the merge-on-flush path: two engines over the same
+    // directory evaluate disjoint grids and flush *concurrently*, each
+    // several times while the other is mid-evaluation or mid-flush. The
+    // flush lock serializes read-merge-write-rename, so whichever rename
+    // lands last must contain the union — the loser's entries are merged
+    // forward, never dropped.
+    let dir = tmp_dir("interleave");
+    let a = Engine::new(machine(), 2).with_store_dir(&dir);
+    let b = Engine::new(machine(), 2).with_store_dir(&dir);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            a.table1().unwrap();
+            a.flush_store().unwrap();
+            a.sweep(&GpuSweep::paper_scaled(Case::C1, 1 << 20)).unwrap();
+            a.flush_store().unwrap();
+        });
+        s.spawn(|| {
+            b.whatif().unwrap();
+            b.flush_store().unwrap();
+            b.sweep(&GpuSweep::paper_scaled(Case::C3, 1 << 20)).unwrap();
+            b.flush_store().unwrap();
+        });
+    });
+    let stored = a.stats().persistent_stored + b.stats().persistent_stored;
+    drop(a);
+    drop(b);
+
+    // The disjoint grids sum exactly: the reopened file holds every entry
+    // either engine stored, and nothing evaluates on a warm re-run.
+    let fp = ghr_core::engine::machine_fingerprint(&machine());
+    let reopened = PersistentStore::open(&dir, fp);
+    assert_eq!(reopened.loaded(), stored, "flush dropped a loser's rows");
+
+    let c = Engine::new(machine(), 2).with_store_dir(&dir);
+    c.table1().unwrap();
+    c.whatif().unwrap();
+    c.sweep(&GpuSweep::paper_scaled(Case::C1, 1 << 20)).unwrap();
+    c.sweep(&GpuSweep::paper_scaled(Case::C3, 1 << 20)).unwrap();
+    assert_eq!(c.stats().evaluated, 0, "{:?}", c.stats());
+}
+
+#[test]
 fn flush_is_atomic_no_partial_file_visible() {
     // The flush path goes through a temp file + rename; the target name
     // either holds the previous complete store or the new complete store.

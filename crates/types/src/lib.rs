@@ -23,6 +23,6 @@ pub mod units;
 pub use device::Device;
 pub use dtype::{Accum, DType, Element};
 pub use error::{GhrError, Result};
-pub use pipeline::{PlanSummary, RequestId, StagePlan, StageTiming};
+pub use pipeline::{PlanSummary, RequestId, SessionStats, StagePlan, StageTiming};
 pub use stats::Summary;
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

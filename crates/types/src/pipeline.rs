@@ -113,6 +113,58 @@ pub struct StageTiming {
     pub millis: f64,
 }
 
+/// Per-session accounting for one serve session (one stdin batch or one
+/// socket connection). Sessions are independent workers over one shared
+/// engine, so the server sums these with [`SessionStats::absorb`] when a
+/// session drains; the engine's own counters stay the cross-session truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Response frames written (ok or error).
+    pub served: u64,
+    /// Requests answered with `status=ok`.
+    pub ok: u64,
+    /// Requests answered with `status=error` (unknown or unservable).
+    pub errors: u64,
+    /// Lines rejected at the framing layer (CRLF, NUL, oversized,
+    /// truncated) with a `ghr-error` frame — never parsed as requests.
+    pub malformed: u64,
+    /// Requests answered whole from the engine's response cache.
+    pub response_cache_hits: u64,
+    /// Requests coalesced onto another session's in-flight evaluation.
+    pub coalesced: u64,
+    /// Work items freshly evaluated on behalf of this session.
+    pub evals: u64,
+}
+
+impl SessionStats {
+    /// Fold another session's counters into this one (the server's
+    /// drain-time aggregation).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.served += other.served;
+        self.ok += other.ok;
+        self.errors += other.errors;
+        self.malformed += other.malformed;
+        self.response_cache_hits += other.response_cache_hits;
+        self.coalesced += other.coalesced;
+        self.evals += other.evals;
+    }
+
+    /// One human-readable line for the server's stderr log.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} served ({} ok, {} error, {} malformed), {} response hits, \
+             {} coalesced, {} evals",
+            self.served,
+            self.ok,
+            self.errors,
+            self.malformed,
+            self.response_cache_hits,
+            self.coalesced,
+            self.evals
+        )
+    }
+}
+
 /// Escape a string for inclusion in a JSON string literal (std-only; the
 /// workspace has no serializer dependency).
 pub fn json_escape(s: &str) -> String {
@@ -196,6 +248,32 @@ mod tests {
         assert_eq!(p.predicted_misses(), 6);
         assert_eq!(p.adaptive_stages(), 1);
         assert!((p.predicted_hit_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_stats_absorb_sums_every_counter() {
+        let mut total = SessionStats::default();
+        let a = SessionStats {
+            served: 3,
+            ok: 2,
+            errors: 1,
+            malformed: 4,
+            response_cache_hits: 1,
+            coalesced: 1,
+            evals: 8,
+        };
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.served, 6);
+        assert_eq!(total.ok, 4);
+        assert_eq!(total.errors, 2);
+        assert_eq!(total.malformed, 8);
+        assert_eq!(total.response_cache_hits, 2);
+        assert_eq!(total.coalesced, 2);
+        assert_eq!(total.evals, 16);
+        let line = total.summary_line();
+        assert!(line.contains("6 served"), "{line}");
+        assert!(line.contains("8 malformed"), "{line}");
     }
 
     #[test]

@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
-# Serve-loop smoke test: start `ghr serve`, feed three requests (one a
-# duplicate) over a pipe, and require the warm duplicate to be answered
-# from the response cache with 0 evaluations — both in its frame header
-# and in the session's --stats-json object on stderr.
+# Serve-loop smoke test, two phases:
+#   1. sequential: start `ghr serve`, feed three requests (one a
+#      duplicate) over a pipe, and require the warm duplicate to be
+#      answered from the response cache with 0 evaluations — both in its
+#      frame header and in the session's --stats-json object on stderr.
+#   2. concurrent: start `ghr serve --socket --sessions 4`, hammer it
+#      with four background clients sending overlapping request ids,
+#      require warm duplicates to report evals=0 and byte-identical
+#      bodies, then stop the server with SIGTERM and require a clean
+#      drain (exit 0, socket file removed).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -74,5 +80,84 @@ case "$json" in
     *'"stages":['*'"name":"assemble"'*) ;;
     *) echo "FAIL: stats JSON lacks per-stage executor timings" >&2; exit 1 ;;
 esac
+
+echo "==> concurrent serve: 4 clients over a socket, overlapping ids"
+SOCK="$WORK/ghr.sock"
+# A fresh cache dir so the socket server starts cold and the evals=0
+# assertions below genuinely exercise the shared response cache.
+GHR_CACHE_DIR="$WORK/cache2" "$GHR" serve --socket "$SOCK" --sessions 4 --threads 2 \
+    > "$WORK/srv.out" 2> "$WORK/srv.err" &
+SRV=$!
+tries=0
+while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "FAIL: serve socket never appeared" >&2
+        cat "$WORK/srv.err" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# Warm the response cache with one cold table1, then race four clients
+# whose batches all duplicate it (and race each other on whatif).
+"$GHR" client --socket "$SOCK" table1 > "$WORK/c0"
+pids=""
+for i in 1 2 3 4; do
+    "$GHR" client --socket "$SOCK" table1 whatif table1 > "$WORK/c$i" &
+    pids="$pids $!"
+done
+for p in $pids; do
+    wait "$p"
+done
+
+# Every client got its three frames, all ok, no torn output.
+for i in 1 2 3 4; do
+    n=$(grep -c '^ghr-response ' "$WORK/c$i")
+    if [ "$n" -ne 3 ]; then
+        echo "FAIL: client $i expected 3 frames, got $n" >&2
+        cat "$WORK/c$i" >&2
+        exit 1
+    fi
+    if grep '^ghr-response ' "$WORK/c$i" | grep -v ' status=ok ' >&2; then
+        echo "FAIL: client $i has a non-ok frame" >&2
+        exit 1
+    fi
+done
+
+# 12 frames total; at most one (the whatif leader) may evaluate — every
+# warm duplicate must report evals=0.
+warm=$(grep -h '^ghr-response ' "$WORK"/c1 "$WORK"/c2 "$WORK"/c3 "$WORK"/c4 \
+    | grep -c ' evals=0 ')
+if [ "$warm" -lt 11 ]; then
+    echo "FAIL: warm duplicates re-evaluated ($warm of 12 frames had evals=0)" >&2
+    grep -h '^ghr-response ' "$WORK"/c1 "$WORK"/c2 "$WORK"/c3 "$WORK"/c4 >&2
+    exit 1
+fi
+
+# Bodies (headers stripped — they legitimately differ in cached=) are
+# byte-identical across all racing clients.
+for i in 1 2 3 4; do
+    grep -v '^ghr-response ' "$WORK/c$i" > "$WORK/cbody$i"
+done
+for i in 2 3 4; do
+    if ! cmp -s "$WORK/cbody1" "$WORK/cbody$i"; then
+        echo "FAIL: client $i body differs from client 1" >&2
+        exit 1
+    fi
+done
+
+echo "==> SIGTERM drains the server cleanly"
+kill -TERM "$SRV"
+wait "$SRV"
+if [ -S "$SOCK" ]; then
+    echo "FAIL: socket file survived the drain" >&2
+    exit 1
+fi
+if ! grep -q 'served 13 request(s)' "$WORK/srv.out"; then
+    echo "FAIL: server did not account all 13 requests" >&2
+    cat "$WORK/srv.out" "$WORK/srv.err" >&2
+    exit 1
+fi
 
 echo "serve smoke: OK"

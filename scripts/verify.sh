@@ -19,4 +19,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The concurrency acceptance suites are part of the workspace run above;
+# name them explicitly so a filtered or partial test run can never skip
+# the serve/engine race coverage silently.
+echo "==> cargo test -q -p ghr-core --test engine_concurrency"
+cargo test -q -p ghr-core --test engine_concurrency
+
+echo "==> cargo test -q -p ghr-cli --test serve_loop"
+cargo test -q -p ghr-cli --test serve_loop
+
 echo "verify: OK"

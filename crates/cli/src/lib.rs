@@ -17,6 +17,7 @@
 //! ghr plan <command|all>        dry-run: print the lowered work-item DAG
 //! ghr serve [--socket PATH]     concurrent request loop over one warm engine
 //! ghr client --socket PATH ...  send request lines to a serve socket
+//! ghr loadgen [--socket PATH]   drive load at the engine or a live server
 //! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
 //! ```
 //!
@@ -73,11 +74,12 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod loadgen;
 pub mod serve;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|cache> [args]\n\
+whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|loadgen|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
      `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
@@ -86,12 +88,20 @@ whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|
      measurements;\n\
      `ghr plan <command|all>` prints the lowered work-item DAG (a dry run:\n\
      stages, items, predicted cache hits — nothing executes); `ghr serve\n\
-     [--socket PATH] [--sessions N] [--max-idle SECS]` answers line-delimited\n\
-     experiment requests over one warm engine — socket connections run\n\
-     concurrently on up to N sessions (default GHR_SESSIONS, then engine\n\
-     threads); quit/exit ends one session, `ghr-shutdown`/SIGTERM drains the\n\
-     server; `ghr client --socket PATH [request...]` sends request lines to\n\
-     a serve socket and prints the frames;\n\
+     [--socket PATH] [--sessions N] [--max-idle SECS] [--max-inflight N]\n\
+     [--max-frame BYTES]` answers line-delimited experiment requests over one\n\
+     warm engine — socket connections run concurrently on up to N sessions\n\
+     (default GHR_SESSIONS, then engine threads); past the --max-inflight\n\
+     budget arrivals get `ghr-error reason=overload` immediately; lines over\n\
+     --max-frame bytes are rejected as oversized; quit/exit ends one session,\n\
+     `ghr-shutdown`/SIGTERM drains the server; `ghr client --socket PATH\n\
+     [request...]` sends request lines to a serve socket and prints the\n\
+     frames; `ghr loadgen [--socket PATH] [--requests N] [--conns N]\n\
+     [--catalog N] [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]\n\
+     [--out FILE|--no-out]` drives open/closed-loop load (zipf-distributed\n\
+     request ids) at the in-process engine or a live serve socket and reports\n\
+     per-phase throughput and p50/p95/p99 latency (JSON to BENCH_loadgen.json\n\
+     by default);\n\
      global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
      --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
      --stats-json (engine counters + per-stage timings as JSON on stderr),\n\
@@ -230,10 +240,20 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
         if s.requests > 0 {
             let _ = writeln!(
                 out,
-                "pipeline: {} requests, {} response hits, {} stages executed",
+                "pipeline: {} requests, {} response hits, {} coalesced, {} stages executed",
                 s.requests,
                 s.response_hits,
+                s.coalesced,
                 engine.stage_timings().len()
+            );
+            let _ = writeln!(
+                out,
+                "hot path: {} warm lock acquisitions; replica log {} published, \
+                 {} syncs, {} snapshot hits",
+                s.warm_lock_acquisitions,
+                s.replica_published,
+                s.replica_syncs,
+                s.replica_snapshot_hits
             );
         }
         let _ = writeln!(out, "kernel backend: {}", ghr_parallel::simd::report());
@@ -285,6 +305,13 @@ fn cmd_cache(dir: Option<&std::path::Path>, rest: &[String]) -> Result<String, S
             let _ = writeln!(
                 out,
                 "  {others} store file(s) for other fingerprints/schemas"
+            );
+            let _ = writeln!(
+                out,
+                "hot path (per process, not persisted): response hits, coalesced \
+                 evaluations,\n  warm lock acquisitions and replica log traffic \
+                 (published/syncs/snapshot hits)\n  are engine counters — see \
+                 --stats / --stats-json on any command or serve run"
             );
             Ok(out)
         }
@@ -386,6 +413,7 @@ pub(crate) fn dispatch(engine: &Arc<Engine>, cmd: &str, rest: &[String]) -> Resu
         }
         "plan" => cmd_plan(engine, rest),
         "serve" => cmd_serve(engine, rest),
+        "loadgen" => crate::loadgen::cmd_loadgen(engine, rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -503,20 +531,25 @@ fn cmd_plan(engine: &Engine, rest: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `ghr serve [--socket PATH] [--sessions N] [--max-idle SECS]` — the
-/// long-lived request loop (see [`serve`]). Stdin is one sequential
-/// session (frame order is the batch order); a socket serves up to N
-/// concurrent sessions over the shared engine. Frames stream to stdout
-/// (or each session's stream); the returned string stays empty on the
-/// stdin path so framing is never polluted.
+/// `ghr serve [--socket PATH] [--sessions N] [--max-idle SECS]
+/// [--max-inflight N] [--max-frame BYTES]` — the long-lived request loop
+/// (see [`serve`]). Stdin is one sequential session (frame order is the
+/// batch order); a socket serves up to N concurrent sessions over the
+/// shared engine. Frames stream to stdout (or each session's stream); the
+/// returned string stays empty on the stdin path so framing is never
+/// polluted. `--max-inflight` bounds requests inside the engine at once —
+/// arrivals past the budget get `ghr-error reason=overload` immediately;
+/// `--max-frame` tightens (or widens) the accepted request-line length.
 fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
     let mut socket: Option<String> = None;
     let mut sessions: Option<usize> = None;
     let mut max_idle: Option<f64> = None;
-    let parse_sessions = |s: &str| -> Result<usize, String> {
+    let mut max_inflight: Option<usize> = None;
+    let mut max_frame: usize = serve::MAX_REQUEST_LINE;
+    let parse_count = |what: &str, s: &str| -> Result<usize, String> {
         match s.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("bad session count {s:?} (need an integer >= 1)")),
+            _ => Err(format!("bad {what} {s:?} (need an integer >= 1)")),
         }
     };
     let parse_idle = |s: &str| -> Result<f64, String> {
@@ -532,15 +565,30 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
         } else if let Some(v) = a.strip_prefix("--socket=") {
             socket = Some(v.to_string());
         } else if a == "--sessions" {
-            sessions = Some(parse_sessions(
+            sessions = Some(parse_count(
+                "session count",
                 it.next().ok_or("--sessions needs a count")?,
             )?);
         } else if let Some(v) = a.strip_prefix("--sessions=") {
-            sessions = Some(parse_sessions(v)?);
+            sessions = Some(parse_count("session count", v)?);
         } else if a == "--max-idle" {
             max_idle = Some(parse_idle(it.next().ok_or("--max-idle needs seconds")?)?);
         } else if let Some(v) = a.strip_prefix("--max-idle=") {
             max_idle = Some(parse_idle(v)?);
+        } else if a == "--max-inflight" {
+            max_inflight = Some(parse_count(
+                "in-flight budget",
+                it.next().ok_or("--max-inflight needs a count")?,
+            )?);
+        } else if let Some(v) = a.strip_prefix("--max-inflight=") {
+            max_inflight = Some(parse_count("in-flight budget", v)?);
+        } else if a == "--max-frame" {
+            max_frame = parse_count(
+                "frame cap",
+                it.next().ok_or("--max-frame needs a byte count")?,
+            )?;
+        } else if let Some(v) = a.strip_prefix("--max-frame=") {
+            max_frame = parse_count("frame cap", v)?;
         } else {
             return Err(format!("unknown serve argument {a:?}"));
         }
@@ -550,7 +598,23 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
             let stdin = std::io::stdin();
             let mut out = std::io::stdout().lock();
             let mut err = std::io::stderr().lock();
-            serve::serve_loop(engine, stdin.lock(), &mut out, &mut err)?;
+            // One sequential session, but the admission budget and frame
+            // cap apply exactly as on the socket path.
+            let admission = max_inflight.map(serve::Admission::new);
+            let config = serve::SessionConfig {
+                max_frame,
+                admission: admission.as_ref(),
+            };
+            let shutdown = std::sync::atomic::AtomicBool::new(false);
+            serve::serve_session(
+                engine,
+                0,
+                &mut stdin.lock(),
+                &mut out,
+                &mut err,
+                &shutdown,
+                &config,
+            )?;
             Ok(String::new())
         }
         #[cfg(unix)]
@@ -566,12 +630,14 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
             let opts = serve::ServeOptions {
                 sessions,
                 max_idle: max_idle.map(std::time::Duration::from_secs_f64),
+                max_inflight,
+                max_frame,
             };
             serve::serve_socket(engine, &path, &opts)
         }
         #[cfg(not(unix))]
         Some(_) => {
-            let _ = (sessions, max_idle);
+            let _ = (sessions, max_idle, max_inflight, max_frame);
             Err("--socket needs a unix platform; pipe requests over stdin".to_string())
         }
     }

@@ -45,10 +45,22 @@
 //! sessions drain, then the listener exits — and is triggered by a
 //! `ghr-shutdown` frame on any session, SIGTERM, or `--max-idle SECS`
 //! elapsing with no active session.
+//!
+//! ## Admission control (overload degradation contract)
+//!
+//! With `--max-inflight N` the server holds a server-wide budget of
+//! requests allowed *inside the engine* at once. A request arriving past
+//! the budget is rejected **immediately** with a body-less
+//! `ghr-error reason=overload` frame — it never queues, never touches the
+//! engine, and the session keeps serving. Clients see bounded latency on
+//! admitted requests and an explicit, retryable signal on the rest, which
+//! is the graceful-degradation contract `ghr loadgen`'s overload phase
+//! measures (p99 stays bounded instead of collapsing into an unbounded
+//! queue). Without the flag every request is admitted, as before.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use ghr_core::engine::{Engine, EngineStats, ResponseSource};
 use ghr_types::{SessionStats, StageTiming};
@@ -61,6 +73,87 @@ pub const MAX_REQUEST_LINE: usize = 4096;
 /// this the remainder is consumed but not stored, so a malicious client
 /// cannot balloon server memory before the `oversized-line` rejection.
 const HARD_LINE_CAP: usize = 1 << 20;
+
+/// Server-wide in-flight request budget (`--max-inflight`): a request is
+/// admitted only while fewer than `limit` requests hold permits, and a
+/// rejected arrival gets an immediate `ghr-error reason=overload` frame
+/// instead of queueing. Shared by every session of one server.
+#[derive(Debug)]
+pub struct Admission {
+    limit: usize,
+    inflight: AtomicUsize,
+    rejected: AtomicU64,
+}
+
+impl Admission {
+    /// A budget admitting at most `limit` (≥ 1) concurrent requests.
+    pub fn new(limit: usize) -> Self {
+        Admission {
+            limit: limit.max(1),
+            inflight: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to take an in-flight slot. `None` means the budget is spent —
+    /// the caller must reject the request without touching the engine.
+    pub fn try_admit(&self) -> Option<AdmissionPermit<'_>> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(self)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Requests currently holding permits.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected with `reason=overload` so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// An admitted request's slot; dropping it releases the budget.
+pub struct AdmissionPermit<'a>(&'a Admission);
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-session knobs, shared by every session of one server.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig<'a> {
+    /// Longest accepted request line in bytes (`--max-frame`; longer lines
+    /// are rejected with `reason=oversized-line`).
+    pub max_frame: usize,
+    /// In-flight budget; `None` admits everything.
+    pub admission: Option<&'a Admission>,
+}
+
+impl Default for SessionConfig<'_> {
+    fn default() -> Self {
+        SessionConfig {
+            max_frame: MAX_REQUEST_LINE,
+            admission: None,
+        }
+    }
+}
 
 /// What one serve session did (returned for logging and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,11 +178,11 @@ enum RawRead {
 }
 
 /// Append raw bytes into `buf` until a newline, EOF, or read timeout.
-/// The newline itself is consumed but not stored. Bytes beyond
-/// [`HARD_LINE_CAP`] are consumed but dropped (the stored prefix is enough
-/// to reject the line as oversized). Hard I/O errors read as EOF — for a
-/// socket that is a vanished client, not a server fault.
-fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> RawRead {
+/// The newline itself is consumed but not stored. Bytes beyond `hard_cap`
+/// are consumed but dropped (the stored prefix is enough to reject the
+/// line as oversized). Hard I/O errors read as EOF — for a socket that is
+/// a vanished client, not a server fault.
+fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>, hard_cap: usize) -> RawRead {
     loop {
         let chunk = match input.fill_buf() {
             Ok(c) => c,
@@ -109,12 +202,12 @@ fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> RawRead {
         }
         let newline = chunk.iter().position(|&b| b == b'\n');
         let upto = newline.unwrap_or(chunk.len());
-        let room = HARD_LINE_CAP.saturating_sub(buf.len());
+        let room = hard_cap.saturating_sub(buf.len());
         buf.extend_from_slice(&chunk[..upto.min(room)]);
         if upto > room {
             // Remember that bytes were dropped so the length check below
             // still sees an oversized line.
-            buf.resize(HARD_LINE_CAP.max(MAX_REQUEST_LINE + 1), b'#');
+            buf.resize(hard_cap, b'#');
         }
         input.consume(upto + usize::from(newline.is_some()));
         if newline.is_some() {
@@ -124,14 +217,14 @@ fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> RawRead {
 }
 
 /// Validate one raw line and decode it, or name the protocol violation.
-fn classify_line(buf: &[u8]) -> Result<&str, &'static str> {
+fn classify_line(buf: &[u8], max_frame: usize) -> Result<&str, &'static str> {
     if buf.last() == Some(&b'\r') {
         return Err("crlf-line-ending");
     }
     if buf.contains(&0) {
         return Err("nul-byte");
     }
-    if buf.len() > MAX_REQUEST_LINE {
+    if buf.len() > max_frame {
         return Err("oversized-line");
     }
     std::str::from_utf8(buf).map_err(|_| "invalid-utf8")
@@ -150,11 +243,16 @@ pub fn serve_session(
     out: &mut impl Write,
     err: &mut impl Write,
     shutdown: &AtomicBool,
+    config: &SessionConfig<'_>,
 ) -> Result<ServeSummary, String> {
     let mut summary = ServeSummary::default();
     let mut buf: Vec<u8> = Vec::new();
+    // The buffering ceiling must exceed the frame cap so an over-cap line
+    // is stored far enough to be *classified* as oversized, while a
+    // pathological line still cannot balloon memory.
+    let hard_cap = HARD_LINE_CAP.max(config.max_frame.saturating_add(1));
     loop {
-        match read_raw_line(input, &mut buf) {
+        match read_raw_line(input, &mut buf, hard_cap) {
             RawRead::Pending => {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
@@ -176,7 +274,7 @@ pub fn serve_session(
             }
             RawRead::Line => {}
         }
-        let line = match classify_line(&buf) {
+        let line = match classify_line(&buf, config.max_frame) {
             Ok(s) => s.to_string(),
             Err(reason) => {
                 summary.stats.malformed += 1;
@@ -205,7 +303,24 @@ pub fn serve_session(
         let (cmd, rest) = (words[0].as_str(), &words[1..]);
 
         let t0 = std::time::Instant::now();
+        // Admission control: past the in-flight budget the request is
+        // rejected *now*, without queueing or touching the engine.
+        let permit = match config.admission.map(Admission::try_admit) {
+            Some(None) => {
+                summary.stats.overloaded += 1;
+                write_error_frame(out, "overload")
+                    .map_err(|e| format!("serve: write failed: {e}"))?;
+                let _ = writeln!(err, "serve[{session}]: rejected {line} (overload)");
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Some(permit @ Some(_)) => permit,
+            None => None,
+        };
         let answer = serve_one(engine, cmd, rest);
+        drop(permit);
         summary.served += 1;
         summary.stats.served += 1;
         let (status, id, body, cached, evals) = match answer {
@@ -259,7 +374,15 @@ pub fn serve_loop(
     err: &mut impl Write,
 ) -> Result<ServeSummary, String> {
     let shutdown = AtomicBool::new(false);
-    serve_session(engine, 0, &mut input, out, err, &shutdown)
+    serve_session(
+        engine,
+        0,
+        &mut input,
+        out,
+        err,
+        &shutdown,
+        &SessionConfig::default(),
+    )
 }
 
 /// Answer one request line: resolve it to a declarative [`ghr_core::Request`]
@@ -330,7 +453,9 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
          \"coalesced\":{},\"response_hit_rate\":{},\"lookups\":{},\"hits\":{},\
          \"evaluated\":{},\"hit_rate\":{},\"persistent\":{{\"loaded\":{},\
          \"hits\":{},\"misses\":{},\"stored\":{}}},\"sweep\":{{\"evaluated\":{},\
-         \"skipped\":{}}},\"wall_ms\":{},\"stages\":[",
+         \"skipped\":{}}},\"warm_lock_acquisitions\":{},\"replica\":{{\
+         \"published\":{},\"syncs\":{},\"snapshot_hits\":{}}},\
+         \"wall_ms\":{},\"stages\":[",
         stats.threads,
         stats.requests,
         stats.response_hits,
@@ -346,6 +471,10 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
         stats.persistent_stored,
         stats.sweep_evaluated,
         stats.sweep_skipped,
+        stats.warm_lock_acquisitions,
+        stats.replica_published,
+        stats.replica_syncs,
+        stats.replica_snapshot_hits,
         json_f64(wall_ms),
     );
     for (i, st) in stages.iter().enumerate() {
@@ -370,7 +499,7 @@ pub use socket::{serve_socket, ServeOptions};
 
 #[cfg(unix)]
 mod socket {
-    use super::{serve_session, ServeSummary};
+    use super::{serve_session, Admission, ServeSummary, SessionConfig};
     use ghr_core::engine::Engine;
     use ghr_types::SessionStats;
     use std::io::BufReader;
@@ -396,6 +525,23 @@ mod socket {
         pub sessions: usize,
         /// Shut down after this long with no active session.
         pub max_idle: Option<Duration>,
+        /// Server-wide in-flight request budget (`--max-inflight`);
+        /// arrivals past it get `ghr-error reason=overload` immediately.
+        /// `None` admits everything.
+        pub max_inflight: Option<usize>,
+        /// Longest accepted request line in bytes (`--max-frame`).
+        pub max_frame: usize,
+    }
+
+    impl Default for ServeOptions {
+        fn default() -> Self {
+            ServeOptions {
+                sessions: 1,
+                max_idle: None,
+                max_inflight: None,
+                max_frame: super::MAX_REQUEST_LINE,
+            }
+        }
     }
 
     /// Std-only SIGTERM latch: the handler just stores an atomic flag the
@@ -448,9 +594,16 @@ mod socket {
             .map_err(|e| format!("cannot poll socket {path:?}: {e}"))?;
         sig::install();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = opts
+            .max_inflight
+            .map(|limit| Arc::new(Admission::new(limit)));
         eprintln!(
-            "serve: listening on {path} ({cap} session slot(s); \
-             `ghr-shutdown` or SIGTERM stops the server)"
+            "serve: listening on {path} ({cap} session slot(s){}; \
+             `ghr-shutdown` or SIGTERM stops the server)",
+            match opts.max_inflight {
+                Some(limit) => format!(", max {limit} in-flight request(s)"),
+                None => String::new(),
+            }
         );
         let mut active: Vec<JoinHandle<ServeSummary>> = Vec::new();
         let mut total = SessionStats::default();
@@ -482,7 +635,14 @@ mod socket {
                         last_activity = Instant::now();
                         let id = next_session;
                         next_session += 1;
-                        active.push(spawn_session(engine, stream, id, &shutdown));
+                        active.push(spawn_session(
+                            engine,
+                            stream,
+                            id,
+                            &shutdown,
+                            admission.clone(),
+                            opts.max_frame,
+                        ));
                         continue; // a burst of clients: accept eagerly
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
@@ -503,6 +663,14 @@ mod socket {
         }
         let _ = std::fs::remove_file(path);
         eprintln!("serve: drained — {}", total.summary_line());
+        if let Some(admission) = &admission {
+            if admission.rejected() > 0 {
+                eprintln!(
+                    "serve: {} request(s) rejected with reason=overload",
+                    admission.rejected()
+                );
+            }
+        }
         Ok(format!(
             "served {} request(s) across {drained} session(s) on {path}\n",
             total.served
@@ -535,6 +703,8 @@ mod socket {
         stream: UnixStream,
         id: u64,
         shutdown: &Arc<AtomicBool>,
+        admission: Option<Arc<Admission>>,
+        max_frame: usize,
     ) -> JoinHandle<ServeSummary> {
         let engine = Arc::clone(engine);
         let shutdown = Arc::clone(shutdown);
@@ -552,6 +722,10 @@ mod socket {
             };
             let mut input = BufReader::new(reader);
             let mut writer = stream;
+            let config = SessionConfig {
+                max_frame,
+                admission: admission.as_deref(),
+            };
             match serve_session(
                 &engine,
                 id,
@@ -559,6 +733,7 @@ mod socket {
                 &mut writer,
                 &mut std::io::stderr(),
                 &shutdown,
+                &config,
             ) {
                 Ok(summary) => {
                     eprintln!(
@@ -623,11 +798,94 @@ mod tests {
         let mut input = BufReader::new("ghr-shutdown\ntable1\n".as_bytes());
         let mut out = Vec::new();
         let mut err = Vec::new();
-        let summary = serve_session(&e, 7, &mut input, &mut out, &mut err, &shutdown).unwrap();
+        let summary = serve_session(
+            &e,
+            7,
+            &mut input,
+            &mut out,
+            &mut err,
+            &shutdown,
+            &SessionConfig::default(),
+        )
+        .unwrap();
         assert_eq!(summary.served, 0);
         assert!(summary.quit);
         assert!(shutdown.load(Ordering::SeqCst), "shutdown flag must latch");
         assert!(out.is_empty(), "{:?}", String::from_utf8(out));
+    }
+
+    #[test]
+    fn exhausted_admission_budget_rejects_with_an_overload_frame() {
+        let e = engine();
+        let admission = Admission::new(1);
+        // Hold the only permit so the session's request arrives overloaded.
+        let held = admission.try_admit().expect("first permit");
+        assert_eq!(admission.inflight(), 1);
+        let config = SessionConfig {
+            max_frame: MAX_REQUEST_LINE,
+            admission: Some(&admission),
+        };
+        let shutdown = AtomicBool::new(false);
+        let mut input = BufReader::new("table1\nquit\n".as_bytes());
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let summary =
+            serve_session(&e, 1, &mut input, &mut out, &mut err, &shutdown, &config).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(summary.served, 0, "{out}");
+        assert_eq!(summary.stats.overloaded, 1, "{:?}", summary.stats);
+        assert!(out.contains("ghr-error reason=overload"), "{out}");
+        assert_eq!(
+            e.stats().requests,
+            0,
+            "rejected requests never reach the engine"
+        );
+        assert_eq!(admission.rejected(), 1);
+        drop(held);
+        assert_eq!(
+            admission.inflight(),
+            0,
+            "dropping the permit frees the slot"
+        );
+        // With the budget free again the same request is admitted and served.
+        let mut input = BufReader::new("table1\nquit\n".as_bytes());
+        let mut out = Vec::new();
+        let summary = serve_session(
+            &e,
+            2,
+            &mut input,
+            &mut out,
+            &mut std::io::sink(),
+            &shutdown,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(summary.served, 1);
+        assert_eq!(summary.stats.overloaded, 0, "{:?}", summary.stats);
+        assert!(String::from_utf8(out).unwrap().contains("status=ok"));
+    }
+
+    #[test]
+    fn max_frame_rejects_longer_lines_as_oversized() {
+        let e = engine();
+        let config = SessionConfig {
+            max_frame: 16,
+            admission: None,
+        };
+        let shutdown = AtomicBool::new(false);
+        let long = "x".repeat(20);
+        let input = format!("{long}\ntable1\nquit\n");
+        let mut input = BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let summary =
+            serve_session(&e, 1, &mut input, &mut out, &mut err, &shutdown, &config).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(summary.stats.malformed, 1, "{:?}", summary.stats);
+        assert!(out.contains("reason=oversized-line"), "{out}");
+        // A line within the tightened cap still parses and serves.
+        assert_eq!(summary.served, 1, "{out}");
+        assert!(out.contains("status=ok"), "{out}");
     }
 
     #[test]
@@ -689,6 +947,13 @@ mod tests {
         assert!(json.contains("\"coalesced\":0"), "{json}");
         assert!(json.contains("\"evaluated\":8"), "{json}");
         assert!(json.contains("\"name\":\"assemble\""), "{json}");
+        assert!(json.contains("\"warm_lock_acquisitions\":"), "{json}");
+        assert!(
+            json.contains("\"replica\":{\"published\":1,"),
+            "one fresh request publishes one response to the warm log: {json}"
+        );
+        assert!(json.contains("\"syncs\":"), "{json}");
+        assert!(json.contains("\"snapshot_hits\":"), "{json}");
         assert!(!json.contains("NaN"), "{json}");
         // A fresh engine has zero lookups and zero requests; the ratios
         // must render as numbers (0), not NaN/null noise.

@@ -205,7 +205,7 @@ fn stress_concurrent_clients_coalesce_work_and_get_identical_bodies() {
         std::thread::spawn(move || {
             let opts = ServeOptions {
                 sessions: CLIENTS,
-                max_idle: None,
+                ..ServeOptions::default()
             };
             serve_socket(&engine, &path, &opts)
         })
@@ -300,6 +300,98 @@ fn stress_concurrent_clients_coalesce_work_and_get_identical_bodies() {
 
 #[cfg(unix)]
 #[test]
+fn loadgen_drives_a_live_socket_and_counts_overload_rejections() {
+    use ghr_cli::serve::{serve_socket, ServeOptions};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let engine = Arc::new(Engine::new(MachineConfig::gh200(), 2));
+    let sock = std::env::temp_dir().join(format!("ghr-loadgen-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let sock_str = sock.to_string_lossy().into_owned();
+    let server = {
+        let engine = Arc::clone(&engine);
+        let path = sock_str.clone();
+        std::thread::spawn(move || {
+            let opts = ServeOptions {
+                sessions: 12,
+                max_inflight: Some(2),
+                ..ServeOptions::default()
+            };
+            serve_socket(&engine, &path, &opts)
+        })
+    };
+    drop(connect_with_retry(&sock_str)); // wait for the listener to bind
+
+    // Two warm connections can never exceed the in-flight budget of two,
+    // so the cold and warm phases stay rejection-free; eight closed-loop
+    // overload connections must trip it.
+    let out = ghr_cli::run(
+        "loadgen",
+        &[
+            "--socket",
+            &sock_str,
+            "--catalog",
+            "3",
+            "--requests",
+            "400",
+            "--conns",
+            "2",
+            "--overload-conns",
+            "8",
+            "--no-out",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert!(out.contains("loadgen (socket mode)"), "{out}");
+    for phase in ["cold", "warm", "overload"] {
+        assert!(out.contains(&format!("| {phase}")), "{out}");
+    }
+    // The warm row: all 400 served, none rejected.
+    let warm = out
+        .lines()
+        .find(|l| l.starts_with("| warm "))
+        .unwrap_or_else(|| panic!("no warm row in {out}"));
+    let cells: Vec<&str> = warm.split('|').map(str::trim).collect();
+    assert_eq!(cells[5], "400", "warm ok count: {warm}");
+    assert_eq!(cells[7], "0", "warm must see no overload: {warm}");
+    // The overload row: every request either served or explicitly
+    // rejected — never errored — and the budget was actually tripped.
+    let over = out
+        .lines()
+        .find(|l| l.starts_with("| overload "))
+        .unwrap_or_else(|| panic!("no overload row in {out}"));
+    let cells: Vec<&str> = over.split('|').map(str::trim).collect();
+    let (requests, ok, err, overload) = (
+        cells[4].parse::<u64>().unwrap(),
+        cells[5].parse::<u64>().unwrap(),
+        cells[6].parse::<u64>().unwrap(),
+        cells[7].parse::<u64>().unwrap(),
+    );
+    // 400 zipf arrivals plus the eight-request cold contention volley.
+    assert_eq!(requests, 408, "{over}");
+    assert_eq!(err, 0, "{over}");
+    assert_eq!(ok + overload, requests, "{over}");
+    assert!(
+        overload > 0,
+        "a cold volley from eight conns over a budget of two must trip it: {over}"
+    );
+
+    let mut stream = connect_with_retry(&sock_str);
+    stream.write_all(b"ghr-shutdown\n").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rest = String::new();
+    let _ = stream.read_to_string(&mut rest);
+    let result = server.join().unwrap().unwrap();
+    assert!(result.contains("session(s)"), "{result}");
+    assert!(!sock.exists());
+}
+
+#[cfg(unix)]
+#[test]
 fn idle_server_shuts_itself_down_after_max_idle() {
     use ghr_cli::serve::{serve_socket, ServeOptions};
     use std::sync::Arc;
@@ -311,6 +403,7 @@ fn idle_server_shuts_itself_down_after_max_idle() {
     let opts = ServeOptions {
         sessions: 2,
         max_idle: Some(Duration::from_millis(200)),
+        ..ServeOptions::default()
     };
     let start = Instant::now();
     let result = serve_socket(&engine, &sock.to_string_lossy(), &opts).unwrap();

@@ -56,7 +56,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::autotune::TunedConfig;
@@ -65,6 +65,7 @@ use crate::corun::{run_corun, run_corun_point, AllocSite, CorunConfig, CorunPoin
 use crate::exec::Executor;
 use crate::plan::{refine_axes, Plan, Planner, WorkItem};
 use crate::reduction::ReductionSpec;
+use crate::replica::ReadMostly;
 use crate::request::{autotune_sweep, Request, Response};
 use crate::store::{self, PersistentStore};
 use crate::study::{self, CorunStudy};
@@ -210,6 +211,21 @@ pub enum ResponseSource {
     Coalesced,
 }
 
+/// Which structure answers warm [`Engine::respond`] probes. Cold
+/// evaluations publish to *both* structures, so the mode can be switched
+/// at run time (the loadgen harness A/Bs the two in one process) without
+/// losing entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseCacheMode {
+    /// NR-lite per-thread replicas of the append-only response log (the
+    /// default): a warm hit on a synced replica takes **zero** mutex
+    /// acquisitions — see [`crate::replica`].
+    Replica,
+    /// The sharded `Mutex<HashMap>` response cache — every warm hit takes
+    /// one shard lock. Kept as the measurable pre-replica baseline.
+    Locked,
+}
+
 /// A response plus its provenance, as [`Engine::respond`] reports it —
 /// what the serve layer renders frame headers from.
 #[derive(Debug, Clone)]
@@ -224,6 +240,50 @@ pub struct Responded {
     /// requests evaluate meanwhile). Always 0 for cache hits and
     /// coalesced waits.
     pub evals: u64,
+}
+
+/// Stripes in a [`Striped`] counter — enough that a typical worker count
+/// maps threads to distinct slots.
+const COUNTER_STRIPES: usize = 16;
+
+/// One counter stripe, padded to its own cache line so adjacent stripes
+/// never false-share.
+#[repr(align(64))]
+struct StripeSlot(AtomicU64);
+
+/// A thread-striped event counter: each thread adds to its own padded
+/// slot, so the warm hot path never bounces one shared cache line across
+/// cores the way a single `AtomicU64` does under 8-way read traffic.
+/// Reads sum every slot — exact once writers are quiesced (or ordered by
+/// a barrier), momentarily behind while they race.
+struct Striped {
+    slots: [StripeSlot; COUNTER_STRIPES],
+}
+
+impl Striped {
+    fn new() -> Self {
+        Striped {
+            slots: std::array::from_fn(|_| StripeSlot(AtomicU64::new(0))),
+        }
+    }
+
+    fn add(&self, n: u64) {
+        self.slots[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Round-robin slot assignment, fixed per thread on first use.
+fn stripe_index() -> usize {
+    static NEXT_STRIPE: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static STRIPE: usize =
+            (NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES as u64) as usize;
+    }
+    STRIPE.with(|s| *s)
 }
 
 /// A sharded hash map: N independent mutexes instead of one, so parallel
@@ -308,6 +368,20 @@ pub struct EngineStats {
     /// Grid points refined sweeps skipped (full grid minus evaluated) —
     /// reported so an adaptively truncated grid is never silent.
     pub sweep_skipped: u64,
+    /// Mutex acquisitions performed by [`Engine::respond`] calls that were
+    /// answered from the warm path (response cache or replica). In
+    /// [`ResponseCacheMode::Locked`] every warm hit takes at least one
+    /// shard lock; in [`ResponseCacheMode::Replica`] a synced replica hit
+    /// takes zero — the counter the loadgen warm phase proves stays flat.
+    pub warm_lock_acquisitions: u64,
+    /// Responses appended to the replica log (one per cold evaluation).
+    pub replica_published: u64,
+    /// Replica reads that had to replay the log tail under its lock
+    /// (a thread's first read, or its first read after a publication).
+    pub replica_syncs: u64,
+    /// Warm hits answered wait-free from an already-synced replica
+    /// snapshot — zero mutex acquisitions.
+    pub replica_snapshot_hits: u64,
 }
 
 impl EngineStats {
@@ -367,11 +441,13 @@ pub struct Engine {
     series: ShardedCache<CorunConfig, Arc<CorunSeries>>,
     corun_pts: ShardedCache<(CorunConfig, u32), CorunPoint>,
     responses: ShardedCache<u64, Arc<Response>>,
+    response_log: ReadMostly<Arc<Response>>,
+    cache_mode: AtomicU8,
     inflight: Mutex<HashMap<u64, Arc<Flight>, BuildFnv>>,
     eval_locks: Vec<Mutex<()>>,
     stage_log: Mutex<Vec<StageTiming>>,
-    requests: AtomicU64,
-    response_hits: AtomicU64,
+    requests: Striped,
+    response_hits: Striped,
     coalesced: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
@@ -381,6 +457,10 @@ pub struct Engine {
     pstore_stored: AtomicU64,
     sweep_evaluated: AtomicU64,
     sweep_skipped: AtomicU64,
+    warm_locks: Striped,
+    replica_published: AtomicU64,
+    replica_syncs: AtomicU64,
+    replica_snapshot_hits: Striped,
 }
 
 impl std::fmt::Debug for Engine {
@@ -418,11 +498,13 @@ impl Engine {
             series: ShardedCache::new(),
             corun_pts: ShardedCache::new(),
             responses: ShardedCache::new(),
+            response_log: ReadMostly::new(),
+            cache_mode: AtomicU8::new(0),
             inflight: Mutex::new(HashMap::default()),
             eval_locks: (0..EVAL_STRIPES).map(|_| Mutex::new(())).collect(),
             stage_log: Mutex::new(Vec::new()),
-            requests: AtomicU64::new(0),
-            response_hits: AtomicU64::new(0),
+            requests: Striped::new(),
+            response_hits: Striped::new(),
             coalesced: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -432,6 +514,10 @@ impl Engine {
             pstore_stored: AtomicU64::new(0),
             sweep_evaluated: AtomicU64::new(0),
             sweep_skipped: AtomicU64::new(0),
+            warm_locks: Striped::new(),
+            replica_published: AtomicU64::new(0),
+            replica_syncs: AtomicU64::new(0),
+            replica_snapshot_hits: Striped::new(),
         }
     }
 
@@ -478,8 +564,8 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             threads: self.threads,
-            requests: self.requests.load(Ordering::Relaxed),
-            response_hits: self.response_hits.load(Ordering::Relaxed),
+            requests: self.requests.sum(),
+            response_hits: self.response_hits.sum(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -490,7 +576,29 @@ impl Engine {
             persistent_stored: self.pstore_stored.load(Ordering::Relaxed),
             sweep_evaluated: self.sweep_evaluated.load(Ordering::Relaxed),
             sweep_skipped: self.sweep_skipped.load(Ordering::Relaxed),
+            warm_lock_acquisitions: self.warm_locks.sum(),
+            replica_published: self.replica_published.load(Ordering::Relaxed),
+            replica_syncs: self.replica_syncs.load(Ordering::Relaxed),
+            replica_snapshot_hits: self.replica_snapshot_hits.sum(),
         }
+    }
+
+    /// Which structure currently answers warm [`Engine::respond`] probes.
+    pub fn response_cache_mode(&self) -> ResponseCacheMode {
+        if self.cache_mode.load(Ordering::Relaxed) == 1 {
+            ResponseCacheMode::Locked
+        } else {
+            ResponseCacheMode::Replica
+        }
+    }
+
+    /// Switch the warm-path structure at run time. Cold evaluations write
+    /// to both structures, so switching never loses entries — the loadgen
+    /// harness uses this to measure the locked baseline and the replica
+    /// path in one process.
+    pub fn set_response_cache_mode(&self, mode: ResponseCacheMode) {
+        let raw = matches!(mode, ResponseCacheMode::Locked) as u8;
+        self.cache_mode.store(raw, Ordering::Relaxed);
     }
 
     /// Per-stage wall-clock and work accounting for every plan this
@@ -530,11 +638,45 @@ impl Engine {
     /// number of threads over one shared engine — every cache and counter
     /// behind it is mutex- or atomic-guarded.
     pub fn respond(&self, request: &Request) -> Result<Responded> {
+        self.respond_with_id(request, request.id().0)
+    }
+
+    /// Probe the warm response path in the active [`ResponseCacheMode`].
+    /// Returns the cached response (if any) plus the number of mutex
+    /// acquisitions the probe performed — the quantity
+    /// `warm_lock_acquisitions` accounts on hits.
+    fn probe_response(&self, id: u64) -> (Option<Arc<Response>>, u64) {
+        match self.response_cache_mode() {
+            ResponseCacheMode::Locked => (self.responses.get(&id), 1),
+            ResponseCacheMode::Replica => {
+                let read = self.response_log.get(id);
+                if read.synced {
+                    self.replica_syncs.fetch_add(1, Ordering::Relaxed);
+                }
+                if read.value.is_some() && read.locks == 0 {
+                    self.replica_snapshot_hits.add(1);
+                }
+                (read.value, read.locks)
+            }
+        }
+    }
+
+    /// [`Engine::respond`] with the request id precomputed by the caller
+    /// (`id` must be `request.id().0`). Hot loops — the loadgen harness
+    /// replaying a fixed catalog — hash each request once and reuse the
+    /// id across thousands of calls, so the warm path's cost is the cache
+    /// probe itself, not the canonical render feeding the hash.
+    pub fn respond_with_id(&self, request: &Request, id: u64) -> Result<Responded> {
         request.validate()?;
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let id = request.id().0;
-        if let Some(r) = self.responses.get(&id) {
-            self.response_hits.fetch_add(1, Ordering::Relaxed);
+        self.requests.add(1);
+        let (probe, locks) = self.probe_response(id);
+        if let Some(r) = probe {
+            if locks > 0 {
+                // Snapshot hits pass 0 — skipping the RMW keeps the
+                // lock-free path free of one more contended cache line.
+                self.warm_locks.add(locks);
+            }
+            self.response_hits.add(1);
             return Ok(Responded {
                 response: r,
                 source: ResponseSource::ResponseCache,
@@ -542,13 +684,19 @@ impl Engine {
             });
         }
         // Join an existing flight or register as the leader. Decided under
-        // the map lock; the cache is re-probed there because the previous
-        // leader publishes to the cache *before* leaving the map, so a
-        // miss inside the lock means the id is either in flight or cold.
+        // the map lock; the warm path is re-probed there because the
+        // previous leader publishes to both cache structures *before*
+        // leaving the map — and the map lock's acquire synchronizes with
+        // that leader's release — so a miss inside the lock means the id
+        // is either in flight or cold.
         let claim = {
             let mut inflight = self.lock_inflight();
-            if let Some(r) = self.responses.get(&id) {
-                self.response_hits.fetch_add(1, Ordering::Relaxed);
+            let (probe, locks) = self.probe_response(id);
+            if let Some(r) = probe {
+                // locks + 1: the probe's own acquisitions plus the
+                // inflight map lock this warm hit is holding.
+                self.warm_locks.add(locks + 1);
+                self.response_hits.add(1);
                 return Ok(Responded {
                     response: r,
                     source: ResponseSource::ResponseCache,
@@ -604,7 +752,11 @@ impl Engine {
         let response = responses
             .pop()
             .ok_or_else(|| GhrError::internal("plan produced no response".to_string()))?;
+        // Publish to both warm structures (mode switches stay coherent)
+        // before the caller's FlightGuard unregisters the flight.
         self.responses.insert(id, Arc::clone(&response));
+        self.response_log.publish(id, Arc::clone(&response));
+        self.replica_published.fetch_add(1, Ordering::Relaxed);
         Ok(response)
     }
 

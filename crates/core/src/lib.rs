@@ -34,10 +34,12 @@ pub mod corun;
 pub mod engine;
 pub mod exec;
 pub mod explain;
+pub mod loadgen;
 pub mod plan;
 pub mod plot;
 pub mod pricing;
 pub mod reduction;
+pub mod replica;
 pub mod report;
 pub mod request;
 pub mod sched;
@@ -51,8 +53,9 @@ pub mod workload;
 
 pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
-pub use engine::{Engine, EngineStats, Responded, ResponseSource};
+pub use engine::{Engine, EngineStats, Responded, ResponseCacheMode, ResponseSource};
 pub use exec::Executor;
+pub use loadgen::{LoadReport, LoadgenConfig};
 pub use plan::{Plan, Planner, Stage, StageKind, WorkItem};
 pub use reduction::{KernelKind, ReductionSpec};
 pub use request::{Request, Response};

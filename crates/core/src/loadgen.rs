@@ -1,0 +1,779 @@
+//! `ghr loadgen` — a traffic-shaped load harness for the serving tier.
+//!
+//! The serve tier's claim is throughput under a realistic request mix,
+//! and a realistic mix has structure a uniform replay does not: a hot
+//! set (a few requests dominate), phases (a cold ramp, then a warm
+//! steady state), and an arrival discipline. This module generates that
+//! traffic and reports the numbers that make the claim falsifiable —
+//! throughput and p50/p95/p99 latency per phase:
+//!
+//! * **zipf request mix** — arrivals draw catalog indices from a zipf
+//!   distribution (`P(i) ∝ 1/(i+1)^s`), so index 0 is the hot request
+//!   and the tail is cold, the canonical cache-workload shape;
+//! * **closed-loop arrival** — `conns` workers each keep exactly one
+//!   request outstanding; latency is measured from issue, and
+//!   throughput is capacity at that concurrency;
+//! * **open-loop arrival** — requests are *scheduled* at a fixed rate
+//!   and latency is measured from the scheduled arrival time, so queue
+//!   delay is part of the number (the coordinated-omission-free model);
+//! * **phases** — a cold pass over the whole catalog, a warm pass
+//!   against the locked baseline cache, and a warm pass against the
+//!   replica path, so one run records both sides of the A/B and their
+//!   speedup.
+//!
+//! Everything here is deterministic given the seed (its own SplitMix64;
+//! the workspace has no RNG dependency) and std-only, and the report
+//! renders itself as `BENCH_loadgen.json` via the shared JSON helpers.
+//! The harness drives either an in-process [`Engine`] (this module) or a
+//! live `ghr serve --socket` (the CLI's connector) through the one
+//! [`LoadConn`] trait.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::case::Case;
+use crate::engine::{Engine, EngineStats, ResponseCacheMode};
+use crate::request::Request;
+use crate::sweep::{GpuSweep, SweepMode};
+use ghr_types::pipeline::{json_escape, json_f64};
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG (Steele et al.), used
+/// for the zipf draws so schedules are reproducible across runs and
+/// platforms without an RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Zipf distribution over `0..n` with exponent `s` (`P(i) ∝ 1/(i+1)^s`):
+/// index 0 is the hottest. `s = 0` degenerates to uniform. Sampling is a
+/// binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `0..n` (`n >= 1`) with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf needs a nonempty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to an index.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) over an ascending-sorted
+/// slice of samples. Empty input yields NaN, which the JSON renderer
+/// writes as `null`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// What one issued request came back as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Answered successfully.
+    Ok,
+    /// Answered with an error (engine error or `status=error` frame).
+    Error,
+    /// Rejected by admission control (`ghr-error reason=overload`).
+    Overload,
+}
+
+/// One load-generating connection: issues the request at a catalog index
+/// and reports what came back. Implemented over an in-process engine
+/// here and over a `UnixStream` in the CLI.
+pub trait LoadConn {
+    /// Issue catalog entry `idx` and block until its response.
+    fn issue(&mut self, idx: usize) -> Outcome;
+}
+
+/// Arrival discipline for a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Each connection keeps exactly one request outstanding; latency is
+    /// measured from issue.
+    Closed,
+    /// Requests are scheduled at a fixed aggregate rate; latency is
+    /// measured from the *scheduled* arrival, so a backlog shows up as
+    /// latency instead of being silently absorbed (no coordinated
+    /// omission).
+    Open {
+        /// Aggregate scheduled arrival rate, requests per second.
+        rate_rps: f64,
+    },
+}
+
+/// One phase of a load run.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSpec<'a> {
+    /// Phase label (`"cold"`, `"warm"`, …).
+    pub name: &'a str,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Catalog indices every connection issues *untimed* before the
+    /// clock starts (replica warm-up); empty for none.
+    pub warmup: &'a [usize],
+    /// Timed arrival order of catalog indices, shared work-queue style
+    /// across connections.
+    pub schedule: &'a [usize],
+    /// Arrival discipline for the timed section.
+    pub arrival: Arrival,
+}
+
+/// Measured outcome of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseMetrics {
+    /// Phase label.
+    pub name: String,
+    /// Arrival discipline, rendered (`"closed"` or `"open@RATErps"`).
+    pub arrival: String,
+    /// Connections that drove the phase.
+    pub conns: usize,
+    /// Requests issued in the timed section.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Wall-clock duration of the timed section, milliseconds.
+    pub wall_ms: f64,
+    /// Successful responses per second of wall clock.
+    pub throughput_rps: f64,
+    /// Median latency of successful requests, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Run one phase: connect `conns` workers via `connect`, run the untimed
+/// warm-up, call `on_timed_start` on the coordinating thread once every
+/// worker is warmed (the loadgen runner snapshots engine counters there),
+/// then drain the schedule and merge per-worker latencies.
+pub fn run_phase<C, F>(
+    spec: &PhaseSpec<'_>,
+    connect: F,
+    on_timed_start: impl FnOnce(),
+) -> Result<PhaseMetrics, String>
+where
+    C: LoadConn,
+    F: Fn(usize) -> Result<C, String> + Sync,
+{
+    let conns = spec.conns.max(1);
+    let next = AtomicUsize::new(0);
+    // Two barriers bracket the counter snapshot: `ready` (all workers
+    // connected and warmed), then `go` (epoch published, clock running).
+    let ready = Barrier::new(conns + 1);
+    let go = Barrier::new(conns + 1);
+    let epoch: OnceLock<Instant> = OnceLock::new();
+    type WorkerOut = (u64, u64, u64, Vec<f64>);
+    let (latencies, counts) = std::thread::scope(|s| -> Result<(Vec<f64>, WorkerOut), String> {
+        let handles: Vec<_> = (0..conns)
+            .map(|w| {
+                let (next, ready, go, epoch, connect) = (&next, &ready, &go, &epoch, &connect);
+                s.spawn(move || -> Result<WorkerOut, String> {
+                    let mut conn = connect(w)?;
+                    for &idx in spec.warmup {
+                        conn.issue(idx);
+                    }
+                    ready.wait();
+                    go.wait();
+                    let epoch = *epoch.get().expect("epoch published before go");
+                    let (mut ok, mut errors, mut overloaded) = (0u64, 0u64, 0u64);
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= spec.schedule.len() {
+                            break;
+                        }
+                        let issued = match spec.arrival {
+                            Arrival::Closed => Instant::now(),
+                            Arrival::Open { rate_rps } => {
+                                let target = epoch + Duration::from_secs_f64(i as f64 / rate_rps);
+                                let now = Instant::now();
+                                if target > now {
+                                    std::thread::sleep(target - now);
+                                }
+                                // Scheduled time, not send time: a backlog
+                                // is charged to the requests behind it.
+                                target
+                            }
+                        };
+                        match conn.issue(spec.schedule[i]) {
+                            Outcome::Ok => {
+                                ok += 1;
+                                lat.push(issued.elapsed().as_secs_f64() * 1000.0);
+                            }
+                            Outcome::Error => errors += 1,
+                            Outcome::Overload => overloaded += 1,
+                        }
+                    }
+                    Ok((ok, errors, overloaded, lat))
+                })
+            })
+            .collect();
+        ready.wait();
+        on_timed_start();
+        epoch
+            .set(Instant::now())
+            .expect("run_phase publishes the epoch once");
+        go.wait();
+        let start = *epoch.get().expect("just published");
+        let (mut ok, mut errors, mut overloaded) = (0u64, 0u64, 0u64);
+        let mut lat = Vec::new();
+        for h in handles {
+            let (o, e, ov, l) = h
+                .join()
+                .map_err(|_| "loadgen worker panicked".to_string())??;
+            ok += o;
+            errors += e;
+            overloaded += ov;
+            lat.extend(l);
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        Ok((lat, (ok, errors, overloaded, vec![wall_ms])))
+    })?;
+    let (ok, errors, overloaded, wall) = counts;
+    let wall_ms = wall[0];
+    let mut lat = latencies;
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let mean = if lat.is_empty() {
+        f64::NAN
+    } else {
+        lat.iter().sum::<f64>() / lat.len() as f64
+    };
+    Ok(PhaseMetrics {
+        name: spec.name.to_string(),
+        arrival: match spec.arrival {
+            Arrival::Closed => "closed".to_string(),
+            Arrival::Open { rate_rps } => format!("open@{rate_rps}rps"),
+        },
+        conns,
+        requests: spec.schedule.len() as u64,
+        ok,
+        errors,
+        overloaded,
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 {
+            ok as f64 / (wall_ms / 1000.0)
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&lat, 50.0),
+        p95_ms: percentile(&lat, 95.0),
+        p99_ms: percentile(&lat, 99.0),
+        mean_ms: mean,
+        max_ms: lat.last().copied().unwrap_or(f64::NAN),
+    })
+}
+
+/// Engine hot-path counter deltas across one phase's timed section.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathDelta {
+    /// Whole-response cache hits.
+    pub response_hits: u64,
+    /// Requests coalesced onto an in-flight evaluation.
+    pub coalesced: u64,
+    /// Points freshly evaluated.
+    pub evaluated: u64,
+    /// Mutex acquisitions on warm hits — 0 proves the wait-free path.
+    pub warm_lock_acquisitions: u64,
+    /// Replica log-tail replays.
+    pub replica_syncs: u64,
+    /// Wait-free replica snapshot hits.
+    pub replica_snapshot_hits: u64,
+}
+
+fn hot_path_delta(before: &EngineStats, after: &EngineStats) -> HotPathDelta {
+    HotPathDelta {
+        response_hits: after.response_hits - before.response_hits,
+        coalesced: after.coalesced - before.coalesced,
+        evaluated: after.evaluated - before.evaluated,
+        warm_lock_acquisitions: after.warm_lock_acquisitions - before.warm_lock_acquisitions,
+        replica_syncs: after.replica_syncs - before.replica_syncs,
+        replica_snapshot_hits: after.replica_snapshot_hits - before.replica_snapshot_hits,
+    }
+}
+
+/// One phase's metrics plus (for in-process runs) the engine hot-path
+/// deltas over its timed section.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Measured throughput/latency numbers.
+    pub metrics: PhaseMetrics,
+    /// Engine counter deltas; `None` when driving a remote socket.
+    pub hot_path: Option<HotPathDelta>,
+}
+
+/// Knobs for a load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Distinct requests in the catalog (the zipf support).
+    pub catalog: usize,
+    /// Timed arrivals per warm phase.
+    pub requests: usize,
+    /// Concurrent connections for the cold/warm phases.
+    pub conns: usize,
+    /// Zipf exponent over the catalog (0 = uniform; ~1 = classic hot set).
+    pub zipf_s: f64,
+    /// Open-loop aggregate arrival rate for the warm phases; `None` runs
+    /// them closed-loop.
+    pub rate: Option<f64>,
+    /// Seed for the schedule draws.
+    pub seed: u64,
+    /// Connections for the socket overload phase (0 skips the phase;
+    /// meaningful only against a server started with `--max-inflight`).
+    pub overload_conns: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            catalog: 64,
+            requests: 4000,
+            conns: 8,
+            zipf_s: 1.1,
+            rate: None,
+            seed: 0x5eed,
+            overload_conns: 0,
+        }
+    }
+}
+
+/// A whole load run: the config echo plus per-phase reports.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `"in-process"` or `"socket"`.
+    pub mode: String,
+    /// Catalog size actually used.
+    pub catalog: usize,
+    /// Connections for the cold/warm phases.
+    pub conns: usize,
+    /// Zipf exponent.
+    pub zipf_s: f64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// The phases, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Warm replica throughput over warm locked-baseline throughput,
+    /// when the run measured both.
+    pub warm_speedup_vs_locked: Option<f64>,
+}
+
+impl LoadReport {
+    /// The report as a JSON document (std-only; `BENCH_loadgen.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"bench\": \"loadgen\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        out.push_str(&format!("  \"catalog\": {},\n", self.catalog));
+        out.push_str(&format!("  \"conns\": {},\n", self.conns));
+        out.push_str(&format!("  \"zipf_s\": {},\n", json_f64(self.zipf_s)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            let m = &phase.metrics;
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"name\": \"{}\", \"arrival\": \"{}\", \"conns\": {}, \
+                 \"requests\": {}, \"ok\": {}, \"errors\": {}, \"overloaded\": {}, \
+                 \"wall_ms\": {}, \"throughput_rps\": {}, \"latency_ms\": \
+                 {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}",
+                json_escape(&m.name),
+                json_escape(&m.arrival),
+                m.conns,
+                m.requests,
+                m.ok,
+                m.errors,
+                m.overloaded,
+                json_f64(m.wall_ms),
+                json_f64(m.throughput_rps),
+                json_f64(m.p50_ms),
+                json_f64(m.p95_ms),
+                json_f64(m.p99_ms),
+                json_f64(m.mean_ms),
+                json_f64(m.max_ms),
+            ));
+            if let Some(hp) = &phase.hot_path {
+                out.push_str(&format!(
+                    ", \"hot_path\": {{\"response_hits\": {}, \"coalesced\": {}, \
+                     \"evaluated\": {}, \"warm_lock_acquisitions\": {}, \
+                     \"replica_syncs\": {}, \"replica_snapshot_hits\": {}}}",
+                    hp.response_hits,
+                    hp.coalesced,
+                    hp.evaluated,
+                    hp.warm_lock_acquisitions,
+                    hp.replica_syncs,
+                    hp.replica_snapshot_hits,
+                ));
+            }
+            out.push('}');
+            if i + 1 < self.phases.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"warm_speedup_vs_locked\": {}\n}}\n",
+            self.warm_speedup_vs_locked
+                .map_or("null".to_string(), json_f64),
+        ));
+        out
+    }
+}
+
+/// `n` distinct, cheap-to-evaluate requests: tiny 2×2 sweeps with a
+/// per-entry element count (320-aligned, so entries stay distinct work
+/// even under `Case::m_scaled`-style rounding) and a rotating case.
+pub fn synthetic_catalog(n: usize) -> Vec<Request> {
+    (0..n.max(1))
+        .map(|i| {
+            let case = Case::ALL[i % Case::ALL.len()];
+            Request::Sweep {
+                sweep: GpuSweep {
+                    case,
+                    teams_axis: vec![4096, 65536],
+                    vs: vec![1, 4],
+                    thread_limit: 256,
+                    m: (1u64 << 16) + 320 * (i as u64),
+                },
+                mode: SweepMode::Exhaustive,
+            }
+        })
+        .collect()
+}
+
+/// In-process connection: issues catalog entries straight into the
+/// engine, with ids precomputed so the warm path's cost is the cache
+/// probe, not request hashing.
+struct EngineConn<'a> {
+    engine: &'a Engine,
+    catalog: &'a [(Request, u64)],
+}
+
+impl LoadConn for EngineConn<'_> {
+    fn issue(&mut self, idx: usize) -> Outcome {
+        let (request, id) = &self.catalog[idx];
+        match self.engine.respond_with_id(request, *id) {
+            Ok(_) => Outcome::Ok,
+            Err(_) => Outcome::Error,
+        }
+    }
+}
+
+/// Drive a load run against an in-process engine: a cold closed-loop
+/// pass over the whole catalog, a warm phase against the locked baseline
+/// cache, and a warm phase against the replica path (each warm phase
+/// replays the same zipf schedule, so the A/B is apples-to-apples). The
+/// engine is left in [`ResponseCacheMode::Replica`].
+pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+    let n = cfg.catalog.max(1);
+    let conns = cfg.conns.max(1);
+    let catalog: Vec<(Request, u64)> = synthetic_catalog(n)
+        .into_iter()
+        .map(|r| {
+            let id = r.id().0;
+            (r, id)
+        })
+        .collect();
+    let zipf = Zipf::new(n, cfg.zipf_s);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let warm_schedule: Vec<usize> = (0..cfg.requests.max(1))
+        .map(|_| zipf.sample(rng.next_f64()))
+        .collect();
+    let cold_schedule: Vec<usize> = (0..n).collect();
+    let warm_arrival = match cfg.rate {
+        Some(rate_rps) => Arrival::Open { rate_rps },
+        None => Arrival::Closed,
+    };
+
+    let run = |name: &str,
+               mode: ResponseCacheMode,
+               schedule: &[usize],
+               warmup: &[usize],
+               arrival: Arrival|
+     -> Result<PhaseReport, String> {
+        engine.set_response_cache_mode(mode);
+        let before = std::cell::Cell::new(engine.stats());
+        let metrics = run_phase(
+            &PhaseSpec {
+                name,
+                conns,
+                warmup,
+                schedule,
+                arrival,
+            },
+            |_| {
+                Ok(EngineConn {
+                    engine,
+                    catalog: &catalog,
+                })
+            },
+            // Snapshot after warm-up, before the clock: warm-up syncs
+            // (and their lock) stay out of the timed delta.
+            || before.set(engine.stats()),
+        )?;
+        let after = engine.stats();
+        Ok(PhaseReport {
+            metrics,
+            hot_path: Some(hot_path_delta(&before.get(), &after)),
+        })
+    };
+
+    let phases = vec![
+        run(
+            "cold",
+            ResponseCacheMode::Replica,
+            &cold_schedule,
+            &[],
+            Arrival::Closed,
+        )?,
+        run(
+            "warm_locked",
+            ResponseCacheMode::Locked,
+            &warm_schedule,
+            &[0],
+            warm_arrival,
+        )?,
+        // One untimed read per connection syncs its replica past every
+        // cold publication, so the timed section is pure snapshot hits.
+        run(
+            "warm",
+            ResponseCacheMode::Replica,
+            &warm_schedule,
+            &[0],
+            warm_arrival,
+        )?,
+    ];
+    engine.set_response_cache_mode(ResponseCacheMode::Replica);
+
+    let warm_speedup_vs_locked = match (
+        phases[1].metrics.throughput_rps,
+        phases[2].metrics.throughput_rps,
+    ) {
+        (locked, warm) if locked > 0.0 && warm > 0.0 => Some(warm / locked),
+        _ => None,
+    };
+    Ok(LoadReport {
+        mode: "in-process".to_string(),
+        catalog: n,
+        conns,
+        zipf_s: cfg.zipf_s,
+        seed: cfg.seed,
+        phases,
+        warm_speedup_vs_locked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghr_machine::MachineConfig;
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_covers_the_support() {
+        let zipf = Zipf::new(16, 1.1);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = [0usize; 16];
+        for _ in 0..10_000 {
+            counts[zipf.sample(rng.next_f64())] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] && counts[0] > counts[15],
+            "{counts:?}"
+        );
+        assert!(counts[0] > 10_000 / 8, "index 0 must dominate: {counts:?}");
+        // Edge draws stay in range.
+        assert!(zipf.sample(0.0) < 16);
+        assert_eq!(zipf.sample(0.999_999_999), 15);
+        // s = 0 is uniform-ish: the head no longer dominates.
+        let flat = Zipf::new(4, 0.0);
+        assert_eq!(flat.sample(0.26), 1);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn synthetic_catalog_entries_are_distinct_and_valid() {
+        let catalog = synthetic_catalog(32);
+        assert_eq!(catalog.len(), 32);
+        let mut ids: Vec<u64> = catalog.iter().map(|r| r.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32, "catalog ids must be distinct");
+        for r in &catalog {
+            r.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn in_process_run_proves_the_wait_free_warm_phase() {
+        let engine = Engine::new(MachineConfig::gh200(), 2);
+        let cfg = LoadgenConfig {
+            catalog: 8,
+            requests: 200,
+            conns: 4,
+            zipf_s: 1.1,
+            rate: None,
+            seed: 7,
+            overload_conns: 0,
+        };
+        let report = run_in_process(&engine, &cfg).unwrap();
+        assert_eq!(report.phases.len(), 3);
+        let names: Vec<&str> = report
+            .phases
+            .iter()
+            .map(|p| p.metrics.name.as_str())
+            .collect();
+        assert_eq!(names, ["cold", "warm_locked", "warm"]);
+        let cold = &report.phases[0];
+        assert_eq!(cold.metrics.ok, 8);
+        assert!(cold.hot_path.unwrap().evaluated > 0);
+        for warm in &report.phases[1..] {
+            assert_eq!(warm.metrics.ok, 200, "{}", warm.metrics.name);
+            assert_eq!(warm.metrics.errors, 0);
+            assert!(warm.metrics.throughput_rps > 0.0);
+            assert!(warm.metrics.p99_ms >= warm.metrics.p50_ms);
+            let hp = warm.hot_path.unwrap();
+            assert_eq!(hp.evaluated, 0, "warm phases must be pure cache traffic");
+            assert_eq!(hp.response_hits + hp.coalesced, 200);
+        }
+        let locked = report.phases[1].hot_path.unwrap();
+        assert!(
+            locked.warm_lock_acquisitions >= locked.response_hits,
+            "every locked warm hit takes at least one lock: {locked:?}"
+        );
+        let warm = report.phases[2].hot_path.unwrap();
+        assert_eq!(
+            warm.warm_lock_acquisitions, 0,
+            "replica warm phase must be lock-free: {warm:?}"
+        );
+        assert_eq!(warm.replica_snapshot_hits, warm.response_hits);
+        assert!(report.warm_speedup_vs_locked.is_some());
+        assert_eq!(
+            engine.response_cache_mode(),
+            crate::engine::ResponseCacheMode::Replica
+        );
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"loadgen\"",
+            "\"name\": \"cold\"",
+            "\"name\": \"warm_locked\"",
+            "\"name\": \"warm\"",
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+            "\"warm_lock_acquisitions\": 0",
+            "\"warm_speedup_vs_locked\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn open_loop_arrival_schedules_at_the_requested_rate() {
+        let engine = Engine::new(MachineConfig::gh200(), 1);
+        let catalog: Vec<(Request, u64)> = synthetic_catalog(2)
+            .into_iter()
+            .map(|r| {
+                let id = r.id().0;
+                (r, id)
+            })
+            .collect();
+        // Pre-warm so the timed section is cache traffic.
+        for (r, _) in &catalog {
+            engine.run(r).unwrap();
+        }
+        let schedule = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let metrics = run_phase(
+            &PhaseSpec {
+                name: "open",
+                conns: 2,
+                warmup: &[0],
+                schedule: &schedule,
+                arrival: Arrival::Open { rate_rps: 400.0 },
+            },
+            |_| {
+                Ok(EngineConn {
+                    engine: &engine,
+                    catalog: &catalog,
+                })
+            },
+            || {},
+        )
+        .unwrap();
+        assert_eq!(metrics.ok, 8);
+        assert_eq!(metrics.arrival, "open@400rps");
+        // 8 arrivals at 400/s schedule the last at t = 17.5 ms; an
+        // all-warm run cannot finish faster than its schedule.
+        assert!(metrics.wall_ms >= 15.0, "{metrics:?}");
+    }
+}

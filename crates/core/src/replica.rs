@@ -1,0 +1,306 @@
+//! NR-lite read-mostly replication for the warm response path.
+//!
+//! The engine's response cache is read-dominated in the `ghr serve`
+//! steady state: thousands of warm hits per cold evaluation. A sharded
+//! `Mutex<HashMap>` makes every one of those hits take a lock, and under
+//! a zipf-shaped request mix the hot ids all land on the same shard, so
+//! the locks that were supposed to be uncontended are exactly the ones
+//! that are not.
+//!
+//! [`ReadMostly`] recasts the map as *node replication* in miniature
+//! (the flat-combining/NR pattern): updates append to a shared,
+//! totally-ordered log under one mutex, and every reader thread owns a
+//! private replica of the map that it advances by replaying the log
+//! tail. A reader whose replica is already at the log's version — the
+//! steady state, because the log only grows on cold evaluations —
+//! answers from its own `HashMap` with **zero mutex acquisitions**: the
+//! only shared access is one `Acquire` load of the version counter.
+//!
+//! Correctness leans on two properties:
+//!
+//! * the log is append-only and its entries are immutable, so replaying
+//!   `log[replica.version..]` under the log lock can never miss or
+//!   reorder an update, and replicas at the same version are identical;
+//! * the version counter is stored with `Release` *after* the append and
+//!   loaded with `Acquire` before any snapshot read, so a reader that
+//!   observes version `v` also observes the first `v` log entries.
+//!
+//! Replicas live in thread-local storage keyed by a process-unique cell
+//! id, so any number of [`ReadMostly`] instances (one per engine) can
+//! coexist on one thread. A global registry of live cell ids lets a
+//! thread garbage-collect replicas of dropped instances the next time it
+//! creates a replica — the rare path — so long-lived worker threads do
+//! not leak a replica per dead engine.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Identity hasher for replica map keys. The keys are request ids —
+/// already uniform 64-bit hashes — so hashing them again buys no
+/// distribution and costs the warm snapshot read an extra FNV walk per
+/// probe.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type BuildId = BuildHasherDefault<IdHasher>;
+
+/// Process-wide allocator of cell ids. Ids are never reused, so a stale
+/// thread-local replica of a dropped cell can never be mistaken for a
+/// replica of a live one.
+static NEXT_CELL: AtomicU64 = AtomicU64::new(1);
+
+/// Cell ids with a live [`ReadMostly`] behind them — what replica
+/// garbage collection checks against.
+fn live_cells() -> &'static Mutex<HashSet<u64>> {
+    static LIVE: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+thread_local! {
+    /// This thread's replicas, indexed directly by cell id (ids are
+    /// small, sequential, and process-unique, so the table stays tiny).
+    /// `Box<dyn Any>` lets one slot serve `ReadMostly` instances of any
+    /// value type. A straight `Vec` index keeps the per-read registry
+    /// hop to a bounds check instead of a hash probe — this table sits
+    /// on the warm hot path. `const` init skips the lazy-init flag too.
+    static REPLICAS: RefCell<Vec<Option<Box<dyn Any>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One thread's private copy of a cell's map, plus how much of the log
+/// it has replayed.
+struct Replica<V> {
+    version: u64,
+    map: HashMap<u64, V, BuildId>,
+}
+
+/// Outcome of one [`ReadMostly::get`]: the value (if published) plus the
+/// cost the read actually paid — the accounting behind the engine's
+/// `warm_lock_acquisitions` counter.
+#[derive(Debug)]
+pub struct ReplicaRead<V> {
+    /// The published value for the key, if any.
+    pub value: Option<V>,
+    /// Mutex acquisitions this read performed (0 = wait-free snapshot
+    /// read, 1 = the replica was behind and replayed the log tail).
+    pub locks: u64,
+    /// Whether the read replayed the log tail into its replica.
+    pub synced: bool,
+}
+
+/// A read-mostly map: an append-only log of `(key, value)` publications
+/// under one mutex, plus wait-free per-thread read replicas (see the
+/// module docs). Values are cloned into each replica, so `V` is
+/// typically an `Arc`.
+pub struct ReadMostly<V> {
+    cell: u64,
+    version: AtomicU64,
+    log: Mutex<Vec<(u64, V)>>,
+}
+
+impl<V: Clone + Send + 'static> ReadMostly<V> {
+    /// An empty cell with a fresh process-unique id.
+    pub fn new() -> Self {
+        let cell = NEXT_CELL.fetch_add(1, Ordering::Relaxed);
+        live_cells()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(cell);
+        ReadMostly {
+            cell,
+            version: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of publications in the log (the current version).
+    pub fn published(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Append one publication to the log and advance the version. A later
+    /// publication for the same key shadows the earlier one on replay
+    /// (replicas insert in log order).
+    pub fn publish(&self, key: u64, value: V) {
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        log.push((key, value));
+        // Release pairs with the Acquire in `get`: a reader that sees
+        // this version also sees the entry pushed above.
+        self.version.store(log.len() as u64, Ordering::Release);
+    }
+
+    /// Read `key` through this thread's replica. When the replica is at
+    /// the log's version — the warm steady state — this takes **zero**
+    /// locks; otherwise it replays the log tail under the log mutex
+    /// first ([`ReplicaRead`] reports which path ran).
+    pub fn get(&self, key: u64) -> ReplicaRead<V> {
+        let published = self.version.load(Ordering::Acquire);
+        REPLICAS.with(|cells| {
+            let mut cells = cells.borrow_mut();
+            let idx = self.cell as usize;
+            loop {
+                // Single indexed registry hop on the hot path; the miss
+                // arm below installs the replica and loops back into it.
+                if let Some(slot) = cells.get_mut(idx).and_then(Option::as_mut) {
+                    let replica = slot
+                        .downcast_mut::<Replica<V>>()
+                        .expect("cell ids are unique, so the slot type is fixed");
+                    if replica.version == published {
+                        return ReplicaRead {
+                            value: replica.map.get(&key).cloned(),
+                            locks: 0,
+                            synced: false,
+                        };
+                    }
+                    let log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+                    for (k, v) in &log[replica.version as usize..] {
+                        replica.map.insert(*k, v.clone());
+                    }
+                    replica.version = log.len() as u64;
+                    drop(log);
+                    return ReplicaRead {
+                        value: replica.map.get(&key).cloned(),
+                        locks: 1,
+                        synced: true,
+                    };
+                }
+                // Creating a replica is the rare path; use it to drop
+                // replicas whose cells no longer exist.
+                let live = live_cells().lock().unwrap_or_else(PoisonError::into_inner);
+                for (cell, slot) in cells.iter_mut().enumerate() {
+                    if slot.is_some() && !live.contains(&(cell as u64)) {
+                        *slot = None;
+                    }
+                }
+                drop(live);
+                if cells.len() <= idx {
+                    cells.resize_with(idx + 1, || None);
+                }
+                cells[idx] = Some(Box::new(Replica::<V> {
+                    version: 0,
+                    map: HashMap::default(),
+                }));
+            }
+        })
+    }
+}
+
+impl<V: Clone + Send + 'static> Default for ReadMostly<V> {
+    fn default() -> Self {
+        ReadMostly::new()
+    }
+}
+
+impl<V> Drop for ReadMostly<V> {
+    fn drop(&mut self) {
+        live_cells()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.cell);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_read_syncs_then_reads_are_wait_free() {
+        let cell: ReadMostly<Arc<str>> = ReadMostly::new();
+        cell.publish(1, Arc::from("one"));
+        cell.publish(2, Arc::from("two"));
+        assert_eq!(cell.published(), 2);
+
+        let first = cell.get(1);
+        assert_eq!(first.value.as_deref(), Some("one"));
+        assert_eq!(first.locks, 1, "a cold replica replays the log");
+        assert!(first.synced);
+
+        for key in [1u64, 2, 3] {
+            let read = cell.get(key);
+            assert_eq!(read.locks, 0, "synced replica reads take no locks");
+            assert!(!read.synced);
+            assert_eq!(read.value.is_some(), key <= 2);
+        }
+
+        // A new publication forces exactly one more sync.
+        cell.publish(3, Arc::from("three"));
+        let read = cell.get(3);
+        assert_eq!((read.locks, read.value.as_deref()), (1, Some("three")));
+        assert_eq!(cell.get(3).locks, 0);
+    }
+
+    #[test]
+    fn later_publication_for_a_key_shadows_the_earlier_one() {
+        let cell: ReadMostly<u32> = ReadMostly::new();
+        cell.publish(7, 1);
+        assert_eq!(cell.get(7).value, Some(1));
+        cell.publish(7, 2);
+        assert_eq!(cell.get(7).value, Some(2));
+    }
+
+    #[test]
+    fn publications_are_visible_across_threads() {
+        let cell: Arc<ReadMostly<u64>> = Arc::new(ReadMostly::new());
+        for k in 0..16 {
+            cell.publish(k, k * 10);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let first = cell.get(0);
+                    assert_eq!(first.value, Some(0));
+                    assert_eq!(first.locks, 1, "fresh thread syncs once");
+                    for k in 0..16 {
+                        let read = cell.get(k);
+                        assert_eq!(read.value, Some(k * 10));
+                        assert_eq!(read.locks, 0, "then every read is wait-free");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn instances_do_not_share_state_and_drop_unregisters() {
+        let a: ReadMostly<u8> = ReadMostly::new();
+        let b: ReadMostly<u8> = ReadMostly::new();
+        a.publish(1, 10);
+        b.publish(1, 20);
+        assert_eq!(a.get(1).value, Some(10));
+        assert_eq!(b.get(1).value, Some(20));
+        let cell_a = a.cell;
+        drop(a);
+        assert!(
+            !live_cells().lock().unwrap().contains(&cell_a),
+            "dropped cells leave the live registry"
+        );
+        // A replica create after the drop garbage-collects the stale
+        // thread-local entry and the survivor still answers correctly.
+        let c: ReadMostly<u8> = ReadMostly::new();
+        c.publish(1, 30);
+        assert_eq!(c.get(1).value, Some(30));
+        assert_eq!(b.get(1).value, Some(20));
+    }
+}

@@ -1,0 +1,148 @@
+//! Race acceptance for the lock-free warm-read path: eight threads
+//! hammer the replica-backed response cache with overlapping request
+//! ids and every answer must be byte-identical to the locked cold
+//! path's, with **zero** warm lock acquisitions once the replicas are
+//! synced — the `warm_lock_acquisitions` counter is the proof.
+
+use ghr_core::engine::{Engine, ResponseCacheMode, ResponseSource};
+use ghr_core::{Case, Request};
+use ghr_machine::MachineConfig;
+use std::sync::Barrier;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 50;
+
+fn requests() -> [Request; 3] {
+    [Request::Table1, Request::WhatIf, Request::fig1(Case::C1)]
+}
+
+#[test]
+fn warm_replica_reads_race_free_and_lock_free_across_eight_threads() {
+    // Reference bodies from a serial engine pinned to the locked path:
+    // whatever the lock-free path returns must match these bytes.
+    let reference_engine = Engine::new(MachineConfig::gh200(), 2);
+    reference_engine.set_response_cache_mode(ResponseCacheMode::Locked);
+    let reference: Vec<String> = requests()
+        .iter()
+        .map(|r| {
+            reference_engine.respond(r).unwrap(); // cold
+            let warm = reference_engine.respond(r).unwrap();
+            assert_eq!(warm.source, ResponseSource::ResponseCache);
+            format!("{:?}", warm.response)
+        })
+        .collect();
+
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    assert_eq!(engine.response_cache_mode(), ResponseCacheMode::Replica);
+    let reqs = requests();
+    let cold_done = Barrier::new(THREADS);
+    let warmed = Barrier::new(THREADS + 1);
+    let timed = Barrier::new(THREADS + 1);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (engine, reqs, reference) = (&engine, &reqs, &reference);
+                let (cold_done, warmed, timed) = (&cold_done, &warmed, &timed);
+                s.spawn(move || {
+                    // Cold pass: every thread issues every request, so the
+                    // single-flight leaders publish all three responses.
+                    for r in reqs {
+                        engine.respond(r).unwrap();
+                    }
+                    // All publications exist once every thread passes this
+                    // barrier; one more read then replays this thread's
+                    // replica past the whole log.
+                    cold_done.wait();
+                    engine.respond(&reqs[0]).unwrap();
+                    warmed.wait();
+                    timed.wait();
+                    for round in 0..ROUNDS {
+                        for (i, r) in reqs.iter().enumerate() {
+                            let got = engine.respond(r).unwrap();
+                            assert_eq!(
+                                got.source,
+                                ResponseSource::ResponseCache,
+                                "round {round} request {i} must be a warm hit"
+                            );
+                            assert_eq!(got.evals, 0, "round {round} request {i}");
+                            assert_eq!(
+                                format!("{:?}", got.response),
+                                reference[i],
+                                "round {round} request {i}: lock-free read \
+                                 diverged from the locked cold path"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        warmed.wait();
+        // Every replica is synced; from here to join, the timed section
+        // must be pure wait-free snapshot reads.
+        let before = engine.stats();
+        timed.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after = engine.stats();
+        let reads = (THREADS * ROUNDS * reqs.len()) as u64;
+        assert_eq!(
+            after.warm_lock_acquisitions - before.warm_lock_acquisitions,
+            0,
+            "synced warm reads must acquire zero locks: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.replica_snapshot_hits - before.replica_snapshot_hits,
+            reads,
+            "every timed read must be a wait-free snapshot hit"
+        );
+        assert_eq!(after.replica_syncs - before.replica_syncs, 0);
+        assert_eq!(after.response_hits - before.response_hits, reads);
+        assert_eq!(after.evaluated, before.evaluated, "no timed evaluation");
+    });
+}
+
+#[test]
+fn locked_mode_counts_warm_lock_acquisitions_and_replica_mode_stops() {
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    engine.set_response_cache_mode(ResponseCacheMode::Locked);
+    engine.respond(&Request::Table1).unwrap(); // cold: evaluates
+
+    let before = engine.stats();
+    for _ in 0..5 {
+        let got = engine.respond(&Request::Table1).unwrap();
+        assert_eq!(got.source, ResponseSource::ResponseCache);
+    }
+    let after = engine.stats();
+    assert!(
+        after.warm_lock_acquisitions - before.warm_lock_acquisitions >= 5,
+        "every locked warm hit takes at least the shard lock: {after:?}"
+    );
+    assert_eq!(after.replica_snapshot_hits, before.replica_snapshot_hits);
+
+    // Switching to the replica path mid-run: the first read on this
+    // thread replays the log once (one lock), then reads are wait-free.
+    engine.set_response_cache_mode(ResponseCacheMode::Replica);
+    let before = engine.stats();
+    let got = engine.respond(&Request::Table1).unwrap();
+    assert_eq!(got.source, ResponseSource::ResponseCache);
+    let synced = engine.stats();
+    assert_eq!(synced.replica_syncs - before.replica_syncs, 1);
+    assert_eq!(
+        synced.warm_lock_acquisitions - before.warm_lock_acquisitions,
+        1
+    );
+    for _ in 0..5 {
+        engine.respond(&Request::Table1).unwrap();
+    }
+    let after = engine.stats();
+    assert_eq!(
+        after.warm_lock_acquisitions, synced.warm_lock_acquisitions,
+        "post-sync replica reads must stay lock-free: {after:?}"
+    );
+    assert_eq!(
+        after.replica_snapshot_hits - synced.replica_snapshot_hits,
+        5
+    );
+}

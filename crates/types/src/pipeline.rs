@@ -134,6 +134,9 @@ pub struct SessionStats {
     pub coalesced: u64,
     /// Work items freshly evaluated on behalf of this session.
     pub evals: u64,
+    /// Requests rejected by admission control with a
+    /// `ghr-error reason=overload` frame (never handed to the engine).
+    pub overloaded: u64,
 }
 
 impl SessionStats {
@@ -147,20 +150,22 @@ impl SessionStats {
         self.response_cache_hits += other.response_cache_hits;
         self.coalesced += other.coalesced;
         self.evals += other.evals;
+        self.overloaded += other.overloaded;
     }
 
     /// One human-readable line for the server's stderr log.
     pub fn summary_line(&self) -> String {
         format!(
             "{} served ({} ok, {} error, {} malformed), {} response hits, \
-             {} coalesced, {} evals",
+             {} coalesced, {} evals, {} overloaded",
             self.served,
             self.ok,
             self.errors,
             self.malformed,
             self.response_cache_hits,
             self.coalesced,
-            self.evals
+            self.evals,
+            self.overloaded
         )
     }
 }
@@ -261,6 +266,7 @@ mod tests {
             response_cache_hits: 1,
             coalesced: 1,
             evals: 8,
+            overloaded: 5,
         };
         total.absorb(&a);
         total.absorb(&a);
@@ -271,9 +277,11 @@ mod tests {
         assert_eq!(total.response_cache_hits, 2);
         assert_eq!(total.coalesced, 2);
         assert_eq!(total.evals, 16);
+        assert_eq!(total.overloaded, 10);
         let line = total.summary_line();
         assert!(line.contains("6 served"), "{line}");
         assert!(line.contains("8 malformed"), "{line}");
+        assert!(line.contains("10 overloaded"), "{line}");
     }
 
     #[test]

@@ -25,6 +25,9 @@ cargo test -q
 echo "==> cargo test -q -p ghr-core --test engine_concurrency"
 cargo test -q -p ghr-core --test engine_concurrency
 
+echo "==> cargo test -q -p ghr-core --test replica_race"
+cargo test -q -p ghr-core --test replica_race
+
 echo "==> cargo test -q -p ghr-cli --test serve_loop"
 cargo test -q -p ghr-cli --test serve_loop
 

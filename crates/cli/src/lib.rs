@@ -74,6 +74,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod benchdiff;
 pub mod loadgen;
 pub mod serve;
 
@@ -99,9 +100,12 @@ whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|
      frames; `ghr loadgen [--socket PATH] [--requests N] [--conns N]\n\
      [--catalog N] [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]\n\
      [--out FILE|--no-out]` drives open/closed-loop load (zipf-distributed\n\
-     request ids) at the in-process engine or a live serve socket and reports\n\
-     per-phase throughput and p50/p95/p99 latency (JSON to BENCH_loadgen.json\n\
-     by default);\n\
+     request ids over gpu-point/corun-series/corun-point/what-if classes) at\n\
+     the in-process engine or a live serve socket and reports per-phase and\n\
+     per-class throughput and p50/p95/p99 latency plus per-layer warm-lock\n\
+     counters (JSON to BENCH_loadgen.json by default); `ghr bench diff\n\
+     BASELINE.json CANDIDATE.json [MORE...]` compares committed bench\n\
+     reports phase by phase;\n\
      global flags: --threads N (or GHR_THREADS; engine worker threads),\n\
      --stats (append points evaluated / cache hit rate / store traffic / wall time),\n\
      --stats-json (engine counters + per-stage timings as JSON on stderr),\n\
@@ -248,12 +252,32 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
             );
             let _ = writeln!(
                 out,
-                "hot path: {} warm lock acquisitions; replica log {} published, \
-                 {} syncs, {} snapshot hits",
+                "hot path: {} warm lock acquisitions; replica logs {} published, \
+                 {} syncs, {} snapshot hits, {} log bytes",
                 s.warm_lock_acquisitions,
                 s.replica_published,
                 s.replica_syncs,
-                s.replica_snapshot_hits
+                s.replica_snapshot_hits,
+                s.replica_log_bytes
+            );
+            // One ledger line per cache layer, so a lock-freedom
+            // regression names the layer that took the lock.
+            for layer in ghr_types::CacheLayer::ALL {
+                let row = s.layer(layer);
+                let _ = writeln!(
+                    out,
+                    "  {:>8}: {} warm locks, {} published, {} syncs, {} snapshot hits",
+                    layer.name(),
+                    row.warm_lock_acquisitions,
+                    row.replica_published,
+                    row.replica_syncs,
+                    row.replica_snapshot_hits
+                );
+            }
+            let _ = writeln!(
+                out,
+                "in-flight claim table: {} claims, {} joins, {} aliased waits",
+                s.inflight_claims, s.inflight_joins, s.inflight_aliased
             );
         }
         let _ = writeln!(out, "kernel backend: {}", ghr_parallel::simd::report());
@@ -310,8 +334,10 @@ fn cmd_cache(dir: Option<&std::path::Path>, rest: &[String]) -> Result<String, S
                 out,
                 "hot path (per process, not persisted): response hits, coalesced \
                  evaluations,\n  warm lock acquisitions and replica log traffic \
-                 (published/syncs/snapshot hits)\n  are engine counters — see \
-                 --stats / --stats-json on any command or serve run"
+                 (published/syncs/snapshot hits)\n  are engine counters, kept \
+                 per cache layer — response, point, series, corun and\n  the \
+                 in-flight claim table — see --stats / --stats-json on any \
+                 command or serve run"
             );
             Ok(out)
         }
@@ -391,6 +417,10 @@ pub(crate) fn dispatch(engine: &Arc<Engine>, cmd: &str, rest: &[String]) -> Resu
                 None => 1_000_000,
             };
             cmd_verify(machine, m)
+        }
+        // `bench diff` compares report files; bare `bench` runs kernels.
+        "bench" if rest.first().is_some_and(|a| a == "diff") => {
+            benchdiff::cmd_bench_diff(&rest[1..])
         }
         "bench" => cmd_bench(rest),
         "calibrate" => {

@@ -3,11 +3,14 @@
 //! Two targets behind one flag:
 //!
 //! * **in-process** (default) — [`ghr_core::loadgen::run_in_process`]
-//!   drives the engine directly: a cold pass over a synthetic catalog,
-//!   a warm pass against the locked baseline response cache, and a warm
-//!   pass against the lock-free replica path, reporting engine hot-path
-//!   counter deltas (including `warm_lock_acquisitions`) per phase and
-//!   the replica-over-locked throughput speedup;
+//!   drives the engine directly: a cold pass over a class-mixed catalog
+//!   (gpu-point / corun-series / corun-point / what-if), a warm pass
+//!   against the locked baseline response cache, a warm pass against
+//!   the lock-free replica path, and a `warm_recombine` pass of new
+//!   request ids assembled purely from warm item caches, reporting
+//!   engine hot-path counter deltas (including per-layer
+//!   `warm_locks`), per-class latency rows, and the
+//!   replica-over-locked throughput speedup;
 //! * **`--socket PATH`** — a live `ghr serve --socket` server is driven
 //!   over persistent unix-stream connections with the servable request
 //!   lines as the catalog: a cold pass, a zipf warm pass, and (with
@@ -28,6 +31,7 @@ use ghr_core::loadgen::{
     PhaseSpec, SplitMix64, Zipf,
 };
 use ghr_core::report::Table;
+use ghr_types::CacheLayer;
 use std::fmt::Write as _;
 
 /// Parsed `ghr loadgen` flags: the core knobs plus the CLI-only target
@@ -161,19 +165,44 @@ fn render_report(report: &LoadReport) -> String {
         ]);
     }
     out.push_str(&t.to_markdown());
+    if report.phases.iter().any(|p| !p.metrics.classes.is_empty()) {
+        let mut ct = Table::new(["phase", "class", "ok", "p50 ms", "p95 ms", "p99 ms"]);
+        for phase in &report.phases {
+            for c in &phase.metrics.classes {
+                ct.row([
+                    phase.metrics.name.clone(),
+                    c.name.clone(),
+                    c.ok.to_string(),
+                    fmt_ms(c.p50_ms),
+                    fmt_ms(c.p95_ms),
+                    fmt_ms(c.p99_ms),
+                ]);
+            }
+        }
+        out.push('\n');
+        out.push_str(&ct.to_markdown());
+    }
     for phase in &report.phases {
         if let Some(hp) = &phase.hot_path {
+            let by_layer = CacheLayer::ALL
+                .into_iter()
+                .zip(hp.warm_locks)
+                .map(|(layer, locks)| format!("{} {}", layer.name(), locks))
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = writeln!(
                 out,
                 "\n{}: {} response hits, {} coalesced, {} evaluated, \
-                 {} warm lock acquisitions, {} replica syncs, {} snapshot hits",
+                 {} warm lock acquisitions, {} replica syncs, {} snapshot hits\n  \
+                 warm locks by layer: {}",
                 phase.metrics.name,
                 hp.response_hits,
                 hp.coalesced,
                 hp.evaluated,
                 hp.warm_lock_acquisitions,
                 hp.replica_syncs,
-                hp.replica_snapshot_hits
+                hp.replica_snapshot_hits,
+                by_layer
             );
         }
     }
@@ -192,6 +221,21 @@ fn render_report(report: &LoadReport) -> String {
 #[cfg(unix)]
 const SOCKET_CATALOG: [&str; 7] = [
     "table1", "whatif", "fig1 c1", "fig1 c2", "fig1 c3", "fig1 c4", "autotune",
+];
+
+/// Request class per [`SOCKET_CATALOG`] entry, for the per-class latency
+/// breakdown: everything scalar-GPU-shaped is `gpu-point`; the study is
+/// `what-if`; the overload volley request (a co-run figure) is tagged
+/// `corun-series` where it is appended.
+#[cfg(unix)]
+const SOCKET_CLASSES: [&str; 7] = [
+    "gpu-point",
+    "what-if",
+    "gpu-point",
+    "gpu-point",
+    "gpu-point",
+    "gpu-point",
+    "gpu-point",
 ];
 
 /// The request line the overload volley leads with: a full co-run
@@ -222,6 +266,9 @@ fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     let mut catalog: Vec<&str> = SOCKET_CATALOG[..n].to_vec();
     catalog.push(OVERLOAD_REQUEST);
     let catalog = &catalog[..];
+    let mut classes: Vec<&str> = SOCKET_CLASSES[..n].to_vec();
+    classes.push("corun-series");
+    let classes = &classes[..];
     let zipf = Zipf::new(n, cfg.zipf_s);
     let mut rng = SplitMix64::new(cfg.seed);
     let warm_schedule: Vec<usize> = (0..cfg.requests.max(1))
@@ -241,6 +288,7 @@ fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 warmup,
                 schedule,
                 arrival,
+                classes,
             },
             connect,
             || {},
@@ -447,15 +495,29 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("| phase"), "{out}");
-        for phase in ["cold", "warm_locked", "warm"] {
+        for phase in ["cold", "warm_locked", "warm", "warm_recombine"] {
             assert!(out.contains(phase), "{out}");
         }
         assert!(out.contains("p99 ms"), "{out}");
+        // The per-class latency breakdown table.
+        assert!(out.contains("| class"), "{out}");
+        for class in ["gpu-point", "corun-series", "corun-point", "what-if"] {
+            assert!(out.contains(class), "{out}");
+        }
         assert!(out.contains("warm lock acquisitions"), "{out}");
+        assert!(out.contains("warm locks by layer: response"), "{out}");
         assert!(out.contains("warm replica throughput vs locked"), "{out}");
         let json = std::fs::read_to_string(&file).unwrap();
         assert!(json.contains("\"bench\": \"loadgen\""), "{json}");
         assert!(json.contains("\"warm_lock_acquisitions\": 0"), "{json}");
+        assert!(json.contains("\"classes\": ["), "{json}");
+        assert!(
+            json.contains(
+                "\"warm_locks\": {\"response\": 0, \"point\": 0, \"series\": 0, \
+                 \"corun\": 0, \"inflight\": 0}"
+            ),
+            "{json}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

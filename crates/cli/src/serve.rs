@@ -454,8 +454,7 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
          \"evaluated\":{},\"hit_rate\":{},\"persistent\":{{\"loaded\":{},\
          \"hits\":{},\"misses\":{},\"stored\":{}}},\"sweep\":{{\"evaluated\":{},\
          \"skipped\":{}}},\"warm_lock_acquisitions\":{},\"replica\":{{\
-         \"published\":{},\"syncs\":{},\"snapshot_hits\":{}}},\
-         \"wall_ms\":{},\"stages\":[",
+         \"published\":{},\"syncs\":{},\"snapshot_hits\":{},\"log_bytes\":{}}},",
         stats.threads,
         stats.requests,
         stats.response_hits,
@@ -475,6 +474,35 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
         stats.replica_published,
         stats.replica_syncs,
         stats.replica_snapshot_hits,
+        stats.replica_log_bytes,
+    );
+    // Per-layer ledger: the aggregate counters above broken down by
+    // cache layer, so a lock-freedom regression names its layer.
+    s.push_str("\"layers\":{");
+    for (i, layer) in ghr_types::CacheLayer::ALL.into_iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let row = stats.layer(layer);
+        let _ = write!(
+            s,
+            "\"{}\":{{\"warm_lock_acquisitions\":{},\"published\":{},\
+             \"syncs\":{},\"snapshot_hits\":{},\"log_bytes\":{}}}",
+            layer.name(),
+            row.warm_lock_acquisitions,
+            row.replica_published,
+            row.replica_syncs,
+            row.replica_snapshot_hits,
+            row.replica_log_bytes,
+        );
+    }
+    let _ = write!(
+        s,
+        "}},\"inflight\":{{\"claims\":{},\"joins\":{},\"aliased\":{}}},\
+         \"wall_ms\":{},\"stages\":[",
+        stats.inflight_claims,
+        stats.inflight_joins,
+        stats.inflight_aliased,
         json_f64(wall_ms),
     );
     for (i, st) in stages.iter().enumerate() {
@@ -948,10 +976,25 @@ mod tests {
         assert!(json.contains("\"evaluated\":8"), "{json}");
         assert!(json.contains("\"name\":\"assemble\""), "{json}");
         assert!(json.contains("\"warm_lock_acquisitions\":"), "{json}");
+        // Table 1 publishes one response and eight GPU points; the
+        // aggregate replica object counts records across every layer,
+        // and the per-layer ledger breaks them out.
         assert!(
-            json.contains("\"replica\":{\"published\":1,"),
-            "one fresh request publishes one response to the warm log: {json}"
+            json.contains("\"replica\":{\"published\":9,"),
+            "one response + eight point records: {json}"
         );
+        assert!(
+            json.contains("\"response\":{\"warm_lock_acquisitions\":0,\"published\":1,"),
+            "the response layer's own row pins its single publication: {json}"
+        );
+        assert!(json.contains("\"point\":{"), "{json}");
+        assert!(json.contains("\"series\":{"), "{json}");
+        assert!(json.contains("\"corun\":{"), "{json}");
+        assert!(
+            json.contains("\"inflight\":{\"claims\":1,\"joins\":0,\"aliased\":0}"),
+            "one cold request claims the in-flight table once: {json}"
+        );
+        assert!(json.contains("\"log_bytes\":"), "{json}");
         assert!(json.contains("\"syncs\":"), "{json}");
         assert!(json.contains("\"snapshot_hits\":"), "{json}");
         assert!(!json.contains("NaN"), "{json}");

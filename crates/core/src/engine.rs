@@ -57,7 +57,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::autotune::TunedConfig;
 use crate::case::Case;
@@ -65,7 +65,7 @@ use crate::corun::{run_corun, run_corun_point, AllocSite, CorunConfig, CorunPoin
 use crate::exec::Executor;
 use crate::plan::{refine_axes, Plan, Planner, WorkItem};
 use crate::reduction::ReductionSpec;
-use crate::replica::ReadMostly;
+use crate::replica::{BuildId, ReadMostly};
 use crate::request::{autotune_sweep, Request, Response};
 use crate::store::{self, PersistentStore};
 use crate::study::{self, CorunStudy};
@@ -76,7 +76,7 @@ use ghr_gpusim::GpuModel;
 use ghr_machine::MachineConfig;
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_parallel::ThreadPool;
-use ghr_types::{Bandwidth, DType, GhrError, Result, StageTiming};
+use ghr_types::{Bandwidth, CacheLayer, CacheLayerStats, DType, GhrError, Result, StageTiming};
 
 /// FNV-1a, used for the machine fingerprint and for shard selection.
 /// Deterministic across processes and platforms (unlike the std
@@ -136,66 +136,140 @@ const SHARDS: usize = 16;
 /// issue can arise because no thread ever holds two stripes.
 const EVAL_STRIPES: usize = 64;
 
-/// One in-flight request in the single-flight table: the leader publishes
-/// its result here; followers block on the condvar instead of planning a
-/// duplicate evaluation.
-struct Flight {
-    result: Mutex<Option<Result<Arc<Response>>>>,
-    done: Condvar,
+/// Slots in the in-flight claim table. A power of two (the slot index is
+/// a mask of the request id) sized far above any realistic number of
+/// simultaneously cold request ids, so slot aliasing — two *different*
+/// ids mapping to one slot — stays a latency rarity, never a correctness
+/// event. Fixed at construction: the table's footprint is
+/// `CLAIM_SLOTS * 8` bytes, reported as the in-flight layer's
+/// `replica_log_bytes`.
+const CLAIM_SLOTS: usize = 1024;
+
+/// Outcome of one claim attempt on the in-flight table.
+enum Claim {
+    /// This caller owns the id: it is the single-flight leader and must
+    /// evaluate, publish, then release the slot.
+    Leader,
+    /// The same id is already claimed by another thread — wait for its
+    /// publish (the coalescing path).
+    InFlight,
+    /// A *different* id occupies the home slot; wait for it to vacate
+    /// and retry. Carries the occupant observed, so the wait can watch
+    /// for any change.
+    Aliased(u64),
 }
 
-impl Flight {
+/// Lock-free single-flight table: one CAS-claimed `AtomicU64` slot per
+/// request id (home slot only — no probing, so a claim/release pair can
+/// never leave a tombstone for a second leader to race past). Replaces
+/// the `Mutex<HashMap<u64, Flight>>` in-flight map: claiming, joining
+/// and releasing are all atomics, so the coalescing path performs **zero
+/// mutex acquisitions** — followers spin briefly then sleep-poll on the
+/// leader's release, and re-probe the response caches the leader
+/// populated *before* releasing.
+struct ClaimTable {
+    slots: Vec<AtomicU64>,
+    claims: AtomicU64,
+    joins: AtomicU64,
+    aliased: AtomicU64,
+}
+
+impl ClaimTable {
     fn new() -> Self {
-        Flight {
-            result: Mutex::new(None),
-            done: Condvar::new(),
+        ClaimTable {
+            slots: (0..CLAIM_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            claims: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            aliased: AtomicU64::new(0),
         }
     }
 
-    fn publish(&self, r: Result<Arc<Response>>) {
-        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
-        self.done.notify_all();
+    /// A slot value of 0 means "vacant", so id 0 — possible in principle
+    /// for an FNV request hash — is remapped to a fixed odd constant.
+    fn slot_key(id: u64) -> u64 {
+        if id == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            id
+        }
     }
 
-    fn wait(&self) -> Result<Arc<Response>> {
-        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
-        while slot.is_none() {
-            slot = self.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
+    fn slot(&self, key: u64) -> &AtomicU64 {
+        &self.slots[(key as usize) & (CLAIM_SLOTS - 1)]
+    }
+
+    /// Try to claim `id`'s home slot. The success ordering is `AcqRel`:
+    /// the acquire half pairs with the previous leader's releasing
+    /// store, so a caller that wins a just-vacated slot also observes
+    /// everything that leader published before leaving.
+    fn try_claim(&self, id: u64) -> Claim {
+        let key = Self::slot_key(id);
+        match self
+            .slot(key)
+            .compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                self.claims.fetch_add(1, Ordering::Relaxed);
+                Claim::Leader
+            }
+            Err(occupant) if occupant == key => {
+                self.joins.fetch_add(1, Ordering::Relaxed);
+                Claim::InFlight
+            }
+            Err(occupant) => {
+                self.aliased.fetch_add(1, Ordering::Relaxed);
+                Claim::Aliased(occupant)
+            }
         }
-        slot.clone().expect("checked some above")
+    }
+
+    /// Release a slot this caller leads. Store-release: everything the
+    /// leader published (response caches, replica logs) is visible to
+    /// whoever claims or observes the slot next.
+    fn release(&self, id: u64) {
+        let key = Self::slot_key(id);
+        let _ = self
+            .slot(key)
+            .compare_exchange(key, 0, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Wait until the slot's occupant changes from `occupant` — a short
+    /// spin for evaluations racing to publish, then a bounded sleep
+    /// poll. No mutex, no condvar: the follower parks on the leader's
+    /// releasing store, not on a lock.
+    fn wait_change(&self, occupant: u64) {
+        let slot = self.slot(occupant);
+        for _ in 0..64 {
+            if slot.load(Ordering::Acquire) != occupant {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut pause = std::time::Duration::from_micros(50);
+        while slot.load(Ordering::Acquire) == occupant {
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// The table's fixed footprint in bytes.
+    fn bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<AtomicU64>()) as u64
     }
 }
 
-/// Unregisters a leader's flight on drop so a panicking evaluation never
-/// strands its followers: they receive an error instead of blocking
-/// forever, and the id becomes evaluable again.
-struct FlightGuard<'a> {
-    engine: &'a Engine,
+/// Releases a leader's claim slot on drop, so a panicking or failed
+/// evaluation never strands its followers: the slot vacates and the next
+/// arrival re-probes the caches and (on a miss) becomes the new leader —
+/// the id stays evaluable.
+struct ClaimGuard<'a> {
+    table: &'a ClaimTable,
     id: u64,
-    flight: &'a Flight,
-    published: bool,
 }
 
-impl FlightGuard<'_> {
-    fn finish(&mut self, result: Result<Arc<Response>>) {
-        // Publish before unregistering: a new arrival that misses the
-        // response cache under the map lock must either find this flight
-        // (and get the published value) or — after removal — find the
-        // response already cached (`evaluate` inserts it first).
-        self.flight.publish(result);
-        self.engine.lock_inflight().remove(&self.id);
-        self.published = true;
-    }
-}
-
-impl Drop for FlightGuard<'_> {
+impl Drop for ClaimGuard<'_> {
     fn drop(&mut self) {
-        if !self.published {
-            self.flight.publish(Err(GhrError::internal(
-                "request leader panicked before publishing".to_string(),
-            )));
-            self.engine.lock_inflight().remove(&self.id);
-        }
+        self.table.release(self.id);
     }
 }
 
@@ -211,18 +285,20 @@ pub enum ResponseSource {
     Coalesced,
 }
 
-/// Which structure answers warm [`Engine::respond`] probes. Cold
-/// evaluations publish to *both* structures, so the mode can be switched
-/// at run time (the loadgen harness A/Bs the two in one process) without
-/// losing entries.
+/// Which structure answers warm probes across *every* replicated cache
+/// layer — the response memo, the point cache, the co-run series cache
+/// and the per-`p` co-run point cache. Cold evaluations publish to
+/// *both* structures, so the mode can be switched at run time (the
+/// loadgen harness A/Bs the two in one process) without losing entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResponseCacheMode {
-    /// NR-lite per-thread replicas of the append-only response log (the
+    /// NR-lite per-thread replicas of the append-only logs (the
     /// default): a warm hit on a synced replica takes **zero** mutex
     /// acquisitions — see [`crate::replica`].
     Replica,
-    /// The sharded `Mutex<HashMap>` response cache — every warm hit takes
-    /// one shard lock. Kept as the measurable pre-replica baseline.
+    /// The sharded `Mutex<HashMap>` caches — every warm hit takes one
+    /// shard lock. Kept as the measurable pre-replica baseline and the
+    /// A/B escape hatch.
     Locked,
 }
 
@@ -315,20 +391,125 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
             .cloned()
     }
 
-    /// Existence probe without cloning the value or touching counters —
-    /// the planner's dry-run path.
-    fn contains(&self, key: &K) -> bool {
-        self.shard(key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .contains_key(key)
-    }
-
     fn insert(&self, key: K, value: V) {
         self.shard(&key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, value);
+    }
+}
+
+/// Warm-path event counters for one replicated cache layer. Lock
+/// acquisitions and snapshot hits ride the thread-striped counters (they
+/// sit on the warm hot path); syncs are rare by construction.
+struct LayerCounters {
+    warm_locks: Striped,
+    syncs: AtomicU64,
+    snapshot_hits: Striped,
+}
+
+impl LayerCounters {
+    fn new() -> Self {
+        LayerCounters {
+            warm_locks: Striped::new(),
+            syncs: AtomicU64::new(0),
+            snapshot_hits: Striped::new(),
+        }
+    }
+}
+
+/// One engine cache layer on the NR-lite substrate: the locked sharded
+/// map (the [`ResponseCacheMode::Locked`] baseline) *plus* the
+/// append-only replica log, with per-layer counters. Cold evaluations
+/// [`publish`](ReplicatedCache::publish) to both structures, so the mode
+/// can be flipped at run time without losing entries; warm probes go
+/// through whichever structure the mode selects and account their own
+/// lock cost, making lock-freedom provable per layer.
+struct ReplicatedCache<K, V, S = crate::replica::BuildFnv> {
+    locked: ShardedCache<K, V>,
+    log: ReadMostly<K, V, S>,
+    counters: LayerCounters,
+}
+
+impl<K, V, S> ReplicatedCache<K, V, S>
+where
+    K: Clone + Eq + Hash + Send + 'static,
+    V: Clone + Send + 'static,
+    S: std::hash::BuildHasher + Default + Clone + Send + 'static,
+{
+    fn new() -> Self {
+        ReplicatedCache {
+            locked: ShardedCache::new(),
+            log: ReadMostly::new(),
+            counters: LayerCounters::new(),
+        }
+    }
+
+    /// Warm probe in the given mode, with lock accounting: a locked-mode
+    /// hit charges its shard lock, a replica-mode hit charges the log
+    /// replay if (and only if) the replica was behind, and a synced
+    /// snapshot hit charges nothing. Misses are the cold path and charge
+    /// nothing — the evaluation they lead into takes locks by design.
+    fn probe(&self, key: &K, mode: ResponseCacheMode) -> Option<V> {
+        match mode {
+            ResponseCacheMode::Locked => {
+                let value = self.locked.get(key);
+                if value.is_some() {
+                    self.counters.warm_locks.add(1);
+                }
+                value
+            }
+            ResponseCacheMode::Replica => {
+                let read = self.log.get(key);
+                if read.synced {
+                    self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+                }
+                if read.value.is_some() {
+                    if read.locks == 0 {
+                        self.counters.snapshot_hits.add(1);
+                    } else {
+                        self.counters.warm_locks.add(read.locks);
+                    }
+                }
+                read.value
+            }
+        }
+    }
+
+    /// Existence probe (the planner's dry run) — same accounting as
+    /// [`probe`](ReplicatedCache::probe), so plan-time reads show up in
+    /// the per-layer ledger too.
+    fn contains(&self, key: &K, mode: ResponseCacheMode) -> bool {
+        self.probe(key, mode).is_some()
+    }
+
+    /// Publish a cold result to both structures. First write wins in the
+    /// log (duplicate publishes from double-checked racers or store
+    /// loads do not grow it); the locked map insert is idempotent
+    /// because engine values are deterministic per key.
+    fn publish(&self, key: K, value: V) {
+        self.locked.insert(key.clone(), value.clone());
+        self.log.publish(key, value);
+    }
+
+    /// Bring the calling thread's replica of this layer up to date.
+    fn sync(&self) -> bool {
+        let synced = self.log.sync();
+        if synced {
+            self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        synced
+    }
+
+    /// This layer's row in the per-layer ledger.
+    fn stats(&self) -> CacheLayerStats {
+        CacheLayerStats {
+            warm_lock_acquisitions: self.counters.warm_locks.sum(),
+            replica_published: self.log.published(),
+            replica_syncs: self.counters.syncs.load(Ordering::Relaxed),
+            replica_snapshot_hits: self.counters.snapshot_hits.sum(),
+            replica_log_bytes: self.log.log_bytes(),
+        }
     }
 }
 
@@ -368,23 +549,49 @@ pub struct EngineStats {
     /// Grid points refined sweeps skipped (full grid minus evaluated) —
     /// reported so an adaptively truncated grid is never silent.
     pub sweep_skipped: u64,
-    /// Mutex acquisitions performed by [`Engine::respond`] calls that were
-    /// answered from the warm path (response cache or replica). In
-    /// [`ResponseCacheMode::Locked`] every warm hit takes at least one
-    /// shard lock; in [`ResponseCacheMode::Replica`] a synced replica hit
-    /// takes zero — the counter the loadgen warm phase proves stays flat.
+    /// Mutex acquisitions performed by warm probes that were answered
+    /// with a value, summed across every cache layer (the aggregate of
+    /// `layers`). In [`ResponseCacheMode::Locked`] every warm hit takes
+    /// at least one shard lock; in [`ResponseCacheMode::Replica`] a
+    /// synced replica hit takes zero — the counter the loadgen warm
+    /// phases prove stays flat.
     pub warm_lock_acquisitions: u64,
-    /// Responses appended to the replica log (one per cold evaluation).
+    /// Distinct records appended to the replica logs, summed across
+    /// layers (publication is first-write-wins, so per layer this equals
+    /// the number of distinct published keys).
     pub replica_published: u64,
-    /// Replica reads that had to replay the log tail under its lock
-    /// (a thread's first read, or its first read after a publication).
+    /// Replica reads that had to replay a log tail under its lock
+    /// (a thread's first read, or its first read after a publication),
+    /// summed across layers.
     pub replica_syncs: u64,
-    /// Warm hits answered wait-free from an already-synced replica
-    /// snapshot — zero mutex acquisitions.
+    /// Warm reads answered wait-free from an already-synced replica
+    /// snapshot — zero mutex acquisitions — summed across layers.
     pub replica_snapshot_hits: u64,
+    /// Shallow bytes held by the append-only replica logs plus the
+    /// claim table's fixed slot array, summed across layers. Bounded by
+    /// distinct published keys, not by request traffic.
+    pub replica_log_bytes: u64,
+    /// The per-layer ledger behind the aggregates above, indexed by
+    /// [`CacheLayer`] — response, point, series, corun, in-flight — so
+    /// lock-freedom is provable layer by layer.
+    pub layers: [CacheLayerStats; 5],
+    /// Leader claims won in the in-flight claim table (one per cold
+    /// request-id evaluation attempt).
+    pub inflight_claims: u64,
+    /// Arrivals that found their id already claimed and waited for the
+    /// leader's publish without taking a lock (the coalescing path).
+    pub inflight_joins: u64,
+    /// Waits on a home slot occupied by a *different* id (slot aliasing
+    /// — a latency rarity at 1024 slots, never a correctness event).
+    pub inflight_aliased: u64,
 }
 
 impl EngineStats {
+    /// One layer's row of the per-layer ledger.
+    pub fn layer(&self, layer: CacheLayer) -> CacheLayerStats {
+        self.layers[layer as usize]
+    }
+
     /// Fraction of lookups answered from either cache (in-process or
     /// persistent) — i.e. not freshly evaluated. 0.0 before any lookup,
     /// never a division by zero.
@@ -437,13 +644,12 @@ pub struct Engine {
     threads: usize,
     pool: Option<ThreadPool>,
     store: Option<PersistentStore>,
-    points: ShardedCache<WorkItem, f64>,
-    series: ShardedCache<CorunConfig, Arc<CorunSeries>>,
-    corun_pts: ShardedCache<(CorunConfig, u32), CorunPoint>,
-    responses: ShardedCache<u64, Arc<Response>>,
-    response_log: ReadMostly<Arc<Response>>,
+    points: ReplicatedCache<WorkItem, f64>,
+    series: ReplicatedCache<CorunConfig, Arc<CorunSeries>>,
+    corun_pts: ReplicatedCache<(CorunConfig, u32), CorunPoint>,
+    responses: ReplicatedCache<u64, Arc<Response>, BuildId>,
     cache_mode: AtomicU8,
-    inflight: Mutex<HashMap<u64, Arc<Flight>, BuildFnv>>,
+    inflight: ClaimTable,
     eval_locks: Vec<Mutex<()>>,
     stage_log: Mutex<Vec<StageTiming>>,
     requests: Striped,
@@ -457,10 +663,6 @@ pub struct Engine {
     pstore_stored: AtomicU64,
     sweep_evaluated: AtomicU64,
     sweep_skipped: AtomicU64,
-    warm_locks: Striped,
-    replica_published: AtomicU64,
-    replica_syncs: AtomicU64,
-    replica_snapshot_hits: Striped,
 }
 
 impl std::fmt::Debug for Engine {
@@ -494,13 +696,12 @@ impl Engine {
             threads,
             pool,
             store: None,
-            points: ShardedCache::new(),
-            series: ShardedCache::new(),
-            corun_pts: ShardedCache::new(),
-            responses: ShardedCache::new(),
-            response_log: ReadMostly::new(),
+            points: ReplicatedCache::new(),
+            series: ReplicatedCache::new(),
+            corun_pts: ReplicatedCache::new(),
+            responses: ReplicatedCache::new(),
             cache_mode: AtomicU8::new(0),
-            inflight: Mutex::new(HashMap::default()),
+            inflight: ClaimTable::new(),
             eval_locks: (0..EVAL_STRIPES).map(|_| Mutex::new(())).collect(),
             stage_log: Mutex::new(Vec::new()),
             requests: Striped::new(),
@@ -514,10 +715,6 @@ impl Engine {
             pstore_stored: AtomicU64::new(0),
             sweep_evaluated: AtomicU64::new(0),
             sweep_skipped: AtomicU64::new(0),
-            warm_locks: Striped::new(),
-            replica_published: AtomicU64::new(0),
-            replica_syncs: AtomicU64::new(0),
-            replica_snapshot_hits: Striped::new(),
         }
     }
 
@@ -560,8 +757,33 @@ impl Engine {
         self.threads
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters, including the per-layer ledger
+    /// (`layers`, indexed by [`CacheLayer`]) whose sums the aggregate
+    /// `warm_lock_acquisitions` / `replica_*` fields report.
     pub fn stats(&self) -> EngineStats {
+        // The claim table is lock-free by construction, so its layer row
+        // carries a structurally-zero lock count (the gate that catches a
+        // reintroduced mutex) and its fixed slot-array footprint as log
+        // bytes; claim/join/alias traffic reports through the dedicated
+        // `inflight_*` fields, not the replica record counters.
+        let inflight = CacheLayerStats {
+            warm_lock_acquisitions: 0,
+            replica_published: 0,
+            replica_syncs: 0,
+            replica_snapshot_hits: 0,
+            replica_log_bytes: self.inflight.bytes(),
+        };
+        let layers = [
+            self.responses.stats(),
+            self.points.stats(),
+            self.series.stats(),
+            self.corun_pts.stats(),
+            inflight,
+        ];
+        let mut total = CacheLayerStats::default();
+        for layer in &layers {
+            total.accumulate(layer);
+        }
         EngineStats {
             threads: self.threads,
             requests: self.requests.sum(),
@@ -576,10 +798,15 @@ impl Engine {
             persistent_stored: self.pstore_stored.load(Ordering::Relaxed),
             sweep_evaluated: self.sweep_evaluated.load(Ordering::Relaxed),
             sweep_skipped: self.sweep_skipped.load(Ordering::Relaxed),
-            warm_lock_acquisitions: self.warm_locks.sum(),
-            replica_published: self.replica_published.load(Ordering::Relaxed),
-            replica_syncs: self.replica_syncs.load(Ordering::Relaxed),
-            replica_snapshot_hits: self.replica_snapshot_hits.sum(),
+            warm_lock_acquisitions: total.warm_lock_acquisitions,
+            replica_published: total.replica_published,
+            replica_syncs: total.replica_syncs,
+            replica_snapshot_hits: total.replica_snapshot_hits,
+            replica_log_bytes: total.replica_log_bytes,
+            layers,
+            inflight_claims: self.inflight.claims.load(Ordering::Relaxed),
+            inflight_joins: self.inflight.joins.load(Ordering::Relaxed),
+            inflight_aliased: self.inflight.aliased.load(Ordering::Relaxed),
         }
     }
 
@@ -641,23 +868,21 @@ impl Engine {
         self.respond_with_id(request, request.id().0)
     }
 
-    /// Probe the warm response path in the active [`ResponseCacheMode`].
-    /// Returns the cached response (if any) plus the number of mutex
-    /// acquisitions the probe performed — the quantity
-    /// `warm_lock_acquisitions` accounts on hits.
-    fn probe_response(&self, id: u64) -> (Option<Arc<Response>>, u64) {
-        match self.response_cache_mode() {
-            ResponseCacheMode::Locked => (self.responses.get(&id), 1),
-            ResponseCacheMode::Replica => {
-                let read = self.response_log.get(id);
-                if read.synced {
-                    self.replica_syncs.fetch_add(1, Ordering::Relaxed);
-                }
-                if read.value.is_some() && read.locks == 0 {
-                    self.replica_snapshot_hits.add(1);
-                }
-                (read.value, read.locks)
-            }
+    /// A warm response hit's provenance and counter bump: an arrival
+    /// that waited on an in-flight leader counts as coalesced, a direct
+    /// hit as a response-cache answer.
+    fn warm_hit(&self, response: Arc<Response>, waited: bool) -> Responded {
+        let source = if waited {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            ResponseSource::Coalesced
+        } else {
+            self.response_hits.add(1);
+            ResponseSource::ResponseCache
+        };
+        Responded {
+            response,
+            source,
+            evals: 0,
         }
     }
 
@@ -666,102 +891,117 @@ impl Engine {
     /// replaying a fixed catalog — hash each request once and reuse the
     /// id across thousands of calls, so the warm path's cost is the cache
     /// probe itself, not the canonical render feeding the hash.
+    ///
+    /// Lock ledger: the warm path takes **zero** mutexes end to end in
+    /// [`ResponseCacheMode::Replica`] — the response probe is a replica
+    /// snapshot read, and single-flight claiming/joining/releasing are
+    /// all atomics on the claim table. Followers of an in-flight leader
+    /// spin-then-sleep on the leader's releasing store (never on a lock)
+    /// and then re-probe the caches the leader populated *before*
+    /// releasing.
     pub fn respond_with_id(&self, request: &Request, id: u64) -> Result<Responded> {
         request.validate()?;
         self.requests.add(1);
-        let (probe, locks) = self.probe_response(id);
-        if let Some(r) = probe {
-            if locks > 0 {
-                // Snapshot hits pass 0 — skipping the RMW keeps the
-                // lock-free path free of one more contended cache line.
-                self.warm_locks.add(locks);
+        let mode = self.response_cache_mode();
+        let mut waited = false;
+        loop {
+            if let Some(response) = self.responses.probe(&id, mode) {
+                return Ok(self.warm_hit(response, waited));
             }
-            self.response_hits.add(1);
-            return Ok(Responded {
-                response: r,
-                source: ResponseSource::ResponseCache,
-                evals: 0,
-            });
-        }
-        // Join an existing flight or register as the leader. Decided under
-        // the map lock; the warm path is re-probed there because the
-        // previous leader publishes to both cache structures *before*
-        // leaving the map — and the map lock's acquire synchronizes with
-        // that leader's release — so a miss inside the lock means the id
-        // is either in flight or cold.
-        let claim = {
-            let mut inflight = self.lock_inflight();
-            let (probe, locks) = self.probe_response(id);
-            if let Some(r) = probe {
-                // locks + 1: the probe's own acquisitions plus the
-                // inflight map lock this warm hit is holding.
-                self.warm_locks.add(locks + 1);
-                self.response_hits.add(1);
-                return Ok(Responded {
-                    response: r,
-                    source: ResponseSource::ResponseCache,
-                    evals: 0,
-                });
-            }
-            match inflight.get(&id) {
-                Some(f) => Err(Arc::clone(f)),
-                None => {
-                    let f = Arc::new(Flight::new());
-                    inflight.insert(id, Arc::clone(&f));
-                    Ok(f)
+            match self.inflight.try_claim(id) {
+                Claim::Leader => {
+                    let guard = ClaimGuard {
+                        table: &self.inflight,
+                        id,
+                    };
+                    // Re-probe after winning the claim: the previous
+                    // leader published to both cache structures before
+                    // releasing the slot, and the winning CAS's acquire
+                    // pairs with that release — so a miss here means the
+                    // id is genuinely cold, not mid-publication.
+                    if let Some(response) = self.responses.probe(&id, mode) {
+                        drop(guard);
+                        return Ok(self.warm_hit(response, waited));
+                    }
+                    let evals_before = self.evaluated.load(Ordering::Relaxed);
+                    // On error (or panic) the guard releases the slot
+                    // without a publication; waiting followers re-probe,
+                    // miss, and re-claim — the id stays evaluable and
+                    // each caller observes its own attempt's outcome.
+                    let response = self.evaluate(request, id)?;
+                    drop(guard);
+                    return Ok(Responded {
+                        response,
+                        source: ResponseSource::Fresh,
+                        evals: self
+                            .evaluated
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(evals_before),
+                    });
+                }
+                Claim::InFlight => {
+                    waited = true;
+                    self.inflight.wait_change(ClaimTable::slot_key(id));
+                }
+                Claim::Aliased(occupant) => {
+                    self.inflight.wait_change(occupant);
                 }
             }
-        };
-        let flight = match claim {
-            Err(f) => {
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
-                let response = f.wait()?;
-                return Ok(Responded {
-                    response,
-                    source: ResponseSource::Coalesced,
-                    evals: 0,
-                });
-            }
-            Ok(f) => f,
-        };
-        let evals_before = self.evaluated.load(Ordering::Relaxed);
-        let mut guard = FlightGuard {
-            engine: self,
-            id,
-            flight: &flight,
-            published: false,
-        };
-        let result = self.evaluate(request, id);
-        guard.finish(result.clone());
-        let response = result?;
-        Ok(Responded {
-            response,
-            source: ResponseSource::Fresh,
-            evals: self
-                .evaluated
-                .load(Ordering::Relaxed)
-                .saturating_sub(evals_before),
-        })
+        }
     }
 
-    /// Plan and execute one cold request, caching the assembled response
-    /// (the single-flight leader's body).
+    /// Plan and execute one cold request, publishing the assembled
+    /// response to both warm structures (the single-flight leader's
+    /// body) — and doing so *before* the caller releases its claim slot.
     fn evaluate(&self, request: &Request, id: u64) -> Result<Arc<Response>> {
         let plan = Planner::new(self).plan(request)?;
         let mut responses = Executor::new(self).run(&plan)?;
         let response = responses
             .pop()
             .ok_or_else(|| GhrError::internal("plan produced no response".to_string()))?;
-        // Publish to both warm structures (mode switches stay coherent)
-        // before the caller's FlightGuard unregisters the flight.
-        self.responses.insert(id, Arc::clone(&response));
-        self.response_log.publish(id, Arc::clone(&response));
-        self.replica_published.fetch_add(1, Ordering::Relaxed);
+        self.responses.publish(id, Arc::clone(&response));
         Ok(response)
     }
 
-    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Flight>, BuildFnv>> {
-        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Bring the calling thread's replicas of every replicated cache
+    /// layer up to the current log versions, paying each layer's replay
+    /// now instead of on the next warm read. Returns the number of
+    /// layers that actually replayed. The loadgen warmup calls this per
+    /// connection so timed warm sections start from synced replicas.
+    pub fn sync_replicas(&self) -> usize {
+        let synced = [
+            self.responses.sync(),
+            self.points.sync(),
+            self.series.sync(),
+            self.corun_pts.sync(),
+        ];
+        synced.into_iter().filter(|s| *s).count()
+    }
+
+    /// [`Engine::sync_replicas`] on *every* pool worker thread: one
+    /// barriered job per worker, so each job necessarily lands on a
+    /// distinct thread. The coordinator joins the barrier from inside
+    /// the scope closure — blocked there, it cannot "help" run a
+    /// broadcast job on its own thread (scope waiters steal queued
+    /// jobs), which would leave one worker unsynced. Returns the number
+    /// of (worker, layer) replays. Call only from a quiescent
+    /// coordinator — a pool already running jobs (or two concurrent
+    /// broadcasts) would deadlock the barrier.
+    pub fn sync_pool_replicas(&self) -> usize {
+        let Some(pool) = &self.pool else { return 0 };
+        let workers = pool.threads();
+        let barrier = std::sync::Barrier::new(workers + 1);
+        let replayed = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    barrier.wait();
+                    replayed.fetch_add(self.sync_replicas() as u64, Ordering::Relaxed);
+                });
+            }
+            barrier.wait();
+        });
+        replayed.load(Ordering::Relaxed) as usize
     }
 
     /// Lock the evaluation stripe for a cache key: at most one thread
@@ -791,13 +1031,17 @@ impl Engine {
     // Work-item evaluation (the executor's fan target)
     // -----------------------------------------------------------------
 
-    /// Whether `item` would be answered from a cache right now, without
-    /// cloning anything or touching any counter — the planner's probe.
+    /// Whether `item` would be answered from a cache right now — the
+    /// planner's probe. Goes through the active [`ResponseCacheMode`]
+    /// like every other warm read (in replica mode a synced replica
+    /// answers with zero locks), so plan-time probes appear in the
+    /// per-layer lock ledger too.
     pub(crate) fn probe_item(&self, item: &WorkItem) -> bool {
+        let mode = self.response_cache_mode();
         let in_memory = match item {
-            WorkItem::CorunSeries(cfg) => self.series.contains(cfg),
-            WorkItem::CorunPoint(cfg, i) => self.corun_pts.contains(&(*cfg, *i)),
-            WorkItem::Gpu { .. } | WorkItem::WhatIf { .. } => self.points.contains(item),
+            WorkItem::CorunSeries(cfg) => self.series.contains(cfg, mode),
+            WorkItem::CorunPoint(cfg, i) => self.corun_pts.contains(&(*cfg, *i), mode),
+            WorkItem::Gpu { .. } | WorkItem::WhatIf { .. } => self.points.contains(item, mode),
         };
         in_memory
             || self
@@ -899,25 +1143,29 @@ impl Engine {
     /// the same point evaluate it once — the losers re-probe the cache
     /// after the leader's insert and count a hit.
     fn cached(&self, key: WorkItem, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
+        let mode = self.response_cache_mode();
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(v) = self.points.get(&key) {
+        if let Some(v) = self.points.probe(&key, mode) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
         let stripe = self.eval_stripe(&key);
-        if let Some(v) = self.points.get(&key) {
+        // The stripe mutex orders the leader's publish before this
+        // re-probe, so a racing loser's replica read observes the fresh
+        // log version and syncs to a hit.
+        if let Some(v) = self.points.probe(&key, mode) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
         let skey = format!("{key:?}");
         if let Some(v) = self.store_get(&skey, store::decode_f64) {
-            self.points.insert(key, v);
+            self.points.publish(key, v);
             return Ok(v);
         }
         let v = eval()?;
         self.evaluated.fetch_add(1, Ordering::Relaxed);
         self.store_put(skey, store::encode_f64(v));
-        self.points.insert(key, v);
+        self.points.publish(key, v);
         drop(stripe);
         Ok(v)
     }
@@ -974,8 +1222,9 @@ impl Engine {
     /// from its independently cached per-`p` points — when the executor
     /// has already fanned those points, this is pure cache traffic.
     pub(crate) fn corun_series(&self, config: &CorunConfig) -> Result<Arc<CorunSeries>> {
+        let mode = self.response_cache_mode();
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(s) = self.series.get(config) {
+        if let Some(s) = self.series.probe(config, mode) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(s);
         }
@@ -988,7 +1237,7 @@ impl Engine {
                 // those would nest stripe acquisitions.)
                 let item = WorkItem::CorunSeries(*config);
                 let stripe = self.eval_stripe(&item);
-                if let Some(s) = self.series.get(config) {
+                if let Some(s) = self.series.probe(config, mode) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(s);
                 }
@@ -1004,7 +1253,7 @@ impl Engine {
                     self.store_put(skey, store::encode_corun_points(&s.points));
                     s
                 };
-                self.series.insert(*config, Arc::clone(&s));
+                self.series.publish(*config, Arc::clone(&s));
                 drop(stripe);
                 return Ok(s);
             }
@@ -1018,7 +1267,10 @@ impl Engine {
                 })
             }
         };
-        self.series.insert(*config, Arc::clone(&s));
+        // Racing A2 assemblies may both reach this publish; the log's
+        // first-write-wins dedup keeps it a single record (the bodies
+        // are deterministic and identical).
+        self.series.publish(*config, Arc::clone(&s));
         Ok(s)
     }
 
@@ -1027,27 +1279,28 @@ impl Engine {
     /// [`run_corun`] loop (each A2 iteration re-allocates, so no state
     /// crosses `p`; see [`run_corun_point`]).
     fn corun_point_a2(&self, config: &CorunConfig, i: u32) -> Result<CorunPoint> {
+        let mode = self.response_cache_mode();
         let key = (*config, i);
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(p) = self.corun_pts.get(&key) {
+        if let Some(p) = self.corun_pts.probe(&key, mode) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
         let item = WorkItem::CorunPoint(*config, i);
         let stripe = self.eval_stripe(&item);
-        if let Some(p) = self.corun_pts.get(&key) {
+        if let Some(p) = self.corun_pts.probe(&key, mode) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
         let skey = format!("{item:?}");
         if let Some(p) = self.store_get(&skey, store::decode_corun_point) {
-            self.corun_pts.insert(key, p);
+            self.corun_pts.publish(key, p);
             return Ok(p);
         }
         let p = run_corun_point(&self.machine, config, i)?;
         self.evaluated.fetch_add(1, Ordering::Relaxed);
         self.store_put(skey, store::encode_corun_point(&p));
-        self.corun_pts.insert(key, p);
+        self.corun_pts.publish(key, p);
         drop(stripe);
         Ok(p)
     }

@@ -3,13 +3,19 @@
 //! The serve tier's claim is throughput under a realistic request mix,
 //! and a realistic mix has structure a uniform replay does not: a hot
 //! set (a few requests dominate), phases (a cold ramp, then a warm
-//! steady state), and an arrival discipline. This module generates that
-//! traffic and reports the numbers that make the claim falsifiable —
-//! throughput and p50/p95/p99 latency per phase:
+//! steady state), distinct request *classes* (a scalar point sweep and
+//! a co-run series do very different amounts of work), and an arrival
+//! discipline. This module generates that traffic and reports the
+//! numbers that make the claim falsifiable — throughput and
+//! p50/p95/p99 latency per phase and per request class:
 //!
 //! * **zipf request mix** — arrivals draw catalog indices from a zipf
 //!   distribution (`P(i) ∝ 1/(i+1)^s`), so index 0 is the hot request
 //!   and the tail is cold, the canonical cache-workload shape;
+//! * **request classes** — the catalog mixes `gpu-point` sweeps,
+//!   `corun-series` (A1) and `corun-point` (A2) co-run requests, and
+//!   the `what-if` study, so every replicated cache layer carries
+//!   traffic and the report breaks latency down per class;
 //! * **closed-loop arrival** — `conns` workers each keep exactly one
 //!   request outstanding; latency is measured from issue, and
 //!   throughput is capacity at that concurrency;
@@ -17,9 +23,12 @@
 //!   and latency is measured from the scheduled arrival time, so queue
 //!   delay is part of the number (the coordinated-omission-free model);
 //! * **phases** — a cold pass over the whole catalog, a warm pass
-//!   against the locked baseline cache, and a warm pass against the
-//!   replica path, so one run records both sides of the A/B and their
-//!   speedup.
+//!   against the locked baseline cache, a warm pass against the
+//!   replica path (one run records both sides of the A/B and their
+//!   speedup), and a `warm_recombine` pass of *new* request ids
+//!   assembled entirely from already-published work items, which
+//!   drives warm traffic through the point/series/corun layers and
+//!   must report zero warm lock acquisitions on every layer.
 //!
 //! Everything here is deterministic given the seed (its own SplitMix64;
 //! the workspace has no RNG dependency) and std-only, and the report
@@ -33,10 +42,13 @@ use std::sync::{Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::case::Case;
+use crate::corun::{AllocSite, CorunConfig};
 use crate::engine::{Engine, EngineStats, ResponseCacheMode};
+use crate::reduction::KernelKind;
 use crate::request::Request;
 use crate::sweep::{GpuSweep, SweepMode};
 use ghr_types::pipeline::{json_escape, json_f64};
+use ghr_types::CacheLayer;
 
 /// SplitMix64: a tiny, high-quality, seedable PRNG (Steele et al.), used
 /// for the zipf draws so schedules are reproducible across runs and
@@ -123,6 +135,12 @@ pub enum Outcome {
 pub trait LoadConn {
     /// Issue catalog entry `idx` and block until its response.
     fn issue(&mut self, idx: usize) -> Outcome;
+
+    /// One untimed hook after the warm-up issues, before the timed
+    /// barrier: the in-process connection syncs its thread's cache
+    /// replicas here so the timed section starts wait-free; the socket
+    /// connection has nothing to prepare.
+    fn prepare(&mut self) {}
 }
 
 /// Arrival discipline for a phase.
@@ -156,6 +174,26 @@ pub struct PhaseSpec<'a> {
     pub schedule: &'a [usize],
     /// Arrival discipline for the timed section.
     pub arrival: Arrival,
+    /// Request-class label per catalog index (same indexing as
+    /// `schedule` entries); empty disables the per-class breakdown.
+    pub classes: &'a [&'a str],
+}
+
+/// Latency breakdown for one request class within a phase.
+#[derive(Debug, Clone)]
+pub struct ClassMetrics {
+    /// Class label (`"gpu-point"`, `"corun-series"`, …).
+    pub name: String,
+    /// Successful requests of this class in the timed section.
+    pub ok: u64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
 }
 
 /// Measured outcome of one phase.
@@ -189,12 +227,18 @@ pub struct PhaseMetrics {
     pub mean_ms: f64,
     /// Worst latency, milliseconds.
     pub max_ms: f64,
+    /// Per-request-class latency rows (classes that saw traffic, in
+    /// first-appearance order of [`PhaseSpec::classes`]); empty when the
+    /// phase ran without class labels.
+    pub classes: Vec<ClassMetrics>,
 }
 
 /// Run one phase: connect `conns` workers via `connect`, run the untimed
-/// warm-up, call `on_timed_start` on the coordinating thread once every
-/// worker is warmed (the loadgen runner snapshots engine counters there),
-/// then drain the schedule and merge per-worker latencies.
+/// warm-up (plus each connection's [`LoadConn::prepare`] hook), call
+/// `on_timed_start` on the coordinating thread once every worker is
+/// warmed (the loadgen runner syncs the engine's pool replicas and
+/// snapshots counters there), then drain the schedule and merge
+/// per-worker latencies into whole-phase and per-class percentiles.
 pub fn run_phase<C, F>(
     spec: &PhaseSpec<'_>,
     connect: F,
@@ -211,8 +255,9 @@ where
     let ready = Barrier::new(conns + 1);
     let go = Barrier::new(conns + 1);
     let epoch: OnceLock<Instant> = OnceLock::new();
-    type WorkerOut = (u64, u64, u64, Vec<f64>);
-    let (latencies, counts) = std::thread::scope(|s| -> Result<(Vec<f64>, WorkerOut), String> {
+    type WorkerOut = (u64, u64, u64, Vec<(usize, f64)>);
+    type PhaseOut = (Vec<(usize, f64)>, (u64, u64, u64, f64));
+    let (samples, counts) = std::thread::scope(|s| -> Result<PhaseOut, String> {
         let handles: Vec<_> = (0..conns)
             .map(|w| {
                 let (next, ready, go, epoch, connect) = (&next, &ready, &go, &epoch, &connect);
@@ -221,6 +266,7 @@ where
                     for &idx in spec.warmup {
                         conn.issue(idx);
                     }
+                    conn.prepare();
                     ready.wait();
                     go.wait();
                     let epoch = *epoch.get().expect("epoch published before go");
@@ -247,7 +293,10 @@ where
                         match conn.issue(spec.schedule[i]) {
                             Outcome::Ok => {
                                 ok += 1;
-                                lat.push(issued.elapsed().as_secs_f64() * 1000.0);
+                                lat.push((
+                                    spec.schedule[i],
+                                    issued.elapsed().as_secs_f64() * 1000.0,
+                                ));
                             }
                             Outcome::Error => errors += 1,
                             Outcome::Overload => overloaded += 1,
@@ -276,17 +325,53 @@ where
             lat.extend(l);
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-        Ok((lat, (ok, errors, overloaded, vec![wall_ms])))
+        Ok((lat, (ok, errors, overloaded, wall_ms)))
     })?;
-    let (ok, errors, overloaded, wall) = counts;
-    let wall_ms = wall[0];
-    let mut lat = latencies;
+    let (ok, errors, overloaded, wall_ms) = counts;
+    // Split the tagged samples into the whole-phase series and one
+    // series per class label (first-appearance order).
+    let mut class_names: Vec<&str> = Vec::new();
+    for &name in spec.classes {
+        if !class_names.contains(&name) {
+            class_names.push(name);
+        }
+    }
+    let mut by_class: Vec<Vec<f64>> = vec![Vec::new(); class_names.len()];
+    let mut lat = Vec::with_capacity(samples.len());
+    for (idx, ms) in samples {
+        lat.push(ms);
+        if let Some(&name) = spec.classes.get(idx) {
+            let slot = class_names
+                .iter()
+                .position(|&n| n == name)
+                .expect("class_names covers every label in spec.classes");
+            by_class[slot].push(ms);
+        }
+    }
     lat.sort_by(|a, b| a.total_cmp(b));
-    let mean = if lat.is_empty() {
-        f64::NAN
-    } else {
-        lat.iter().sum::<f64>() / lat.len() as f64
+    let mean_of = |xs: &[f64]| {
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
     };
+    let classes = class_names
+        .into_iter()
+        .zip(by_class)
+        .filter(|(_, xs)| !xs.is_empty())
+        .map(|(name, mut xs)| {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            ClassMetrics {
+                name: name.to_string(),
+                ok: xs.len() as u64,
+                p50_ms: percentile(&xs, 50.0),
+                p95_ms: percentile(&xs, 95.0),
+                p99_ms: percentile(&xs, 99.0),
+                mean_ms: mean_of(&xs),
+            }
+        })
+        .collect();
     Ok(PhaseMetrics {
         name: spec.name.to_string(),
         arrival: match spec.arrival {
@@ -307,8 +392,9 @@ where
         p50_ms: percentile(&lat, 50.0),
         p95_ms: percentile(&lat, 95.0),
         p99_ms: percentile(&lat, 99.0),
-        mean_ms: mean,
+        mean_ms: mean_of(&lat),
         max_ms: lat.last().copied().unwrap_or(f64::NAN),
+        classes,
     })
 }
 
@@ -321,15 +407,25 @@ pub struct HotPathDelta {
     pub coalesced: u64,
     /// Points freshly evaluated.
     pub evaluated: u64,
-    /// Mutex acquisitions on warm hits — 0 proves the wait-free path.
+    /// Mutex acquisitions on warm hits, summed across every cache layer
+    /// — 0 proves the wait-free path.
     pub warm_lock_acquisitions: u64,
     /// Replica log-tail replays.
     pub replica_syncs: u64,
     /// Wait-free replica snapshot hits.
     pub replica_snapshot_hits: u64,
+    /// Warm lock acquisitions per cache layer, in [`CacheLayer::ALL`]
+    /// order (response, point, series, corun, inflight) — all five zero
+    /// proves lock-freedom layer by layer, not just in aggregate.
+    pub warm_locks: [u64; 5],
 }
 
 fn hot_path_delta(before: &EngineStats, after: &EngineStats) -> HotPathDelta {
+    let mut warm_locks = [0u64; 5];
+    for (slot, layer) in warm_locks.iter_mut().zip(CacheLayer::ALL) {
+        *slot =
+            after.layer(layer).warm_lock_acquisitions - before.layer(layer).warm_lock_acquisitions;
+    }
     HotPathDelta {
         response_hits: after.response_hits - before.response_hits,
         coalesced: after.coalesced - before.coalesced,
@@ -337,6 +433,7 @@ fn hot_path_delta(before: &EngineStats, after: &EngineStats) -> HotPathDelta {
         warm_lock_acquisitions: after.warm_lock_acquisitions - before.warm_lock_acquisitions,
         replica_syncs: after.replica_syncs - before.replica_syncs,
         replica_snapshot_hits: after.replica_snapshot_hits - before.replica_snapshot_hits,
+        warm_locks,
     }
 }
 
@@ -408,7 +505,7 @@ pub struct LoadReport {
 impl LoadReport {
     /// The report as a JSON document (std-only; `BENCH_loadgen.json`).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"bench\": \"loadgen\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
         out.push_str(&format!("  \"catalog\": {},\n", self.catalog));
@@ -439,11 +536,31 @@ impl LoadReport {
                 json_f64(m.mean_ms),
                 json_f64(m.max_ms),
             ));
+            if !m.classes.is_empty() {
+                out.push_str(", \"classes\": [");
+                for (j, c) in m.classes.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\": \"{}\", \"ok\": {}, \"p50\": {}, \"p95\": {}, \
+                         \"p99\": {}, \"mean\": {}}}",
+                        json_escape(&c.name),
+                        c.ok,
+                        json_f64(c.p50_ms),
+                        json_f64(c.p95_ms),
+                        json_f64(c.p99_ms),
+                        json_f64(c.mean_ms),
+                    ));
+                }
+                out.push(']');
+            }
             if let Some(hp) = &phase.hot_path {
                 out.push_str(&format!(
                     ", \"hot_path\": {{\"response_hits\": {}, \"coalesced\": {}, \
                      \"evaluated\": {}, \"warm_lock_acquisitions\": {}, \
-                     \"replica_syncs\": {}, \"replica_snapshot_hits\": {}}}",
+                     \"replica_syncs\": {}, \"replica_snapshot_hits\": {}, \
+                     \"warm_locks\": {{",
                     hp.response_hits,
                     hp.coalesced,
                     hp.evaluated,
@@ -451,6 +568,13 @@ impl LoadReport {
                     hp.replica_syncs,
                     hp.replica_snapshot_hits,
                 ));
+                for (j, layer) in CacheLayer::ALL.into_iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", layer.name(), hp.warm_locks[j]));
+                }
+                out.push_str("}}");
             }
             out.push('}');
             if i + 1 < self.phases.len() {
@@ -489,6 +613,98 @@ pub fn synthetic_catalog(n: usize) -> Vec<Request> {
         .collect()
 }
 
+/// The request-class labels a class catalog draws from, one per
+/// warm-path shape: scalar GPU sweeps, A1 co-run series, A2 per-`p`
+/// co-run points, and the what-if study.
+pub const CLASS_NAMES: [&str; 4] = ["gpu-point", "corun-series", "corun-point", "what-if"];
+
+/// `n` distinct, cheap requests spanning all four request classes, so
+/// every replicated cache layer (points, series, per-`p` co-run points,
+/// responses) carries load-run traffic. Indices rotate gpu-point →
+/// corun-series → corun-point → gpu-point; index 3 is the single
+/// `what-if` entry (the study request has no parameters, so it cannot
+/// repeat distinctly). Element counts step by 320 per entry, which
+/// survives `Case::m_scaled` rounding, keeping every id distinct.
+pub fn class_catalog(n: usize) -> Vec<(Request, &'static str)> {
+    (0..n.max(1))
+        .map(|i| {
+            let case = Case::ALL[i % Case::ALL.len()];
+            let m = (1u64 << 16) + 320 * (i as u64);
+            let corun = |alloc: AllocSite| Request::Corun {
+                configs: vec![CorunConfig::paper(case, KernelKind::Baseline, alloc).scaled(m, 2)],
+            };
+            match i % 4 {
+                1 => (corun(AllocSite::A1), "corun-series"),
+                2 => (corun(AllocSite::A2), "corun-point"),
+                3 if i == 3 => (Request::WhatIf, "what-if"),
+                _ => (
+                    Request::Sweep {
+                        sweep: GpuSweep {
+                            case,
+                            teams_axis: vec![4096, 65536],
+                            vs: vec![1, 4],
+                            thread_limit: 256,
+                            m,
+                        },
+                        mode: SweepMode::Exhaustive,
+                    },
+                    "gpu-point",
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Recombine an already-evaluated [`class_catalog`] into *new* request
+/// ids whose work items are all already published: a one-column subset
+/// of every exhaustive sweep, and pairs of single-config co-run
+/// requests merged into one `Request::Corun` each. Answering these
+/// costs zero fresh evaluations — the planner probes, the executor
+/// re-reads, and the assembly stitches entirely from the warm
+/// point/series/corun replicas — so a timed pass over them proves those
+/// layers lock-free, not just the response memo.
+pub fn recombine_catalog(base: &[(Request, &'static str)]) -> Vec<(Request, &'static str)> {
+    let mut out = Vec::new();
+    let (mut a1, mut a2) = (Vec::new(), Vec::new());
+    for (request, _) in base {
+        match request {
+            Request::Sweep { sweep, .. } if sweep.vs.len() > 1 => {
+                let mut sub = sweep.clone();
+                sub.vs = vec![*sweep.vs.last().expect("nonempty V axis")];
+                out.push((
+                    Request::Sweep {
+                        sweep: sub,
+                        mode: SweepMode::Exhaustive,
+                    },
+                    "gpu-point",
+                ));
+            }
+            Request::Corun { configs } => {
+                for cfg in configs {
+                    match cfg.alloc {
+                        AllocSite::A1 => a1.push(*cfg),
+                        AllocSite::A2 => a2.push(*cfg),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (configs, class) in [(a1, "corun-series"), (a2, "corun-point")] {
+        for pair in configs.chunks(2) {
+            if pair.len() == 2 {
+                out.push((
+                    Request::Corun {
+                        configs: pair.to_vec(),
+                    },
+                    class,
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// In-process connection: issues catalog entries straight into the
 /// engine, with ids precomputed so the warm path's cost is the cache
 /// probe, not request hashing.
@@ -505,29 +721,55 @@ impl LoadConn for EngineConn<'_> {
             Err(_) => Outcome::Error,
         }
     }
+
+    fn prepare(&mut self) {
+        // Replay this worker thread's replicas past every publication so
+        // the timed section starts from synced snapshots.
+        self.engine.sync_replicas();
+    }
 }
 
 /// Drive a load run against an in-process engine: a cold closed-loop
-/// pass over the whole catalog, a warm phase against the locked baseline
-/// cache, and a warm phase against the replica path (each warm phase
-/// replays the same zipf schedule, so the A/B is apples-to-apples). The
-/// engine is left in [`ResponseCacheMode::Replica`].
+/// pass over the whole class catalog, a warm phase against the locked
+/// baseline cache, a warm phase against the replica path (each warm
+/// phase replays the same zipf schedule, so the A/B is
+/// apples-to-apples), and a `warm_recombine` phase that issues each
+/// recombined request id exactly once — new responses assembled purely
+/// from warm item caches, proving the point/series/corun layers
+/// lock-free under traffic. The engine is left in
+/// [`ResponseCacheMode::Replica`].
 pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     let n = cfg.catalog.max(1);
     let conns = cfg.conns.max(1);
-    let catalog: Vec<(Request, u64)> = synthetic_catalog(n)
-        .into_iter()
-        .map(|r| {
+    let entries = class_catalog(n);
+    let catalog: Vec<(Request, u64)> = entries
+        .iter()
+        .map(|(r, _)| {
             let id = r.id().0;
-            (r, id)
+            (r.clone(), id)
         })
         .collect();
+    let classes: Vec<&'static str> = entries.iter().map(|(_, class)| *class).collect();
+    let recombined_entries = recombine_catalog(&entries);
+    let recombined: Vec<(Request, u64)> = recombined_entries
+        .iter()
+        .map(|(r, _)| {
+            let id = r.id().0;
+            (r.clone(), id)
+        })
+        .collect();
+    let recombine_classes: Vec<&'static str> =
+        recombined_entries.iter().map(|(_, class)| *class).collect();
     let zipf = Zipf::new(n, cfg.zipf_s);
     let mut rng = SplitMix64::new(cfg.seed);
     let warm_schedule: Vec<usize> = (0..cfg.requests.max(1))
         .map(|_| zipf.sample(rng.next_f64()))
         .collect();
     let cold_schedule: Vec<usize> = (0..n).collect();
+    // Each recombined id exactly once: a repeat would be a response hit
+    // *behind* this phase's own publications — a replayed read, not the
+    // wait-free one the phase exists to measure.
+    let recombine_schedule: Vec<usize> = (0..recombined.len()).collect();
     let warm_arrival = match cfg.rate {
         Some(rate_rps) => Arrival::Open { rate_rps },
         None => Arrival::Closed,
@@ -535,6 +777,8 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
 
     let run = |name: &str,
                mode: ResponseCacheMode,
+               catalog: &[(Request, u64)],
+               classes: &[&str],
                schedule: &[usize],
                warmup: &[usize],
                arrival: Arrival|
@@ -548,16 +792,19 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
                 warmup,
                 schedule,
                 arrival,
+                classes,
             },
-            |_| {
-                Ok(EngineConn {
-                    engine,
-                    catalog: &catalog,
-                })
-            },
+            |_| Ok(EngineConn { engine, catalog }),
             // Snapshot after warm-up, before the clock: warm-up syncs
-            // (and their lock) stay out of the timed delta.
-            || before.set(engine.stats()),
+            // (and their lock) stay out of the timed delta. The pool
+            // broadcast is safe here — every connection is parked at the
+            // ready barrier, so the pool is quiescent — and it brings
+            // the executor's worker replicas up to date so fanned cache
+            // re-reads in the timed section are wait-free too.
+            || {
+                engine.sync_pool_replicas();
+                before.set(engine.stats());
+            },
         )?;
         let after = engine.stats();
         Ok(PhaseReport {
@@ -570,6 +817,8 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
         run(
             "cold",
             ResponseCacheMode::Replica,
+            &catalog,
+            &classes,
             &cold_schedule,
             &[],
             Arrival::Closed,
@@ -577,18 +826,32 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
         run(
             "warm_locked",
             ResponseCacheMode::Locked,
+            &catalog,
+            &classes,
             &warm_schedule,
             &[0],
             warm_arrival,
         )?,
-        // One untimed read per connection syncs its replica past every
-        // cold publication, so the timed section is pure snapshot hits.
+        // One untimed read per connection plus the prepare() sync brings
+        // every replica past every cold publication, so the timed
+        // section is pure snapshot hits.
         run(
             "warm",
             ResponseCacheMode::Replica,
+            &catalog,
+            &classes,
             &warm_schedule,
             &[0],
             warm_arrival,
+        )?,
+        run(
+            "warm_recombine",
+            ResponseCacheMode::Replica,
+            &recombined,
+            &recombine_classes,
+            &recombine_schedule,
+            &[],
+            Arrival::Closed,
         )?,
     ];
     engine.set_response_cache_mode(ResponseCacheMode::Replica);
@@ -614,6 +877,7 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::ResponseSource;
     use ghr_machine::MachineConfig;
 
     #[test]
@@ -675,6 +939,67 @@ mod tests {
     }
 
     #[test]
+    fn class_catalog_spans_all_classes_with_distinct_ids() {
+        let catalog = class_catalog(16);
+        assert_eq!(catalog.len(), 16);
+        let mut ids: Vec<u64> = catalog.iter().map(|(r, _)| r.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16, "catalog ids must be distinct");
+        for class in CLASS_NAMES {
+            assert!(
+                catalog.iter().any(|(_, c)| *c == class),
+                "class {class} missing from the catalog"
+            );
+        }
+        for (r, _) in &catalog {
+            r.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn recombined_ids_are_new_and_answered_without_evaluation() {
+        let engine = Engine::new(MachineConfig::gh200(), 2);
+        let base = class_catalog(8);
+        for (r, _) in &base {
+            engine.run(r).unwrap();
+        }
+        let recombined = recombine_catalog(&base);
+        assert!(!recombined.is_empty());
+        // Every recombined id is distinct from the base catalog and from
+        // every other recombined id.
+        let mut ids: Vec<u64> = recombined.iter().map(|(r, _)| r.id().0).collect();
+        ids.extend(base.iter().map(|(r, _)| r.id().0));
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total, "recombined ids must be new");
+
+        engine.sync_replicas();
+        engine.sync_pool_replicas();
+        let before = engine.stats();
+        for (r, _) in &recombined {
+            let got = engine.respond(r).unwrap();
+            assert_eq!(got.source, ResponseSource::Fresh, "{r:?}");
+            assert_eq!(got.evals, 0, "recombined {r:?} must re-use warm items");
+        }
+        let after = engine.stats();
+        assert_eq!(after.evaluated, before.evaluated, "no fresh evaluation");
+        for layer in [CacheLayer::Point, CacheLayer::Series, CacheLayer::Corun] {
+            assert_eq!(
+                after.layer(layer).warm_lock_acquisitions,
+                before.layer(layer).warm_lock_acquisitions,
+                "synced {layer:?} reads must stay lock-free"
+            );
+            assert!(
+                after.layer(layer).replica_snapshot_hits
+                    > before.layer(layer).replica_snapshot_hits,
+                "recombined requests must drive warm {layer:?} traffic"
+            );
+        }
+    }
+
+    #[test]
     fn in_process_run_proves_the_wait_free_warm_phase() {
         let engine = Engine::new(MachineConfig::gh200(), 2);
         let cfg = LoadgenConfig {
@@ -687,21 +1012,35 @@ mod tests {
             overload_conns: 0,
         };
         let report = run_in_process(&engine, &cfg).unwrap();
-        assert_eq!(report.phases.len(), 3);
+        assert_eq!(report.phases.len(), 4);
         let names: Vec<&str> = report
             .phases
             .iter()
             .map(|p| p.metrics.name.as_str())
             .collect();
-        assert_eq!(names, ["cold", "warm_locked", "warm"]);
+        assert_eq!(names, ["cold", "warm_locked", "warm", "warm_recombine"]);
         let cold = &report.phases[0];
         assert_eq!(cold.metrics.ok, 8);
         assert!(cold.hot_path.unwrap().evaluated > 0);
-        for warm in &report.phases[1..] {
+        // The cold pass covers the whole catalog, so every request class
+        // gets a latency row, and the rows partition the ok count.
+        let cold_classes: Vec<&str> = cold
+            .metrics
+            .classes
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        for class in CLASS_NAMES {
+            assert!(cold_classes.contains(&class), "{cold_classes:?}");
+        }
+        let class_ok: u64 = cold.metrics.classes.iter().map(|c| c.ok).sum();
+        assert_eq!(class_ok, cold.metrics.ok);
+        for warm in &report.phases[1..3] {
             assert_eq!(warm.metrics.ok, 200, "{}", warm.metrics.name);
             assert_eq!(warm.metrics.errors, 0);
             assert!(warm.metrics.throughput_rps > 0.0);
             assert!(warm.metrics.p99_ms >= warm.metrics.p50_ms);
+            assert!(!warm.metrics.classes.is_empty());
             let hp = warm.hot_path.unwrap();
             assert_eq!(hp.evaluated, 0, "warm phases must be pure cache traffic");
             assert_eq!(hp.response_hits + hp.coalesced, 200);
@@ -711,12 +1050,31 @@ mod tests {
             locked.warm_lock_acquisitions >= locked.response_hits,
             "every locked warm hit takes at least one lock: {locked:?}"
         );
+        assert!(
+            locked.warm_locks[CacheLayer::Response as usize] >= locked.response_hits,
+            "the locked cost lands on the response layer: {locked:?}"
+        );
         let warm = report.phases[2].hot_path.unwrap();
         assert_eq!(
             warm.warm_lock_acquisitions, 0,
             "replica warm phase must be lock-free: {warm:?}"
         );
+        assert_eq!(warm.warm_locks, [0; 5], "lock-free on every layer");
         assert_eq!(warm.replica_snapshot_hits, warm.response_hits);
+        // The recombine phase: every id is new (zero response hits), no
+        // fresh evaluation, and no layer takes a warm lock — the
+        // point/series/corun replicas answer the whole assembly.
+        let recombine = &report.phases[3];
+        assert!(recombine.metrics.ok > 0);
+        assert_eq!(recombine.metrics.errors, 0);
+        assert!(!recombine.metrics.classes.is_empty());
+        let hp = recombine.hot_path.unwrap();
+        assert_eq!(hp.evaluated, 0, "recombined ids assemble from warm caches");
+        assert_eq!(hp.response_hits, 0, "every recombined id is new");
+        assert_eq!(
+            hp.warm_locks, [0; 5],
+            "recombine phase must be lock-free on every layer: {hp:?}"
+        );
         assert!(report.warm_speedup_vs_locked.is_some());
         assert_eq!(
             engine.response_cache_mode(),
@@ -728,10 +1086,18 @@ mod tests {
             "\"name\": \"cold\"",
             "\"name\": \"warm_locked\"",
             "\"name\": \"warm\"",
+            "\"name\": \"warm_recombine\"",
             "\"p50\"",
             "\"p95\"",
             "\"p99\"",
+            "\"classes\": [",
+            "\"name\": \"gpu-point\"",
+            "\"name\": \"corun-series\"",
+            "\"name\": \"corun-point\"",
+            "\"name\": \"what-if\"",
             "\"warm_lock_acquisitions\": 0",
+            "\"warm_locks\": {\"response\": 0, \"point\": 0, \"series\": 0, \
+             \"corun\": 0, \"inflight\": 0}",
             "\"warm_speedup_vs_locked\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -760,6 +1126,7 @@ mod tests {
                 warmup: &[0],
                 schedule: &schedule,
                 arrival: Arrival::Open { rate_rps: 400.0 },
+                classes: &[],
             },
             |_| {
                 Ok(EngineConn {
@@ -772,6 +1139,7 @@ mod tests {
         .unwrap();
         assert_eq!(metrics.ok, 8);
         assert_eq!(metrics.arrival, "open@400rps");
+        assert!(metrics.classes.is_empty(), "no labels, no breakdown");
         // 8 arrivals at 400/s schedule the last at t = 17.5 ms; an
         // all-warm run cannot finish faster than its schedule.
         assert!(metrics.wall_ms >= 15.0, "{metrics:?}");

@@ -6,12 +6,13 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use ghr_core::engine::{machine_fingerprint, Engine, ResponseSource};
 use ghr_core::store::PersistentStore;
 use ghr_core::{Case, Request};
 use ghr_machine::MachineConfig;
+use ghr_types::CacheLayer;
 
 fn machine() -> MachineConfig {
     MachineConfig::gh200()
@@ -102,6 +103,63 @@ fn concurrent_responds_are_deterministic_and_coalesced() {
         "{stats:?}"
     );
     assert_eq!(stats.lookups, stats.hits + stats.evaluated, "{stats:?}");
+}
+
+#[test]
+fn claim_table_storm_elects_one_leader_and_parks_followers_lock_free() {
+    const THREADS: usize = 8;
+    let request = Request::fig1(Case::C2);
+
+    // Serial reference body: whatever the storm returns must match.
+    let reference = format!("{:?}", Engine::new(machine(), 1).run(&request).unwrap());
+
+    let engine = Engine::new(machine(), 2);
+    let before = engine.stats();
+    let start = Barrier::new(THREADS);
+    let sources = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (engine, request, start) = (&engine, &request, &start);
+                let reference = &reference;
+                s.spawn(move || {
+                    // Barrier-aligned: all eight arrivals carry the same
+                    // cold id into the claim table in the same instant.
+                    start.wait();
+                    let got = engine.respond(request).unwrap();
+                    assert_eq!(&format!("{:?}", got.response), reference);
+                    got.source
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    let after = engine.stats();
+
+    // Exactly one storm thread won the CAS claim and evaluated; everyone
+    // else parked on the publish and was answered without evaluating.
+    let fresh = sources
+        .iter()
+        .filter(|s| **s == ResponseSource::Fresh)
+        .count();
+    assert_eq!(fresh, 1, "one CAS winner per duplicate id: {sources:?}");
+    assert_eq!(after.inflight_claims - before.inflight_claims, 1);
+    let followers = (THREADS - 1) as u64;
+    assert_eq!(
+        (after.inflight_joins - before.inflight_joins)
+            + (after.response_hits - before.response_hits),
+        followers,
+        "every follower either joined the flight or hit the published \
+         response: {after:?}"
+    );
+    // The claim table is CAS + park: no mutex on either path.
+    assert_eq!(
+        after.layer(CacheLayer::Inflight).warm_lock_acquisitions,
+        before.layer(CacheLayer::Inflight).warm_lock_acquisitions,
+        "follower path must not acquire locks: {after:?}"
+    );
 }
 
 #[test]

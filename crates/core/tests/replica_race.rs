@@ -7,6 +7,7 @@
 use ghr_core::engine::{Engine, ResponseCacheMode, ResponseSource};
 use ghr_core::{Case, Request};
 use ghr_machine::MachineConfig;
+use ghr_types::CacheLayer;
 use std::sync::Barrier;
 
 const THREADS: usize = 8;
@@ -101,6 +102,70 @@ fn warm_replica_reads_race_free_and_lock_free_across_eight_threads() {
         assert_eq!(after.response_hits - before.response_hits, reads);
         assert_eq!(after.evaluated, before.evaluated, "no timed evaluation");
     });
+}
+
+#[test]
+fn replica_logs_stay_bounded_by_distinct_published_keys() {
+    const THREADS: usize = 8;
+    let reqs = requests();
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+
+    // Racing duplicates: every thread issues every request, repeatedly.
+    // Publication is first-write-wins under the log's index, so however
+    // the race lands, the response log ends with exactly one record per
+    // distinct request id.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let (engine, reqs) = (&engine, &reqs);
+            s.spawn(move || {
+                for _ in 0..3 {
+                    for r in reqs {
+                        engine.respond(r).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let warmed = engine.stats();
+    let response = warmed.layer(CacheLayer::Response);
+    assert_eq!(
+        response.replica_published,
+        reqs.len() as u64,
+        "append-only response log must hold one record per distinct id: {warmed:?}"
+    );
+    assert!(
+        response.replica_log_bytes > 0,
+        "a populated log reports its footprint: {warmed:?}"
+    );
+    // The item layers are first-write-wins too: published counts equal
+    // the aggregate only if no duplicate ever re-appended.
+    let published_total = warmed.replica_published;
+
+    // A further storm of pure warm traffic — hits and coalesced flights
+    // only — must not grow any append-only log by a single record.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let (engine, reqs) = (&engine, &reqs);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    for r in reqs {
+                        let got = engine.respond(r).unwrap();
+                        assert_eq!(got.source, ResponseSource::ResponseCache);
+                    }
+                }
+            });
+        }
+    });
+    let after = engine.stats();
+    assert_eq!(
+        after.replica_published, published_total,
+        "warm traffic must never append: {after:?}"
+    );
+    assert_eq!(
+        after.layer(CacheLayer::Response).replica_log_bytes,
+        response.replica_log_bytes,
+        "log bytes are pinned to the distinct-key bound: {after:?}"
+    );
 }
 
 #[test]

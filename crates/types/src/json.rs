@@ -1,0 +1,373 @@
+//! A minimal std-only JSON reader for the workspace's own reports.
+//!
+//! The workspace *writes* JSON by hand (`pipeline::json_escape` /
+//! `json_f64`) and, until now, never read any back. `ghr bench diff`
+//! needs to: it compares committed `BENCH_*.json` files across
+//! branches. A full serde stack is out of scope for a dependency-light
+//! crate, and the inputs are our own machine-written reports — so this
+//! is a small recursive-descent parser over the JSON grammar
+//! (rfc 8259): objects keep insertion order in a `Vec`, every number is
+//! an `f64` (all our counters fit in its 53-bit mantissa), and escape
+//! sequences — including `\uXXXX` surrogate pairs — decode to the real
+//! characters. Errors carry the byte offset so a truncated artifact
+//! points at itself.
+
+use std::fmt;
+
+/// A parsed JSON value. Objects preserve key order (they are the order
+/// our writers emitted), duplicates keep the first occurrence on lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; JSON doesn't distinguish int from float.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.src.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path convenience: `doc.path(&["latency_ms", "p99"])`.
+    pub fn path(&self, keys: &[&str]) -> Option<&Json> {
+        keys.iter().try_fold(self, |node, key| node.get(key))
+    }
+}
+
+/// A parse failure: what was wrong and the byte offset it was found at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            at: self.at,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.src[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ASCII number bytes");
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            message: format!("bad number {text:?}"),
+            at: start,
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.at + 4;
+        let Some(hex) = self
+            .src
+            .get(self.at..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+        else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad hex in \\u escape"))?;
+        self.at = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must be followed by
+                                // `\uXXXX` holding the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.at += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (the source is &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.src[self.at..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting_round_trip() {
+        let doc =
+            Json::parse(r#"{"a": 1, "b": -2.5e2, "c": [true, false, null], "d": {"e": "hi"}}"#)
+                .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("b").unwrap().as_f64(), Some(-250.0));
+        let c = doc.get("c").unwrap().as_arr().unwrap();
+        assert_eq!(c, &[Json::Bool(true), Json::Bool(false), Json::Null]);
+        assert_eq!(doc.path(&["d", "e"]).unwrap().as_str(), Some("hi"));
+        assert_eq!(doc.path(&["d", "missing"]), None);
+    }
+
+    #[test]
+    fn escapes_decode_including_surrogate_pairs() {
+        let doc = Json::parse(r#""a\"b\\c\nd A 😀""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\nd A 😀"));
+        assert!(Json::parse(r#""\uD800""#).is_err(), "unpaired surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn parses_what_the_workspace_writers_emit() {
+        // The exact idioms of pipeline::json_escape / json_f64 output.
+        let doc = Json::parse(
+            "{\n  \"bench\": \"loadgen\",\n  \"phases\": [\n    \
+             {\"name\": \"warm\", \"throughput_rps\": 6697240.910872985, \
+             \"latency_ms\": {\"p50\": 0.000077}, \"speedup\": null}\n  ]\n}\n",
+        )
+        .unwrap();
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("warm"));
+        assert_eq!(
+            phases[0].path(&["latency_ms", "p50"]).unwrap().as_f64(),
+            Some(0.000077)
+        );
+        assert_eq!(phases[0].get("speedup"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_offsets() {
+        for (src, what) in [
+            ("{\"a\": }", "missing value"),
+            ("[1, 2", "unterminated array"),
+            ("{\"a\": 1} extra", "trailing garbage"),
+            ("\"unterminated", "unterminated string"),
+            ("01x", "trailing garbage after number"),
+            ("nul", "bad literal"),
+        ] {
+            let err = Json::parse(src).expect_err(what);
+            assert!(err.at <= src.len(), "{what}: {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_on_lookup() {
+        let doc = Json::parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(doc.get("k").unwrap().as_f64(), Some(1.0));
+    }
+}

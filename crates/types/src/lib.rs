@@ -16,6 +16,7 @@
 pub mod device;
 pub mod dtype;
 pub mod error;
+pub mod json;
 pub mod pipeline;
 pub mod stats;
 pub mod units;
@@ -23,6 +24,7 @@ pub mod units;
 pub use device::Device;
 pub use dtype::{Accum, DType, Element};
 pub use error::{GhrError, Result};
+pub use json::{Json, JsonError};
 pub use pipeline::{PlanSummary, RequestId, SessionStats, StagePlan, StageTiming};
-pub use stats::Summary;
+pub use stats::{CacheLayer, CacheLayerStats, Summary};
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

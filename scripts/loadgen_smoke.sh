@@ -1,9 +1,14 @@
 #!/usr/bin/env sh
 # Loadgen smoke test, two phases:
 #   1. in-process: `ghr loadgen` against the engine; BENCH_loadgen.json
-#      must carry cold/warm_locked/warm phases with p50/p95/p99, the warm
-#      replica phase must report warm_lock_acquisitions=0 (the lock-free
-#      proof), and a warm-over-locked speedup must be recorded.
+#      must carry cold/warm_locked/warm/warm_recombine phases with
+#      p50/p95/p99 and a per-class latency breakdown (gpu-point,
+#      corun-series, corun-point, what-if). Both warm replica phases
+#      must report zero lock acquisitions in EVERY cache layer
+#      (response, point, series, corun, inflight) — the end-to-end
+#      lock-free proof — and warm_recombine must additionally evaluate
+#      nothing (every never-seen id assembled from warm item caches).
+#      A warm-over-locked speedup must be recorded.
 #   2. socket: start `ghr serve --socket --max-inflight 2 --sessions 16`,
 #      drive it closed-loop with `ghr loadgen --socket` (2 warm conns —
 #      never past the budget — and an 8-conn overload phase whose cold
@@ -35,14 +40,39 @@ if [ ! -s "$json" ]; then
     exit 1
 fi
 for key in '"bench": "loadgen"' '"name": "cold"' '"name": "warm_locked"' \
-    '"name": "warm"' '"p50"' '"p95"' '"p99"' '"throughput_rps"' \
-    '"warm_lock_acquisitions": 0' '"warm_speedup_vs_locked"'; do
-    if ! grep -q "$key" "$json"; then
+    '"name": "warm"' '"name": "warm_recombine"' '"p50"' '"p95"' '"p99"' \
+    '"throughput_rps"' '"warm_lock_acquisitions": 0' '"classes": [' \
+    '"warm_speedup_vs_locked"'; do
+    if ! grep -qF "$key" "$json"; then
         echo "FAIL: $key missing from BENCH_loadgen.json" >&2
         cat "$json" >&2
         exit 1
     fi
 done
+# Every request class shows up in the per-class latency breakdown.
+for class in gpu-point corun-series corun-point what-if; do
+    if ! grep -qF "\"name\": \"$class\"" "$json"; then
+        echo "FAIL: class $class missing from the breakdown" >&2
+        cat "$json" >&2
+        exit 1
+    fi
+done
+# Per-layer lock-freedom: both warm replica phases must acquire zero
+# locks in every cache layer, and the recombine phase — never-seen ids
+# assembled purely from warm item caches — must not evaluate anything.
+ZERO_LOCKS='"warm_locks": {"response": 0, "point": 0, "series": 0, "corun": 0, "inflight": 0}'
+for phase in '"name": "warm"' '"name": "warm_recombine"'; do
+    if ! sed -n "/$phase/p" "$json" | grep -qF "$ZERO_LOCKS"; then
+        echo "FAIL: phase $phase acquired locks in a cache layer" >&2
+        cat "$json" >&2
+        exit 1
+    fi
+done
+if ! sed -n '/"name": "warm_recombine"/p' "$json" | grep -qF '"evaluated": 0'; then
+    echo "FAIL: warm_recombine phase evaluated fresh work" >&2
+    cat "$json" >&2
+    exit 1
+fi
 # The warm phases answered every request and moved actual traffic.
 if grep -q '"throughput_rps": 0[,}]' "$json"; then
     echo "FAIL: a phase reported zero throughput" >&2
@@ -54,7 +84,7 @@ if grep -q '"warm_speedup_vs_locked": null' "$json"; then
     cat "$json" >&2
     exit 1
 fi
-echo "==> BENCH_loadgen.json: lock-free warm phase + speedup recorded"
+echo "==> BENCH_loadgen.json: per-layer lock-free warm phases + class breakdown + speedup"
 
 echo "==> socket loadgen against --max-inflight 2"
 SOCK="$WORK/ghr.sock"

@@ -24,7 +24,9 @@ struct PhaseNums {
     evaluated: Option<f64>,
 }
 
-/// One parsed report: file label, phase rows in order, speedup scalar.
+/// One parsed report: display label (the path, plus the report's own
+/// `--label` stamp when it carries one), phase rows in order, speedup
+/// scalar.
 struct BenchFile {
     label: String,
     phases: Vec<(String, PhaseNums)>,
@@ -58,8 +60,15 @@ fn load(path: &str) -> Result<BenchFile, String> {
             )
         })
         .collect();
+    // A report stamped with `ghr loadgen --label NAME` names itself in
+    // the diff header, so two artifacts from the same path template
+    // (e.g. regenerated BENCH files) stay tellable-apart.
+    let label = match doc.get("label").and_then(Json::as_str) {
+        Some(name) => format!("{path} [{name}]"),
+        None => path.to_string(),
+    };
     Ok(BenchFile {
-        label: path.to_string(),
+        label,
         phases,
         warm_speedup: doc.get("warm_speedup_vs_locked").and_then(Json::as_f64),
     })
@@ -176,6 +185,23 @@ mod tests {
         let path = dir.join(name);
         std::fs::write(&path, body).unwrap();
         path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn labelled_reports_name_themselves_in_the_header() {
+        let dir = std::env::temp_dir().join(format!("ghr-benchdiff-label-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let labelled = report(1000.0, 0, false).replacen(
+            "\"bench\": \"loadgen\",",
+            "\"bench\": \"loadgen\",\n  \"label\": \"router-2w\",",
+            1,
+        );
+        let base = write_report(&dir, "a.json", &report(1000.0, 0, false));
+        let cand = write_report(&dir, "b.json", &labelled);
+        let out = cmd_bench_diff(&[base, cand]).unwrap();
+        assert!(out.contains("b.json [router-2w]"), "{out}");
+        assert!(out.contains("a.json\n"), "plain path stays bare: {out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn report(rps: f64, locks: u64, extra_phase: bool) -> String {

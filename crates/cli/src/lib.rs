@@ -76,11 +76,12 @@ use std::sync::Arc;
 
 pub mod benchdiff;
 pub mod loadgen;
+pub mod router;
 pub mod serve;
 
 pub fn usage() -> &'static str {
     "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|loadgen|cache> [args]\n\
+whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|router|client|loadgen|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
      `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
@@ -95,7 +96,14 @@ whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|client|
      (default GHR_SESSIONS, then engine threads); past the --max-inflight\n\
      budget arrivals get `ghr-error reason=overload` immediately; lines over\n\
      --max-frame bytes are rejected as oversized; quit/exit ends one session,\n\
-     `ghr-shutdown`/SIGTERM drains the server; `ghr client --socket PATH\n\
+     `ghr-shutdown`/SIGTERM drains the server; `ghr router --socket PATH\n\
+     [--workers N | --attach SOCK ...] [--sessions N] [--worker-inflight N]\n\
+     [--max-idle SECS] [--max-frame BYTES]` consistent-hashes request ids\n\
+     onto N serve workers (spawned children sharing --cache-dir, or attached\n\
+     already-running sockets) and streams their frames back byte-identically\n\
+     — a dead worker's range re-routes to its ring successor, a spent\n\
+     per-worker budget answers reason=overload, and --stats-json renders the\n\
+     per-worker forwarded/rejected/rerouted ledger at drain; `ghr client --socket PATH\n\
      [request...]` sends request lines to a serve socket and prints the\n\
      frames; `ghr loadgen [--socket PATH] [--requests N] [--conns N]\n\
      [--catalog N] [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]\n\
@@ -202,6 +210,18 @@ pub fn run(cmd: &str, rest: &[String]) -> Result<String, String> {
     }
     if cmd == "client" {
         return cmd_client(&rest);
+    }
+    // The router has no engine of its own — it forwards to workers that
+    // each hold one — so it runs before engine construction, like the
+    // other engine-less commands.
+    if cmd == "router" {
+        return router::cmd_router(
+            cache_dir.as_deref(),
+            opts.no_cache,
+            opts.threads,
+            opts.stats_json,
+            &rest,
+        );
     }
     let mut engine = Engine::new(MachineConfig::gh200(), opts.threads);
     if let Some(dir) = &cache_dir {

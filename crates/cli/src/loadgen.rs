@@ -101,6 +101,7 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
                 args.cfg.overload_conns =
                     parse_count("overload connection count", &value("--overload-conns")?)?
             }
+            "--label" => args.cfg.label = Some(value("--label")?),
             "--out" => args.out = Some(value("--out")?),
             "--no-out" if inline.is_none() => args.out = None,
             other => return Err(format!("unknown loadgen argument {other:?}")),
@@ -134,8 +135,16 @@ fn render_report(report: &LoadReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "loadgen ({} mode): catalog {} ids, zipf s={}, seed {}, {} conns\n",
-        report.mode, report.catalog, report.zipf_s, report.seed, report.conns
+        "loadgen ({} mode{}): catalog {} ids, zipf s={}, seed {}, {} conns\n",
+        report.mode,
+        match &report.label {
+            Some(label) => format!(", label {label:?}"),
+            None => String::new(),
+        },
+        report.catalog,
+        report.zipf_s,
+        report.seed,
+        report.conns
     );
     let fmt_ms = |v: f64| {
         if v.is_finite() {
@@ -324,6 +333,7 @@ fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
     Ok(LoadReport {
         mode: "socket".to_string(),
+        label: cfg.label.clone(),
         catalog: n,
         conns: cfg.conns.max(1),
         zipf_s: cfg.zipf_s,
@@ -341,6 +351,7 @@ fn run_socket(_path: &str, _cfg: &LoadgenConfig) -> Result<LoadReport, String> {
 #[cfg(unix)]
 mod socket {
     use super::{LoadConn, Outcome};
+    use ghr_types::wire;
     use std::io::{BufRead, BufReader, Read, Write};
     use std::os::unix::net::UnixStream;
 
@@ -380,15 +391,15 @@ mod socket {
                 Ok(h) => h,
                 Err(()) => return Outcome::Error,
             };
-            if header.starts_with("ghr-error ") {
-                let outcome = if header.contains("reason=overload") {
+            if let Some(reason) = header.strip_prefix(wire::ERROR_PREFIX) {
+                let outcome = if reason == wire::REASON_OVERLOAD {
                     Outcome::Overload
                 } else {
                     Outcome::Error
                 };
                 // Error frames are body-less: just the trailer.
                 return match self.read_line() {
-                    Ok(end) if end == "ghr-end" => outcome,
+                    Ok(end) if end == wire::FRAME_END => outcome,
                     _ => Outcome::Error,
                 };
             }
@@ -405,7 +416,7 @@ mod socket {
                 return Outcome::Error;
             }
             match self.read_line() {
-                Ok(end) if end == "ghr-end" && header.contains(" status=ok ") => Outcome::Ok,
+                Ok(end) if end == wire::FRAME_END && header.contains(" status=ok ") => Outcome::Ok,
                 Ok(_) => Outcome::Error,
                 Err(()) => Outcome::Error,
             }
@@ -450,6 +461,8 @@ mod tests {
             "--seed",
             "9",
             "--overload-conns=4",
+            "--label",
+            "router-2w",
             "--no-out",
         ]))
         .unwrap();
@@ -460,11 +473,14 @@ mod tests {
         assert_eq!(a.cfg.rate, Some(250.0));
         assert_eq!(a.cfg.seed, 9);
         assert_eq!(a.cfg.overload_conns, 4);
+        assert_eq!(a.cfg.label.as_deref(), Some("router-2w"));
         assert!(a.out.is_none());
         assert!(a.socket.is_none());
 
         let defaults = parse_args(&[]).unwrap();
         assert_eq!(defaults.out.as_deref(), Some("BENCH_loadgen.json"));
+        assert!(defaults.cfg.label.is_none());
+        assert!(parse_args(&args(&["--label"])).is_err());
 
         assert!(parse_args(&args(&["--requests", "0"])).is_err());
         assert!(parse_args(&args(&["--zipf", "-1"])).is_err());

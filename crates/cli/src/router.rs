@@ -1,0 +1,1045 @@
+//! `ghr router` — a consistent-hash scale-out tier over N serve workers.
+//!
+//! One `ghr serve` process multiplies warm throughput until its single
+//! engine saturates the host; past that point the only lever left is
+//! more processes. The router owns the client-facing unix socket and N
+//! `ghr serve` workers on their own sockets — spawned as children, or
+//! attached if already running — and forwards each request line to the
+//! worker that owns its position on a 64-vnode consistent-hash ring.
+//! The ring is *stable*: a given request id always lands on the same
+//! worker, whose response cache and replica snapshots are warm for
+//! exactly that id, so adding workers multiplies aggregate warm
+//! throughput instead of spreading every id's cache entries across all
+//! of them. Response frames stream back byte-identically; the router
+//! never parses a body.
+//!
+//! Degradation is explicit, never silent:
+//!
+//! * a per-worker in-flight budget (`--worker-inflight`) answers
+//!   `ghr-error reason=overload` at the door, and a worker's own
+//!   overload frames pass through untouched;
+//! * a worker whose connection dies is marked dead and its hash range
+//!   re-routes to the ring successor, while a background probe waits
+//!   for the socket to come back;
+//! * with every worker dead the client sees
+//!   `ghr-error reason=no-live-worker`, not a hang.
+//!
+//! Workers share one `--cache-dir`; the persistent store's
+//! refresh-on-miss (see `ghr_core::store`) means a row one worker
+//! evaluated and flushed answers warm from any other — which is what
+//! makes the dead-worker re-route invisible to clients beyond latency.
+
+use crate::serve;
+use ghr_types::RequestId;
+use std::time::Duration;
+
+/// Virtual nodes per worker on the hash ring. 64 points per worker keep
+/// the per-worker key-space share within a few percent of uniform while
+/// the whole ring still fits in one cache line per worker-pair search.
+pub const VNODES: usize = 64;
+
+/// A stable consistent-hash ring: `VNODES` points per worker, hashed
+/// from the worker *index* (not its socket path), so the same cluster
+/// shape always yields the same routing regardless of where the
+/// sockets live.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, worker index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+}
+
+/// Finalize a 64-bit hash for ring arithmetic (splitmix64's mixer).
+/// FNV-1a is stable and collision-free enough for request *identity*,
+/// but its high bits are uneven on short strings — and ring placement
+/// compares whole-`u64` order, so both the vnode points and the looked-up
+/// keys go through this avalanche first.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+impl HashRing {
+    /// Build the ring for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        let mut points = Vec::with_capacity(workers * VNODES);
+        for w in 0..workers {
+            for v in 0..VNODES {
+                points.push((mix(RequestId::of(&format!("worker-{w}#vnode-{v}")).0), w));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The worker owning `key` (a raw [`route_key`] value): the first
+    /// ring point at or clockwise of the mixed key whose worker is
+    /// alive. `None` when no worker is alive.
+    pub fn route(&self, key: u64, alive: &[bool]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let key = mix(key);
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for k in 0..self.points.len() {
+            let (_, w) = self.points[(start + k) % self.points.len()];
+            if alive.get(w).copied().unwrap_or(false) {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Each worker's share of the key space, in `[0, 1]`; the shares sum
+    /// to exactly 1 (the arcs tile the full `u64` circle).
+    pub fn occupancy(&self, workers: usize) -> Vec<f64> {
+        let mut arcs = vec![0u128; workers];
+        for (i, &(p, w)) in self.points.iter().enumerate() {
+            let prev = if i == 0 {
+                self.points[self.points.len() - 1].0
+            } else {
+                self.points[i - 1].0
+            };
+            arcs[w] += u128::from(p.wrapping_sub(prev));
+        }
+        arcs.iter().map(|&a| a as f64 / 2f64.powi(64)).collect()
+    }
+
+    /// Ring points (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (a zero-worker ring).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// The ring position of one request line: the *request id* when the
+/// line parses as a servable experiment (so `fig1 c2 --csv` and
+/// `fig1 c2` share a worker — render flags change the body, not the
+/// cached evaluation), else a hash of the raw line (the owning worker
+/// then renders the same error a lone server would).
+pub fn route_key(line: &str) -> u64 {
+    let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    if let Some((cmd, rest)) = words.split_first() {
+        if let Ok(Some(req)) = crate::request_for(cmd, rest) {
+            return req.id().0;
+        }
+    }
+    RequestId::of(line).0
+}
+
+/// Everything `ghr router` needs to run, resolved from the command line
+/// plus the stripped global flags.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Client-facing socket path.
+    pub socket: String,
+    /// Workers to spawn (`--workers N`); ignored when `attach` is set.
+    pub workers: usize,
+    /// Sockets of already-running workers to attach to instead of
+    /// spawning (`--attach SOCK`, repeatable). Attached workers are not
+    /// shut down when the router drains.
+    pub attach: Vec<String>,
+    /// Concurrent router sessions; `0` resolves `GHR_SESSIONS`, then
+    /// twice the worker count. Spawned workers get the same session cap
+    /// so every router session can hold a connection to one worker.
+    pub sessions: usize,
+    /// Per-worker in-flight budget; past it arrivals for that worker get
+    /// `ghr-error reason=overload` immediately. `None` admits everything.
+    pub worker_inflight: Option<usize>,
+    /// Shut down after this long with no active session.
+    pub max_idle: Option<Duration>,
+    /// Longest accepted request line in bytes.
+    pub max_frame: usize,
+    /// `--threads` for spawned workers; `0` lets each worker resolve.
+    pub threads: usize,
+    /// `--cache-dir` for spawned workers (the shared store that makes
+    /// the cluster cache a union).
+    pub cache_dir: Option<String>,
+    /// `--no-cache` for spawned workers.
+    pub no_cache: bool,
+    /// Emit the forwarding ledger as JSON on stderr at drain.
+    pub stats_json: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            socket: String::new(),
+            workers: 2,
+            attach: Vec::new(),
+            sessions: 0,
+            worker_inflight: None,
+            max_idle: None,
+            max_frame: serve::MAX_REQUEST_LINE,
+            threads: 0,
+            cache_dir: None,
+            no_cache: false,
+            stats_json: false,
+        }
+    }
+}
+
+/// Parse `ghr router` arguments (global flags already stripped).
+pub fn parse_router_args(
+    cache_dir: Option<&std::path::Path>,
+    no_cache: bool,
+    threads: usize,
+    stats_json: bool,
+    rest: &[String],
+) -> Result<RouterOptions, String> {
+    let mut opts = RouterOptions {
+        threads,
+        stats_json,
+        no_cache,
+        cache_dir: cache_dir.map(|d| d.to_string_lossy().into_owned()),
+        ..RouterOptions::default()
+    };
+    let mut socket: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let parse_count = |what: &str, s: &str| -> Result<usize, String> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad {what} {s:?} (need an integer >= 1)")),
+        }
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--socket" {
+            socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+        } else if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(v.to_string());
+        } else if a == "--workers" {
+            workers = Some(parse_count(
+                "worker count",
+                it.next().ok_or("--workers needs a count")?,
+            )?);
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            workers = Some(parse_count("worker count", v)?);
+        } else if a == "--attach" {
+            opts.attach
+                .push(it.next().ok_or("--attach needs a socket path")?.clone());
+        } else if let Some(v) = a.strip_prefix("--attach=") {
+            opts.attach.push(v.to_string());
+        } else if a == "--sessions" {
+            opts.sessions = parse_count(
+                "session count",
+                it.next().ok_or("--sessions needs a count")?,
+            )?;
+        } else if let Some(v) = a.strip_prefix("--sessions=") {
+            opts.sessions = parse_count("session count", v)?;
+        } else if a == "--worker-inflight" {
+            opts.worker_inflight = Some(parse_count(
+                "in-flight budget",
+                it.next().ok_or("--worker-inflight needs a count")?,
+            )?);
+        } else if let Some(v) = a.strip_prefix("--worker-inflight=") {
+            opts.worker_inflight = Some(parse_count("in-flight budget", v)?);
+        } else if a == "--max-idle" {
+            opts.max_idle = Some(parse_idle(it.next().ok_or("--max-idle needs seconds")?)?);
+        } else if let Some(v) = a.strip_prefix("--max-idle=") {
+            opts.max_idle = Some(parse_idle(v)?);
+        } else if a == "--max-frame" {
+            opts.max_frame = parse_count(
+                "frame cap",
+                it.next().ok_or("--max-frame needs a byte count")?,
+            )?;
+        } else if let Some(v) = a.strip_prefix("--max-frame=") {
+            opts.max_frame = parse_count("frame cap", v)?;
+        } else {
+            return Err(format!("unknown router argument {a:?}"));
+        }
+    }
+    if workers.is_some() && !opts.attach.is_empty() {
+        return Err("--workers and --attach are mutually exclusive \
+             (spawn a cluster, or attach to one)"
+            .to_string());
+    }
+    if let Some(n) = workers {
+        opts.workers = n;
+    }
+    opts.socket = socket.ok_or("ghr router needs --socket PATH")?;
+    Ok(opts)
+}
+
+fn parse_idle(s: &str) -> Result<Duration, String> {
+    match s.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => Ok(Duration::from_secs_f64(v)),
+        _ => Err(format!("bad idle timeout {s:?} (need seconds > 0)")),
+    }
+}
+
+/// `ghr router --socket PATH [--workers N | --attach SOCK ...] ...` —
+/// parse and run.
+pub fn cmd_router(
+    cache_dir: Option<&std::path::Path>,
+    no_cache: bool,
+    threads: usize,
+    stats_json: bool,
+    rest: &[String],
+) -> Result<String, String> {
+    let opts = parse_router_args(cache_dir, no_cache, threads, stats_json, rest)?;
+    run_router(&opts)
+}
+
+/// Run the router until `ghr-shutdown`, SIGTERM, or the idle timeout.
+#[cfg(unix)]
+pub fn run_router(opts: &RouterOptions) -> Result<String, String> {
+    socket::run(opts)
+}
+
+#[cfg(not(unix))]
+pub fn run_router(_opts: &RouterOptions) -> Result<String, String> {
+    Err("ghr router needs a unix platform".to_string())
+}
+
+#[cfg(unix)]
+mod socket {
+    use super::{HashRing, RouterOptions};
+    use crate::serve::{self, sig, Admission, RawRead};
+    use ghr_types::{wire, RouterStats, RouterWorkerStats};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    /// Session read-poll tick — the drain-latency bound, as in serve.
+    const READ_TICK: Duration = Duration::from_millis(50);
+    /// Acceptor poll interval.
+    const ACCEPT_TICK: Duration = Duration::from_millis(5);
+    /// Dead-worker revival probe interval.
+    const PROBE_TICK: Duration = Duration::from_millis(200);
+    /// How long a spawned worker gets to bind its socket.
+    const SPAWN_DEADLINE: Duration = Duration::from_secs(10);
+
+    /// One pooled worker connection: the write half plus a buffered
+    /// reader over its clone. Reads are blocking — a killed worker
+    /// closes the socket (EOF), it never wedges a read.
+    struct Conn {
+        writer: UnixStream,
+        reader: BufReader<UnixStream>,
+    }
+
+    impl Conn {
+        fn open(path: &str) -> std::io::Result<Conn> {
+            let writer = UnixStream::connect(path)?;
+            let reader = BufReader::new(writer.try_clone()?);
+            Ok(Conn { writer, reader })
+        }
+
+        /// Send one request line and read back the whole response frame.
+        fn exchange(&mut self, line: &str) -> std::io::Result<Vec<u8>> {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()?;
+            read_frame(&mut self.reader)
+        }
+    }
+
+    /// Read one complete `ghr-response`/`ghr-error` frame as raw bytes,
+    /// exactly as the worker wrote them (byte-identical pass-through).
+    fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Vec<u8>> {
+        use std::io::{Error, ErrorKind};
+        let mut frame = Vec::new();
+        if reader.read_until(b'\n', &mut frame)? == 0 {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "worker closed before frame header",
+            ));
+        }
+        let header = std::str::from_utf8(&frame)
+            .map_err(|_| Error::new(ErrorKind::InvalidData, "non-utf8 frame header"))?
+            .trim_end()
+            .to_string();
+        if let Some(rest) = header.strip_prefix(wire::RESPONSE_PREFIX) {
+            let bytes = rest
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("bytes="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| Error::new(ErrorKind::InvalidData, "frame header without bytes="))?;
+            let mark = frame.len();
+            frame.resize(mark + bytes, 0);
+            reader.read_exact(&mut frame[mark..])?;
+        } else if !header.starts_with(wire::ERROR_PREFIX) {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected frame header {header:?}"),
+            ));
+        }
+        let mark = frame.len();
+        if reader.read_until(b'\n', &mut frame)? == 0 {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "worker closed before frame trailer",
+            ));
+        }
+        let trailer = std::str::from_utf8(&frame[mark..]).unwrap_or("").trim_end();
+        if trailer != wire::FRAME_END {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("bad frame trailer {trailer:?}"),
+            ));
+        }
+        Ok(frame)
+    }
+
+    /// One worker as the router sees it: where it lives, whether it is
+    /// alive, its forwarding counters, in-flight budget, and connection
+    /// pool. The child handle is `Some` only for spawned workers.
+    struct Worker {
+        name: String,
+        socket: String,
+        child: Mutex<Option<Child>>,
+        alive: AtomicBool,
+        forwarded: AtomicU64,
+        rejected: AtomicU64,
+        rerouted: AtomicU64,
+        admission: Option<Admission>,
+        pool: Mutex<Vec<Conn>>,
+    }
+
+    impl Worker {
+        /// Forward one line and return the whole response frame. A
+        /// pooled connection that fails may just be stale, so one fresh
+        /// connection is tried before the worker is declared dead.
+        fn forward(&self, line: &str) -> Result<Vec<u8>, String> {
+            if let Some(mut conn) = self.checkout() {
+                if let Ok(frame) = conn.exchange(line) {
+                    self.checkin(conn);
+                    return Ok(frame);
+                }
+            }
+            let mut conn = Conn::open(&self.socket)
+                .map_err(|e| format!("connect to {:?}: {e}", self.socket))?;
+            match conn.exchange(line) {
+                Ok(frame) => {
+                    self.checkin(conn);
+                    Ok(frame)
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+
+        fn checkout(&self) -> Option<Conn> {
+            self.pool
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop()
+        }
+
+        fn checkin(&self, conn: Conn) {
+            self.pool
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(conn);
+        }
+
+        /// Drop every pooled connection (their worker sessions drain on
+        /// EOF).
+        fn drain_pool(&self) {
+            self.pool
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+    }
+
+    /// Shared router state: the stable ring plus the worker table and
+    /// the router's own counters.
+    struct Router {
+        ring: HashRing,
+        workers: Vec<Worker>,
+        requests: AtomicU64,
+        malformed: AtomicU64,
+        unrouted: AtomicU64,
+    }
+
+    impl Router {
+        fn ledger(&self) -> RouterStats {
+            let shares = self.ring.occupancy(self.workers.len());
+            RouterStats {
+                workers: self
+                    .workers
+                    .iter()
+                    .zip(&shares)
+                    .map(|(w, &share)| RouterWorkerStats {
+                        name: w.name.clone(),
+                        alive: w.alive.load(Ordering::SeqCst),
+                        forwarded: w.forwarded.load(Ordering::Relaxed),
+                        rejected: w.rejected.load(Ordering::Relaxed),
+                        rerouted: w.rerouted.load(Ordering::Relaxed),
+                        ring_share: share,
+                    })
+                    .collect(),
+                requests: self.requests.load(Ordering::Relaxed),
+                malformed: self.malformed.load(Ordering::Relaxed),
+                unrouted: self.unrouted.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Route one request line: pick the owner on the ring, apply its
+    /// in-flight budget, forward, and stream the frame back. A forward
+    /// failure marks the worker dead and walks to the ring successor;
+    /// only a fully dead ring surfaces an error to the client.
+    fn route_one(
+        router: &Router,
+        session: u64,
+        line: &str,
+        out: &mut impl Write,
+    ) -> std::io::Result<()> {
+        let key = super::route_key(line);
+        loop {
+            let alive: Vec<bool> = router
+                .workers
+                .iter()
+                .map(|w| w.alive.load(Ordering::SeqCst))
+                .collect();
+            let Some(w) = router.ring.route(key, &alive) else {
+                router.unrouted.fetch_add(1, Ordering::Relaxed);
+                eprintln!("router[{session}]: {line} -> no live worker (id={key:016x})");
+                return serve::write_error_frame(out, wire::REASON_NO_WORKER);
+            };
+            let worker = &router.workers[w];
+            // The budget is per-worker and the decision is final: the
+            // id's home worker is the only one whose caches are warm
+            // for it, so spilling to a sibling would trade an explicit
+            // overload for a silent cold evaluation.
+            let permit = match worker.admission.as_ref().map(Admission::try_admit) {
+                Some(None) => {
+                    worker.rejected.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "router[{session}]: {line} -> {} rejected (overload)",
+                        worker.name
+                    );
+                    return serve::write_error_frame(out, wire::REASON_OVERLOAD);
+                }
+                Some(permit @ Some(_)) => permit,
+                None => None,
+            };
+            let t0 = Instant::now();
+            let result = worker.forward(line);
+            drop(permit);
+            match result {
+                Ok(frame) => {
+                    worker.forwarded.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "router[{session}]: {line} -> {} id={key:016x} ({} bytes, {:.1} ms)",
+                        worker.name,
+                        frame.len(),
+                        t0.elapsed().as_secs_f64() * 1000.0
+                    );
+                    out.write_all(&frame)?;
+                    return out.flush();
+                }
+                Err(e) => {
+                    worker.alive.store(false, Ordering::SeqCst);
+                    worker.rerouted.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "router[{session}]: {} failed ({e}); re-routing id={key:016x} \
+                         to the ring successor",
+                        worker.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// One client session: read request lines with the serve framing
+    /// rules, forward each, until EOF/quit/shutdown. Returns whether
+    /// this session asked the whole router to shut down.
+    fn router_session(
+        router: &Router,
+        session: u64,
+        input: &mut impl BufRead,
+        out: &mut impl Write,
+        shutdown: &AtomicBool,
+        max_frame: usize,
+    ) -> std::io::Result<bool> {
+        let mut buf: Vec<u8> = Vec::new();
+        let hard_cap = serve::HARD_LINE_CAP.max(max_frame.saturating_add(1));
+        loop {
+            match serve::read_raw_line(input, &mut buf, hard_cap) {
+                RawRead::Pending => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(false);
+                    }
+                    continue;
+                }
+                RawRead::Eof => {
+                    if !buf.is_empty() {
+                        router.malformed.fetch_add(1, Ordering::Relaxed);
+                        serve::write_error_frame(out, wire::REASON_TRUNCATED)?;
+                    }
+                    return Ok(false);
+                }
+                RawRead::Line => {}
+            }
+            let line = match serve::classify_line(&buf, max_frame) {
+                Ok(s) => s.trim().to_string(),
+                Err(reason) => {
+                    router.malformed.fetch_add(1, Ordering::Relaxed);
+                    serve::write_error_frame(out, reason)?;
+                    buf.clear();
+                    continue;
+                }
+            };
+            buf.clear();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "quit" || line == "exit" {
+                return Ok(false);
+            }
+            if line == wire::SHUTDOWN_LINE {
+                shutdown.store(true, Ordering::SeqCst);
+                eprintln!("router[{session}]: shutdown frame received; draining");
+                return Ok(true);
+            }
+            router.requests.fetch_add(1, Ordering::Relaxed);
+            route_one(router, session, &line, out)?;
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Spawn `ghr serve` for worker `i` with its socket next to the
+    /// router's and stderr teed to `<socket>.log`.
+    fn spawn_worker(i: usize, opts: &RouterOptions, sessions: usize) -> Result<Worker, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the ghr binary to spawn workers: {e}"))?;
+        let sock = format!("{}.w{i}", opts.socket);
+        let log_path = format!("{sock}.log");
+        let _ = std::fs::remove_file(&sock);
+        let log = std::fs::File::create(&log_path)
+            .map_err(|e| format!("cannot create worker log {log_path:?}: {e}"))?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("serve")
+            .arg("--socket")
+            .arg(&sock)
+            .arg("--sessions")
+            .arg(sessions.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(log);
+        if opts.threads > 0 {
+            cmd.arg("--threads").arg(opts.threads.to_string());
+        }
+        if let Some(dir) = &opts.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        if opts.no_cache {
+            cmd.arg("--no-cache");
+        }
+        if opts.max_frame != serve::MAX_REQUEST_LINE {
+            cmd.arg("--max-frame").arg(opts.max_frame.to_string());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {i}: {e}"))?;
+        Ok(Worker {
+            name: format!("worker-{i}"),
+            socket: sock,
+            child: Mutex::new(Some(child)),
+            alive: AtomicBool::new(true),
+            forwarded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            admission: opts.worker_inflight.map(Admission::new),
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Wait until every spawned worker accepts a connection (or died
+    /// trying, in which case its log tail becomes the error).
+    fn await_workers(workers: &[Worker]) -> Result<(), String> {
+        let deadline = Instant::now() + SPAWN_DEADLINE;
+        for worker in workers {
+            loop {
+                if UnixStream::connect(&worker.socket).is_ok() {
+                    break;
+                }
+                let exited = worker
+                    .child
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .as_mut()
+                    .and_then(|c| c.try_wait().ok().flatten());
+                if let Some(status) = exited {
+                    let tail = std::fs::read_to_string(format!("{}.log", worker.socket))
+                        .unwrap_or_default();
+                    let tail = tail.lines().next_back().unwrap_or("");
+                    return Err(format!(
+                        "{} exited during startup ({status}): {tail}",
+                        worker.name
+                    ));
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "{} did not bind {:?} within {SPAWN_DEADLINE:?}",
+                        worker.name, worker.socket
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        Ok(())
+    }
+
+    /// Gracefully stop one spawned worker: `ghr-shutdown` over its
+    /// socket, a bounded wait, then a kill as the backstop.
+    fn stop_worker(worker: &Worker) {
+        let mut child = worker.child.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(child) = child.as_mut() else {
+            return; // attached worker: not ours to stop
+        };
+        if let Ok(mut conn) = UnixStream::connect(&worker.socket) {
+            let _ = conn.write_all(format!("{}\n", wire::SHUTDOWN_LINE).as_bytes());
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                _ => break,
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    pub(super) fn run(opts: &RouterOptions) -> Result<String, String> {
+        let spawn_mode = opts.attach.is_empty();
+        let worker_count = if spawn_mode {
+            opts.workers
+        } else {
+            opts.attach.len()
+        };
+        if worker_count == 0 {
+            return Err("router needs at least one worker (--workers N or --attach SOCK)".into());
+        }
+        let sessions = match opts.sessions {
+            0 => std::env::var("GHR_SESSIONS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(worker_count * 2),
+            n => n,
+        };
+
+        let workers: Vec<Worker> = if spawn_mode {
+            let spawned = (0..worker_count)
+                .map(|i| spawn_worker(i, opts, sessions))
+                .collect::<Result<Vec<_>, _>>()?;
+            await_workers(&spawned)?;
+            spawned
+        } else {
+            opts.attach
+                .iter()
+                .enumerate()
+                .map(|(i, sock)| Worker {
+                    name: format!("worker-{i}"),
+                    socket: sock.clone(),
+                    child: Mutex::new(None),
+                    alive: AtomicBool::new(true),
+                    forwarded: AtomicU64::new(0),
+                    rejected: AtomicU64::new(0),
+                    rerouted: AtomicU64::new(0),
+                    admission: opts.worker_inflight.map(Admission::new),
+                    pool: Mutex::new(Vec::new()),
+                })
+                .collect()
+        };
+
+        let router = Arc::new(Router {
+            ring: HashRing::new(worker_count),
+            workers,
+            requests: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+        });
+
+        let path = &opts.socket;
+        let _ = std::fs::remove_file(path);
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll socket {path:?}: {e}"))?;
+        sig::install();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        eprintln!(
+            "router: listening on {path} -> {worker_count} worker(s), \
+             {sessions} session slot(s){}; `ghr-shutdown` or SIGTERM stops the router",
+            match opts.worker_inflight {
+                Some(limit) => format!(", {limit} in-flight request(s) per worker"),
+                None => String::new(),
+            }
+        );
+
+        // Revival probe: a dead worker whose socket accepts again is
+        // put back in rotation (its hash range returns home).
+        let probe = {
+            let router = Arc::clone(&router);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(PROBE_TICK);
+                    for worker in &router.workers {
+                        if !worker.alive.load(Ordering::SeqCst)
+                            && UnixStream::connect(&worker.socket).is_ok()
+                        {
+                            worker.alive.store(true, Ordering::SeqCst);
+                            eprintln!("router: {} is back; range restored", worker.name);
+                        }
+                    }
+                }
+            })
+        };
+
+        let mut active: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_session = 1u64;
+        let mut last_activity = Instant::now();
+        loop {
+            if sig::seen() {
+                shutdown.store(true, Ordering::SeqCst);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Finished handles are dropped without joining; every
+            // counter a session touches lives on the shared Router.
+            active.retain(|h| !h.is_finished());
+            if !active.is_empty() {
+                last_activity = Instant::now();
+            } else if let Some(idle) = opts.max_idle {
+                if last_activity.elapsed() >= idle {
+                    eprintln!(
+                        "router: idle for {:.1}s with no session; shutting down",
+                        idle.as_secs_f64()
+                    );
+                    break;
+                }
+            }
+            if active.len() < sessions {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        last_activity = Instant::now();
+                        let id = next_session;
+                        next_session += 1;
+                        let router = Arc::clone(&router);
+                        let shutdown = Arc::clone(&shutdown);
+                        let max_frame = opts.max_frame;
+                        active.push(std::thread::spawn(move || {
+                            let _ = stream.set_read_timeout(Some(READ_TICK));
+                            let reader = match stream.try_clone() {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    eprintln!("router[{id}]: cannot clone stream: {e}");
+                                    return;
+                                }
+                            };
+                            let mut input = BufReader::new(reader);
+                            let mut writer = stream;
+                            match router_session(
+                                &router,
+                                id,
+                                &mut input,
+                                &mut writer,
+                                &shutdown,
+                                max_frame,
+                            ) {
+                                Ok(_) => eprintln!("router[{id}]: session done"),
+                                Err(e) => eprintln!("router[{id}]: session ended: {e}"),
+                            }
+                        }));
+                        continue; // a burst of clients: accept eagerly
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(format!("accept on {path:?} failed: {e}")),
+                }
+            }
+            std::thread::sleep(ACCEPT_TICK);
+        }
+
+        // Drain: no new sessions, let in-flight ones finish, then stop
+        // the workers we own and render the ledger.
+        shutdown.store(true, Ordering::SeqCst);
+        for handle in active {
+            let _ = handle.join();
+        }
+        let _ = probe.join();
+        for worker in &router.workers {
+            worker.drain_pool();
+            stop_worker(worker);
+        }
+        let _ = std::fs::remove_file(path);
+
+        let ledger = router.ledger();
+        eprint!("{}", ledger.summary_lines());
+        if opts.stats_json {
+            eprintln!("{}", ledger.to_json());
+        }
+        Ok(format!(
+            "routed {} request(s) across {} session(s) on {path} ({worker_count} worker(s))\n",
+            ledger.forwarded(),
+            next_session - 1,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_every_worker() {
+        let a = HashRing::new(4);
+        let b = HashRing::new(4);
+        assert_eq!(a.len(), 4 * VNODES);
+        let alive = [true; 4];
+        let mut hit = [false; 4];
+        for i in 0..1000u64 {
+            let key = RequestId::of(&format!("probe-{i}")).0;
+            let wa = a.route(key, &alive).unwrap();
+            let wb = b.route(key, &alive).unwrap();
+            assert_eq!(wa, wb, "two rings over the same shape must agree");
+            hit[wa] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "1000 keys must touch all 4 workers");
+    }
+
+    #[test]
+    fn occupancy_sums_to_one_and_is_roughly_balanced() {
+        for workers in [1, 2, 3, 8] {
+            let ring = HashRing::new(workers);
+            let shares = ring.occupancy(workers);
+            let total: f64 = shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "{workers} workers: {total}");
+            let even = 1.0 / workers as f64;
+            for (w, &s) in shares.iter().enumerate() {
+                assert!(
+                    s > even * 0.4 && s < even * 2.0,
+                    "worker {w}/{workers} share {s} too far from {even}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_workers_are_skipped_and_survivors_keep_their_keys() {
+        let ring = HashRing::new(3);
+        let all = [true, true, true];
+        let without_1 = [true, false, true];
+        for i in 0..500u64 {
+            let key = RequestId::of(&format!("probe-{i}")).0;
+            let home = ring.route(key, &all).unwrap();
+            let rerouted = ring.route(key, &without_1).unwrap();
+            assert_ne!(rerouted, 1, "dead worker must never be routed to");
+            if home != 1 {
+                assert_eq!(
+                    home, rerouted,
+                    "killing worker 1 must not move keys homed elsewhere"
+                );
+            }
+        }
+        assert!(ring.route(7, &[false, false, false]).is_none());
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn route_key_ignores_render_flags_and_falls_back_on_garbage() {
+        let plain = route_key("fig1 c2");
+        let csv = route_key("fig1 c2 --csv");
+        assert_eq!(plain, csv, "render flags must not move a request's home");
+        assert_ne!(route_key("fig1 c2"), route_key("fig1 c3"));
+        // A non-servable line still routes deterministically (the worker
+        // renders the error): the key is just the line hash.
+        assert_eq!(route_key("no such thing"), RequestId::of("no such thing").0);
+    }
+
+    #[test]
+    fn router_args_parse_and_reject_contradictions() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let opts = parse_router_args(
+            None,
+            false,
+            3,
+            true,
+            &args(&[
+                "--socket",
+                "/tmp/r.sock",
+                "--workers",
+                "4",
+                "--sessions=6",
+                "--worker-inflight",
+                "2",
+                "--max-idle",
+                "1.5",
+                "--max-frame=8192",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opts.socket, "/tmp/r.sock");
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.sessions, 6);
+        assert_eq!(opts.worker_inflight, Some(2));
+        assert_eq!(opts.max_idle, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(opts.max_frame, 8192);
+        assert_eq!(opts.threads, 3);
+        assert!(opts.stats_json);
+
+        let attached = parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&[
+                "--socket=/tmp/r.sock",
+                "--attach",
+                "/tmp/a",
+                "--attach=/tmp/b",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(attached.attach, vec!["/tmp/a", "/tmp/b"]);
+
+        assert!(parse_router_args(None, false, 0, false, &args(&[])).is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&["--socket", "/tmp/r", "--workers", "2", "--attach", "/tmp/a"]),
+        )
+        .is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&["--socket", "/tmp/r", "--bogus"])
+        )
+        .is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&["--socket", "/tmp/r", "--workers", "0"]),
+        )
+        .is_err());
+    }
+}

@@ -63,7 +63,7 @@ use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use ghr_core::engine::{Engine, EngineStats, ResponseSource};
-use ghr_types::{SessionStats, StageTiming};
+use ghr_types::{wire, SessionStats, StageTiming};
 
 /// Longest accepted request line, in bytes. Real requests are a few words;
 /// anything longer is a confused client or a protocol attack.
@@ -72,7 +72,7 @@ pub const MAX_REQUEST_LINE: usize = 4096;
 /// Hard ceiling on buffered bytes for a single (oversized) line: beyond
 /// this the remainder is consumed but not stored, so a malicious client
 /// cannot balloon server memory before the `oversized-line` rejection.
-const HARD_LINE_CAP: usize = 1 << 20;
+pub(crate) const HARD_LINE_CAP: usize = 1 << 20;
 
 /// Server-wide in-flight request budget (`--max-inflight`): a request is
 /// admitted only while fewer than `limit` requests hold permits, and a
@@ -168,7 +168,7 @@ pub struct ServeSummary {
 }
 
 /// Result of one raw line read.
-enum RawRead {
+pub(crate) enum RawRead {
     /// End of input (the accumulated partial line, if any, is truncated).
     Eof,
     /// A complete newline-terminated line is in the buffer.
@@ -182,7 +182,11 @@ enum RawRead {
 /// are consumed but dropped (the stored prefix is enough to reject the
 /// line as oversized). Hard I/O errors read as EOF — for a socket that is
 /// a vanished client, not a server fault.
-fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>, hard_cap: usize) -> RawRead {
+pub(crate) fn read_raw_line(
+    input: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    hard_cap: usize,
+) -> RawRead {
     loop {
         let chunk = match input.fill_buf() {
             Ok(c) => c,
@@ -216,18 +220,19 @@ fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>, hard_cap: usize) -
     }
 }
 
-/// Validate one raw line and decode it, or name the protocol violation.
-fn classify_line(buf: &[u8], max_frame: usize) -> Result<&str, &'static str> {
+/// Validate one raw line and decode it, or name the protocol violation
+/// with its [`wire`] rejection slug.
+pub(crate) fn classify_line(buf: &[u8], max_frame: usize) -> Result<&str, &'static str> {
     if buf.last() == Some(&b'\r') {
-        return Err("crlf-line-ending");
+        return Err(wire::REASON_CRLF);
     }
     if buf.contains(&0) {
-        return Err("nul-byte");
+        return Err(wire::REASON_NUL);
     }
     if buf.len() > max_frame {
-        return Err("oversized-line");
+        return Err(wire::REASON_OVERSIZED);
     }
-    std::str::from_utf8(buf).map_err(|_| "invalid-utf8")
+    std::str::from_utf8(buf).map_err(|_| wire::REASON_INVALID_UTF8)
 }
 
 /// Run one serve session until EOF, `quit`, or shutdown. Frames go to
@@ -262,11 +267,12 @@ pub fn serve_session(
             RawRead::Eof => {
                 if !buf.is_empty() {
                     summary.stats.malformed += 1;
-                    write_error_frame(out, "truncated-frame")
+                    write_error_frame(out, wire::REASON_TRUNCATED)
                         .map_err(|e| format!("serve: write failed: {e}"))?;
                     let _ = writeln!(
                         err,
-                        "serve[{session}]: rejected malformed frame (truncated-frame)"
+                        "serve[{session}]: rejected malformed frame ({})",
+                        wire::REASON_TRUNCATED
                     );
                     buf.clear();
                 }
@@ -293,7 +299,7 @@ pub fn serve_session(
             summary.quit = true;
             break;
         }
-        if line == "ghr-shutdown" {
+        if line == wire::SHUTDOWN_LINE {
             summary.quit = true;
             shutdown.store(true, Ordering::SeqCst);
             let _ = writeln!(err, "serve[{session}]: shutdown frame received; draining");
@@ -308,7 +314,7 @@ pub fn serve_session(
         let permit = match config.admission.map(Admission::try_admit) {
             Some(None) => {
                 summary.stats.overloaded += 1;
-                write_error_frame(out, "overload")
+                write_error_frame(out, wire::REASON_OVERLOAD)
                     .map_err(|e| format!("serve: write failed: {e}"))?;
                 let _ = writeln!(err, "serve[{session}]: rejected {line} (overload)");
                 if shutdown.load(Ordering::SeqCst) {
@@ -424,20 +430,20 @@ fn write_frame(
 ) -> std::io::Result<()> {
     writeln!(
         out,
-        "ghr-response id={id} status={status} bytes={} evals={evals} cached={cached}",
+        "{}id={id} status={status} bytes={} evals={evals} cached={cached}",
+        wire::RESPONSE_PREFIX,
         body.len(),
     )?;
     out.write_all(body.as_bytes())?;
-    writeln!(out, "ghr-end")?;
+    writeln!(out, "{}", wire::FRAME_END)?;
     out.flush()
 }
 
 /// Reject a malformed line at the framing layer: a body-less error frame
 /// naming the violation, so the client learns *why* without the server
 /// ever parsing the bytes as a request.
-fn write_error_frame(out: &mut impl Write, reason: &str) -> std::io::Result<()> {
-    writeln!(out, "ghr-error reason={reason}")?;
-    writeln!(out, "ghr-end")?;
+pub(crate) fn write_error_frame(out: &mut impl Write, reason: &str) -> std::io::Result<()> {
+    out.write_all(wire::error_frame(reason).as_bytes())?;
     out.flush()
 }
 
@@ -525,9 +531,42 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
 #[cfg(unix)]
 pub use socket::{serve_socket, ServeOptions};
 
+/// Std-only SIGTERM latch: the handler just stores an atomic flag the
+/// accept loops (serve's and the router's) poll, which is the whole
+/// async-signal-safe repertoire.
+#[cfg(unix)]
+pub(crate) mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGTERM: i32 = 15;
+
+    /// Install the handler (and clear any latch from a previous
+    /// server in this process, e.g. back-to-back tests).
+    pub fn install() {
+        TERM.store(false, Ordering::SeqCst);
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+
+    pub fn seen() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(unix)]
 mod socket {
-    use super::{serve_session, Admission, ServeSummary, SessionConfig};
+    use super::{serve_session, sig, Admission, ServeSummary, SessionConfig};
     use ghr_core::engine::Engine;
     use ghr_types::SessionStats;
     use std::io::BufReader;
@@ -569,37 +608,6 @@ mod socket {
                 max_inflight: None,
                 max_frame: super::MAX_REQUEST_LINE,
             }
-        }
-    }
-
-    /// Std-only SIGTERM latch: the handler just stores an atomic flag the
-    /// accept loop polls, which is the whole async-signal-safe repertoire.
-    mod sig {
-        use std::sync::atomic::{AtomicBool, Ordering};
-
-        static TERM: AtomicBool = AtomicBool::new(false);
-
-        extern "C" fn on_sigterm(_signum: i32) {
-            TERM.store(true, Ordering::SeqCst);
-        }
-
-        extern "C" {
-            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-        }
-
-        const SIGTERM: i32 = 15;
-
-        /// Install the handler (and clear any latch from a previous
-        /// server in this process, e.g. back-to-back tests).
-        pub fn install() {
-            TERM.store(false, Ordering::SeqCst);
-            unsafe {
-                signal(SIGTERM, on_sigterm);
-            }
-        }
-
-        pub fn seen() -> bool {
-            TERM.load(Ordering::SeqCst)
         }
     }
 

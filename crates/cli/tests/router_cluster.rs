@@ -1,0 +1,180 @@
+//! End-to-end router test over two *real* `ghr serve` worker processes:
+//! frames stream back byte-identically, routing is deterministic and
+//! cache-local, a killed worker's ids are answered warm by the ring
+//! successor (through the shared persistent store), and a fully dead
+//! cluster degrades to `reason=no-live-worker` instead of hanging.
+
+#![cfg(unix)]
+
+use ghr_cli::router::{route_key, run_router, HashRing, RouterOptions};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghr-router-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_worker(sock: &Path, cache: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_ghr"))
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--sessions",
+            "4",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ghr serve")
+}
+
+fn await_socket(path: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while UnixStream::connect(path).is_err() {
+        assert!(Instant::now() < deadline, "socket {path:?} never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Send request lines over one connection and return everything the
+/// router streamed back (the write half closes, so the session drains).
+fn client(socket: &Path, lines: &str) -> String {
+    let mut stream = UnixStream::connect(socket).expect("connect to router");
+    stream.write_all(lines.as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Split a concatenation of `ghr-response`/`ghr-error` frames into
+/// `(header, body)` pairs.
+fn parse_frames(text: &str) -> Vec<(String, String)> {
+    let mut frames = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let (header, tail) = rest.split_once('\n').expect("frame header line");
+        if header.starts_with("ghr-error ") {
+            let tail = tail.strip_prefix("ghr-end\n").expect("error frame trailer");
+            frames.push((header.to_string(), String::new()));
+            rest = tail;
+            continue;
+        }
+        let bytes: usize = header
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("bytes="))
+            .expect("bytes= in header")
+            .parse()
+            .unwrap();
+        let body = &tail[..bytes];
+        let tail = tail[bytes..].strip_prefix("ghr-end\n").expect("trailer");
+        frames.push((header.to_string(), body.to_string()));
+        rest = tail;
+    }
+    frames
+}
+
+#[test]
+fn router_forwards_reroutes_and_drains_over_real_workers() {
+    let dir = tmp_dir();
+    let cache = dir.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+    let worker_socks = [dir.join("w0.sock"), dir.join("w1.sock")];
+    let mut children: Vec<Child> = worker_socks
+        .iter()
+        .map(|s| spawn_worker(s, &cache))
+        .collect();
+    for sock in &worker_socks {
+        await_socket(sock);
+    }
+
+    let router_sock = dir.join("router.sock");
+    let opts = RouterOptions {
+        socket: router_sock.to_str().unwrap().to_string(),
+        attach: worker_socks
+            .iter()
+            .map(|s| s.to_str().unwrap().to_string())
+            .collect(),
+        sessions: 4,
+        ..RouterOptions::default()
+    };
+    let router = std::thread::spawn(move || run_router(&opts));
+    await_socket(&router_sock);
+
+    // The same request twice plus a non-servable line: two ok frames
+    // with identical bodies (the second answered from the owner's
+    // response cache) and one pass-through error body.
+    let out = client(&router_sock, "table1\ntable1\nno such thing\n");
+    let frames = parse_frames(&out);
+    assert_eq!(frames.len(), 3, "{out}");
+    assert!(frames[0].0.contains("status=ok"), "{}", frames[0].0);
+    assert!(frames[1].0.contains("status=ok cached=yes") || frames[1].0.contains("cached=yes"));
+    assert_eq!(frames[0].1, frames[1].1, "same request, same body");
+    assert!(frames[2].0.contains("status=error"), "{}", frames[2].0);
+    assert!(frames[2].1.contains("not a servable"), "{}", frames[2].1);
+
+    // Byte-identity: the owning worker, asked directly, must produce
+    // exactly the warm frame the router just streamed.
+    let ring = HashRing::new(2);
+    let owner = ring.route(route_key("table1"), &[true, true]).unwrap();
+    let direct = client(&worker_socks[owner], "table1\n");
+    let direct_frames = parse_frames(&direct);
+    assert_eq!(direct_frames.len(), 1);
+    assert_eq!(
+        direct_frames[0], frames[1],
+        "router frame differs from the worker's own bytes"
+    );
+
+    // Kill the owner: table1's range walks to the ring successor, which
+    // answers *warm* (zero evaluations) from the shared persistent
+    // store the dead worker flushed into — no client-visible error.
+    children[owner].kill().unwrap();
+    children[owner].wait().unwrap();
+    let out = client(&router_sock, "table1\n");
+    let frames = parse_frames(&out);
+    assert_eq!(frames.len(), 1, "{out}");
+    assert!(
+        frames[0].0.contains("status=ok"),
+        "killed worker's id must be answered by the successor: {}",
+        frames[0].0
+    );
+    assert!(
+        frames[0].0.contains("evals=0"),
+        "successor must answer from the shared store, not re-evaluate: {}",
+        frames[0].0
+    );
+    assert_eq!(
+        frames[0].1, direct_frames[0].1,
+        "body survives the re-route"
+    );
+
+    // Kill the survivor too: the ring is empty and the client gets an
+    // explicit error frame, never a hang.
+    let survivor = 1 - owner;
+    children[survivor].kill().unwrap();
+    children[survivor].wait().unwrap();
+    let out = client(&router_sock, "table1\n");
+    assert_eq!(
+        out, "ghr-error reason=no-live-worker\nghr-end\n",
+        "dead cluster must degrade explicitly"
+    );
+
+    // A shutdown frame drains the router; attached workers are not its
+    // to reap (they are already dead here) and the socket file goes.
+    let _ = client(&router_sock, "ghr-shutdown\n");
+    let summary = router.join().unwrap().expect("router drains cleanly");
+    assert!(summary.contains("routed"), "{summary}");
+    assert!(!router_sock.exists(), "socket file must be removed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

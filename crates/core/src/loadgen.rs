@@ -466,6 +466,10 @@ pub struct LoadgenConfig {
     /// Connections for the socket overload phase (0 skips the phase;
     /// meaningful only against a server started with `--max-inflight`).
     pub overload_conns: usize,
+    /// Free-form run label (`--label`), stamped into the report and its
+    /// JSON so committed `BENCH_*.json` rows are self-describing in
+    /// `ghr bench diff` output.
+    pub label: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -478,6 +482,7 @@ impl Default for LoadgenConfig {
             rate: None,
             seed: 0x5eed,
             overload_conns: 0,
+            label: None,
         }
     }
 }
@@ -487,6 +492,8 @@ impl Default for LoadgenConfig {
 pub struct LoadReport {
     /// `"in-process"` or `"socket"`.
     pub mode: String,
+    /// Free-form run label (`--label`), if one was given.
+    pub label: Option<String>,
     /// Catalog size actually used.
     pub catalog: usize,
     /// Connections for the cold/warm phases.
@@ -507,6 +514,9 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"bench\": \"loadgen\",\n");
+        if let Some(label) = &self.label {
+            out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+        }
         out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
         out.push_str(&format!("  \"catalog\": {},\n", self.catalog));
         out.push_str(&format!("  \"conns\": {},\n", self.conns));
@@ -865,6 +875,7 @@ pub fn run_in_process(engine: &Engine, cfg: &LoadgenConfig) -> Result<LoadReport
     };
     Ok(LoadReport {
         mode: "in-process".to_string(),
+        label: cfg.label.clone(),
         catalog: n,
         conns,
         zipf_s: cfg.zipf_s,
@@ -1010,8 +1021,14 @@ mod tests {
             rate: None,
             seed: 7,
             overload_conns: 0,
+            label: Some("unit-run".to_string()),
         };
         let report = run_in_process(&engine, &cfg).unwrap();
+        assert_eq!(report.label.as_deref(), Some("unit-run"));
+        assert!(
+            report.to_json().contains("\"label\": \"unit-run\""),
+            "label must be stamped into the JSON report"
+        );
         assert_eq!(report.phases.len(), 4);
         let names: Vec<&str> = report
             .phases

@@ -23,6 +23,10 @@
 //!   flush the same store without ever producing a half-written file. The
 //!   flush re-reads the file first and merges, so two engines caching
 //!   disjoint grids both contribute.
+//! * **Refresh on miss**: a `get`/`contains` miss stats the file and, if a
+//!   peer process flushed since our last read, union-merges its rows into
+//!   memory before answering. This is what lets one router worker answer
+//!   warm for a request another worker evaluated and flushed.
 //!
 //! The cache directory resolves from `GHR_CACHE_DIR`, then
 //! `$XDG_CACHE_HOME/ghr`, then `~/.cache/ghr` (see [`resolve_cache_dir`]);
@@ -92,6 +96,14 @@ pub struct PersistentStore {
     loaded: u64,
     /// Entries inserted since the last flush.
     dirty: AtomicU64,
+    /// Modification time of the backing file (nanoseconds since the Unix
+    /// epoch, 0 = never seen) as of our last disk read — open, flush, or
+    /// refresh. A lookup miss compares one `stat` against this before
+    /// deciding whether a peer process has flushed new rows worth merging.
+    seen_mtime: AtomicU64,
+    /// Entries merged in from peer flushes by [`Self::get`]/[`Self::contains`]
+    /// misses (excludes the open-time load and flush-time merges).
+    refreshed: AtomicU64,
 }
 
 impl std::fmt::Debug for PersistentStore {
@@ -109,6 +121,7 @@ impl PersistentStore {
     pub fn open(dir: &Path, fingerprint: u64) -> Self {
         let path = dir.join(store_file_name(fingerprint));
         let header = header_line(fingerprint);
+        let seen = file_mtime_nanos(&path);
         let entries = read_store_file(&path, &header).unwrap_or_default();
         let loaded = entries.len() as u64;
         PersistentStore {
@@ -117,6 +130,8 @@ impl PersistentStore {
             entries: Mutex::new(entries),
             loaded,
             dirty: AtomicU64::new(0),
+            seen_mtime: AtomicU64::new(seen),
+            refreshed: AtomicU64::new(0),
         }
     }
 
@@ -145,15 +160,57 @@ impl PersistentStore {
         self.dirty.load(Ordering::Relaxed)
     }
 
-    /// Look up a value by key.
+    /// Entries merged in from peer flushes on lookup misses.
+    pub fn refreshed(&self) -> u64 {
+        self.refreshed.load(Ordering::Relaxed)
+    }
+
+    /// Look up a value by key. A miss re-checks the backing file (one
+    /// `stat`; a full re-read only when its mtime moved), so a row flushed
+    /// by a *peer process* — another `ghr serve` worker behind the router —
+    /// becomes visible without reopening the store.
     pub fn get(&self, key: &str) -> Option<String> {
-        self.lock().get(key).cloned()
+        if let Some(v) = self.lock().get(key) {
+            return Some(v.clone());
+        }
+        if self.refresh() {
+            return self.lock().get(key).cloned();
+        }
+        None
     }
 
     /// Whether a value exists for `key` — the planner's dry-run probe,
-    /// which must not clone the value or touch any hit/miss counter.
+    /// which must not clone the value or touch any hit/miss counter. Like
+    /// [`Self::get`], a miss consults the backing file before answering.
     pub fn contains(&self, key: &str) -> bool {
-        self.lock().contains_key(key)
+        if self.lock().contains_key(key) {
+            return true;
+        }
+        self.refresh() && self.lock().contains_key(key)
+    }
+
+    /// Union-merge the backing file into memory if it changed since our
+    /// last disk read. Returns whether any new row arrived. Concurrent
+    /// callers may both re-read the file; the `or_insert` merge makes that
+    /// benign (values are deterministic, so ties are byte-identical).
+    fn refresh(&self) -> bool {
+        let mtime = file_mtime_nanos(&self.path);
+        if mtime == 0 || mtime == self.seen_mtime.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut added = 0u64;
+        if let Some(on_disk) = read_store_file(&self.path, &self.header) {
+            let mut entries = self.lock();
+            for (k, v) in on_disk {
+                if let std::collections::hash_map::Entry::Vacant(e) = entries.entry(k) {
+                    e.insert(v);
+                    added += 1;
+                }
+            }
+        }
+        self.seen_mtime.store(mtime, Ordering::Release);
+        self.refreshed.fetch_add(added, Ordering::Relaxed);
+        added > 0
     }
 
     /// Insert a value. Keys and values must be single-line and tab-free
@@ -222,12 +279,27 @@ impl PersistentStore {
         }
         std::fs::rename(&tmp, &self.path)?;
         self.dirty.store(0, Ordering::Relaxed);
+        // The renamed file is ours: remember its mtime so the next lookup
+        // miss does not re-read what we just wrote.
+        self.seen_mtime
+            .store(file_mtime_nanos(&self.path), Ordering::Release);
         Ok(sorted.len() as u64)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, String>> {
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Backing-file modification time as nanoseconds since the Unix epoch,
+/// `0` when the file is missing (or predates 1970, which no flush does).
+fn file_mtime_nanos(path: &Path) -> u64 {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
 }
 
 /// Read a store file. `None` when the file is missing, unreadable, or its

@@ -82,6 +82,42 @@ fn second_engine_answers_from_disk_bit_identically() {
 }
 
 #[test]
+fn live_store_sees_a_peer_flush_on_lookup_miss() {
+    // Two stores over the same file, both open *before* either flushes —
+    // the situation of two router workers sharing one --cache-dir. A row
+    // flushed by one must become visible to the other without a reopen.
+    let dir = tmp_dir("refresh");
+    let fp = ghr_core::engine::machine_fingerprint(&machine());
+    let a = PersistentStore::open(&dir, fp);
+    let b = PersistentStore::open(&dir, fp);
+
+    a.put("shared-key".to_string(), store::encode_f64(42.0));
+    assert!(b.get("shared-key").is_none(), "not flushed yet");
+    a.flush().unwrap();
+
+    assert!(b.contains("shared-key"), "miss must re-check the file");
+    assert_eq!(
+        b.get("shared-key").as_deref(),
+        Some(store::encode_f64(42.0).as_str())
+    );
+    assert_eq!(b.refreshed(), 1, "exactly one row merged from the peer");
+
+    // A repeated miss on an unchanged file is answered from memory alone
+    // (the mtime fast path), not another full re-read.
+    assert!(b.get("absent-key").is_none());
+    assert_eq!(b.refreshed(), 1);
+
+    // Engine-level: a live engine warms up from a peer's flush too.
+    let warm = Engine::new(machine(), 1).with_store_dir(&dir);
+    let cold = Engine::new(machine(), 1).with_store_dir(&dir);
+    warm.table1().unwrap();
+    warm.flush_store().unwrap();
+    cold.table1().unwrap();
+    let stats = cold.stats();
+    assert_eq!(stats.evaluated, 0, "peer flush not picked up: {stats:?}");
+}
+
+#[test]
 fn different_machine_fingerprint_never_reads_the_other_stores_results() {
     let dir = tmp_dir("fingerprint");
     let a = Engine::new(machine(), 1).with_store_dir(&dir);

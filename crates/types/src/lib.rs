@@ -20,11 +20,12 @@ pub mod json;
 pub mod pipeline;
 pub mod stats;
 pub mod units;
+pub mod wire;
 
 pub use device::Device;
 pub use dtype::{Accum, DType, Element};
 pub use error::{GhrError, Result};
 pub use json::{Json, JsonError};
 pub use pipeline::{PlanSummary, RequestId, SessionStats, StagePlan, StageTiming};
-pub use stats::{CacheLayer, CacheLayerStats, Summary};
+pub use stats::{CacheLayer, CacheLayerStats, RouterStats, RouterWorkerStats, Summary};
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

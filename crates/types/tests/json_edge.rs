@@ -1,0 +1,141 @@
+//! Edge-case coverage for the std-only JSON reader the router's stats
+//! round-trip (and `ghr bench diff`) leans on: escape sequences inside
+//! object *keys*, exponent-form numbers, deep nesting, and a fuzz-ish
+//! corpus of truncated documents that must all fail with a byte offset
+//! inside the source.
+
+use ghr_types::{Json, JsonError};
+
+#[test]
+fn nested_escapes_in_keys_decode_and_look_up() {
+    // Keys with escapes at every position, including a key that is
+    // itself a JSON-looking string once decoded.
+    let doc = Json::parse(
+        r#"{"plain": 1, "a\"b": 2, "tab\there": 3, "\\backslash": 4,
+           "{\"inner\": [1]}": 5, "uni\u00e9\uD83D\uDE00": 6, "": 7}"#,
+    )
+    .unwrap();
+    assert_eq!(doc.get("plain").unwrap().as_f64(), Some(1.0));
+    assert_eq!(doc.get("a\"b").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("tab\there").unwrap().as_f64(), Some(3.0));
+    assert_eq!(doc.get("\\backslash").unwrap().as_f64(), Some(4.0));
+    // The decoded key is a literal JSON fragment; lookup is by the
+    // decoded string, never re-parsed.
+    assert_eq!(doc.get("{\"inner\": [1]}").unwrap().as_f64(), Some(5.0));
+    assert_eq!(doc.get("unié😀").unwrap().as_f64(), Some(6.0));
+    assert_eq!(doc.get("").unwrap().as_f64(), Some(7.0));
+    // A nested object whose key also carries escapes, reached via path.
+    let nested = Json::parse(r#"{"outer\n": {"in\"ner": 42}}"#).unwrap();
+    assert_eq!(
+        nested.path(&["outer\n", "in\"ner"]).unwrap().as_f64(),
+        Some(42.0)
+    );
+}
+
+#[test]
+fn exponent_form_numbers_parse_to_the_right_values() {
+    for (src, want) in [
+        ("1e3", 1000.0),
+        ("1E3", 1000.0),
+        ("1e+3", 1000.0),
+        ("-2.5e-2", -0.025),
+        ("0e0", 0.0),
+        ("-0E+0", -0.0),
+        ("6.02e23", 6.02e23),
+        ("1.7976931348623157e308", f64::MAX),
+        ("5e-324", 5e-324),
+        // Overflows f64: parses as infinity per strtod semantics, but
+        // JSON has no Infinity — our reader must reject or saturate
+        // consistently. `f64::from_str` saturates to inf, which `parse`
+        // accepts; pin that behavior so a change is visible.
+        ("1e400", f64::INFINITY),
+    ] {
+        let v = Json::parse(src).unwrap().as_f64().unwrap();
+        assert_eq!(v, want, "{src}");
+    }
+    // Exponent forms inside arrays and objects, as writers emit them.
+    let doc = Json::parse(r#"{"rates": [6.697e6, 1.2E-3, 4e0]}"#).unwrap();
+    let rates = doc.get("rates").unwrap().as_arr().unwrap();
+    assert_eq!(rates[0].as_f64(), Some(6.697e6));
+    assert_eq!(rates[1].as_f64(), Some(1.2e-3));
+    assert_eq!(rates[2].as_f64(), Some(4.0));
+    // Malformed exponents fail, with the offset at the number.
+    for bad in ["1e", "1e+", "2.5e-", "--1e3", "1e3e3"] {
+        let err = Json::parse(bad).expect_err(bad);
+        assert!(err.at <= bad.len(), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn deep_arrays_parse_and_index() {
+    // 64 levels of nesting — deep enough to exercise recursion, shallow
+    // enough to never threaten a test-thread stack.
+    const DEPTH: usize = 64;
+    let mut src = String::new();
+    for _ in 0..DEPTH {
+        src.push('[');
+    }
+    src.push_str("7.5");
+    for _ in 0..DEPTH {
+        src.push(']');
+    }
+    let mut node = Json::parse(&src).unwrap();
+    for _ in 0..DEPTH {
+        let arr = node.as_arr().expect("still an array");
+        assert_eq!(arr.len(), 1);
+        node = arr[0].clone();
+    }
+    assert_eq!(node.as_f64(), Some(7.5));
+
+    // A wide-and-deep mix: arrays of objects of arrays.
+    let doc = Json::parse(r#"[{"a": [[1], [2, [3]]]}, {"a": []}]"#).unwrap();
+    let first = &doc.as_arr().unwrap()[0];
+    let a = first.get("a").unwrap().as_arr().unwrap();
+    assert_eq!(
+        a[1].as_arr().unwrap()[1].as_arr().unwrap()[0].as_f64(),
+        Some(3.0)
+    );
+}
+
+/// Every strict prefix of a valid document must fail to parse (no prefix
+/// of these documents is itself a complete document), and the error's
+/// byte offset must land inside the truncated source — a "sane offset"
+/// is one a reader can actually point at.
+#[test]
+fn truncated_document_corpus_errors_with_sane_offsets() {
+    let corpus = [
+        r#"{"a": 1, "b": [true, null], "c": {"d": "e\nf"}}"#,
+        r#"[1.5e-3, "two", {"three": [4]}]"#,
+        r#"{"router":{"workers":[{"name":"worker-0","ring_share":0.5}]}}"#,
+        "{\"\\u0041\": [1e3, -2, \"\\uD83D\\uDE00\"]}",
+        "   {\"padded\": 0}  ",
+    ];
+    for doc in corpus {
+        assert!(
+            Json::parse(doc).is_ok(),
+            "corpus entry must be valid: {doc}"
+        );
+        let full = doc.trim_end();
+        for cut in 0..full.len() {
+            // Cut on a char boundary only; mid-UTF-8 cuts can't be
+            // constructed from a &str slice anyway.
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            let err: JsonError = match Json::parse(prefix) {
+                Ok(v) => panic!("prefix {prefix:?} of {doc:?} parsed as {v:?}"),
+                Err(e) => e,
+            };
+            assert!(
+                err.at <= prefix.len(),
+                "offset {} outside truncated source (len {}): {err} for {prefix:?}",
+                err.at,
+                prefix.len()
+            );
+            assert!(!err.message.is_empty(), "{prefix:?}");
+            // Display embeds the offset for humans.
+            assert!(err.to_string().contains("at byte"), "{err}");
+        }
+    }
+}

@@ -31,4 +31,7 @@ cargo test -q -p ghr-core --test replica_race
 echo "==> cargo test -q -p ghr-cli --test serve_loop"
 cargo test -q -p ghr-cli --test serve_loop
 
+echo "==> cargo test -q -p ghr-cli --test router_cluster"
+cargo test -q -p ghr-cli --test router_cluster
+
 echo "verify: OK"

@@ -8,6 +8,7 @@
 //! ghr fig3|fig5                 optimized/baseline speedups per p
 //! ghr summary                   Section IV aggregate numbers vs the paper
 //! ghr autotune                  tuned (teams, V) per case
+//! ghr dot|scan|gemv <case>      descriptor-timed workload sweep + checksum
 //! ghr verify [m]                functional verification at m elements
 //! ghr bench [--quick]           time the real kernels (scalar vs SIMD)
 //! ghr calibrate [sweeps]        re-fit the GPU model against Table 1
@@ -55,6 +56,7 @@ use ghr_core::{
     case::Case,
     corun::{AllocSite, CorunConfig, CorunSeries},
     engine::Engine,
+    kernels::{WorkloadResult, FUNC_M, GEMV_COLS_DEFAULT},
     plot::AsciiChart,
     reduction::{KernelKind, ReductionSpec},
     report::{fmt_gbps, fmt_speedup, Table},
@@ -80,14 +82,18 @@ pub mod router;
 pub mod serve;
 
 pub fn usage() -> &'static str {
-    "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|sched|accuracy|\
-whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|router|client|loadgen|cache> [args]\n\
+    "usage: ghr <table1|fig1|fig2a|fig2b|fig3|fig4a|fig4b|fig5|summary|autotune|dot|scan|gemv|\
+sched|accuracy|whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|router|\
+client|loadgen|cache> [args]\n\
      co-run figures accept --plot and --advice; fig1 accepts --csv and --plot;\n\
      `ghr cache <stats|clear|path>` inspects or drops the persistent store;\n\
      `ghr bench [--quick] [--v N] [--kernel-threads N]` times the real scalar\n\
      and SIMD kernels on this host (GHR_SIMD=off|sse2|avx2|neon|auto forces\n\
      a backend); `ghr calibrate cpu [--quick]` fits the CPU model to those\n\
-     measurements;\n\
+     measurements; `ghr dot|scan|gemv <c1..c4> [--m N] [--cols N]` sweeps the\n\
+     teams axis for a descriptor-timed workload (GEMV takes --cols; every\n\
+     run appends the real kernels' functional checksum, bit-identical\n\
+     across SIMD backends);\n\
      `ghr plan <command|all>` prints the lowered work-item DAG (a dry run:\n\
      stages, items, predicted cache hits — nothing executes); `ghr serve\n\
      [--socket PATH] [--sessions N] [--max-idle SECS] [--max-inflight N]\n\
@@ -107,8 +113,10 @@ whatif|sensitivity|explain|verify|bench|calibrate|machine|all|plan|serve|router|
      [request...]` sends request lines to a serve socket and prints the\n\
      frames; `ghr loadgen [--socket PATH] [--requests N] [--conns N]\n\
      [--catalog N] [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]\n\
-     [--out FILE|--no-out]` drives open/closed-loop load (zipf-distributed\n\
-     request ids over gpu-point/corun-series/corun-point/what-if classes) at\n\
+     [--failover-pid PID [--failover-after N]] [--out FILE|--no-out]` drives\n\
+     open/closed-loop load (zipf-distributed\n\
+     request ids over gpu-point/corun-series/corun-point/what-if/dot/scan/\n\
+     gemv classes) at\n\
      the in-process engine or a live serve socket and reports per-phase and\n\
      per-class throughput and p50/p95/p99 latency plus per-layer warm-lock\n\
      counters (JSON to BENCH_loadgen.json by default); `ghr bench diff\n\
@@ -429,6 +437,7 @@ pub(crate) fn dispatch(engine: &Arc<Engine>, cmd: &str, rest: &[String]) -> Resu
         "fig5" => cmd_speedup_fig(engine, AllocSite::A2),
         "summary" => cmd_summary(engine),
         "autotune" => cmd_autotune(engine),
+        "dot" | "scan" | "gemv" => cmd_workload(engine, cmd, rest),
         "verify" => {
             let m = match rest.first() {
                 Some(s) => s
@@ -471,7 +480,8 @@ pub(crate) fn dispatch(engine: &Arc<Engine>, cmd: &str, rest: &[String]) -> Resu
 /// The experiment commands that resolve to a declarative request (and are
 /// therefore plannable and servable).
 pub(crate) const SERVABLE: &str =
-    "table1, fig1 <case>, fig2a, fig2b, fig3, fig4a, fig4b, fig5, summary, autotune, whatif";
+    "table1, fig1 <case>, fig2a, fig2b, fig3, fig4a, fig4b, fig5, summary, autotune, whatif, \
+     dot <case>, scan <case>, gemv <case>";
 
 /// Resolve an experiment command line to the declarative [`Request`] it
 /// runs — the single source of truth shared by `ghr plan`, `ghr serve`
@@ -497,8 +507,122 @@ pub(crate) fn request_for(cmd: &str, rest: &[String]) -> Result<Option<Request>,
         },
         "autotune" => Request::autotune_all(),
         "whatif" => Request::WhatIf,
+        "dot" | "scan" | "gemv" => parse_workload(cmd, rest)?,
         _ => return Ok(None),
     }))
+}
+
+/// Parse `ghr dot|scan|gemv [case] [--m N] [--cols N]` into its request.
+/// The case defaults to C1; `--cols` is GEMV-only.
+fn parse_workload(cmd: &str, rest: &[String]) -> Result<Request, String> {
+    let mut case: Option<Case> = None;
+    let mut m: Option<u64> = None;
+    let mut cols: Option<u32> = None;
+    let parse_m = |s: &str| -> Result<u64, String> {
+        match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad element count {s:?} (need an integer >= 1)")),
+        }
+    };
+    let parse_cols = |s: &str| -> Result<u32, String> {
+        match s.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad row length {s:?} (need an integer >= 1)")),
+        }
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--m" {
+            m = Some(parse_m(it.next().ok_or("--m needs an element count")?)?);
+        } else if let Some(v) = a.strip_prefix("--m=") {
+            m = Some(parse_m(v)?);
+        } else if a == "--cols" {
+            cols = Some(parse_cols(it.next().ok_or("--cols needs a row length")?)?);
+        } else if let Some(v) = a.strip_prefix("--cols=") {
+            cols = Some(parse_cols(v)?);
+        } else if !a.starts_with("--") && case.is_none() {
+            case = Some(parse_case(a)?);
+        } else {
+            return Err(format!("unknown {cmd} argument {a:?}"));
+        }
+    }
+    if cols.is_some() && cmd != "gemv" {
+        return Err(format!("--cols only applies to gemv, not {cmd}"));
+    }
+    let case = case.unwrap_or(Case::C1);
+    Ok(match cmd {
+        "dot" => Request::Dot { case, m },
+        "scan" => Request::Scan { case, m },
+        _ => Request::Gemv {
+            case,
+            cols: cols.unwrap_or(GEMV_COLS_DEFAULT),
+            m,
+        },
+    })
+}
+
+/// `ghr dot|scan|gemv` — evaluate one descriptor-timed workload request
+/// and render its teams sweep, rooflines, placement and checksum.
+fn cmd_workload(engine: &Engine, cmd: &str, rest: &[String]) -> Result<String, String> {
+    let request = parse_workload(cmd, rest)?;
+    let response = engine.run(&request).map_err(|e| e.to_string())?;
+    Ok(render_workload(
+        response.workload().map_err(|e| e.to_string())?,
+    ))
+}
+
+/// Render a [`WorkloadResult`]: the sweep table plus the GPU-vs-CPU
+/// roofline, the first-touch placement it implies, and the functional
+/// checksum (bit-identical across SIMD backends by the kernel contract,
+/// so this output byte-diffs clean under any forced `GHR_SIMD`).
+fn render_workload(r: &WorkloadResult) -> String {
+    let desc = r.descriptor();
+    let case = r.case;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} {case} ({}) — descriptor-timed teams sweep, combine={}, V={}\n",
+        r.kind.name(),
+        case.signature(),
+        desc.combine.name(),
+        case.v_optimized(),
+    );
+    let mut t = Table::new(["teams", "GB/s"]);
+    for p in &r.points {
+        t.row([p.teams.to_string(), fmt_gbps(p.gbps)]);
+    }
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
+        "\nbest: {} GB/s at teams={} ({} elements, {:.2} GB moved, \
+         intensity {:.3} flop/byte)",
+        fmt_gbps(r.best_gbps),
+        r.best_teams,
+        r.m,
+        desc.bytes_moved(r.m) as f64 / 1e9,
+        desc.arithmetic_intensity(r.m),
+    );
+    let _ = writeln!(
+        out,
+        "cpu roofline over the same bytes: {} GB/s",
+        fmt_gbps(r.cpu_gbps)
+    );
+    let _ = writeln!(
+        out,
+        "first touch: {} memory (the {} leg wins the roofline)",
+        r.placement,
+        if r.placement == ghr_core::Placement::Device {
+            "GPU"
+        } else {
+            "CPU"
+        },
+    );
+    let _ = writeln!(
+        out,
+        "functional checksum at {FUNC_M} elements: {}",
+        r.checksum
+    );
+    out
 }
 
 /// The request set behind `ghr all`'s artifact sweep, in artifact order —
@@ -521,6 +645,9 @@ fn all_requests() -> Vec<Request> {
         Request::autotune_all(),
         Request::WhatIf,
     ]);
+    for case in Case::ALL {
+        requests.extend([Request::dot(case), Request::scan(case), Request::gemv(case)]);
+    }
     requests
 }
 
@@ -814,6 +941,7 @@ pub(crate) fn render_servable(
         "summary" => render_summary(response.study().map_err(shape)?),
         "autotune" => render_autotune(response.autotune().map_err(shape)?),
         "whatif" => render_whatif(response.whatif().map_err(shape)?),
+        "dot" | "scan" | "gemv" => render_workload(response.workload().map_err(shape)?),
         other => {
             return Err(format!(
                 "{other:?} is not a servable experiment request (serve answers: {SERVABLE})"
@@ -1473,6 +1601,19 @@ fn cmd_all(engine: &Engine, dir: &str) -> Result<String, String> {
     save("accuracy.md", cmd_accuracy()?, &mut written)?;
     save("whatif.md", cmd_whatif(engine)?, &mut written)?;
     save("sensitivity.md", cmd_sensitivity()?, &mut written)?;
+    // The descriptor-timed workloads: model-priced sweeps plus a real
+    // functional checksum per case, so the artifact set (and the
+    // GHR_SIMD off-vs-auto byte-diff over it) covers dot/scan/gemv.
+    for case in Case::ALL {
+        let label = case.label().to_ascii_lowercase();
+        for kind in ["dot", "scan", "gemv"] {
+            save(
+                &format!("{kind}_{label}.md"),
+                cmd_workload(engine, kind, std::slice::from_ref(&label))?,
+                &mut written,
+            )?;
+        }
+    }
     // Deterministic (unlike bench/calibrate-cpu, which time real kernels),
     // and it routes every case through the substrate kernels — so a forced
     // GHR_SIMD backend is genuinely exercised by this artifact set.
@@ -1733,6 +1874,62 @@ mod tests {
         assert!(out.contains("236 duplicate items folded"), "{out}");
         assert!(out.contains("adaptive stage(s)"), "{out}");
         assert!(out.contains("autotune x4 C1: refine"), "{out}");
+    }
+
+    #[test]
+    fn workload_commands_render_sweep_roofline_and_checksum() {
+        let dot = run("dot", &args(&["c1"])).unwrap();
+        assert!(dot.contains("dot C1 (i32 -> i32)"), "{dot}");
+        assert!(dot.contains("| teams |"), "{dot}");
+        assert!(dot.contains("best: "), "{dot}");
+        assert!(dot.contains("cpu roofline over the same bytes:"), "{dot}");
+        // A saturated GPU sweep beats the Grace STREAM rate, so first
+        // touch lands the pages in device memory.
+        assert!(dot.contains("first touch: device"), "{dot}");
+        assert!(
+            dot.contains("functional checksum at 65536 elements:"),
+            "{dot}"
+        );
+        // The case defaults to C1.
+        assert_eq!(run("dot", &[]).unwrap(), dot);
+        let gemv = run("gemv", &args(&["c2", "--cols", "512"])).unwrap();
+        assert!(gemv.contains("gemv C2 (i8 -> i64)"), "{gemv}");
+        assert!(gemv.contains("combine=gemv-row"), "{gemv}");
+        let scan = run("scan", &args(&["c3", "--m", "1048576"])).unwrap();
+        assert!(scan.contains("scan C3 (f32 -> f32)"), "{scan}");
+        assert!(scan.contains("1048576 elements"), "{scan}");
+    }
+
+    #[test]
+    fn workload_commands_reject_bad_arguments() {
+        assert!(run("dot", &args(&["--m", "0"])).is_err());
+        assert!(run("dot", &args(&["c1", "--cols", "8"])).is_err());
+        assert!(run("scan", &args(&["c9"])).is_err());
+        assert!(run("gemv", &args(&["--cols"])).is_err());
+        assert!(run("dot", &args(&["c1", "c2"])).is_err());
+    }
+
+    #[test]
+    fn plan_covers_workload_commands() {
+        let out = run("plan", &args(&["dot", "c2"])).unwrap();
+        assert!(out.contains("dot C2: teams"), "{out}");
+        assert!(out.contains("7 work items"), "{out}");
+        assert!(out.contains("nothing was executed"), "{out}");
+    }
+
+    #[test]
+    fn workload_second_run_answers_from_the_persistent_cache() {
+        let dir = cache_tmp("workload");
+        let first = run("dot", &args(&["c3", "--stats", "--cache-dir", &dir])).unwrap();
+        assert!(first.contains("7 points evaluated"), "{first}");
+        assert!(first.contains("7 stored"), "{first}");
+        // A fresh engine over the same store re-renders without
+        // evaluating a single kernel point.
+        let second = run("dot", &args(&["c3", "--stats", "--cache-dir", &dir])).unwrap();
+        assert!(second.contains("0 points evaluated"), "{second}");
+        assert!(second.contains("7 hits, 0 misses"), "{second}");
+        let body = |s: &str| s.split("\nengine:").next().unwrap().to_string();
+        assert_eq!(body(&first), body(&second));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   lines as the catalog: a cold pass, a zipf warm pass, and (with
 //!   `--overload-conns N`) an overload pass that counts the server's
 //!   `ghr-error reason=overload` rejections — the admission-control
-//!   degradation contract, measured.
+//!   degradation contract, measured. With `--failover-pid PID` (the
+//!   target is typically a `ghr router` socket with PID one of its
+//!   workers) the run appends a failover A/B: a `failover_before` warm
+//!   pass, a SIGKILL of the worker, then a `failover_after` pass — the
+//!   p99 delta between the two rows is the cost of losing a worker
+//!   mid-run (`--failover-after N` sets the before-pass length).
 //!
 //! Both modes share the arrival disciplines (closed-loop, or open-loop
 //! at `--rate RPS` with latency charged from the *scheduled* arrival —
@@ -40,6 +45,18 @@ struct LoadgenArgs {
     cfg: LoadgenConfig,
     socket: Option<String>,
     out: Option<String>,
+    failover: Option<Failover>,
+}
+
+/// The failover A/B knobs (`--socket` mode only): which process to
+/// SIGKILL mid-run and how many warm requests to issue before the kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Failover {
+    /// Worker PID to SIGKILL between the before/after passes.
+    pid: i32,
+    /// Warm requests issued before the kill; `None` splits the warm
+    /// schedule in half.
+    after: Option<usize>,
 }
 
 fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
@@ -47,7 +64,10 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
         cfg: LoadgenConfig::default(),
         socket: None,
         out: Some("BENCH_loadgen.json".to_string()),
+        failover: None,
     };
+    let mut failover_pid: Option<i32> = None;
+    let mut failover_after: Option<usize> = None;
     let parse_count = |what: &str, s: &str| -> Result<usize, String> {
         match s.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
@@ -104,21 +124,47 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
             "--label" => args.cfg.label = Some(value("--label")?),
             "--out" => args.out = Some(value("--out")?),
             "--no-out" if inline.is_none() => args.out = None,
+            "--failover-pid" => {
+                let v = value("--failover-pid")?;
+                failover_pid = Some(match v.parse::<i32>() {
+                    Ok(pid) if pid > 1 => pid,
+                    _ => return Err(format!("bad worker pid {v:?} (need an integer > 1)")),
+                });
+            }
+            "--failover-after" => {
+                failover_after = Some(parse_count(
+                    "failover request count",
+                    &value("--failover-after")?,
+                )?)
+            }
             other => return Err(format!("unknown loadgen argument {other:?}")),
         }
+    }
+    match (failover_pid, failover_after) {
+        (Some(pid), after) => {
+            if args.socket.is_none() {
+                return Err("--failover-pid needs --socket (the failover A/B drives a \
+                            live router/serve tier)"
+                    .to_string());
+            }
+            args.failover = Some(Failover { pid, after });
+        }
+        (None, Some(_)) => return Err("--failover-after needs --failover-pid".to_string()),
+        (None, None) => {}
     }
     Ok(args)
 }
 
 /// `ghr loadgen [--socket PATH] [--requests N] [--conns N] [--catalog N]
-/// [--zipf S] [--rate RPS] [--seed N] [--overload-conns N] [--out
-/// FILE|--no-out]` — run the load harness and render the per-phase SLO
-/// table (plus the JSON report file).
+/// [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]
+/// [--failover-pid PID [--failover-after N]] [--out FILE|--no-out]` —
+/// run the load harness and render the per-phase SLO table (plus the
+/// JSON report file).
 pub fn cmd_loadgen(engine: &Engine, rest: &[String]) -> Result<String, String> {
     let args = parse_args(rest)?;
     let report = match &args.socket {
         None => run_in_process(engine, &args.cfg)?,
-        Some(path) => run_socket(path, &args.cfg)?,
+        Some(path) => run_socket(path, &args.cfg, args.failover)?,
     };
     let mut out = render_report(&report);
     if let Some(file) = &args.out {
@@ -268,8 +314,20 @@ const OVERLOAD_REQUEST: &str = "fig2a";
 /// until the leader publishes. Hot-path counters live in the server
 /// process, so phases carry none here; read the server's `--stats-json`
 /// for them.
+///
+/// With `failover` set the run appends the failover A/B: a closed-loop
+/// `failover_before` slice of the warm schedule, a SIGKILL of the named
+/// worker, then the `failover_after` remainder over the same (surviving)
+/// connections — against a router, its consistent-hash ring re-routes
+/// the dead worker's id range to the ring successor, so the after row's
+/// p99 (and error count) is the measured price of losing a worker
+/// mid-run.
 #[cfg(unix)]
-fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+fn run_socket(
+    path: &str,
+    cfg: &LoadgenConfig,
+    failover: Option<Failover>,
+) -> Result<LoadReport, String> {
     let n = cfg.catalog.clamp(1, SOCKET_CATALOG.len());
     // Index n — one past the catalog — is the overload volley request.
     let mut catalog: Vec<&str> = SOCKET_CATALOG[..n].to_vec();
@@ -331,6 +389,27 @@ fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             Arrival::Closed,
         )?);
     }
+    if let Some(f) = failover {
+        let split = f
+            .after
+            .unwrap_or(warm_schedule.len() / 2)
+            .clamp(1, warm_schedule.len());
+        phases.push(run(
+            "failover_before",
+            cfg.conns.max(1),
+            &warm_schedule[..split],
+            &[0],
+            Arrival::Closed,
+        )?);
+        sigkill(f.pid)?;
+        phases.push(run(
+            "failover_after",
+            cfg.conns.max(1),
+            &warm_schedule[split..],
+            &[],
+            Arrival::Closed,
+        )?);
+    }
     Ok(LoadReport {
         mode: "socket".to_string(),
         label: cfg.label.clone(),
@@ -344,8 +423,32 @@ fn run_socket(path: &str, cfg: &LoadgenConfig) -> Result<LoadReport, String> {
 }
 
 #[cfg(not(unix))]
-fn run_socket(_path: &str, _cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+fn run_socket(
+    _path: &str,
+    _cfg: &LoadgenConfig,
+    _failover: Option<Failover>,
+) -> Result<LoadReport, String> {
     Err("--socket needs a unix platform; run loadgen in-process instead".to_string())
+}
+
+/// SIGKILL one worker process (the failover A/B's fault injection). The
+/// same std-only FFI shape as [`crate::serve::sig`]; SIGKILL because the
+/// point is an *ungraceful* loss — a drained worker would never surface
+/// re-route latency.
+#[cfg(unix)]
+fn sigkill(pid: i32) -> Result<(), String> {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGKILL: i32 = 9;
+    // The parser already rejects pid <= 1, so this can never signal init
+    // or the whole process group.
+    match unsafe { kill(pid, SIGKILL) } {
+        0 => Ok(()),
+        _ => Err(format!(
+            "cannot SIGKILL worker pid {pid} (is the worker still running?)"
+        )),
+    }
 }
 
 #[cfg(unix)]
@@ -491,6 +594,63 @@ mod tests {
     }
 
     #[test]
+    fn failover_flags_parse_and_require_a_socket_target() {
+        let a = parse_args(&args(&[
+            "--socket",
+            "/tmp/r.sock",
+            "--failover-pid=4242",
+            "--failover-after",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.failover,
+            Some(Failover {
+                pid: 4242,
+                after: Some(50),
+            })
+        );
+        // The before-pass length defaults to half the warm schedule.
+        let half = parse_args(&args(&["--socket=/tmp/r.sock", "--failover-pid", "4242"])).unwrap();
+        assert_eq!(
+            half.failover,
+            Some(Failover {
+                pid: 4242,
+                after: None
+            })
+        );
+        // In-process runs have no worker to kill.
+        assert!(parse_args(&args(&["--failover-pid", "4242"])).is_err());
+        assert!(parse_args(&args(&["--failover-after", "50"])).is_err());
+        // Never accept pids that could hit init or a process group.
+        for pid in ["0", "1", "-7", "banana"] {
+            assert!(
+                parse_args(&args(&["--socket=/tmp/r.sock", "--failover-pid", pid])).is_err(),
+                "{pid}"
+            );
+        }
+        assert!(parse_args(&args(&[
+            "--socket=/tmp/r.sock",
+            "--failover-pid=4242",
+            "--failover-after",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn sigkill_fells_a_live_process_and_reports_a_dead_one() {
+        let mut child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        sigkill(child.id() as i32).unwrap();
+        let status = child.wait().unwrap();
+        assert!(!status.success(), "SIGKILL never exits cleanly");
+    }
+
+    #[test]
     fn in_process_run_renders_the_slo_table_and_writes_json() {
         let engine = Engine::new(MachineConfig::gh200(), 2);
         let dir = std::env::temp_dir().join(format!("ghr-loadgen-{}", std::process::id()));
@@ -500,7 +660,7 @@ mod tests {
             &engine,
             &args(&[
                 "--catalog",
-                "6",
+                "7",
                 "--requests",
                 "120",
                 "--conns",
@@ -515,9 +675,10 @@ mod tests {
             assert!(out.contains(phase), "{out}");
         }
         assert!(out.contains("p99 ms"), "{out}");
-        // The per-class latency breakdown table.
+        // The per-class latency breakdown table covers every class,
+        // including the descriptor-timed workloads.
         assert!(out.contains("| class"), "{out}");
-        for class in ["gpu-point", "corun-series", "corun-point", "what-if"] {
+        for class in ghr_core::loadgen::CLASS_NAMES {
             assert!(out.contains(class), "{out}");
         }
         assert!(out.contains("warm lock acquisitions"), "{out}");

@@ -128,6 +128,39 @@ fn serve_bodies_match_the_one_shot_cli_output() {
 }
 
 #[test]
+fn workload_requests_round_trip_through_serve() {
+    // The descriptor-timed workloads are servable: a repeat is a pure
+    // response-cache hit and every body matches the one-shot CLI.
+    let engine = Engine::new(MachineConfig::gh200(), 2);
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    serve_loop(
+        &engine,
+        BufReader::new("dot c1\nscan c2\ngemv c3 --cols 2048\ndot c1\n".as_bytes()),
+        &mut out,
+        &mut err,
+    )
+    .unwrap();
+    let frames = parse_frames(&String::from_utf8(out).unwrap());
+    assert_eq!(frames.len(), 4);
+    for (frame, (cmd, rest)) in frames.iter().zip([
+        ("dot", vec!["c1"]),
+        ("scan", vec!["c2"]),
+        ("gemv", vec!["c3", "--cols", "2048"]),
+        ("dot", vec!["c1"]),
+    ]) {
+        let rest: Vec<String> = rest.into_iter().map(str::to_string).collect();
+        assert_eq!(frame.body, ghr_cli::run(cmd, &rest).unwrap(), "{cmd}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 4, "{stats:?}");
+    assert_eq!(
+        stats.response_hits, 1,
+        "the repeated dot is a warm hit: {stats:?}"
+    );
+}
+
+#[test]
 fn protocol_fuzz_malformed_lines_are_rejected_and_the_session_survives() {
     // Feed the framing layer every malformed shape it documents: a CRLF
     // line ending, an interior NUL, an oversized line, invalid UTF-8 and a

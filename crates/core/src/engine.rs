@@ -63,6 +63,7 @@ use crate::autotune::TunedConfig;
 use crate::case::Case;
 use crate::corun::{run_corun, run_corun_point, AllocSite, CorunConfig, CorunPoint, CorunSeries};
 use crate::exec::Executor;
+use crate::kernels::{self, WorkloadPoint, WorkloadResult, WORKLOAD_TEAMS_AXIS};
 use crate::plan::{refine_axes, Plan, Planner, WorkItem};
 use crate::reduction::ReductionSpec;
 use crate::replica::{BuildId, ReadMostly};
@@ -76,7 +77,10 @@ use ghr_gpusim::GpuModel;
 use ghr_machine::MachineConfig;
 use ghr_omp::{OmpRuntime, TargetRegion};
 use ghr_parallel::ThreadPool;
-use ghr_types::{Bandwidth, CacheLayer, CacheLayerStats, DType, GhrError, Result, StageTiming};
+use ghr_types::{
+    Bandwidth, CacheLayer, CacheLayerStats, DType, GhrError, KernelDescriptor, Result, StageTiming,
+    WorkloadKind,
+};
 
 /// FNV-1a, used for the machine fingerprint and for shard selection.
 /// Deterministic across processes and platforms (unlike the std
@@ -1041,7 +1045,9 @@ impl Engine {
         let in_memory = match item {
             WorkItem::CorunSeries(cfg) => self.series.contains(cfg, mode),
             WorkItem::CorunPoint(cfg, i) => self.corun_pts.contains(&(*cfg, *i), mode),
-            WorkItem::Gpu { .. } | WorkItem::WhatIf { .. } => self.points.contains(item, mode),
+            WorkItem::Gpu { .. } | WorkItem::WhatIf { .. } | WorkItem::Kernel { .. } => {
+                self.points.contains(item, mode)
+            }
         };
         in_memory
             || self
@@ -1077,6 +1083,15 @@ impl Engine {
             }
             WorkItem::WhatIf { scenario, case } => {
                 self.whatif_point(scenario, case)?;
+            }
+            WorkItem::Kernel {
+                kind,
+                region,
+                m,
+                elem,
+                acc,
+            } => {
+                self.kernel_point(kind, &region, m, elem, acc)?;
             }
         }
         Ok(())
@@ -1195,6 +1210,76 @@ impl Engine {
                 .time_target_reduce(region, m, elem, acc, supply)?
                 .effective_bw
                 .as_gbps())
+        })
+    }
+
+    /// Bandwidth (GB/s) of one descriptor-timed workload kernel point,
+    /// memoized under the same point cache as the reduction GPU points —
+    /// the workload kind rides in the key, so a dot and a scan at the
+    /// same geometry never alias.
+    pub fn kernel_point(
+        &self,
+        kind: WorkloadKind,
+        region: &TargetRegion,
+        m: u64,
+        elem: DType,
+        acc: DType,
+    ) -> Result<f64> {
+        let key = WorkItem::Kernel {
+            kind,
+            region: *region,
+            m,
+            elem,
+            acc,
+        };
+        self.cached(key, || {
+            let desc = KernelDescriptor::for_kind(kind, elem, acc);
+            Ok(self
+                .rt
+                .time_target_kernel(region, m, &desc, None)?
+                .effective_bw
+                .as_gbps())
+        })
+    }
+
+    /// Assemble one workload request's result from the warm point cache:
+    /// the teams sweep (pure hits after the plan's fan stage), the CPU
+    /// roofline over the same bytes, the simulated first-touch placement
+    /// and the functional checksum.
+    pub(crate) fn workload_result(
+        &self,
+        kind: WorkloadKind,
+        case: Case,
+        m: u64,
+    ) -> Result<WorkloadResult> {
+        let (elem, acc) = (case.elem(), case.acc());
+        let mut points = Vec::with_capacity(WORKLOAD_TEAMS_AXIS.len());
+        let (mut best_teams, mut best_gbps) = (0u64, f64::NEG_INFINITY);
+        for &teams in &WORKLOAD_TEAMS_AXIS {
+            let region = TargetRegion::optimized(teams, case.v_optimized());
+            let gbps = self.kernel_point(kind, &region, m, elem, acc)?;
+            if gbps > best_gbps {
+                best_gbps = gbps;
+                best_teams = teams;
+            }
+            points.push(WorkloadPoint { teams, gbps });
+        }
+        let cpu_gbps = kernels::cpu_workload_gbps(&self.rt, kind, case, m);
+        let desc = KernelDescriptor::for_kind(kind, elem, acc);
+        let mut um = ghr_mem::UnifiedMemory::new(&self.machine);
+        let placement =
+            kernels::first_touch_placement(&mut um, desc.input_bytes(m), best_gbps, cpu_gbps);
+        let checksum = kernels::functional_checksum(kind, case);
+        Ok(WorkloadResult {
+            kind,
+            case,
+            m,
+            points,
+            best_teams,
+            best_gbps,
+            cpu_gbps,
+            placement,
+            checksum,
         })
     }
 
@@ -1542,6 +1627,12 @@ impl Engine {
                 }
                 Ok(Response::Autotune(out))
             }
+            Request::Dot { .. } | Request::Scan { .. } | Request::Gemv { .. } => {
+                let (kind, case, m) = request
+                    .workload_parts()
+                    .expect("workload request has workload parts");
+                Ok(Response::Workload(self.workload_result(kind, case, m)?))
+            }
         }
     }
 
@@ -1887,6 +1978,47 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn workload_requests_round_trip_with_a_warm_second_pass() {
+        let e = engine(2);
+        for req in [
+            Request::dot(Case::C1),
+            Request::scan(Case::C2),
+            Request::gemv(Case::C4),
+        ] {
+            let cold = e.respond(&req).unwrap();
+            assert_eq!(cold.source, ResponseSource::Fresh, "{req:?}");
+            assert_eq!(cold.evals, 7, "one evaluation per teams value: {req:?}");
+            let w = cold.response.workload().unwrap();
+            assert_eq!(w.points.len(), 7);
+            assert!(w.best_gbps > 0.0, "{w:?}");
+            assert!(w.cpu_gbps > 0.0, "{w:?}");
+            let warm = e.respond(&req).unwrap();
+            assert_eq!(warm.source, ResponseSource::ResponseCache, "{req:?}");
+            assert_eq!(warm.evals, 0, "warm workload must re-plan nothing");
+        }
+        for t in e.stage_timings().iter().filter(|t| t.name == "assemble") {
+            assert_eq!(t.evaluated, 0, "workload assembly must be pure hits");
+        }
+    }
+
+    #[test]
+    fn workload_kinds_do_not_alias_in_the_point_cache() {
+        let e = engine(1);
+        let region = TargetRegion::optimized(65536, 4);
+        let m = Case::C3.m_paper();
+        e.kernel_point(WorkloadKind::Dot, &region, m, DType::F32, DType::F32)
+            .unwrap();
+        e.kernel_point(WorkloadKind::Scan, &region, m, DType::F32, DType::F32)
+            .unwrap();
+        // Same region, m and dtypes — if the kind were missing from the
+        // cache key the second call would be a hit and evals would be 1.
+        assert_eq!(e.stats().evaluated, 2);
+        e.kernel_point(WorkloadKind::Dot, &region, m, DType::F32, DType::F32)
+            .unwrap();
+        assert_eq!(e.stats().evaluated, 2, "repeat point must be a hit");
     }
 
     #[test]

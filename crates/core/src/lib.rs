@@ -34,6 +34,7 @@ pub mod corun;
 pub mod engine;
 pub mod exec;
 pub mod explain;
+pub mod kernels;
 pub mod loadgen;
 pub mod plan;
 pub mod plot;
@@ -55,6 +56,7 @@ pub use case::Case;
 pub use corun::{AllocSite, CorunConfig, CorunSeries};
 pub use engine::{Engine, EngineStats, Responded, ResponseCacheMode, ResponseSource};
 pub use exec::Executor;
+pub use kernels::{Placement, WorkloadPoint, WorkloadResult};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use plan::{Plan, Planner, Stage, StageKind, WorkItem};
 pub use reduction::{KernelKind, ReductionSpec};

@@ -13,9 +13,10 @@
 //!   distribution (`P(i) ∝ 1/(i+1)^s`), so index 0 is the hot request
 //!   and the tail is cold, the canonical cache-workload shape;
 //! * **request classes** — the catalog mixes `gpu-point` sweeps,
-//!   `corun-series` (A1) and `corun-point` (A2) co-run requests, and
-//!   the `what-if` study, so every replicated cache layer carries
-//!   traffic and the report breaks latency down per class;
+//!   `corun-series` (A1) and `corun-point` (A2) co-run requests, the
+//!   `what-if` study, and the descriptor-timed `dot`/`scan`/`gemv`
+//!   workloads, so every replicated cache layer carries traffic and
+//!   the report breaks latency down per class;
 //! * **closed-loop arrival** — `conns` workers each keep exactly one
 //!   request outstanding; latency is measured from issue, and
 //!   throughput is capacity at that concurrency;
@@ -44,11 +45,12 @@ use std::time::{Duration, Instant};
 use crate::case::Case;
 use crate::corun::{AllocSite, CorunConfig};
 use crate::engine::{Engine, EngineStats, ResponseCacheMode};
+use crate::kernels::{workload_m, GEMV_COLS_DEFAULT};
 use crate::reduction::KernelKind;
 use crate::request::Request;
 use crate::sweep::{GpuSweep, SweepMode};
 use ghr_types::pipeline::{json_escape, json_f64};
-use ghr_types::CacheLayer;
+use ghr_types::{CacheLayer, WorkloadKind};
 
 /// SplitMix64: a tiny, high-quality, seedable PRNG (Steele et al.), used
 /// for the zipf draws so schedules are reproducible across runs and
@@ -625,16 +627,27 @@ pub fn synthetic_catalog(n: usize) -> Vec<Request> {
 
 /// The request-class labels a class catalog draws from, one per
 /// warm-path shape: scalar GPU sweeps, A1 co-run series, A2 per-`p`
-/// co-run points, and the what-if study.
-pub const CLASS_NAMES: [&str; 4] = ["gpu-point", "corun-series", "corun-point", "what-if"];
+/// co-run points, the what-if study, and the descriptor-timed dot,
+/// scan and GEMV workloads.
+pub const CLASS_NAMES: [&str; 7] = [
+    "gpu-point",
+    "corun-series",
+    "corun-point",
+    "what-if",
+    "dot",
+    "scan",
+    "gemv",
+];
 
-/// `n` distinct, cheap requests spanning all four request classes, so
-/// every replicated cache layer (points, series, per-`p` co-run points,
+/// `n` distinct, cheap requests spanning every request class, so every
+/// replicated cache layer (points, series, per-`p` co-run points,
 /// responses) carries load-run traffic. Indices rotate gpu-point →
-/// corun-series → corun-point → gpu-point; index 3 is the single
-/// `what-if` entry (the study request has no parameters, so it cannot
-/// repeat distinctly). Element counts step by 320 per entry, which
-/// survives `Case::m_scaled` rounding, keeping every id distinct.
+/// corun-series → corun-point → gpu-point → dot → scan → gemv; index 3
+/// is the single `what-if` entry (the study request has no parameters,
+/// so it cannot repeat distinctly). Element counts step by 320 per
+/// entry, which survives `Case::m_scaled` rounding, keeping every id
+/// distinct (workload ids hash the raw `m`, before any GEMV row
+/// rounding, so they stay distinct too).
 pub fn class_catalog(n: usize) -> Vec<(Request, &'static str)> {
     (0..n.max(1))
         .map(|i| {
@@ -643,10 +656,20 @@ pub fn class_catalog(n: usize) -> Vec<(Request, &'static str)> {
             let corun = |alloc: AllocSite| Request::Corun {
                 configs: vec![CorunConfig::paper(case, KernelKind::Baseline, alloc).scaled(m, 2)],
             };
-            match i % 4 {
+            match i % 7 {
                 1 => (corun(AllocSite::A1), "corun-series"),
                 2 => (corun(AllocSite::A2), "corun-point"),
                 3 if i == 3 => (Request::WhatIf, "what-if"),
+                4 => (Request::Dot { case, m: Some(m) }, "dot"),
+                5 => (Request::Scan { case, m: Some(m) }, "scan"),
+                6 => (
+                    Request::Gemv {
+                        case,
+                        cols: GEMV_COLS_DEFAULT,
+                        m: Some(m),
+                    },
+                    "gemv",
+                ),
                 _ => (
                     Request::Sweep {
                         sweep: GpuSweep {
@@ -667,9 +690,10 @@ pub fn class_catalog(n: usize) -> Vec<(Request, &'static str)> {
 
 /// Recombine an already-evaluated [`class_catalog`] into *new* request
 /// ids whose work items are all already published: a one-column subset
-/// of every exhaustive sweep, and pairs of single-config co-run
-/// requests merged into one `Request::Corun` each. Answering these
-/// costs zero fresh evaluations — the planner probes, the executor
+/// of every exhaustive sweep, pairs of single-config co-run requests
+/// merged into one `Request::Corun` each, and every GEMV re-issued at
+/// its row-rounded element count (a new id that lowers to the same
+/// kernel points). Answering these costs zero fresh evaluations — the planner probes, the executor
 /// re-reads, and the assembly stitches entirely from the warm
 /// point/series/corun replicas — so a timed pass over them proves those
 /// layers lock-free, not just the response memo.
@@ -695,6 +719,23 @@ pub fn recombine_catalog(base: &[(Request, &'static str)]) -> Vec<(Request, &'st
                         AllocSite::A1 => a1.push(*cfg),
                         AllocSite::A2 => a2.push(*cfg),
                     }
+                }
+            }
+            Request::Gemv {
+                case,
+                cols,
+                m: Some(raw),
+            } => {
+                let rounded = workload_m(WorkloadKind::Gemv { cols: *cols }, *case, Some(*raw));
+                if rounded != *raw && rounded > 0 {
+                    out.push((
+                        Request::Gemv {
+                            case: *case,
+                            cols: *cols,
+                            m: Some(rounded),
+                        },
+                        "gemv",
+                    ));
                 }
             }
             _ => {}
@@ -971,7 +1012,9 @@ mod tests {
     #[test]
     fn recombined_ids_are_new_and_answered_without_evaluation() {
         let engine = Engine::new(MachineConfig::gh200(), 2);
-        let base = class_catalog(8);
+        // 16 entries: two of each co-run site (so pairs recombine) and a
+        // GEMV whose rounded-m re-issue joins the recombined set.
+        let base = class_catalog(16);
         for (r, _) in &base {
             engine.run(r).unwrap();
         }

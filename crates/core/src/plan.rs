@@ -25,7 +25,7 @@ use crate::study;
 use crate::sweep::{GpuSweep, SweepMode};
 use crate::whatif;
 use ghr_omp::TargetRegion;
-use ghr_types::{PlanSummary, RequestId, Result, StagePlan};
+use ghr_types::{PlanSummary, RequestId, Result, StagePlan, WorkloadKind};
 
 /// One independently cacheable evaluation — the unit the executor fans
 /// across the pool and the key both result caches (in-process and
@@ -56,6 +56,21 @@ pub enum WorkItem {
         /// The evaluation case.
         case: Case,
     },
+    /// One descriptor-timed GPU kernel point of a non-reduction workload
+    /// (dot / scan / GEMV) at a resolved region geometry.
+    Kernel {
+        /// Which workload (the full descriptor is derived from this plus
+        /// the dtypes, keeping the cache key compact and stable).
+        kind: WorkloadKind,
+        /// The resolved target-region geometry.
+        region: TargetRegion,
+        /// Elements of the primary input stream.
+        m: u64,
+        /// Element type.
+        elem: ghr_types::DType,
+        /// Accumulator type.
+        acc: ghr_types::DType,
+    },
 }
 
 impl WorkItem {
@@ -79,6 +94,18 @@ impl WorkItem {
             elem: spec.case.elem(),
             acc: spec.case.acc(),
             supply_bits: None,
+        }
+    }
+
+    /// The descriptor-timed kernel item for one teams value of a workload
+    /// request's sweep (at the case's optimized `V`).
+    pub fn workload_point(kind: WorkloadKind, case: Case, m: u64, teams: u64) -> Self {
+        WorkItem::Kernel {
+            kind,
+            region: TargetRegion::optimized(teams, case.v_optimized()),
+            m,
+            elem: case.elem(),
+            acc: case.acc(),
         }
     }
 }
@@ -305,6 +332,17 @@ impl Lowering<'_> {
                     self.lower_sweep(&format!("{label} {case}"), &sweep, SweepMode::Refined);
                 }
             }
+            Request::Dot { .. } | Request::Scan { .. } | Request::Gemv { .. } => {
+                let (kind, case, m) = request
+                    .workload_parts()
+                    .expect("workload request has workload parts");
+                self.fan(
+                    format!("{label}: teams"),
+                    crate::kernels::WORKLOAD_TEAMS_AXIS
+                        .iter()
+                        .map(|&t| WorkItem::workload_point(kind, case, m, t)),
+                );
+            }
         }
     }
 
@@ -448,6 +486,39 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.evaluated, 0, "{s:?}");
         assert_eq!(s.lookups, 0, "planning must not touch the counters");
+    }
+
+    #[test]
+    fn workload_requests_lower_the_teams_axis() {
+        let e = engine();
+        for req in [
+            Request::dot(Case::C1),
+            Request::scan(Case::C3),
+            Request::gemv(Case::C2),
+        ] {
+            let plan = Planner::new(&e).plan(&req).unwrap();
+            assert_eq!(plan.stages.len(), 1, "{req:?}");
+            assert_eq!(plan.work_items(), 7, "{req:?}");
+            assert_eq!(plan.deduped, 0, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn workload_items_dedupe_across_requests_but_kinds_stay_distinct() {
+        let e = engine();
+        // Two identical dot requests: the second's items all fold away.
+        let plan = Planner::new(&e)
+            .plan_many(&[Request::dot(Case::C1), Request::dot(Case::C1)])
+            .unwrap();
+        assert_eq!(plan.work_items(), 7);
+        assert_eq!(plan.deduped, 7);
+        // Dot and scan over the same case share nothing: the kind is part
+        // of the cache key.
+        let plan = Planner::new(&e)
+            .plan_many(&[Request::dot(Case::C1), Request::scan(Case::C1)])
+            .unwrap();
+        assert_eq!(plan.work_items(), 14);
+        assert_eq!(plan.deduped, 0);
     }
 
     #[test]

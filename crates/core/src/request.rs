@@ -19,12 +19,13 @@ use std::sync::Arc;
 use crate::autotune::TunedConfig;
 use crate::case::Case;
 use crate::corun::{AllocSite, CorunConfig, CorunSeries};
+use crate::kernels::{workload_m, WorkloadResult, GEMV_COLS_DEFAULT};
 use crate::reduction::{KernelKind, ReductionSpec};
 use crate::study::CorunStudy;
 use crate::sweep::{GpuSweep, SweepMode, SweepResult};
 use crate::table1::Table1;
 use crate::whatif::WhatIfStudy;
-use ghr_types::{GhrError, RequestId, Result};
+use ghr_types::{GhrError, RequestId, Result, WorkloadKind};
 
 /// A declarative description of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +61,30 @@ pub enum Request {
         /// Optional element-count override (scaled per case).
         m: Option<u64>,
     },
+    /// Dot product of two streams, descriptor-timed over the teams axis.
+    Dot {
+        /// The dtype case.
+        case: Case,
+        /// Optional element-count override (default: the paper's scale).
+        m: Option<u64>,
+    },
+    /// Inclusive prefix sum, descriptor-timed over the teams axis.
+    Scan {
+        /// The dtype case.
+        case: Case,
+        /// Optional element-count override (default: the paper's scale).
+        m: Option<u64>,
+    },
+    /// Row-major GEMV, descriptor-timed over the teams axis.
+    Gemv {
+        /// The dtype case.
+        case: Case,
+        /// Row length in elements.
+        cols: u32,
+        /// Optional element-count override (default: the paper's scale,
+        /// rounded down to whole rows).
+        m: Option<u64>,
+    },
 }
 
 impl Request {
@@ -77,7 +102,24 @@ impl Request {
             Request::Study { .. } => "study".to_string(),
             Request::WhatIf => "whatif".to_string(),
             Request::Autotune { cases, .. } => format!("autotune x{}", cases.len()),
+            Request::Dot { case, .. } => format!("dot {case}"),
+            Request::Scan { case, .. } => format!("scan {case}"),
+            Request::Gemv { case, cols, .. } => format!("gemv {case} cols={cols}"),
         }
+    }
+
+    /// The `(kind, case, resolved m)` triple of a workload request, or
+    /// `None` for the reduction-era variants. One definition for the
+    /// planner's lowering, the executor's assembly and the CLI, so all
+    /// three enumerate exactly the same teams-axis items.
+    pub fn workload_parts(&self) -> Option<(WorkloadKind, Case, u64)> {
+        let (kind, case, m) = match *self {
+            Request::Dot { case, m } => (WorkloadKind::Dot, case, m),
+            Request::Scan { case, m } => (WorkloadKind::Scan, case, m),
+            Request::Gemv { case, cols, m } => (WorkloadKind::Gemv { cols }, case, m),
+            _ => return None,
+        };
+        Some((kind, case, workload_m(kind, case, m)))
     }
 
     /// Reject structurally empty requests before planning: an empty grid
@@ -101,9 +143,44 @@ impl Request {
                     return empty("empty autotune case list");
                 }
             }
+            Request::Dot { m, .. } | Request::Scan { m, .. } => {
+                if m == &Some(0) {
+                    return Err(GhrError::bad_request("workload with m = 0".to_string()));
+                }
+            }
+            Request::Gemv { case, cols, m } => {
+                if *cols == 0 {
+                    return Err(GhrError::bad_request("gemv with cols = 0".to_string()));
+                }
+                if workload_m(WorkloadKind::Gemv { cols: *cols }, *case, *m) == 0 {
+                    return Err(GhrError::bad_request(
+                        "gemv with fewer elements than one row".to_string(),
+                    ));
+                }
+            }
             Request::Table1 | Request::Study { .. } | Request::WhatIf => {}
         }
         Ok(())
+    }
+
+    /// The dot request for one case at the paper's scale.
+    pub fn dot(case: Case) -> Self {
+        Request::Dot { case, m: None }
+    }
+
+    /// The scan request for one case at the paper's scale.
+    pub fn scan(case: Case) -> Self {
+        Request::Scan { case, m: None }
+    }
+
+    /// The GEMV request for one case at the paper's scale with the
+    /// default row length.
+    pub fn gemv(case: Case) -> Self {
+        Request::Gemv {
+            case,
+            cols: GEMV_COLS_DEFAULT,
+            m: None,
+        }
     }
 
     /// The Fig. 1 request for one case at the paper's scale.
@@ -189,6 +266,8 @@ pub enum Response {
     WhatIf(WhatIfStudy),
     /// Result of [`Request::Autotune`], in case order.
     Autotune(Vec<TunedConfig>),
+    /// Result of [`Request::Dot`] / [`Request::Scan`] / [`Request::Gemv`].
+    Workload(WorkloadResult),
 }
 
 impl Response {
@@ -241,6 +320,14 @@ impl Response {
         match self {
             Response::Autotune(t) => Ok(t),
             other => Err(other.mismatch("autotune result")),
+        }
+    }
+
+    /// The workload result, or an error for any other response shape.
+    pub fn workload(&self) -> Result<&WorkloadResult> {
+        match self {
+            Response::Workload(w) => Ok(w),
+            other => Err(other.mismatch("workload result")),
         }
     }
 }

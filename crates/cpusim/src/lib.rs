@@ -107,10 +107,11 @@ impl CpuModel {
     pub fn compute_rate(&self, dtype: DType, threads: u32) -> f64 {
         let threads = threads.clamp(1, self.spec.cores) as f64;
         // Lane count scales inversely with element width relative to 4B.
-        let width_scale = 4.0 / dtype.size_bytes() as f64;
-        let penalty = match dtype {
-            DType::I8 => self.params.widen_i8_penalty,
-            _ => 1.0,
+        let width_scale = dtype.simd_width_scale();
+        let penalty = if dtype.widens_on_accumulate() {
+            self.params.widen_i8_penalty
+        } else {
+            1.0
         };
         self.params.elems_per_cycle_4b * width_scale / penalty * self.spec.clock.hz() * threads
     }

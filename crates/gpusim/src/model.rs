@@ -3,7 +3,7 @@
 use crate::launch::LaunchConfig;
 use crate::params::GpuModelParams;
 use ghr_machine::GpuSpec;
-use ghr_types::{Bandwidth, Result, SimTime};
+use ghr_types::{Bandwidth, Bytes, CombinePattern, GhrError, KernelDescriptor, Result, SimTime};
 
 /// Timing breakdown of one modelled kernel execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,14 +86,58 @@ impl GpuModel {
     /// Model one kernel execution with the memory side limited to
     /// `supply_bw` (e.g. a remote NVLink-C2C read path in unified-memory
     /// mode). `None` means local HBM.
+    ///
+    /// This is the sum-reduction special case of [`GpuModel::time_kernel`]
+    /// and is pinned (by test) to stay bit-identical to the original
+    /// hard-coded reduction model.
     pub fn reduce_with_supply(
         &self,
         cfg: &LaunchConfig,
         supply_bw: Option<Bandwidth>,
     ) -> Result<GpuKernelBreakdown> {
+        self.time_kernel(
+            cfg,
+            &KernelDescriptor::sum_reduction(cfg.elem, cfg.acc),
+            supply_bw,
+        )
+    }
+
+    /// Model one execution of *any* described kernel.
+    ///
+    /// The three-leg structure is unchanged from the reduction model — the
+    /// descriptor only parameterizes what each leg is fed:
+    ///
+    /// * **memory** — bytes moved grow with `input_streams` (each loop
+    ///   iteration keeps proportionally more bytes in flight, so Little's
+    ///   law scales too) and with the output stream for non-scalar
+    ///   [`ghr_types::OutputCardinality`];
+    /// * **compute** — the per-element instruction term scales with
+    ///   `flops_per_elem`, and loads per iteration follow the widened
+    ///   per-iteration byte footprint;
+    /// * **team pipeline** — the per-team epilogue cost follows the
+    ///   [`CombinePattern`] (see MODEL.md for the mapping).
+    pub fn time_kernel(
+        &self,
+        cfg: &LaunchConfig,
+        desc: &KernelDescriptor,
+        supply_bw: Option<Bandwidth>,
+    ) -> Result<GpuKernelBreakdown> {
         cfg.validate()?;
+        if desc.elem != cfg.elem || desc.acc != cfg.acc {
+            return Err(GhrError::invalid(
+                "descriptor",
+                format!(
+                    "dtype mismatch: descriptor {}→{}, launch {}→{}",
+                    desc.elem, desc.acc, cfg.elem, cfg.acc
+                ),
+            ));
+        }
+        if desc.input_streams == 0 {
+            return Err(GhrError::invalid("descriptor", "input_streams must be > 0"));
+        }
         let p = &self.params;
         let spec = &self.spec;
+        let streams = desc.input_streams as u64;
 
         // --- occupancy -----------------------------------------------------
         let resident = spec.teams_resident_per_sm(cfg.threads_per_team) as u64;
@@ -101,8 +145,8 @@ impl GpuModel {
         let active_threads = active_teams * cfg.threads_per_team as u64;
 
         // --- memory: Little's law vs the supply roof -----------------------
-        let inflight_bytes =
-            active_threads as f64 * cfg.bytes_per_thread_iter() as f64 * p.mlp_factor;
+        let bytes_per_iter = cfg.bytes_per_thread_iter() * streams;
+        let inflight_bytes = active_threads as f64 * bytes_per_iter as f64 * p.mlp_factor;
         let concurrency_bw = Bandwidth(inflight_bytes / (spec.hbm_latency_ns * 1e-9));
         let hbm_roof = spec.hbm_peak_bw * p.hbm_efficiency(cfg.elem);
         let roof_bw = match supply_bw {
@@ -110,12 +154,13 @@ impl GpuModel {
             None => hbm_roof,
         };
         let mem_bw = roof_bw.min(concurrency_bw);
-        let memory = mem_bw.time_for(cfg.input_bytes());
+        let bytes_moved = Bytes(cfg.input_bytes().0 * streams + desc.output_bytes(cfg.m));
+        let memory = mem_bw.time_for(bytes_moved);
 
         // --- compute: warp instruction issue -------------------------------
-        let loads_per_iter = (cfg.bytes_per_thread_iter()).div_ceil(p.max_vector_load_bytes) as f64;
+        let loads_per_iter = bytes_per_iter.div_ceil(p.max_vector_load_bytes) as f64;
         let instr_per_iter = p.instr_base
-            + p.instr_per_elem(cfg.elem) * cfg.v as f64
+            + p.instr_per_elem(cfg.elem) * desc.flops_per_elem * cfg.v as f64
             + p.instr_per_load * loads_per_iter;
         let warp_iters =
             (cfg.num_teams * cfg.warps_per_team() as u64 * cfg.iterations_per_thread()) as f64;
@@ -123,24 +168,36 @@ impl GpuModel {
         let issue_rate = sms_used * spec.issue_width as f64 * spec.clock.hz();
         let compute = SimTime::secs(warp_iters * instr_per_iter / issue_rate);
 
-        // --- team pipeline: prologue + tree + combine, serialized per SM ---
-        let combine_ns = match p.combine_strategy {
-            crate::params::CombineStrategy::AtomicPerTeam => p.combine_ns(cfg.acc),
-            // Two-pass: partials stream to a buffer (cheap, ~coalesced
-            // store per team) and a second kernel reduces them.
-            crate::params::CombineStrategy::TwoPassKernel => 1.0,
+        // --- team pipeline: prologue + epilogue per the combine pattern ----
+        let combine_ns = match desc.combine {
+            CombinePattern::Reduce | CombinePattern::AxpyDot => match p.combine_strategy {
+                crate::params::CombineStrategy::AtomicPerTeam => p.combine_ns(cfg.acc),
+                // Two-pass: partials stream to a buffer (cheap, ~coalesced
+                // store per team) and a second kernel reduces them.
+                crate::params::CombineStrategy::TwoPassKernel => 1.0,
+            },
+            // Decoupled look-back: each team publishes its aggregate and
+            // reads its predecessor's running prefix — two round trips.
+            CombinePattern::Scan => 2.0 * p.combine_ns(cfg.acc),
+            // Rows complete inside their team; no device-wide combine.
+            CombinePattern::GemvRow => 0.0,
         };
         let per_team_ns = p.team_overhead_ns + combine_ns;
         let waves = cfg.num_teams.div_ceil(spec.sm_count as u64);
         let team_pipeline = SimTime::nanos(waves as f64 * per_team_ns);
 
-        // The second pass reads the partials buffer and launches again.
-        let second_pass = match p.combine_strategy {
-            crate::params::CombineStrategy::AtomicPerTeam => SimTime::ZERO,
-            crate::params::CombineStrategy::TwoPassKernel => {
-                let partial_bytes = ghr_types::Bytes(cfg.num_teams * cfg.acc.size_bytes());
-                p.launch_overhead + hbm_roof.time_for(partial_bytes)
-            }
+        // The second pass reads the partials buffer and launches again
+        // (only the two-pass reduction strategy pays it; scan's look-back
+        // is already charged in the per-team epilogue).
+        let second_pass = match desc.combine {
+            CombinePattern::Reduce | CombinePattern::AxpyDot => match p.combine_strategy {
+                crate::params::CombineStrategy::AtomicPerTeam => SimTime::ZERO,
+                crate::params::CombineStrategy::TwoPassKernel => {
+                    let partial_bytes = Bytes(cfg.num_teams * cfg.acc.size_bytes());
+                    p.launch_overhead + hbm_roof.time_for(partial_bytes)
+                }
+            },
+            CombinePattern::Scan | CombinePattern::GemvRow => SimTime::ZERO,
         };
 
         let total = p.launch_overhead + memory.max(compute).max(team_pipeline) + second_pass;
@@ -153,7 +210,7 @@ impl GpuModel {
             total,
             concurrency_bw,
             roof_bw,
-            effective_bw: total.bandwidth_for(cfg.input_bytes()),
+            effective_bw: total.bandwidth_for(bytes_moved),
         })
     }
 
@@ -447,6 +504,155 @@ mod tests {
         let mut cfg = optimized(1);
         cfg.v = 5;
         assert!(m.reduce(&cfg).is_err());
+    }
+
+    /// Verbatim transcription of the pre-descriptor reduction model. The
+    /// refactor's contract is that `KernelDescriptor::sum_reduction` feeds
+    /// `time_kernel` the exact same arithmetic, bit for bit.
+    fn original_reduction_model(m: &GpuModel, cfg: &LaunchConfig) -> GpuKernelBreakdown {
+        let p = m.params();
+        let spec = m.spec();
+        let resident = spec.teams_resident_per_sm(cfg.threads_per_team) as u64;
+        let active_teams = cfg.num_teams.min(spec.sm_count as u64 * resident);
+        let active_threads = active_teams * cfg.threads_per_team as u64;
+        let inflight_bytes =
+            active_threads as f64 * cfg.bytes_per_thread_iter() as f64 * p.mlp_factor;
+        let concurrency_bw = Bandwidth(inflight_bytes / (spec.hbm_latency_ns * 1e-9));
+        let roof_bw = spec.hbm_peak_bw * p.hbm_efficiency(cfg.elem);
+        let mem_bw = roof_bw.min(concurrency_bw);
+        let memory = mem_bw.time_for(cfg.input_bytes());
+        let loads_per_iter = (cfg.bytes_per_thread_iter()).div_ceil(p.max_vector_load_bytes) as f64;
+        let instr_per_iter = p.instr_base
+            + p.instr_per_elem(cfg.elem) * cfg.v as f64
+            + p.instr_per_load * loads_per_iter;
+        let warp_iters =
+            (cfg.num_teams * cfg.warps_per_team() as u64 * cfg.iterations_per_thread()) as f64;
+        let sms_used = cfg.num_teams.min(spec.sm_count as u64) as f64;
+        let issue_rate = sms_used * spec.issue_width as f64 * spec.clock.hz();
+        let compute = SimTime::secs(warp_iters * instr_per_iter / issue_rate);
+        let per_team_ns = p.team_overhead_ns + p.combine_ns(cfg.acc);
+        let waves = cfg.num_teams.div_ceil(spec.sm_count as u64);
+        let team_pipeline = SimTime::nanos(waves as f64 * per_team_ns);
+        let total = p.launch_overhead + memory.max(compute).max(team_pipeline);
+        GpuKernelBreakdown {
+            launch: p.launch_overhead,
+            memory,
+            compute,
+            team_pipeline,
+            total,
+            concurrency_bw,
+            roof_bw,
+            effective_bw: total.bandwidth_for(cfg.input_bytes()),
+        }
+    }
+
+    #[test]
+    fn sum_reduction_descriptor_is_bit_identical_to_the_original_model() {
+        let m = model();
+        let mut checked = 0usize;
+        for case in 1..=4 {
+            for cfg in [baseline(case), optimized(case)] {
+                let old = original_reduction_model(&m, &cfg);
+                let new = m
+                    .time_kernel(
+                        &cfg,
+                        &KernelDescriptor::sum_reduction(cfg.elem, cfg.acc),
+                        None,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    old.total.as_secs().to_bits(),
+                    new.total.as_secs().to_bits(),
+                    "C{case} {cfg:?}"
+                );
+                assert_eq!(
+                    old.effective_bw.as_gbps().to_bits(),
+                    new.effective_bw.as_gbps().to_bits(),
+                    "C{case} {cfg:?}"
+                );
+                assert_eq!(old.memory, new.memory, "C{case}");
+                assert_eq!(old.compute, new.compute, "C{case}");
+                assert_eq!(old.team_pipeline, new.team_pipeline, "C{case}");
+                assert_eq!(old.concurrency_bw, new.concurrency_bw, "C{case}");
+                checked += 1;
+            }
+        }
+        // And across a teams × V grid, through the public reduce() path.
+        for teams in [1u64, 7, 132, 1024, 16384, 0xFF_FFFF] {
+            for v in [1u32, 4, 32] {
+                let cfg = LaunchConfig {
+                    num_teams: teams,
+                    threads_per_team: 128,
+                    v,
+                    m: M4,
+                    elem: DType::I8,
+                    acc: DType::I64,
+                };
+                let old = original_reduction_model(&m, &cfg);
+                let new = m.reduce(&cfg).unwrap();
+                assert_eq!(
+                    old.total.as_secs().to_bits(),
+                    new.total.as_secs().to_bits(),
+                    "teams={teams} v={v}"
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 26);
+    }
+
+    #[test]
+    fn dot_descriptor_moves_twice_the_bytes() {
+        let m = model();
+        let cfg = optimized(1);
+        let sum = m.reduce(&cfg).unwrap();
+        let dot = m
+            .time_kernel(&cfg, &KernelDescriptor::dot(cfg.elem, cfg.acc), None)
+            .unwrap();
+        // Two streams through the same roof: the memory leg doubles...
+        assert!((dot.memory.as_secs() / sum.memory.as_secs() - 2.0).abs() < 1e-9);
+        // ...and the effective bandwidth (bytes moved / time) stays at the
+        // roof, since the optimized geometry is memory-bound either way.
+        assert_eq!(dot.bound_by(), "memory");
+    }
+
+    #[test]
+    fn scan_descriptor_charges_the_output_stream_and_lookback() {
+        let m = model();
+        let cfg = optimized(3);
+        let sum = m.reduce(&cfg).unwrap();
+        let scan = m
+            .time_kernel(&cfg, &KernelDescriptor::scan(cfg.elem, cfg.acc), None)
+            .unwrap();
+        // Scan reads m and writes m accumulators: memory leg doubles.
+        assert!(scan.memory > sum.memory);
+        // Per-team epilogue pays two combines instead of one.
+        assert!(scan.team_pipeline > sum.team_pipeline);
+    }
+
+    #[test]
+    fn gemv_descriptor_has_no_device_wide_combine() {
+        let m = model();
+        let cfg = baseline(4);
+        let sum = m.reduce(&cfg).unwrap();
+        let gemv = m
+            .time_kernel(
+                &cfg,
+                &KernelDescriptor::gemv_row(cfg.elem, cfg.acc, 256),
+                None,
+            )
+            .unwrap();
+        // At the baseline's huge grid the reduction is team-pipeline-bound;
+        // dropping the device-wide combine leaves only the team prologue.
+        assert!(gemv.team_pipeline < sum.team_pipeline);
+    }
+
+    #[test]
+    fn descriptor_dtype_mismatch_is_rejected() {
+        let m = model();
+        let cfg = optimized(1);
+        let wrong = KernelDescriptor::sum_reduction(DType::F64, DType::F64);
+        assert!(m.time_kernel(&cfg, &wrong, None).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fitted parameters of the GPU timing model.
 
-use ghr_types::{DType, SimTime};
+use ghr_types::{CombineClass, DType, SimTime, WidthClass};
 
 /// How per-team partial results are combined into the final value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,28 +108,29 @@ impl Default for GpuModelParams {
 impl GpuModelParams {
     /// Per-team combine cost for an accumulator type, in nanoseconds.
     pub fn combine_ns(&self, acc: DType) -> f64 {
-        match acc {
-            DType::I8 | DType::I32 => self.combine_ns_i32,
-            DType::I64 => self.combine_ns_i64,
-            DType::F32 => self.combine_ns_f32,
-            DType::F64 => self.combine_ns_f64,
+        match acc.combine_class() {
+            CombineClass::Int32 => self.combine_ns_i32,
+            CombineClass::Int64 => self.combine_ns_i64,
+            CombineClass::Float32 => self.combine_ns_f32,
+            CombineClass::Float64 => self.combine_ns_f64,
         }
     }
 
     /// Per-element instruction cost for an element type.
     pub fn instr_per_elem(&self, elem: DType) -> f64 {
-        match elem {
-            DType::I8 => self.instr_per_add_i8,
-            _ => self.instr_per_add,
+        if elem.widens_on_accumulate() {
+            self.instr_per_add_i8
+        } else {
+            self.instr_per_add
         }
     }
 
     /// Streaming efficiency of HBM for an element width.
     pub fn hbm_efficiency(&self, elem: DType) -> f64 {
-        match elem.size_bytes() {
-            1 => self.hbm_efficiency_1b,
-            4 => self.hbm_efficiency_4b,
-            _ => self.hbm_efficiency_8b,
+        match elem.width_class() {
+            WidthClass::OneByte => self.hbm_efficiency_1b,
+            WidthClass::FourByte => self.hbm_efficiency_4b,
+            WidthClass::EightByte => self.hbm_efficiency_8b,
         }
     }
 

@@ -166,6 +166,21 @@ impl OmpRuntime {
         self.gpu.reduce_with_supply(&launch, supply)
     }
 
+    /// Timing-only execution of *any* described kernel at arbitrary scale:
+    /// the region's launch heuristics resolve the geometry exactly as for a
+    /// reduction, and the GPU model times the descriptor's memory, compute
+    /// and team-pipeline legs. `supply` optionally caps the memory side.
+    pub fn time_target_kernel(
+        &self,
+        region: &TargetRegion,
+        m: u64,
+        desc: &ghr_types::KernelDescriptor,
+        supply: Option<Bandwidth>,
+    ) -> Result<GpuKernelBreakdown> {
+        let launch = region.resolve_launch(m, desc.elem, desc.acc)?;
+        self.gpu.time_kernel(&launch, desc, supply)
+    }
+
     /// Cost of a `map(to: ...)` host-to-device transfer in separate-memory
     /// mode. In unified mode the clause moves nothing (returns zero), as
     /// the paper describes for `-gpu=mem:unified`.
@@ -385,6 +400,33 @@ mod tests {
             .unwrap();
         let gbps = b.effective_bw.as_gbps();
         assert!((gbps - 3795.0).abs() / 3795.0 < 0.02, "{gbps}");
+    }
+
+    #[test]
+    fn descriptor_timing_reduces_to_the_reduction_model() {
+        use ghr_types::KernelDescriptor;
+        let rt = rt();
+        let region = TargetRegion::optimized(65536, 4);
+        let m = 1_048_576_000;
+        let reduce = rt
+            .time_target_reduce(&region, m, DType::I32, DType::I32, None)
+            .unwrap();
+        let desc = KernelDescriptor::sum_reduction(DType::I32, DType::I32);
+        let kernel = rt.time_target_kernel(&region, m, &desc, None).unwrap();
+        assert_eq!(
+            reduce.total.as_secs().to_bits(),
+            kernel.total.as_secs().to_bits()
+        );
+        // Dot resolves the same geometry but moves twice the bytes.
+        let dot = rt
+            .time_target_kernel(
+                &region,
+                m,
+                &KernelDescriptor::dot(DType::I32, DType::I32),
+                None,
+            )
+            .unwrap();
+        assert!(dot.total > kernel.total);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`simd`] — vectorized versions of the unrolled kernel (x86_64
 //!   SSE2/AVX2, aarch64 NEON) behind runtime feature detection, bit-identical
 //!   to the scalar accumulation tree and selectable via `GHR_SIMD`;
+//! * [`workloads`] — the non-reduction kernels (dot, inclusive scan,
+//!   row-major GEMV) behind the kernel-descriptor pipeline, with the same
+//!   scalar-tree-vs-vector bit-identity contract as the sum kernels;
 //! * [`reduce`] — parallel reductions combining the above, with
 //!   OpenMP-style static chunking;
 //! * [`microbench`] — std-only (no Criterion) warmup + min-of-N timing of
@@ -35,6 +38,7 @@ pub mod pool;
 pub mod reduce;
 pub mod scope;
 pub mod simd;
+pub mod workloads;
 
 pub use kernels::{
     sum_kahan, sum_pairwise, sum_sequential, sum_unrolled, sum_unrolled_with_backend,
@@ -48,3 +52,7 @@ pub use reduce::{
 };
 pub use scope::{parallel_for, parallel_map_chunks, split_evenly};
 pub use simd::Backend;
+pub use workloads::{
+    dot_sequential, dot_unrolled, dot_unrolled_with_backend, gemv, gemv_with_backend,
+    scan_inclusive, scan_inclusive_with_backend, try_dot_unrolled, try_gemv,
+};

@@ -220,7 +220,7 @@ pub(crate) fn simd_sum<T: Element>(data: &[T], v: usize, backend: Backend) -> Op
 /// `TypeId`. Used to bridge the generic [`Element`] API to the concrete
 /// per-type kernels without unstable specialization.
 #[inline]
-fn cast_slice<T: 'static, U: 'static>(data: &[T]) -> Option<&[U]> {
+pub(crate) fn cast_slice<T: 'static, U: 'static>(data: &[T]) -> Option<&[U]> {
     if std::any::TypeId::of::<T>() == std::any::TypeId::of::<U>() {
         // SAFETY: T and U are the same type, so layout and validity match.
         Some(unsafe { &*(data as *const [T] as *const [U]) })
@@ -232,7 +232,7 @@ fn cast_slice<T: 'static, U: 'static>(data: &[T]) -> Option<&[U]> {
 /// Convert a concrete kernel result back into the generic accumulator type
 /// after the `TypeId` proof above. Panics (unreachably) on a type mismatch.
 #[inline]
-fn cast_acc<A: Copy + 'static, B: Copy + 'static>(a: A) -> B {
+pub(crate) fn cast_acc<A: Copy + 'static, B: Copy + 'static>(a: A) -> B {
     assert_eq!(std::any::TypeId::of::<A>(), std::any::TypeId::of::<B>());
     // SAFETY: A and B are the same type (checked above), and both are Copy.
     unsafe { std::mem::transmute_copy(&a) }
@@ -260,7 +260,7 @@ fn combine_lanes_and_tail<T: Element>(lanes: &mut [T::Acc], tail: &[T]) -> T::Ac
 
 /// The part of `data` the vector main loop does not consume.
 #[inline]
-fn tail_of<T>(data: &[T], v: usize) -> &[T] {
+pub(crate) fn tail_of<T>(data: &[T], v: usize) -> &[T] {
     &data[data.len() - data.len() % v..]
 }
 

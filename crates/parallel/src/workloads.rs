@@ -1,0 +1,820 @@
+//! Single-threaded kernels for the non-reduction workloads (dot, scan,
+//! GEMV) — the functional oracles behind the descriptor-timed pipeline.
+//!
+//! Each workload follows the same structure as the sum kernels in
+//! [`crate::kernels`]: a scalar accumulation tree is the canonical
+//! semantics (`V` independent lane accumulators, pairwise combine, serial
+//! tail), and the vector paths reproduce it **bit-identically** — a vector
+//! register simply holds `W` of the `V` lanes and performs the same
+//! per-lane operations in the same order, with separate multiply and add
+//! instructions for floats (no FMA contraction).
+//!
+//! The inclusive scan is inherently sequential per element, so its
+//! canonical semantics is the plain running sum; vector scan paths exist
+//! only for integer accumulators (wrapping addition is associative, so the
+//! in-register Hillis–Steele order is exactly the sequential result).
+//! Float scans always take the scalar path — any in-register reassociation
+//! would change the rounding — and [`Backend::covers_scan`] says so.
+
+use crate::simd::{cast_acc, cast_slice, tail_of, Backend};
+use ghr_types::{Accum, DType, Element, GhrError, Result};
+
+use crate::kernels::validate_v;
+
+// ---------------------------------------------------------------------
+// Coverage: which (backend, dtype, V) shapes have vector kernels
+// ---------------------------------------------------------------------
+
+impl Backend {
+    /// Whether this backend has a vector dot-product kernel for `dtype`
+    /// unrolled by `v`. Narrower than the sum coverage: SSE2 lacks a
+    /// 32-bit integer multiply, and the `i8 → i64` widening multiply chain
+    /// is not worth a vector path on any tier.
+    pub fn covers_dot(self, dtype: DType, v: usize) -> bool {
+        match self {
+            Backend::Scalar => false,
+            Backend::Sse2 => match dtype {
+                DType::F32 => v >= 4,
+                DType::F64 => v >= 2,
+                // `_mm_mullo_epi32` is SSE4.1; stay scalar below AVX2.
+                DType::I8 | DType::I32 | DType::I64 => false,
+            },
+            Backend::Avx2 => match dtype {
+                DType::I32 | DType::F32 => v >= 8,
+                DType::F64 => v >= 4,
+                DType::I8 | DType::I64 => false,
+            },
+            Backend::Neon => match dtype {
+                DType::I32 | DType::F32 => v >= 4,
+                DType::F64 => v >= 2,
+                DType::I8 | DType::I64 => false,
+            },
+        }
+    }
+
+    /// Whether this backend has a vector inclusive-scan kernel for `dtype`.
+    ///
+    /// Only integer accumulation is reassociation-safe (wrapping adds), so
+    /// floats always scan on the scalar path to keep the sequential
+    /// rounding; `i8`'s widened `i64` lanes lack the in-register shifts.
+    pub fn covers_scan(self, dtype: DType) -> bool {
+        match self {
+            Backend::Scalar => false,
+            // AVX2 hosts run the 128-bit kernel (SSE2 is x86_64 baseline).
+            Backend::Sse2 | Backend::Avx2 | Backend::Neon => dtype == DType::I32,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dot product
+// ---------------------------------------------------------------------
+
+/// Serial dot product: `Σ widen(a[i]) * widen(b[i])`, products formed in
+/// the accumulator domain (so C2's `i8` inputs multiply as `i64`).
+///
+/// Panics if the operand lengths differ.
+pub fn dot_sequential<T: Element>(a: &[T], b: &[T]) -> T::Acc {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    let mut sum = T::Acc::zero();
+    for (&x, &y) in a.iter().zip(b) {
+        sum = sum + x.widen() * y.widen();
+    }
+    sum
+}
+
+/// Dot product with the `v`-lane accumulation tree (the workload analogue
+/// of [`crate::kernels::sum_unrolled`]): `v` independent multiply-add lane
+/// accumulators, pairwise combine, serial tail. Runs on the vector kernels
+/// when [`Backend::active`] covers the shape; results are bit-identical
+/// across backends by construction.
+///
+/// Panics on invalid `v` or mismatched lengths; see [`try_dot_unrolled`].
+pub fn dot_unrolled<T: Element>(a: &[T], b: &[T], v: usize) -> T::Acc {
+    try_dot_unrolled(a, b, v).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`dot_unrolled`].
+pub fn try_dot_unrolled<T: Element>(a: &[T], b: &[T], v: usize) -> Result<T::Acc> {
+    validate_v(v)?;
+    if a.len() != b.len() {
+        return Err(GhrError::arg(
+            "dot",
+            format!("operand lengths differ ({} vs {})", a.len(), b.len()),
+        ));
+    }
+    Ok(dot_unrolled_on(a, b, v, Backend::active()))
+}
+
+/// [`dot_unrolled`] with an explicitly chosen backend (parity tests, and
+/// callers that resolve the backend once outside a loop).
+pub fn dot_unrolled_with_backend<T: Element>(
+    a: &[T],
+    b: &[T],
+    v: usize,
+    backend: Backend,
+) -> T::Acc {
+    validate_v(v).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    dot_unrolled_on(a, b, v, backend)
+}
+
+fn dot_unrolled_on<T: Element>(a: &[T], b: &[T], v: usize, backend: Backend) -> T::Acc {
+    if let Some(sum) = simd_dot(a, b, v, backend) {
+        return sum;
+    }
+    match v {
+        1 => dot_sequential(a, b),
+        2 => dot_unrolled_const::<T, 2>(a, b),
+        4 => dot_unrolled_const::<T, 4>(a, b),
+        8 => dot_unrolled_const::<T, 8>(a, b),
+        16 => dot_unrolled_const::<T, 16>(a, b),
+        32 => dot_unrolled_const::<T, 32>(a, b),
+        _ => unreachable!(),
+    }
+}
+
+/// Monomorphized scalar tree — the canonical dot semantics.
+fn dot_unrolled_const<T: Element, const LANES: usize>(a: &[T], b: &[T]) -> T::Acc {
+    let mut acc = [T::Acc::zero(); LANES];
+    let ca = a.chunks_exact(LANES);
+    let ta = ca.remainder();
+    let cb = b.chunks_exact(LANES);
+    let tb = cb.remainder();
+    for (xc, yc) in ca.zip(cb) {
+        for (l, (&x, &y)) in acc.iter_mut().zip(xc.iter().zip(yc)) {
+            *l = *l + x.widen() * y.widen();
+        }
+    }
+    combine_lanes_and_dot_tail::<T>(&mut acc, ta, tb)
+}
+
+/// Shared epilogue of every dot kernel (scalar and vector): pairwise lane
+/// combine, then the serial multiply-add tail.
+fn combine_lanes_and_dot_tail<T: Element>(lanes: &mut [T::Acc], ta: &[T], tb: &[T]) -> T::Acc {
+    debug_assert!(lanes.len().is_power_of_two());
+    let mut width = lanes.len();
+    while width > 1 {
+        width /= 2;
+        for i in 0..width {
+            lanes[i] = lanes[i] + lanes[i + width];
+        }
+    }
+    let mut sum = lanes[0];
+    for (&x, &y) in ta.iter().zip(tb) {
+        sum = sum + x.widen() * y.widen();
+    }
+    sum
+}
+
+/// Vector dot dispatch; `None` means "use the scalar tree".
+fn simd_dot<T: Element>(a: &[T], b: &[T], v: usize, backend: Backend) -> Option<T::Acc> {
+    debug_assert!(matches!(v, 1 | 2 | 4 | 8 | 16 | 32));
+    if !backend.covers_dot(T::DTYPE, v) {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        return x86::dispatch_dot::<T>(a, b, v, backend);
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return neon::dispatch_dot::<T>(a, b, v, backend);
+    }
+    #[allow(unreachable_code)]
+    None
+}
+
+// ---------------------------------------------------------------------
+// Inclusive scan
+// ---------------------------------------------------------------------
+
+/// Inclusive prefix sum into the accumulator domain:
+/// `out[i] = widen(x[0]) + ... + widen(x[i])`, in strict left-to-right
+/// order. Vector paths (integer accumulators only — see
+/// [`Backend::covers_scan`]) reproduce this exactly.
+pub fn scan_inclusive<T: Element>(data: &[T]) -> Vec<T::Acc> {
+    scan_inclusive_with_backend(data, Backend::active())
+}
+
+/// [`scan_inclusive`] with an explicitly chosen backend.
+pub fn scan_inclusive_with_backend<T: Element>(data: &[T], backend: Backend) -> Vec<T::Acc> {
+    let mut out = Vec::with_capacity(data.len());
+    if backend.covers_scan(T::DTYPE) && simd_scan::<T>(data, &mut out, backend) {
+        return out;
+    }
+    let mut acc = T::Acc::zero();
+    for &x in data {
+        acc = acc + x.widen();
+        out.push(acc);
+    }
+    out
+}
+
+/// Vector scan dispatch; returns `false` (leaving `out` empty) when no
+/// kernel applies and the caller should take the scalar path.
+#[allow(unused_variables)]
+fn simd_scan<T: Element>(data: &[T], out: &mut Vec<T::Acc>, backend: Backend) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        return x86::dispatch_scan::<T>(data, out, backend);
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return neon::dispatch_scan::<T>(data, out, backend);
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+// ---------------------------------------------------------------------
+// GEMV (row-major matrix × vector)
+// ---------------------------------------------------------------------
+
+/// Row-major GEMV: `out[r] = dot(matrix[r*cols .. (r+1)*cols], x)` with
+/// `cols = x.len()`, each row using the same `v`-lane dot tree (so GEMV
+/// parity reduces to dot parity row by row).
+///
+/// Panics on invalid `v`, empty `x`, or a matrix length that is not a
+/// multiple of `x.len()`; see [`try_gemv`].
+pub fn gemv<T: Element>(matrix: &[T], x: &[T], v: usize) -> Vec<T::Acc> {
+    try_gemv(matrix, x, v).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`gemv`].
+pub fn try_gemv<T: Element>(matrix: &[T], x: &[T], v: usize) -> Result<Vec<T::Acc>> {
+    validate_v(v)?;
+    if x.is_empty() {
+        return Err(GhrError::arg("gemv", "x must be non-empty"));
+    }
+    if !matrix.len().is_multiple_of(x.len()) {
+        return Err(GhrError::arg(
+            "gemv",
+            format!(
+                "matrix length {} is not a multiple of cols {}",
+                matrix.len(),
+                x.len()
+            ),
+        ));
+    }
+    Ok(gemv_with_backend(matrix, x, v, Backend::active()))
+}
+
+/// [`gemv`] with an explicitly chosen backend (resolved once for all rows).
+pub fn gemv_with_backend<T: Element>(
+    matrix: &[T],
+    x: &[T],
+    v: usize,
+    backend: Backend,
+) -> Vec<T::Acc> {
+    matrix
+        .chunks_exact(x.len())
+        .map(|row| dot_unrolled_on(row, x, v, backend))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// x86_64 kernels
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+// Explicit `vacc[j]` indexing mirrors the scalar tree's accumulator layout
+// (the bit-identity contract), as in `simd.rs`.
+#[allow(clippy::needless_range_loop)]
+mod x86 {
+    use super::{cast_acc, cast_slice, combine_lanes_and_dot_tail, tail_of, Backend};
+    use ghr_types::{DType, Element};
+    use std::arch::x86_64::*;
+
+    pub(super) fn dispatch_dot<T: Element>(
+        a: &[T],
+        b: &[T],
+        v: usize,
+        backend: Backend,
+    ) -> Option<T::Acc> {
+        match (backend, T::DTYPE) {
+            // SAFETY: SSE2 is baseline on x86_64.
+            (Backend::Sse2, DType::F32) => Some(cast_acc(unsafe {
+                dot_f32_sse2(cast_slice::<T, f32>(a)?, cast_slice::<T, f32>(b)?, v)
+            })),
+            (Backend::Sse2, DType::F64) => Some(cast_acc(unsafe {
+                dot_f64_sse2(cast_slice::<T, f64>(a)?, cast_slice::<T, f64>(b)?, v)
+            })),
+            // SAFETY (AVX2 arms): `covers_dot` + `available` guarantee the
+            // avx2 feature was runtime-detected.
+            (Backend::Avx2, DType::I32) => Some(cast_acc(unsafe {
+                dot_i32_avx2(cast_slice::<T, i32>(a)?, cast_slice::<T, i32>(b)?, v)
+            })),
+            (Backend::Avx2, DType::F32) => Some(cast_acc(unsafe {
+                dot_f32_avx2(cast_slice::<T, f32>(a)?, cast_slice::<T, f32>(b)?, v)
+            })),
+            (Backend::Avx2, DType::F64) => Some(cast_acc(unsafe {
+                dot_f64_avx2(cast_slice::<T, f64>(a)?, cast_slice::<T, f64>(b)?, v)
+            })),
+            _ => None,
+        }
+    }
+
+    pub(super) fn dispatch_scan<T: Element>(
+        data: &[T],
+        out: &mut Vec<T::Acc>,
+        backend: Backend,
+    ) -> bool {
+        // AVX2 hosts run the same 128-bit kernel: a wider scan would need
+        // cross-lane permutes for no memory-bound benefit.
+        if !matches!(backend, Backend::Sse2 | Backend::Avx2) || T::DTYPE != DType::I32 {
+            return false;
+        }
+        let Some(d) = cast_slice::<T, i32>(data) else {
+            return false;
+        };
+        let mut concrete = Vec::with_capacity(d.len());
+        // SAFETY: SSE2 is baseline on x86_64.
+        unsafe { scan_i32_sse2(d, &mut concrete) };
+        for v in concrete {
+            out.push(cast_acc::<i32, T::Acc>(v));
+        }
+        true
+    }
+
+    /// SSE2 `f32` dot, 4 lanes per register; separate mul + add (no FMA).
+    unsafe fn dot_f32_sse2(a: &[f32], b: &[f32], v: usize) -> f32 {
+        const W: usize = 4;
+        let nv = v / W;
+        let mut vacc = [_mm_setzero_ps(); 8];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = _mm_mul_ps(_mm_loadu_ps(pa.add(j * W)), _mm_loadu_ps(pb.add(j * W)));
+                vacc[j] = _mm_add_ps(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = _mm_add_ps(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f32; W];
+        _mm_storeu_ps(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f32>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// SSE2 `f64` dot, 2 lanes per register.
+    unsafe fn dot_f64_sse2(a: &[f64], b: &[f64], v: usize) -> f64 {
+        const W: usize = 2;
+        let nv = v / W;
+        let mut vacc = [_mm_setzero_pd(); 16];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = _mm_mul_pd(_mm_loadu_pd(pa.add(j * W)), _mm_loadu_pd(pb.add(j * W)));
+                vacc[j] = _mm_add_pd(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = _mm_add_pd(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f64; W];
+        _mm_storeu_pd(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f64>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// AVX2 `i32` dot, 8 lanes per register (`vpmulld` wraps exactly like
+    /// the scalar `i32` product in release builds).
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i32_avx2(a: &[i32], b: &[i32], v: usize) -> i32 {
+        const W: usize = 8;
+        let nv = v / W;
+        let mut vacc = [_mm256_setzero_si256(); 4];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let x = _mm256_loadu_si256(pa.add(j * W) as *const __m256i);
+                let y = _mm256_loadu_si256(pb.add(j * W) as *const __m256i);
+                vacc[j] = _mm256_add_epi32(vacc[j], _mm256_mullo_epi32(x, y));
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = _mm256_add_epi32(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0i32; W];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, vacc[0]);
+        combine_lanes_and_dot_tail::<i32>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// AVX2 `f32` dot, 8 lanes per register.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_f32_avx2(a: &[f32], b: &[f32], v: usize) -> f32 {
+        const W: usize = 8;
+        let nv = v / W;
+        let mut vacc = [_mm256_setzero_ps(); 4];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = _mm256_mul_ps(
+                    _mm256_loadu_ps(pa.add(j * W)),
+                    _mm256_loadu_ps(pb.add(j * W)),
+                );
+                vacc[j] = _mm256_add_ps(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = _mm256_add_ps(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f32; W];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f32>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// AVX2 `f64` dot, 4 lanes per register.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_f64_avx2(a: &[f64], b: &[f64], v: usize) -> f64 {
+        const W: usize = 4;
+        let nv = v / W;
+        let mut vacc = [_mm256_setzero_pd(); 8];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = _mm256_mul_pd(
+                    _mm256_loadu_pd(pa.add(j * W)),
+                    _mm256_loadu_pd(pb.add(j * W)),
+                );
+                vacc[j] = _mm256_add_pd(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = _mm256_add_pd(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f64; W];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f64>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// SSE2 `i32` inclusive scan: in-register Hillis–Steele (shift by one
+    /// lane, then two) plus a broadcast carry — wrapping adds make this
+    /// exactly the sequential order.
+    unsafe fn scan_i32_sse2(data: &[i32], out: &mut Vec<i32>) {
+        const W: usize = 4;
+        let chunks = data.len() / W;
+        let mut carry = _mm_setzero_si128();
+        out.set_len(chunks * W);
+        for c in 0..chunks {
+            let mut x = _mm_loadu_si128(data.as_ptr().add(c * W) as *const __m128i);
+            x = _mm_add_epi32(x, _mm_slli_si128::<4>(x));
+            x = _mm_add_epi32(x, _mm_slli_si128::<8>(x));
+            x = _mm_add_epi32(x, carry);
+            _mm_storeu_si128(out.as_mut_ptr().add(c * W) as *mut __m128i, x);
+            carry = _mm_shuffle_epi32::<0b11_11_11_11>(x);
+        }
+        let done = chunks * W;
+        let mut acc = if done == 0 { 0 } else { out[done - 1] };
+        for &x in &data[done..] {
+            acc += x;
+            out.push(acc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// aarch64 kernels
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+// Same rationale as `x86`: explicit `vacc[j]` indexing mirrors the scalar
+// tree's accumulator layout.
+#[allow(clippy::needless_range_loop)]
+mod neon {
+    use super::{cast_acc, cast_slice, combine_lanes_and_dot_tail, tail_of, Backend};
+    use ghr_types::{DType, Element};
+    use std::arch::aarch64::*;
+
+    pub(super) fn dispatch_dot<T: Element>(
+        a: &[T],
+        b: &[T],
+        v: usize,
+        backend: Backend,
+    ) -> Option<T::Acc> {
+        if backend != Backend::Neon {
+            return None;
+        }
+        // SAFETY (all arms): Advanced SIMD is a baseline aarch64 feature.
+        match T::DTYPE {
+            DType::I32 => Some(cast_acc(unsafe {
+                dot_i32_neon(cast_slice::<T, i32>(a)?, cast_slice::<T, i32>(b)?, v)
+            })),
+            DType::F32 => Some(cast_acc(unsafe {
+                dot_f32_neon(cast_slice::<T, f32>(a)?, cast_slice::<T, f32>(b)?, v)
+            })),
+            DType::F64 => Some(cast_acc(unsafe {
+                dot_f64_neon(cast_slice::<T, f64>(a)?, cast_slice::<T, f64>(b)?, v)
+            })),
+            _ => None,
+        }
+    }
+
+    pub(super) fn dispatch_scan<T: Element>(
+        data: &[T],
+        out: &mut Vec<T::Acc>,
+        backend: Backend,
+    ) -> bool {
+        if backend != Backend::Neon || T::DTYPE != DType::I32 {
+            return false;
+        }
+        let Some(d) = cast_slice::<T, i32>(data) else {
+            return false;
+        };
+        let mut concrete = Vec::with_capacity(d.len());
+        // SAFETY: Advanced SIMD is a baseline aarch64 feature.
+        unsafe { scan_i32_neon(d, &mut concrete) };
+        for v in concrete {
+            out.push(cast_acc::<i32, T::Acc>(v));
+        }
+        true
+    }
+
+    /// NEON `i32` dot, 4 lanes per register (`vmlaq` wraps like scalar).
+    unsafe fn dot_i32_neon(a: &[i32], b: &[i32], v: usize) -> i32 {
+        const W: usize = 4;
+        let nv = v / W;
+        let mut vacc = [vdupq_n_s32(0); 8];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                vacc[j] = vmlaq_s32(vacc[j], vld1q_s32(pa.add(j * W)), vld1q_s32(pb.add(j * W)));
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = vaddq_s32(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0i32; W];
+        vst1q_s32(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<i32>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// NEON `f32` dot, 4 lanes per register; explicit mul + add (the
+    /// fused `vfmaq` would round differently from the scalar tree).
+    unsafe fn dot_f32_neon(a: &[f32], b: &[f32], v: usize) -> f32 {
+        const W: usize = 4;
+        let nv = v / W;
+        let mut vacc = [vdupq_n_f32(0.0); 8];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = vmulq_f32(vld1q_f32(pa.add(j * W)), vld1q_f32(pb.add(j * W)));
+                vacc[j] = vaddq_f32(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = vaddq_f32(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f32; W];
+        vst1q_f32(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f32>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// NEON `f64` dot, 2 lanes per register.
+    unsafe fn dot_f64_neon(a: &[f64], b: &[f64], v: usize) -> f64 {
+        const W: usize = 2;
+        let nv = v / W;
+        let mut vacc = [vdupq_n_f64(0.0); 16];
+        let main = a.len() - a.len() % v;
+        let mut i = 0;
+        while i < main {
+            let pa = a.as_ptr().add(i);
+            let pb = b.as_ptr().add(i);
+            for j in 0..nv {
+                let prod = vmulq_f64(vld1q_f64(pa.add(j * W)), vld1q_f64(pb.add(j * W)));
+                vacc[j] = vaddq_f64(vacc[j], prod);
+            }
+            i += v;
+        }
+        let mut n = nv;
+        while n > 1 {
+            n /= 2;
+            for j in 0..n {
+                vacc[j] = vaddq_f64(vacc[j], vacc[j + n]);
+            }
+        }
+        let mut lanes = [0f64; W];
+        vst1q_f64(lanes.as_mut_ptr(), vacc[0]);
+        combine_lanes_and_dot_tail::<f64>(&mut lanes, tail_of(a, v), tail_of(b, v))
+    }
+
+    /// NEON `i32` inclusive scan: Hillis–Steele via `vext` lane shifts plus
+    /// a broadcast carry.
+    unsafe fn scan_i32_neon(data: &[i32], out: &mut Vec<i32>) {
+        const W: usize = 4;
+        let chunks = data.len() / W;
+        let zero = vdupq_n_s32(0);
+        let mut carry = vdupq_n_s32(0);
+        out.set_len(chunks * W);
+        for c in 0..chunks {
+            let mut x = vld1q_s32(data.as_ptr().add(c * W));
+            x = vaddq_s32(x, vextq_s32::<3>(zero, x));
+            x = vaddq_s32(x, vextq_s32::<2>(zero, x));
+            x = vaddq_s32(x, carry);
+            vst1q_s32(out.as_mut_ptr().add(c * W), x);
+            carry = vdupq_laneq_s32::<3>(x);
+        }
+        let done = chunks * W;
+        let mut acc = if done == 0 { 0 } else { out[done - 1] };
+        for &x in &data[done..] {
+            acc = acc + x;
+            out.push(acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair<T: Element>(n: usize) -> (Vec<T>, Vec<T>) {
+        let a = (0..n as u64).map(T::from_index).collect();
+        let b = (0..n as u64)
+            .map(|i| T::from_index(i.wrapping_mul(31) + 7))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dot_sequential_matches_closed_form() {
+        let a = vec![1i32, 2, 3];
+        let b = vec![4i32, 5, 6];
+        assert_eq!(dot_sequential(&a, &b), 32);
+    }
+
+    #[test]
+    fn dot_unrolled_matches_sequential_for_integers() {
+        for n in [0usize, 1, 7, 31, 32, 33, 100, 1023] {
+            let (a, b) = pair::<i32>(n);
+            let expect = dot_sequential(&a, &b);
+            for v in [1, 2, 4, 8, 16, 32] {
+                assert_eq!(dot_unrolled(&a, &b, v), expect, "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_widens_i8_products_to_i64() {
+        // 100 * 100 = 10_000 overflows i8/i16; 1000 of them need i64-ish
+        // range to stay exact.
+        let a = vec![100i8; 1000];
+        let b = vec![100i8; 1000];
+        assert_eq!(dot_unrolled(&a, &b, 8), 10_000_000i64);
+    }
+
+    #[test]
+    fn dot_backends_agree_bit_for_bit() {
+        for n in [0usize, 1, 3, 31, 32, 33, 257] {
+            let (af, bf) = pair::<f32>(n);
+            let (ai, bi) = pair::<i32>(n);
+            for v in [2, 4, 8, 16, 32] {
+                let scalar_f = dot_unrolled_with_backend(&af, &bf, v, Backend::Scalar);
+                let scalar_i = dot_unrolled_with_backend(&ai, &bi, v, Backend::Scalar);
+                for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+                    if !b.available() {
+                        continue;
+                    }
+                    assert_eq!(
+                        dot_unrolled_with_backend(&af, &bf, v, b).to_bits(),
+                        scalar_f.to_bits(),
+                        "f32 n={n} v={v} backend={b}"
+                    );
+                    assert_eq!(
+                        dot_unrolled_with_backend(&ai, &bi, v, b),
+                        scalar_i,
+                        "i32 n={n} v={v} backend={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_dot_rejects_bad_inputs() {
+        assert!(try_dot_unrolled(&[1i32], &[1i32], 3).is_err());
+        assert!(try_dot_unrolled(&[1i32, 2], &[1i32], 4).is_err());
+    }
+
+    #[test]
+    fn scan_matches_running_sum() {
+        for n in [0usize, 1, 3, 4, 5, 31, 32, 33, 1000] {
+            let data: Vec<i32> = (0..n as u64).map(<i32 as Element>::from_index).collect();
+            let got = scan_inclusive(&data);
+            let mut acc = 0i32;
+            let expect: Vec<i32> = data
+                .iter()
+                .map(|&x| {
+                    acc += x;
+                    acc
+                })
+                .collect();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_backends_agree_for_i32() {
+        let data: Vec<i32> = (0..1337u64).map(<i32 as Element>::from_index).collect();
+        let scalar = scan_inclusive_with_backend(&data, Backend::Scalar);
+        for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+            if !b.available() {
+                continue;
+            }
+            assert_eq!(scan_inclusive_with_backend(&data, b), scalar, "{b}");
+        }
+    }
+
+    #[test]
+    fn scan_widens_i8_to_i64() {
+        let data = vec![100i8; 100];
+        let out = scan_inclusive(&data);
+        assert_eq!(out[99], 10_000i64);
+    }
+
+    #[test]
+    fn float_scan_stays_on_the_scalar_path() {
+        for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+            assert!(!b.covers_scan(ghr_types::DType::F32), "{b}");
+            assert!(!b.covers_scan(ghr_types::DType::F64), "{b}");
+        }
+    }
+
+    #[test]
+    fn gemv_matches_per_row_dots() {
+        let cols = 17usize;
+        let rows = 9usize;
+        let matrix: Vec<f64> = (0..(rows * cols) as u64)
+            .map(<f64 as Element>::from_index)
+            .collect();
+        let x: Vec<f64> = (0..cols as u64).map(<f64 as Element>::from_index).collect();
+        let out = gemv(&matrix, &x, 4);
+        assert_eq!(out.len(), rows);
+        for r in 0..rows {
+            let expect = dot_unrolled(&matrix[r * cols..(r + 1) * cols], &x, 4);
+            assert_eq!(out[r].to_bits(), expect.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn try_gemv_rejects_bad_shapes() {
+        assert!(try_gemv(&[1i32; 10], &[1i32; 3], 4).is_err());
+        assert!(try_gemv::<i32>(&[1; 12], &[], 4).is_err());
+        assert!(try_gemv(&[1i32; 12], &[1i32; 3], 5).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Bit-identity contract of the workload kernel layer (dot, inclusive
+//! scan, GEMV), pinned as an integration suite mirroring
+//! `simd_parity.rs`: for every available backend, every paper dtype
+//! (including the i8 -> i64 widening case), every unroll factor and a
+//! battery of awkward lengths, the vector kernels must reproduce the
+//! scalar kernel's accumulation tree *exactly* — integer equality for
+//! i32/i8, bit-for-bit float equality (not epsilon closeness) for
+//! f32/f64.
+//!
+//! Deterministic and std-only: always runs, offline, on every
+//! `cargo test`.
+
+use ghr_parallel::{
+    dot_sequential, dot_unrolled_with_backend, gemv_with_backend, scan_inclusive,
+    scan_inclusive_with_backend, Backend,
+};
+use ghr_types::{Accum, Element};
+
+/// Lengths hitting every edge of the kernel structure: empty, a single
+/// element, shorter than any vector width, tails of every size modulo
+/// V, exact multiples, and long runs through the main loop.
+const LENGTHS: &[usize] = &[
+    0, 1, 2, 3, 5, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 127, 255, 1000, 1337, 4096, 4099,
+];
+
+const VS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+fn backends_under_test() -> Vec<Backend> {
+    [Backend::Sse2, Backend::Avx2, Backend::Neon]
+        .into_iter()
+        .filter(|b| b.available())
+        .collect()
+}
+
+/// Deterministic value stream with sign changes and enough dynamic
+/// range that float rounding differences would be visible.
+fn stream_a<T: Element>(n: usize) -> Vec<T> {
+    (0..n as u64)
+        .map(|i| T::from_index((i.wrapping_mul(2654435761) >> 7) % 509))
+        .collect()
+}
+
+/// A second, decorrelated operand stream for the two-input kernels.
+fn stream_b<T: Element>(n: usize) -> Vec<T> {
+    (0..n as u64)
+        .map(|i| T::from_index((i.wrapping_mul(40503).wrapping_add(11) >> 3) % 251))
+        .collect()
+}
+
+fn assert_dot_parity<T: Element>(dtype: &str) {
+    for &n in LENGTHS {
+        let a = stream_a::<T>(n);
+        let b = stream_b::<T>(n);
+        for &v in VS {
+            let scalar = dot_unrolled_with_backend(&a, &b, v, Backend::Scalar);
+            for be in backends_under_test() {
+                let got = dot_unrolled_with_backend(&a, &b, v, be);
+                // `==` (not approx) — the contract is bit-identity.
+                assert!(
+                    got == scalar,
+                    "{dtype} dot: backend {be} diverged from scalar at n={n} v={v}"
+                );
+            }
+        }
+        // The unrolled tree at V=1 is the sequential loop by construction.
+        assert!(
+            dot_unrolled_with_backend(&a, &b, 1, Backend::Scalar) == dot_sequential(&a, &b),
+            "{dtype} dot: v=1 tree must equal the sequential oracle at n={n}"
+        );
+    }
+}
+
+fn assert_scan_parity<T: Element>(dtype: &str) {
+    for &n in LENGTHS {
+        let data = stream_a::<T>(n);
+        let scalar = scan_inclusive_with_backend(&data, Backend::Scalar);
+        // The default entry point resolves `Backend::active()`; under the
+        // bit-identity contract it must agree with the scalar path no
+        // matter which backend that is.
+        assert!(
+            scan_inclusive(&data) == scalar,
+            "{dtype} scan: default entry point disagreed with the scalar path at n={n}"
+        );
+        for be in backends_under_test() {
+            let got = scan_inclusive_with_backend(&data, be);
+            assert!(
+                got == scalar,
+                "{dtype} scan: backend {be} diverged from scalar at n={n}"
+            );
+        }
+        // Every prefix must equal the running sequential sum.
+        let mut acc = <T::Acc as Accum>::zero();
+        for (i, x) in data.iter().enumerate() {
+            acc = acc + x.widen();
+            assert!(
+                scalar[i] == acc,
+                "{dtype} scan: prefix {i} of {n} is not the running sum"
+            );
+        }
+    }
+}
+
+fn assert_gemv_parity<T: Element>(dtype: &str) {
+    // (rows, cols) shapes with awkward column counts around vector
+    // widths and row counts exercising the per-row dispatch.
+    const SHAPES: &[(usize, usize)] = &[
+        (1, 1),
+        (1, 7),
+        (3, 5),
+        (4, 16),
+        (7, 33),
+        (13, 64),
+        (5, 127),
+        (2, 1000),
+        (3, 1337),
+    ];
+    for &(rows, cols) in SHAPES {
+        let matrix = stream_a::<T>(rows * cols);
+        let x = stream_b::<T>(cols);
+        for &v in VS {
+            let scalar = gemv_with_backend(&matrix, &x, v, Backend::Scalar);
+            assert_eq!(scalar.len(), rows);
+            // Each output row is exactly the scalar dot of that row.
+            for (r, out) in scalar.iter().enumerate() {
+                let row = &matrix[r * cols..(r + 1) * cols];
+                assert!(
+                    *out == dot_unrolled_with_backend(row, &x, v, Backend::Scalar),
+                    "{dtype} gemv: row {r} is not the row dot at {rows}x{cols} v={v}"
+                );
+            }
+            for be in backends_under_test() {
+                let got = gemv_with_backend(&matrix, &x, v, be);
+                assert!(
+                    got == scalar,
+                    "{dtype} gemv: backend {be} diverged from scalar at {rows}x{cols} v={v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn i32_dots_are_bit_identical_across_backends() {
+    assert_dot_parity::<i32>("i32");
+}
+
+#[test]
+fn i8_widening_dots_are_bit_identical_across_backends() {
+    assert_dot_parity::<i8>("i8");
+}
+
+#[test]
+fn f32_dots_are_bit_identical_across_backends() {
+    assert_dot_parity::<f32>("f32");
+}
+
+#[test]
+fn f64_dots_are_bit_identical_across_backends() {
+    assert_dot_parity::<f64>("f64");
+}
+
+#[test]
+fn i32_scans_are_bit_identical_across_backends() {
+    assert_scan_parity::<i32>("i32");
+}
+
+#[test]
+fn i8_widening_scans_are_bit_identical_across_backends() {
+    assert_scan_parity::<i8>("i8");
+}
+
+#[test]
+fn f32_scans_are_bit_identical_across_backends() {
+    assert_scan_parity::<f32>("f32");
+}
+
+#[test]
+fn f64_scans_are_bit_identical_across_backends() {
+    assert_scan_parity::<f64>("f64");
+}
+
+#[test]
+fn i32_gemvs_are_bit_identical_across_backends() {
+    assert_gemv_parity::<i32>("i32");
+}
+
+#[test]
+fn i8_widening_gemvs_are_bit_identical_across_backends() {
+    assert_gemv_parity::<i8>("i8");
+}
+
+#[test]
+fn f32_gemvs_are_bit_identical_across_backends() {
+    assert_gemv_parity::<f32>("f32");
+}
+
+#[test]
+fn f64_gemvs_are_bit_identical_across_backends() {
+    assert_gemv_parity::<f64>("f64");
+}

@@ -33,6 +33,38 @@ pub enum DType {
     F64,
 }
 
+/// Memory-width class of an element type.
+///
+/// The streaming-efficiency tables of the timing models are keyed by the
+/// element width, not the exact type; this is the shared classification the
+/// CPU and GPU models both dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WidthClass {
+    /// 1-byte elements (`i8`).
+    OneByte,
+    /// 4-byte elements (`i32`, `f32`).
+    FourByte,
+    /// 8-byte elements (`i64`, `f64`).
+    EightByte,
+}
+
+/// Cost class of a device-wide accumulator combine.
+///
+/// Integer adds aggregate in L2 (fast); 64-bit and floating-point atomics
+/// serialize round trips — the grouping behind the four fitted combine
+/// costs of the GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombineClass {
+    /// 32-bit-or-narrower integer adds (L2 aggregation).
+    Int32,
+    /// 64-bit integer adds.
+    Int64,
+    /// Single-precision float combines.
+    Float32,
+    /// Double-precision float combines.
+    Float64,
+}
+
 impl DType {
     /// Width of one element in bytes.
     #[inline]
@@ -42,6 +74,42 @@ impl DType {
             DType::I32 | DType::F32 => 4,
             DType::I64 | DType::F64 => 8,
         }
+    }
+
+    /// Memory-width class (drives the streaming-efficiency tables shared
+    /// by the CPU and GPU timing models).
+    #[inline]
+    pub const fn width_class(self) -> WidthClass {
+        match self.size_bytes() {
+            1 => WidthClass::OneByte,
+            4 => WidthClass::FourByte,
+            _ => WidthClass::EightByte,
+        }
+    }
+
+    /// Cost class of a device-wide combine into this accumulator type.
+    #[inline]
+    pub const fn combine_class(self) -> CombineClass {
+        match self {
+            DType::I8 | DType::I32 => CombineClass::Int32,
+            DType::I64 => CombineClass::Int64,
+            DType::F32 => CombineClass::Float32,
+            DType::F64 => CombineClass::Float64,
+        }
+    }
+
+    /// Whether accumulating this element type pays a widening chain
+    /// (`i8` → `i64` sign-extension, case C2) on both CPU and GPU.
+    #[inline]
+    pub const fn widens_on_accumulate(self) -> bool {
+        matches!(self, DType::I8)
+    }
+
+    /// SIMD lane-count scale relative to a 4-byte element: how many more
+    /// (or fewer) lanes a fixed-width vector unit fits for this type.
+    #[inline]
+    pub fn simd_width_scale(self) -> f64 {
+        4.0 / self.size_bytes() as f64
     }
 
     /// Whether the type is a floating-point type (reduction order then
@@ -94,6 +162,9 @@ pub trait Element: Copy + Send + Sync + 'static {
 }
 
 /// An accumulator type `R` of the reduction.
+///
+/// The `Mul` bound serves the multiply-accumulate workloads (dot, GEMV),
+/// whose products are formed in the accumulator domain after widening.
 pub trait Accum:
     Copy
     + Send
@@ -103,6 +174,7 @@ pub trait Accum:
     + std::fmt::Debug
     + std::ops::Add<Output = Self>
     + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
     + 'static
 {
     /// Runtime descriptor for this type.
@@ -307,6 +379,39 @@ mod tests {
         assert_eq!(DType::I64.size_bytes() as usize, std::mem::size_of::<i64>());
         assert_eq!(DType::F32.size_bytes() as usize, std::mem::size_of::<f32>());
         assert_eq!(DType::F64.size_bytes() as usize, std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn width_classes_group_by_size() {
+        assert_eq!(DType::I8.width_class(), WidthClass::OneByte);
+        assert_eq!(DType::I32.width_class(), WidthClass::FourByte);
+        assert_eq!(DType::F32.width_class(), WidthClass::FourByte);
+        assert_eq!(DType::I64.width_class(), WidthClass::EightByte);
+        assert_eq!(DType::F64.width_class(), WidthClass::EightByte);
+    }
+
+    #[test]
+    fn combine_classes_group_like_the_fitted_costs() {
+        assert_eq!(DType::I8.combine_class(), CombineClass::Int32);
+        assert_eq!(DType::I32.combine_class(), CombineClass::Int32);
+        assert_eq!(DType::I64.combine_class(), CombineClass::Int64);
+        assert_eq!(DType::F32.combine_class(), CombineClass::Float32);
+        assert_eq!(DType::F64.combine_class(), CombineClass::Float64);
+    }
+
+    #[test]
+    fn only_i8_widens_on_accumulate() {
+        assert!(DType::I8.widens_on_accumulate());
+        for d in [DType::I32, DType::I64, DType::F32, DType::F64] {
+            assert!(!d.widens_on_accumulate());
+        }
+    }
+
+    #[test]
+    fn simd_width_scale_is_relative_to_four_bytes() {
+        assert_eq!(DType::I8.simd_width_scale(), 4.0);
+        assert_eq!(DType::I32.simd_width_scale(), 1.0);
+        assert_eq!(DType::F64.simd_width_scale(), 0.5);
     }
 
     #[test]

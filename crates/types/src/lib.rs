@@ -17,15 +17,17 @@ pub mod device;
 pub mod dtype;
 pub mod error;
 pub mod json;
+pub mod kernel;
 pub mod pipeline;
 pub mod stats;
 pub mod units;
 pub mod wire;
 
 pub use device::Device;
-pub use dtype::{Accum, DType, Element};
+pub use dtype::{Accum, CombineClass, DType, Element, WidthClass};
 pub use error::{GhrError, Result};
 pub use json::{Json, JsonError};
+pub use kernel::{CombinePattern, KernelDescriptor, OutputCardinality, WorkloadKind};
 pub use pipeline::{PlanSummary, RequestId, SessionStats, StagePlan, StageTiming};
 pub use stats::{CacheLayer, CacheLayerStats, RouterStats, RouterWorkerStats, Summary};
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

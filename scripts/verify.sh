@@ -34,4 +34,10 @@ cargo test -q -p ghr-cli --test serve_loop
 echo "==> cargo test -q -p ghr-cli --test router_cluster"
 cargo test -q -p ghr-cli --test router_cluster
 
+echo "==> cargo test -q -p ghr-parallel --test workload_parity"
+cargo test -q -p ghr-parallel --test workload_parity
+
+echo "==> scripts/workload_smoke.sh"
+sh scripts/workload_smoke.sh
+
 echo "verify: OK"

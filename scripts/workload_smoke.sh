@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Workload-kernel smoke test: for every descriptor-timed workload command
+# (dot, scan, gemv) and every paper case, require
+#   1. byte-identical stdout with SIMD forced off vs auto-dispatched —
+#      the bit-identity contract, observed end-to-end through the CLI
+#      (the functional checksum line would differ on any divergence), and
+#   2. a warm second run against the same persistent cache directory that
+#      evaluates zero points.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GHR="${GHR:-target/release/ghr}"
+if [ ! -x "$GHR" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+for kind in dot scan gemv; do
+    for case in c1 c2 c3 c4; do
+        echo "==> $kind $case: SIMD off vs auto byte-diff"
+        # Separate cache dirs per backend mode: the timing points are
+        # backend-independent by contract, but a shared cache would let
+        # the second invocation read the first's stored points and mask
+        # a checksum divergence behind identical timings.
+        GHR_SIMD=off GHR_CACHE_DIR="$WORK/$kind-$case-off" \
+            "$GHR" "$kind" "$case" > "$WORK/off.out"
+        GHR_SIMD=auto GHR_CACHE_DIR="$WORK/$kind-$case-auto" \
+            "$GHR" "$kind" "$case" > "$WORK/auto.out"
+        diff "$WORK/off.out" "$WORK/auto.out"
+
+        echo "==> $kind $case: warm second run evaluates nothing"
+        GHR_CACHE_DIR="$WORK/$kind-$case-warm" "$GHR" "$kind" "$case" --stats \
+            > /dev/null
+        GHR_CACHE_DIR="$WORK/$kind-$case-warm" "$GHR" "$kind" "$case" --stats \
+            > "$WORK/warm.out"
+        grep -E '^(engine|persistent cache):' "$WORK/warm.out"
+        evaluated=$(sed -n 's/^engine: \([0-9]*\) points evaluated.*/\1/p' "$WORK/warm.out")
+        if [ "$evaluated" -ne 0 ]; then
+            echo "FAIL: warm $kind $case evaluated $evaluated points (want 0)" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "workload smoke: OK"

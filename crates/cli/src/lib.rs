@@ -17,7 +17,7 @@
 //! ghr all <dir>                 write every artifact as markdown into dir
 //! ghr plan <command|all>        dry-run: print the lowered work-item DAG
 //! ghr serve [--socket PATH]     concurrent request loop over one warm engine
-//! ghr client --socket PATH ...  send request lines to a serve socket
+//! ghr client --socket PATH ...  send request lines to a serve endpoint
 //! ghr loadgen [--socket PATH]   drive load at the engine or a live server
 //! ghr cache <stats|clear|path>  inspect or drop the persistent result cache
 //! ```
@@ -96,28 +96,36 @@ client|loadgen|cache> [args]\n\
      across SIMD backends);\n\
      `ghr plan <command|all>` prints the lowered work-item DAG (a dry run:\n\
      stages, items, predicted cache hits — nothing executes); `ghr serve\n\
-     [--socket PATH] [--sessions N] [--max-idle SECS] [--max-inflight N]\n\
-     [--max-frame BYTES]` answers line-delimited experiment requests over one\n\
-     warm engine — socket connections run concurrently on up to N sessions\n\
-     (default GHR_SESSIONS, then engine threads); past the --max-inflight\n\
-     budget arrivals get `ghr-error reason=overload` immediately; lines over\n\
-     --max-frame bytes are rejected as oversized; quit/exit ends one session,\n\
-     `ghr-shutdown`/SIGTERM drains the server; `ghr router --socket PATH\n\
-     [--workers N | --attach SOCK ...] [--sessions N] [--worker-inflight N]\n\
+     [--socket PATH | --tcp HOST:PORT] [--sessions N] [--max-idle SECS]\n\
+     [--max-inflight N] [--max-frame BYTES]` answers line-delimited experiment\n\
+     requests over one warm engine — connections run concurrently on up to N\n\
+     sessions (default GHR_SESSIONS, then engine threads); a bare --tcp PORT\n\
+     binds loopback (external binds must be named and warn); past the\n\
+     --max-inflight budget arrivals get `ghr-error reason=overload`\n\
+     immediately; lines over --max-frame bytes are rejected as oversized;\n\
+     quit/exit ends one session, `ghr-shutdown`/SIGTERM drains the server;\n\
+     `ghr router [--socket PATH | --tcp HOST:PORT] [--workers N |\n\
+     --attach SOCK ... | --attach-tcp HOST:PORT ...] [--sessions N]\n\
+     [--worker-inflight N] [--pipeline K] [--retire-after SECS]\n\
      [--max-idle SECS] [--max-frame BYTES]` consistent-hashes request ids\n\
      onto N serve workers (spawned children sharing --cache-dir, or attached\n\
-     already-running sockets) and streams their frames back byte-identically\n\
-     — a dead worker's range re-routes to its ring successor, a spent\n\
+     already-running endpoints — unix or cross-host TCP) and streams their\n\
+     frames back byte-identically, up to K request lines in flight per\n\
+     connection with responses in arrival order — a dead worker's range\n\
+     re-routes to its ring successor (and retires for good after\n\
+     --retire-after seconds), a `ghr-join ENDPOINT` control line attaches a\n\
+     worker at runtime moving only its vnode share of keys, a spent\n\
      per-worker budget answers reason=overload, and --stats-json renders the\n\
-     per-worker forwarded/rejected/rerouted ledger at drain; `ghr client --socket PATH\n\
-     [request...]` sends request lines to a serve socket and prints the\n\
-     frames; `ghr loadgen [--socket PATH] [--requests N] [--conns N]\n\
+     per-worker forwarded/rejected/rerouted ledger at drain; `ghr client\n\
+     [--socket PATH | --tcp HOST:PORT] [request...]` sends request lines to\n\
+     a serve/router endpoint and prints the frames; `ghr loadgen\n\
+     [--socket PATH | --tcp HOST:PORT] [--requests N] [--conns N]\n\
      [--catalog N] [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]\n\
      [--failover-pid PID [--failover-after N]] [--out FILE|--no-out]` drives\n\
      open/closed-loop load (zipf-distributed\n\
      request ids over gpu-point/corun-series/corun-point/what-if/dot/scan/\n\
      gemv classes) at\n\
-     the in-process engine or a live serve socket and reports per-phase and\n\
+     the in-process engine or a live serve endpoint and reports per-phase and\n\
      per-class throughput and p50/p95/p99 latency plus per-layer warm-lock\n\
      counters (JSON to BENCH_loadgen.json by default); `ghr bench diff\n\
      BASELINE.json CANDIDATE.json [MORE...]` compares committed bench\n\
@@ -719,6 +727,7 @@ fn cmd_plan(engine: &Engine, rest: &[String]) -> Result<String, String> {
 /// `--max-frame` tightens (or widens) the accepted request-line length.
 fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
     let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
     let mut sessions: Option<usize> = None;
     let mut max_idle: Option<f64> = None;
     let mut max_inflight: Option<usize> = None;
@@ -741,6 +750,10 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
             socket = Some(it.next().ok_or("--socket needs a path")?.clone());
         } else if let Some(v) = a.strip_prefix("--socket=") {
             socket = Some(v.to_string());
+        } else if a == "--tcp" {
+            tcp = Some(it.next().ok_or("--tcp needs HOST:PORT or PORT")?.clone());
+        } else if let Some(v) = a.strip_prefix("--tcp=") {
+            tcp = Some(v.to_string());
         } else if a == "--sessions" {
             sessions = Some(parse_count(
                 "session count",
@@ -770,7 +783,15 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
             return Err(format!("unknown serve argument {a:?}"));
         }
     }
-    match socket {
+    if socket.is_some() && tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive (one listening place)".to_string());
+    }
+    let endpoint = match (socket, tcp) {
+        (Some(path), None) => Some(ghr_types::Endpoint::unix(path)),
+        (None, Some(spec)) => Some(ghr_types::Endpoint::tcp(&spec)?),
+        _ => None,
+    };
+    match endpoint {
         None => {
             let stdin = std::io::stdin();
             let mut out = std::io::stdout().lock();
@@ -795,7 +816,7 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
             Ok(String::new())
         }
         #[cfg(unix)]
-        Some(path) => {
+        Some(endpoint) => {
             let sessions = sessions
                 .or_else(|| {
                     std::env::var("GHR_SESSIONS")
@@ -810,27 +831,32 @@ fn cmd_serve(engine: &Arc<Engine>, rest: &[String]) -> Result<String, String> {
                 max_inflight,
                 max_frame,
             };
-            serve::serve_socket(engine, &path, &opts)
+            serve::serve_endpoint(engine, &endpoint, &opts)
         }
         #[cfg(not(unix))]
         Some(_) => {
             let _ = (sessions, max_idle, max_inflight, max_frame);
-            Err("--socket needs a unix platform; pipe requests over stdin".to_string())
+            Err(
+                "--socket/--tcp serving needs a unix platform; pipe requests over stdin"
+                    .to_string(),
+            )
         }
     }
 }
 
-/// `ghr client --socket PATH [request...]` — send request lines to a
-/// running serve socket and print the raw frames. Each argument is one
-/// full request line (quote multi-word requests: `'fig1 c3'`); with no
-/// requests the connection just opens and closes. The write side is shut
-/// down after sending, so the session drains on EOF — no trailing `quit`
-/// needed (send `ghr-shutdown` as a request line to stop the server).
-#[cfg(unix)]
+/// `ghr client (--socket PATH | --tcp HOST:PORT) [request...]` — send
+/// request lines to a running serve/router endpoint and print the raw
+/// frames. Each argument is one full request line (quote multi-word
+/// requests: `'fig1 c3'`); with no requests the connection just opens
+/// and closes. The write side is shut down after sending, so the session
+/// drains on EOF — no trailing `quit` needed (send `ghr-shutdown` as a
+/// request line to stop the server). All request lines are written up
+/// front, so against a pipelining router they are in flight together
+/// and the frames stream back in this argument order.
 fn cmd_client(rest: &[String]) -> Result<String, String> {
     use std::io::{Read, Write};
-    use std::os::unix::net::UnixStream;
     let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
     let mut lines: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -838,13 +864,27 @@ fn cmd_client(rest: &[String]) -> Result<String, String> {
             socket = Some(it.next().ok_or("--socket needs a path")?.clone());
         } else if let Some(v) = a.strip_prefix("--socket=") {
             socket = Some(v.to_string());
+        } else if a == "--tcp" {
+            tcp = Some(it.next().ok_or("--tcp needs HOST:PORT or PORT")?.clone());
+        } else if let Some(v) = a.strip_prefix("--tcp=") {
+            tcp = Some(v.to_string());
         } else {
             lines.push(a.clone());
         }
     }
-    let path = socket.ok_or("ghr client needs --socket PATH")?;
-    let mut stream =
-        UnixStream::connect(&path).map_err(|e| format!("cannot connect to {path:?}: {e}"))?;
+    let endpoint = match (socket, tcp) {
+        (Some(path), None) => ghr_types::Endpoint::unix(path),
+        (None, Some(spec)) => ghr_types::Endpoint::tcp(&spec)?,
+        (Some(_), Some(_)) => {
+            return Err("--socket and --tcp are mutually exclusive".to_string());
+        }
+        (None, None) => {
+            return Err("ghr client needs --socket PATH or --tcp HOST:PORT".to_string());
+        }
+    };
+    let mut stream = endpoint
+        .connect()
+        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
     let mut payload = String::new();
     for line in &lines {
         payload.push_str(line);
@@ -852,20 +892,15 @@ fn cmd_client(rest: &[String]) -> Result<String, String> {
     }
     stream
         .write_all(payload.as_bytes())
-        .map_err(|e| format!("write to {path:?} failed: {e}"))?;
+        .map_err(|e| format!("write to {endpoint} failed: {e}"))?;
     stream
-        .shutdown(std::net::Shutdown::Write)
-        .map_err(|e| format!("cannot half-close {path:?}: {e}"))?;
+        .shutdown_write()
+        .map_err(|e| format!("cannot half-close {endpoint}: {e}"))?;
     let mut out = String::new();
     stream
         .read_to_string(&mut out)
-        .map_err(|e| format!("read from {path:?} failed: {e}"))?;
+        .map_err(|e| format!("read from {endpoint} failed: {e}"))?;
     Ok(out)
-}
-
-#[cfg(not(unix))]
-fn cmd_client(_rest: &[String]) -> Result<String, String> {
-    Err("ghr client needs a unix platform".to_string())
 }
 
 fn wants_plot(rest: &[String]) -> bool {

@@ -11,9 +11,10 @@
 //!   engine hot-path counter deltas (including per-layer
 //!   `warm_locks`), per-class latency rows, and the
 //!   replica-over-locked throughput speedup;
-//! * **`--socket PATH`** — a live `ghr serve --socket` server is driven
-//!   over persistent unix-stream connections with the servable request
-//!   lines as the catalog: a cold pass, a zipf warm pass, and (with
+//! * **`--socket PATH`** (or **`--tcp HOST:PORT`**) — a live `ghr
+//!   serve`/`ghr router` endpoint is driven over persistent connections
+//!   (unix-stream or TCP; same frames either way) with the servable
+//!   request lines as the catalog: a cold pass, a zipf warm pass, and (with
 //!   `--overload-conns N`) an overload pass that counts the server's
 //!   `ghr-error reason=overload` rejections — the admission-control
 //!   degradation contract, measured. With `--failover-pid PID` (the
@@ -44,6 +45,7 @@ use std::fmt::Write as _;
 struct LoadgenArgs {
     cfg: LoadgenConfig,
     socket: Option<String>,
+    tcp: Option<String>,
     out: Option<String>,
     failover: Option<Failover>,
 }
@@ -63,6 +65,7 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
     let mut args = LoadgenArgs {
         cfg: LoadgenConfig::default(),
         socket: None,
+        tcp: None,
         out: Some("BENCH_loadgen.json".to_string()),
         failover: None,
     };
@@ -98,6 +101,7 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
         };
         match flag {
             "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
             "--requests" => {
                 args.cfg.requests = parse_count("request count", &value("--requests")?)?
             }
@@ -140,11 +144,14 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
             other => return Err(format!("unknown loadgen argument {other:?}")),
         }
     }
+    if args.socket.is_some() && args.tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive (one target tier)".to_string());
+    }
     match (failover_pid, failover_after) {
         (Some(pid), after) => {
-            if args.socket.is_none() {
-                return Err("--failover-pid needs --socket (the failover A/B drives a \
-                            live router/serve tier)"
+            if args.socket.is_none() && args.tcp.is_none() {
+                return Err("--failover-pid needs --socket or --tcp (the failover A/B \
+                            drives a live router/serve tier)"
                     .to_string());
             }
             args.failover = Some(Failover { pid, after });
@@ -155,16 +162,21 @@ fn parse_args(rest: &[String]) -> Result<LoadgenArgs, String> {
     Ok(args)
 }
 
-/// `ghr loadgen [--socket PATH] [--requests N] [--conns N] [--catalog N]
-/// [--zipf S] [--rate RPS] [--seed N] [--overload-conns N]
-/// [--failover-pid PID [--failover-after N]] [--out FILE|--no-out]` —
-/// run the load harness and render the per-phase SLO table (plus the
-/// JSON report file).
+/// `ghr loadgen [--socket PATH | --tcp HOST:PORT] [--requests N]
+/// [--conns N] [--catalog N] [--zipf S] [--rate RPS] [--seed N]
+/// [--overload-conns N] [--failover-pid PID [--failover-after N]]
+/// [--out FILE|--no-out]` — run the load harness and render the
+/// per-phase SLO table (plus the JSON report file).
 pub fn cmd_loadgen(engine: &Engine, rest: &[String]) -> Result<String, String> {
     let args = parse_args(rest)?;
-    let report = match &args.socket {
+    let endpoint = match (&args.socket, &args.tcp) {
+        (Some(path), None) => Some(ghr_types::Endpoint::unix(path.clone())),
+        (None, Some(spec)) => Some(ghr_types::Endpoint::tcp(spec)?),
+        _ => None,
+    };
+    let report = match &endpoint {
         None => run_in_process(engine, &args.cfg)?,
-        Some(path) => run_socket(path, &args.cfg, args.failover)?,
+        Some(endpoint) => run_socket(endpoint, &args.cfg, args.failover)?,
     };
     let mut out = render_report(&report);
     if let Some(file) = &args.out {
@@ -324,7 +336,7 @@ const OVERLOAD_REQUEST: &str = "fig2a";
 /// mid-run.
 #[cfg(unix)]
 fn run_socket(
-    path: &str,
+    endpoint: &ghr_types::Endpoint,
     cfg: &LoadgenConfig,
     failover: Option<Failover>,
 ) -> Result<LoadReport, String> {
@@ -346,7 +358,7 @@ fn run_socket(
         Some(rate_rps) => Arrival::Open { rate_rps },
         None => Arrival::Closed,
     };
-    let connect = |_w: usize| socket::SocketConn::connect(path, catalog);
+    let connect = |_w: usize| socket::SocketConn::connect(endpoint, catalog);
     let run = |name: &str, conns: usize, schedule: &[usize], warmup: &[usize], arrival: Arrival| {
         run_phase(
             &PhaseSpec {
@@ -411,7 +423,10 @@ fn run_socket(
         )?);
     }
     Ok(LoadReport {
-        mode: "socket".to_string(),
+        mode: match endpoint {
+            ghr_types::Endpoint::Unix(_) => "socket".to_string(),
+            ghr_types::Endpoint::Tcp(_) => "tcp".to_string(),
+        },
         label: cfg.label.clone(),
         catalog: n,
         conns: cfg.conns.max(1),
@@ -424,11 +439,11 @@ fn run_socket(
 
 #[cfg(not(unix))]
 fn run_socket(
-    _path: &str,
+    _endpoint: &ghr_types::Endpoint,
     _cfg: &LoadgenConfig,
     _failover: Option<Failover>,
 ) -> Result<LoadReport, String> {
-    Err("--socket needs a unix platform; run loadgen in-process instead".to_string())
+    Err("--socket/--tcp need a unix platform; run loadgen in-process instead".to_string())
 }
 
 /// SIGKILL one worker process (the failover A/B's fault injection). The
@@ -454,25 +469,26 @@ fn sigkill(pid: i32) -> Result<(), String> {
 #[cfg(unix)]
 mod socket {
     use super::{LoadConn, Outcome};
-    use ghr_types::wire;
+    use ghr_types::{wire, Endpoint, Stream};
     use std::io::{BufRead, BufReader, Read, Write};
-    use std::os::unix::net::UnixStream;
 
-    /// One persistent connection to a serve socket: writes request lines,
-    /// reads response frames whole (header, exact body bytes, `ghr-end`).
+    /// One persistent connection to a serve/router endpoint (unix or
+    /// TCP): writes request lines, reads response frames whole (header,
+    /// exact body bytes, `ghr-end`).
     pub struct SocketConn<'a> {
-        reader: BufReader<UnixStream>,
-        writer: UnixStream,
+        reader: BufReader<Stream>,
+        writer: Stream,
         catalog: &'a [&'a str],
     }
 
     impl<'a> SocketConn<'a> {
-        pub fn connect(path: &str, catalog: &'a [&'a str]) -> Result<Self, String> {
-            let stream = UnixStream::connect(path)
-                .map_err(|e| format!("cannot connect to {path:?}: {e}"))?;
+        pub fn connect(endpoint: &Endpoint, catalog: &'a [&'a str]) -> Result<Self, String> {
+            let stream = endpoint
+                .connect()
+                .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
             let reader = stream
                 .try_clone()
-                .map_err(|e| format!("cannot clone stream to {path:?}: {e}"))?;
+                .map_err(|e| format!("cannot clone stream to {endpoint}: {e}"))?;
             Ok(SocketConn {
                 reader: BufReader::new(reader),
                 writer: stream,

@@ -2,16 +2,36 @@
 //!
 //! One `ghr serve` process multiplies warm throughput until its single
 //! engine saturates the host; past that point the only lever left is
-//! more processes. The router owns the client-facing unix socket and N
-//! `ghr serve` workers on their own sockets — spawned as children, or
-//! attached if already running — and forwards each request line to the
-//! worker that owns its position on a 64-vnode consistent-hash ring.
-//! The ring is *stable*: a given request id always lands on the same
-//! worker, whose response cache and replica snapshots are warm for
-//! exactly that id, so adding workers multiplies aggregate warm
-//! throughput instead of spreading every id's cache entries across all
-//! of them. Response frames stream back byte-identically; the router
-//! never parses a body.
+//! more processes — and past *that*, more hosts. The router owns the
+//! client-facing endpoint (a unix socket, or `--tcp HOST:PORT` for
+//! cross-host clients) and N `ghr serve` workers on their own endpoints
+//! — spawned as children on unix sockets, or attached if already
+//! running (`--attach SOCK` for same-host workers, `--attach-tcp
+//! HOST:PORT` for workers on other machines) — and forwards each
+//! request line to the worker that owns its position on a 64-vnode
+//! consistent-hash ring. The ring is *stable*: a given request id
+//! always lands on the same worker, whose response cache and replica
+//! snapshots are warm for exactly that id, so adding workers multiplies
+//! aggregate warm throughput instead of spreading every id's cache
+//! entries across all of them. Response frames stream back
+//! byte-identically over either transport; the router never parses a
+//! body.
+//!
+//! Sessions are *pipelined*: a client may write up to `--pipeline K`
+//! request lines (default 8) without waiting for responses. The router
+//! forwards them concurrently and streams the response frames back in
+//! arrival order, so a burst over one connection overlaps worker time
+//! instead of serializing on round trips. `--pipeline 1` restores
+//! strict lockstep.
+//!
+//! Membership is *dynamic*: a `ghr-join <endpoint>` control frame
+//! attaches a new worker at runtime, and a worker dead past
+//! `--retire-after` is retired. Both rebuild the ring with
+//! [`HashRing::for_members`], whose per-member vnode positions are
+//! stable — only the arcs owned by the joining (or leaving) member
+//! move, so a join migrates at most that worker's vnode share of the
+//! keyspace and every other key stays home. The moved range answers
+//! warm through the shared persistent store (refresh-on-miss).
 //!
 //! Degradation is explicit, never silent:
 //!
@@ -20,17 +40,19 @@
 //!   overload frames pass through untouched;
 //! * a worker whose connection dies is marked dead and its hash range
 //!   re-routes to the ring successor, while a background probe waits
-//!   for the socket to come back;
+//!   for the endpoint to come back — or retires it for good after
+//!   `--retire-after` seconds;
 //! * with every worker dead the client sees
 //!   `ghr-error reason=no-live-worker`, not a hang.
 //!
 //! Workers share one `--cache-dir`; the persistent store's
 //! refresh-on-miss (see `ghr_core::store`) means a row one worker
 //! evaluated and flushed answers warm from any other — which is what
-//! makes the dead-worker re-route invisible to clients beyond latency.
+//! makes dead-worker re-routes and join-time rebalances invisible to
+//! clients beyond latency.
 
 use crate::serve;
-use ghr_types::RequestId;
+use ghr_types::{Endpoint, RequestId};
 use std::time::Duration;
 
 /// Virtual nodes per worker on the hash ring. 64 points per worker keep
@@ -63,10 +85,22 @@ fn mix(mut x: u64) -> u64 {
 }
 
 impl HashRing {
-    /// Build the ring for `workers` workers.
+    /// Build the ring for workers `0..workers` (the static cluster
+    /// shape at startup).
     pub fn new(workers: usize) -> Self {
-        let mut points = Vec::with_capacity(workers * VNODES);
-        for w in 0..workers {
+        Self::for_members(&(0..workers).collect::<Vec<_>>())
+    }
+
+    /// Build the ring for an explicit member set. Each member's vnode
+    /// positions depend only on its own index, so growing or shrinking
+    /// the set never moves a surviving member's points: a join moves
+    /// exactly the arcs the new member's vnodes claim (its vnode share
+    /// of the keyspace, nothing else), and a retirement returns exactly
+    /// the retiree's arcs to the survivors that already owned their
+    /// successors.
+    pub fn for_members(members: &[usize]) -> Self {
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for &w in members {
             for v in 0..VNODES {
                 points.push((mix(RequestId::of(&format!("worker-{w}#vnode-{v}")).0), w));
             }
@@ -94,7 +128,9 @@ impl HashRing {
     }
 
     /// Each worker's share of the key space, in `[0, 1]`; the shares sum
-    /// to exactly 1 (the arcs tile the full `u64` circle).
+    /// to exactly 1 (the arcs tile the full `u64` circle). `workers` is
+    /// the full worker-table size — members absent from the ring (e.g.
+    /// retired) get share 0.
     pub fn occupancy(&self, workers: usize) -> Vec<f64> {
         let mut arcs = vec![0u128; workers];
         for (i, &(p, w)) in self.points.iter().enumerate() {
@@ -138,14 +174,20 @@ pub fn route_key(line: &str) -> u64 {
 /// plus the stripped global flags.
 #[derive(Debug, Clone)]
 pub struct RouterOptions {
-    /// Client-facing socket path.
-    pub socket: String,
-    /// Workers to spawn (`--workers N`); ignored when `attach` is set.
+    /// Client-facing unix socket path (exclusive with `tcp`).
+    pub socket: Option<String>,
+    /// Client-facing TCP address (`--tcp HOST:PORT`, or a bare port
+    /// which binds loopback). Exclusive with `socket`.
+    pub tcp: Option<String>,
+    /// Workers to spawn (`--workers N`); ignored when attaching.
     pub workers: usize,
-    /// Sockets of already-running workers to attach to instead of
+    /// Unix sockets of already-running workers to attach to instead of
     /// spawning (`--attach SOCK`, repeatable). Attached workers are not
     /// shut down when the router drains.
     pub attach: Vec<String>,
+    /// TCP addresses of already-running workers to attach to
+    /// (`--attach-tcp HOST:PORT`, repeatable) — the cross-host leg.
+    pub attach_tcp: Vec<String>,
     /// Concurrent router sessions; `0` resolves `GHR_SESSIONS`, then
     /// twice the worker count. Spawned workers get the same session cap
     /// so every router session can hold a connection to one worker.
@@ -157,6 +199,14 @@ pub struct RouterOptions {
     pub max_idle: Option<Duration>,
     /// Longest accepted request line in bytes.
     pub max_frame: usize,
+    /// In-flight request lines accepted per client connection
+    /// (`--pipeline K`); responses stream back in arrival order.
+    /// `1` is strict lockstep.
+    pub pipeline: usize,
+    /// Retire a worker that has been dead this long: its vnodes leave
+    /// the ring for good and the revival probe stops watching it.
+    /// `None` keeps probing forever.
+    pub retire_after: Option<Duration>,
     /// `--threads` for spawned workers; `0` lets each worker resolve.
     pub threads: usize,
     /// `--cache-dir` for spawned workers (the shared store that makes
@@ -171,17 +221,35 @@ pub struct RouterOptions {
 impl Default for RouterOptions {
     fn default() -> Self {
         RouterOptions {
-            socket: String::new(),
+            socket: None,
+            tcp: None,
             workers: 2,
             attach: Vec::new(),
+            attach_tcp: Vec::new(),
             sessions: 0,
             worker_inflight: None,
             max_idle: None,
             max_frame: serve::MAX_REQUEST_LINE,
+            pipeline: 8,
+            retire_after: None,
             threads: 0,
             cache_dir: None,
             no_cache: false,
             stats_json: false,
+        }
+    }
+}
+
+impl RouterOptions {
+    /// The client-facing endpoint these options name.
+    pub fn listen_endpoint(&self) -> Result<Endpoint, String> {
+        match (&self.socket, &self.tcp) {
+            (Some(path), None) => Ok(Endpoint::unix(path.clone())),
+            (None, Some(spec)) => Endpoint::tcp(spec),
+            (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive \
+                 (one listening place)"
+                .to_string()),
+            (None, None) => Err("ghr router needs --socket PATH or --tcp HOST:PORT".to_string()),
         }
     }
 }
@@ -201,7 +269,6 @@ pub fn parse_router_args(
         cache_dir: cache_dir.map(|d| d.to_string_lossy().into_owned()),
         ..RouterOptions::default()
     };
-    let mut socket: Option<String> = None;
     let mut workers: Option<usize> = None;
     let parse_count = |what: &str, s: &str| -> Result<usize, String> {
         match s.parse::<usize>() {
@@ -212,9 +279,13 @@ pub fn parse_router_args(
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         if a == "--socket" {
-            socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+            opts.socket = Some(it.next().ok_or("--socket needs a path")?.clone());
         } else if let Some(v) = a.strip_prefix("--socket=") {
-            socket = Some(v.to_string());
+            opts.socket = Some(v.to_string());
+        } else if a == "--tcp" {
+            opts.tcp = Some(it.next().ok_or("--tcp needs HOST:PORT")?.clone());
+        } else if let Some(v) = a.strip_prefix("--tcp=") {
+            opts.tcp = Some(v.to_string());
         } else if a == "--workers" {
             workers = Some(parse_count(
                 "worker count",
@@ -227,6 +298,11 @@ pub fn parse_router_args(
                 .push(it.next().ok_or("--attach needs a socket path")?.clone());
         } else if let Some(v) = a.strip_prefix("--attach=") {
             opts.attach.push(v.to_string());
+        } else if a == "--attach-tcp" {
+            opts.attach_tcp
+                .push(it.next().ok_or("--attach-tcp needs HOST:PORT")?.clone());
+        } else if let Some(v) = a.strip_prefix("--attach-tcp=") {
+            opts.attach_tcp.push(v.to_string());
         } else if a == "--sessions" {
             opts.sessions = parse_count(
                 "session count",
@@ -241,6 +317,19 @@ pub fn parse_router_args(
             )?);
         } else if let Some(v) = a.strip_prefix("--worker-inflight=") {
             opts.worker_inflight = Some(parse_count("in-flight budget", v)?);
+        } else if a == "--pipeline" {
+            opts.pipeline = parse_count(
+                "pipeline depth",
+                it.next().ok_or("--pipeline needs a depth")?,
+            )?;
+        } else if let Some(v) = a.strip_prefix("--pipeline=") {
+            opts.pipeline = parse_count("pipeline depth", v)?;
+        } else if a == "--retire-after" {
+            opts.retire_after = Some(parse_idle(
+                it.next().ok_or("--retire-after needs seconds")?,
+            )?);
+        } else if let Some(v) = a.strip_prefix("--retire-after=") {
+            opts.retire_after = Some(parse_idle(v)?);
         } else if a == "--max-idle" {
             opts.max_idle = Some(parse_idle(it.next().ok_or("--max-idle needs seconds")?)?);
         } else if let Some(v) = a.strip_prefix("--max-idle=") {
@@ -256,15 +345,17 @@ pub fn parse_router_args(
             return Err(format!("unknown router argument {a:?}"));
         }
     }
-    if workers.is_some() && !opts.attach.is_empty() {
-        return Err("--workers and --attach are mutually exclusive \
+    if workers.is_some() && !(opts.attach.is_empty() && opts.attach_tcp.is_empty()) {
+        return Err(
+            "--workers and --attach/--attach-tcp are mutually exclusive \
              (spawn a cluster, or attach to one)"
-            .to_string());
+                .to_string(),
+        );
     }
     if let Some(n) = workers {
         opts.workers = n;
     }
-    opts.socket = socket.ok_or("ghr router needs --socket PATH")?;
+    opts.listen_endpoint()?; // validate the listening place now
     Ok(opts)
 }
 
@@ -275,8 +366,8 @@ fn parse_idle(s: &str) -> Result<Duration, String> {
     }
 }
 
-/// `ghr router --socket PATH [--workers N | --attach SOCK ...] ...` —
-/// parse and run.
+/// `ghr router [--socket PATH | --tcp HOST:PORT] [--workers N |
+/// --attach SOCK ... | --attach-tcp HOST:PORT ...] ...` — parse and run.
 pub fn cmd_router(
     cache_dir: Option<&std::path::Path>,
     no_cache: bool,
@@ -303,12 +394,11 @@ pub fn run_router(_opts: &RouterOptions) -> Result<String, String> {
 mod socket {
     use super::{HashRing, RouterOptions};
     use crate::serve::{self, sig, Admission, RawRead};
-    use ghr_types::{wire, RouterStats, RouterWorkerStats};
+    use ghr_types::{wire, Endpoint, RequestId, RouterStats, RouterWorkerStats};
     use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::{UnixListener, UnixStream};
     use std::process::{Child, Command, Stdio};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex, PoisonError};
+    use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
     use std::thread::JoinHandle;
     use std::time::{Duration, Instant};
 
@@ -320,20 +410,40 @@ mod socket {
     const PROBE_TICK: Duration = Duration::from_millis(200);
     /// How long a spawned worker gets to bind its socket.
     const SPAWN_DEADLINE: Duration = Duration::from_secs(10);
+    /// Largest body a worker frame header may claim. A worker is
+    /// trusted more than a client, but a corrupt or malicious peer
+    /// saying `bytes=18446744073709551615` must not make the router
+    /// allocate it; past the cap the connection is declared broken and
+    /// the request re-routes.
+    const MAX_WORKER_FRAME: usize = 16 << 20;
+    /// Hard deadline on any single read from a worker connection. A
+    /// killed worker closes its socket (EOF, instant), but a worker
+    /// that *accepted* the connect and then never serves it — e.g. one
+    /// at its own `--sessions` cap, with the connect sitting in its
+    /// listen backlog — would wedge the forward forever without this.
+    /// Generous because a cold evaluation legitimately takes a while;
+    /// on expiry the connection is declared broken and the request
+    /// re-routes like any other worker fault.
+    const WORKER_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
     /// One pooled worker connection: the write half plus a buffered
-    /// reader over its clone. Reads are blocking — a killed worker
-    /// closes the socket (EOF), it never wedges a read.
+    /// reader over its clone. Reads are bounded by
+    /// [`WORKER_READ_TIMEOUT`] — a killed worker closes the socket
+    /// (EOF) and an unresponsive one times out; neither wedges a read.
     struct Conn {
-        writer: UnixStream,
-        reader: BufReader<UnixStream>,
+        writer: ghr_types::Stream,
+        reader: BufReader<ghr_types::Stream>,
     }
 
     impl Conn {
-        fn open(path: &str) -> std::io::Result<Conn> {
-            let writer = UnixStream::connect(path)?;
-            let reader = BufReader::new(writer.try_clone()?);
-            Ok(Conn { writer, reader })
+        fn open(endpoint: &Endpoint) -> std::io::Result<Conn> {
+            let writer = endpoint.connect()?;
+            let reader_half = writer.try_clone()?;
+            reader_half.set_read_timeout(Some(WORKER_READ_TIMEOUT))?;
+            Ok(Conn {
+                writer,
+                reader: BufReader::new(reader_half),
+            })
         }
 
         /// Send one request line and read back the whole response frame.
@@ -366,6 +476,12 @@ mod socket {
                 .find_map(|t| t.strip_prefix("bytes="))
                 .and_then(|v| v.parse::<usize>().ok())
                 .ok_or_else(|| Error::new(ErrorKind::InvalidData, "frame header without bytes="))?;
+            if bytes > MAX_WORKER_FRAME {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("frame header claims {bytes} body bytes (cap {MAX_WORKER_FRAME})"),
+                ));
+            }
             let mark = frame.len();
             frame.resize(mark + bytes, 0);
             reader.read_exact(&mut frame[mark..])?;
@@ -397,9 +513,14 @@ mod socket {
     /// pool. The child handle is `Some` only for spawned workers.
     struct Worker {
         name: String,
-        socket: String,
+        endpoint: Endpoint,
         child: Mutex<Option<Child>>,
         alive: AtomicBool,
+        /// Retired workers stay in the table (their counters still
+        /// render in the ledger) but leave the ring and the probe list.
+        retired: AtomicBool,
+        /// When the worker was last declared dead (the retirement clock).
+        dead_since: Mutex<Option<Instant>>,
         forwarded: AtomicU64,
         rejected: AtomicU64,
         rerouted: AtomicU64,
@@ -408,6 +529,55 @@ mod socket {
     }
 
     impl Worker {
+        fn new(
+            index: usize,
+            endpoint: Endpoint,
+            child: Option<Child>,
+            inflight: Option<usize>,
+        ) -> Worker {
+            Worker {
+                name: format!("worker-{index}"),
+                endpoint,
+                child: Mutex::new(child),
+                alive: AtomicBool::new(true),
+                retired: AtomicBool::new(false),
+                dead_since: Mutex::new(None),
+                forwarded: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                rerouted: AtomicU64::new(0),
+                admission: inflight.map(Admission::new),
+                pool: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Whether the ring may send this worker a request.
+        fn routable(&self) -> bool {
+            self.alive.load(Ordering::SeqCst) && !self.retired.load(Ordering::SeqCst)
+        }
+
+        /// Declare the worker dead and start its retirement clock (if
+        /// not already running).
+        fn mark_dead(&self) {
+            self.alive.store(false, Ordering::SeqCst);
+            let mut since = self
+                .dead_since
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if since.is_none() {
+                *since = Some(Instant::now());
+            }
+        }
+
+        /// Put the worker (back) in rotation.
+        fn revive(&self) {
+            self.alive.store(true, Ordering::SeqCst);
+            self.retired.store(false, Ordering::SeqCst);
+            *self
+                .dead_since
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = None;
+        }
+
         /// Forward one line and return the whole response frame. A
         /// pooled connection that fails may just be stale, so one fresh
         /// connection is tried before the worker is declared dead.
@@ -418,8 +588,8 @@ mod socket {
                     return Ok(frame);
                 }
             }
-            let mut conn = Conn::open(&self.socket)
-                .map_err(|e| format!("connect to {:?}: {e}", self.socket))?;
+            let mut conn = Conn::open(&self.endpoint)
+                .map_err(|e| format!("connect to {}: {e}", self.endpoint))?;
             match conn.exchange(line) {
                 Ok(frame) => {
                     self.checkin(conn);
@@ -453,27 +623,61 @@ mod socket {
         }
     }
 
-    /// Shared router state: the stable ring plus the worker table and
-    /// the router's own counters.
-    struct Router {
+    /// The membership view: the ring plus the worker table it indexes.
+    /// Guarded by one `RwLock` — routing takes a read lock for the
+    /// worker lookup only (forwarding happens outside it), joins and
+    /// retirements take the write lock to rebuild the ring.
+    struct Members {
         ring: HashRing,
-        workers: Vec<Worker>,
+        workers: Vec<Arc<Worker>>,
+    }
+
+    impl Members {
+        /// Rebuild the ring over every non-retired worker.
+        fn rebuild_ring(&mut self) {
+            let active: Vec<usize> = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.retired.load(Ordering::SeqCst))
+                .map(|(i, _)| i)
+                .collect();
+            self.ring = HashRing::for_members(&active);
+        }
+    }
+
+    /// Shared router state: the membership view and the router's own
+    /// counters.
+    struct Router {
+        members: RwLock<Members>,
+        /// The budget a runtime-joined worker is admitted with.
+        worker_inflight: Option<usize>,
         requests: AtomicU64,
         malformed: AtomicU64,
         unrouted: AtomicU64,
+        joined: AtomicU64,
     }
 
     impl Router {
+        fn read_members(&self) -> std::sync::RwLockReadGuard<'_, Members> {
+            self.members.read().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        fn write_members(&self) -> std::sync::RwLockWriteGuard<'_, Members> {
+            self.members.write().unwrap_or_else(PoisonError::into_inner)
+        }
+
         fn ledger(&self) -> RouterStats {
-            let shares = self.ring.occupancy(self.workers.len());
+            let members = self.read_members();
+            let shares = members.ring.occupancy(members.workers.len());
             RouterStats {
-                workers: self
+                workers: members
                     .workers
                     .iter()
                     .zip(&shares)
                     .map(|(w, &share)| RouterWorkerStats {
                         name: w.name.clone(),
-                        alive: w.alive.load(Ordering::SeqCst),
+                        alive: w.routable(),
                         forwarded: w.forwarded.load(Ordering::Relaxed),
                         rejected: w.rejected.load(Ordering::Relaxed),
                         rerouted: w.rerouted.load(Ordering::Relaxed),
@@ -487,29 +691,25 @@ mod socket {
         }
     }
 
-    /// Route one request line: pick the owner on the ring, apply its
-    /// in-flight budget, forward, and stream the frame back. A forward
-    /// failure marks the worker dead and walks to the ring successor;
-    /// only a fully dead ring surfaces an error to the client.
-    fn route_one(
-        router: &Router,
-        session: u64,
-        line: &str,
-        out: &mut impl Write,
-    ) -> std::io::Result<()> {
+    /// Route one request line and return the whole response frame: pick
+    /// the owner on the ring, apply its in-flight budget, forward. A
+    /// forward failure marks the worker dead and walks to the ring
+    /// successor; only a fully dead ring surfaces an error frame.
+    fn route_frame(router: &Router, session: u64, line: &str) -> Vec<u8> {
         let key = super::route_key(line);
         loop {
-            let alive: Vec<bool> = router
-                .workers
-                .iter()
-                .map(|w| w.alive.load(Ordering::SeqCst))
-                .collect();
-            let Some(w) = router.ring.route(key, &alive) else {
-                router.unrouted.fetch_add(1, Ordering::Relaxed);
-                eprintln!("router[{session}]: {line} -> no live worker (id={key:016x})");
-                return serve::write_error_frame(out, wire::REASON_NO_WORKER);
+            let worker = {
+                let members = router.read_members();
+                let alive: Vec<bool> = members.workers.iter().map(|w| w.routable()).collect();
+                match members.ring.route(key, &alive) {
+                    Some(w) => Arc::clone(&members.workers[w]),
+                    None => {
+                        router.unrouted.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("router[{session}]: {line} -> no live worker (id={key:016x})");
+                        return wire::error_frame(wire::REASON_NO_WORKER).into_bytes();
+                    }
+                }
             };
-            let worker = &router.workers[w];
             // The budget is per-worker and the decision is final: the
             // id's home worker is the only one whose caches are warm
             // for it, so spilling to a sibling would trade an explicit
@@ -521,7 +721,7 @@ mod socket {
                         "router[{session}]: {line} -> {} rejected (overload)",
                         worker.name
                     );
-                    return serve::write_error_frame(out, wire::REASON_OVERLOAD);
+                    return wire::error_frame(wire::REASON_OVERLOAD).into_bytes();
                 }
                 Some(permit @ Some(_)) => permit,
                 None => None,
@@ -538,11 +738,10 @@ mod socket {
                         frame.len(),
                         t0.elapsed().as_secs_f64() * 1000.0
                     );
-                    out.write_all(&frame)?;
-                    return out.flush();
+                    return frame;
                 }
                 Err(e) => {
-                    worker.alive.store(false, Ordering::SeqCst);
+                    worker.mark_dead();
                     worker.rerouted.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "router[{session}]: {} failed ({e}); re-routing id={key:016x} \
@@ -554,71 +753,290 @@ mod socket {
         }
     }
 
-    /// One client session: read request lines with the serve framing
-    /// rules, forward each, until EOF/quit/shutdown. Returns whether
-    /// this session asked the whole router to shut down.
-    fn router_session(
-        router: &Router,
-        session: u64,
-        input: &mut impl BufRead,
-        out: &mut impl Write,
-        shutdown: &AtomicBool,
-        max_frame: usize,
-    ) -> std::io::Result<bool> {
-        let mut buf: Vec<u8> = Vec::new();
-        let hard_cap = serve::HARD_LINE_CAP.max(max_frame.saturating_add(1));
-        loop {
-            match serve::read_raw_line(input, &mut buf, hard_cap) {
-                RawRead::Pending => {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return Ok(false);
-                    }
-                    continue;
-                }
-                RawRead::Eof => {
-                    if !buf.is_empty() {
-                        router.malformed.fetch_add(1, Ordering::Relaxed);
-                        serve::write_error_frame(out, wire::REASON_TRUNCATED)?;
-                    }
-                    return Ok(false);
-                }
-                RawRead::Line => {}
+    /// Handle a `ghr-join <endpoint>` control frame: probe the
+    /// endpoint, admit it (or re-admit a known one), rebuild the ring.
+    /// Answers a normal response frame describing the rebalance, or
+    /// `ghr-error reason=join-failed`.
+    fn handle_join(router: &Router, session: u64, line: &str) -> Vec<u8> {
+        let spec = line[wire::JOIN_PREFIX.len()..].trim();
+        let endpoint = match Endpoint::parse(spec) {
+            Ok(ep) => ep,
+            Err(e) => {
+                eprintln!("router[{session}]: join {spec:?} rejected: {e}");
+                return wire::error_frame(wire::REASON_JOIN_FAILED).into_bytes();
             }
-            let line = match serve::classify_line(&buf, max_frame) {
-                Ok(s) => s.trim().to_string(),
-                Err(reason) => {
-                    router.malformed.fetch_add(1, Ordering::Relaxed);
-                    serve::write_error_frame(out, reason)?;
-                    buf.clear();
-                    continue;
+        };
+        if !endpoint.probe() {
+            eprintln!(
+                "router[{session}]: join {endpoint} rejected: endpoint does not \
+                 accept connections"
+            );
+            return wire::error_frame(wire::REASON_JOIN_FAILED).into_bytes();
+        }
+        let (verb, name, share, live) = {
+            let mut members = router.write_members();
+            let (verb, index) = match members.workers.iter().position(|w| w.endpoint == endpoint) {
+                Some(i) => {
+                    members.workers[i].revive();
+                    ("re-admitted", i)
+                }
+                None => {
+                    let i = members.workers.len();
+                    members.workers.push(Arc::new(Worker::new(
+                        i,
+                        endpoint.clone(),
+                        None,
+                        router.worker_inflight,
+                    )));
+                    ("joined", i)
                 }
             };
-            buf.clear();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+            members.rebuild_ring();
+            let share = members.ring.occupancy(members.workers.len())[index];
+            let live = members.workers.iter().filter(|w| w.routable()).count();
+            (verb, members.workers[index].name.clone(), share, live)
+        };
+        router.joined.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "router[{session}]: {verb} {name} at {endpoint}; ring rebuilt, \
+             ~{:.1}% of the keyspace rebalanced to it ({live} live worker(s))",
+            share * 100.0
+        );
+        let body = format!(
+            "{verb} {name} at {endpoint}: {live} live worker(s), \
+             ~{:.1}% of keys moved to it\n",
+            share * 100.0
+        );
+        let id = RequestId::of(line);
+        format!(
+            "{}id={id} status=ok bytes={} evals=0 cached=no\n{body}{}\n",
+            wire::RESPONSE_PREFIX,
+            body.len(),
+            wire::FRAME_END
+        )
+        .into_bytes()
+    }
+
+    /// A counting semaphore bounding in-flight forwards per session
+    /// (the pipeline depth).
+    struct Gate {
+        max: usize,
+        n: Mutex<usize>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new(max: usize) -> Gate {
+            Gate {
+                max,
+                n: Mutex::new(0),
+                cv: Condvar::new(),
             }
-            if line == "quit" || line == "exit" {
-                return Ok(false);
+        }
+
+        fn acquire(&self) {
+            let mut n = self.n.lock().unwrap_or_else(PoisonError::into_inner);
+            while *n >= self.max {
+                n = self.cv.wait(n).unwrap_or_else(PoisonError::into_inner);
             }
-            if line == wire::SHUTDOWN_LINE {
-                shutdown.store(true, Ordering::SeqCst);
-                eprintln!("router[{session}]: shutdown frame received; draining");
-                return Ok(true);
-            }
-            router.requests.fetch_add(1, Ordering::Relaxed);
-            route_one(router, session, &line, out)?;
-            if shutdown.load(Ordering::SeqCst) {
-                return Ok(false);
+            *n += 1;
+        }
+
+        fn release(&self) {
+            *self.n.lock().unwrap_or_else(PoisonError::into_inner) -= 1;
+            self.cv.notify_one();
+        }
+    }
+
+    /// One response frame's place in the session's output order. Slots
+    /// enter the writer queue in request-arrival order and each blocks
+    /// the writer until its forward fills it — which is exactly
+    /// "responses stream back in arrival order".
+    struct Slot {
+        frame: Mutex<Option<Vec<u8>>>,
+        filled: Condvar,
+    }
+
+    impl Slot {
+        fn empty() -> Arc<Slot> {
+            Arc::new(Slot {
+                frame: Mutex::new(None),
+                filled: Condvar::new(),
+            })
+        }
+
+        /// A slot that is already complete (error frames, join
+        /// responses, lockstep forwards).
+        fn ready(bytes: Vec<u8>) -> Arc<Slot> {
+            Arc::new(Slot {
+                frame: Mutex::new(Some(bytes)),
+                filled: Condvar::new(),
+            })
+        }
+
+        fn fill(&self, bytes: Vec<u8>) {
+            let mut frame = self.frame.lock().unwrap_or_else(PoisonError::into_inner);
+            *frame = Some(bytes);
+            self.filled.notify_all();
+        }
+
+        fn take(&self) -> Vec<u8> {
+            let mut frame = self.frame.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(bytes) = frame.take() {
+                    return bytes;
+                }
+                frame = self
+                    .filled
+                    .wait(frame)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 
-    /// Spawn `ghr serve` for worker `i` with its socket next to the
-    /// router's and stderr teed to `<socket>.log`.
-    fn spawn_worker(i: usize, opts: &RouterOptions, sessions: usize) -> Result<Worker, String> {
+    /// One client session: read request lines with the serve framing
+    /// rules and forward each, until EOF/quit/shutdown. Up to
+    /// `pipeline` forwards run concurrently; a writer thread streams
+    /// the response frames back in arrival order. Returns whether this
+    /// session asked the whole router to shut down.
+    fn router_session<W: Write + Send>(
+        router: &Router,
+        session: u64,
+        input: &mut impl BufRead,
+        out: W,
+        shutdown: &AtomicBool,
+        max_frame: usize,
+        pipeline: usize,
+    ) -> std::io::Result<bool> {
+        let gate = Gate::new(pipeline.max(1));
+        let gate = &gate;
+        let (tx, rx) = mpsc::channel::<Arc<Slot>>();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(move || -> std::io::Result<()> {
+                let mut out = out;
+                for slot in rx {
+                    let frame = slot.take();
+                    out.write_all(&frame)?;
+                    out.flush()?;
+                }
+                Ok(())
+            });
+            let mut wants_shutdown = false;
+            let mut buf: Vec<u8> = Vec::new();
+            let hard_cap = serve::HARD_LINE_CAP.max(max_frame.saturating_add(1));
+            loop {
+                match serve::read_raw_line(input, &mut buf, hard_cap) {
+                    RawRead::Pending => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        continue;
+                    }
+                    RawRead::Eof => {
+                        if !buf.is_empty() {
+                            router.malformed.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(Slot::ready(
+                                wire::error_frame(wire::REASON_TRUNCATED).into_bytes(),
+                            ));
+                        }
+                        break;
+                    }
+                    RawRead::Line => {}
+                }
+                let line = match serve::classify_line(&buf, max_frame) {
+                    Ok(s) => s.trim().to_string(),
+                    Err(reason) => {
+                        router.malformed.fetch_add(1, Ordering::Relaxed);
+                        if tx
+                            .send(Slot::ready(wire::error_frame(reason).into_bytes()))
+                            .is_err()
+                        {
+                            break; // writer (and so the client) is gone
+                        }
+                        buf.clear();
+                        continue;
+                    }
+                };
+                buf.clear();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if line == "quit" || line == "exit" {
+                    break;
+                }
+                if line == wire::SHUTDOWN_LINE {
+                    shutdown.store(true, Ordering::SeqCst);
+                    eprintln!("router[{session}]: shutdown frame received; draining");
+                    wants_shutdown = true;
+                    break;
+                }
+                if line.starts_with(wire::JOIN_PREFIX) {
+                    // Joins rebuild the ring; handled inline so every
+                    // earlier line routed on the old ring and every
+                    // later one on the new.
+                    let frame = handle_join(router, session, &line);
+                    if tx.send(Slot::ready(frame)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                router.requests.fetch_add(1, Ordering::Relaxed);
+                if pipeline <= 1 {
+                    // Lockstep: forward inline, no extra thread.
+                    let frame = route_frame(router, session, &line);
+                    if tx.send(Slot::ready(frame)).is_err() {
+                        break;
+                    }
+                } else {
+                    gate.acquire();
+                    let slot = Slot::empty();
+                    if tx.send(Arc::clone(&slot)).is_err() {
+                        gate.release();
+                        break;
+                    }
+                    scope.spawn(move || {
+                        slot.fill(route_frame(router, session, &line));
+                        gate.release();
+                    });
+                }
+                if shutdown.load(Ordering::SeqCst) && !wants_shutdown {
+                    break;
+                }
+            }
+            drop(tx); // writer drains the remaining slots, then exits
+            match writer.join() {
+                Ok(result) => result.map(|()| wants_shutdown),
+                // A panicking writer already lost the client; the
+                // session just ends.
+                Err(_) => Ok(wants_shutdown),
+            }
+        })
+    }
+
+    /// The base path spawned workers hang their unix sockets off: the
+    /// router's own socket path, or a temp-dir stem when the router
+    /// listens on TCP (workers are local children either way).
+    fn worker_base(opts: &RouterOptions) -> String {
+        match &opts.socket {
+            Some(path) => path.clone(),
+            None => std::env::temp_dir()
+                .join(format!("ghr-router-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+        }
+    }
+
+    /// Spawn `ghr serve` for worker `i` with its socket at
+    /// `<base>.w<i>` and stderr teed to `<socket>.log`.
+    fn spawn_worker(
+        i: usize,
+        base: &str,
+        opts: &RouterOptions,
+        sessions: usize,
+    ) -> Result<Worker, String> {
         let exe = std::env::current_exe()
             .map_err(|e| format!("cannot locate the ghr binary to spawn workers: {e}"))?;
-        let sock = format!("{}.w{i}", opts.socket);
+        let sock = format!("{base}.w{i}");
         let log_path = format!("{sock}.log");
         let _ = std::fs::remove_file(&sock);
         let log = std::fs::File::create(&log_path)
@@ -647,26 +1065,21 @@ mod socket {
         let child = cmd
             .spawn()
             .map_err(|e| format!("cannot spawn worker {i}: {e}"))?;
-        Ok(Worker {
-            name: format!("worker-{i}"),
-            socket: sock,
-            child: Mutex::new(Some(child)),
-            alive: AtomicBool::new(true),
-            forwarded: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            rerouted: AtomicU64::new(0),
-            admission: opts.worker_inflight.map(Admission::new),
-            pool: Mutex::new(Vec::new()),
-        })
+        Ok(Worker::new(
+            i,
+            Endpoint::unix(sock),
+            Some(child),
+            opts.worker_inflight,
+        ))
     }
 
     /// Wait until every spawned worker accepts a connection (or died
     /// trying, in which case its log tail becomes the error).
-    fn await_workers(workers: &[Worker]) -> Result<(), String> {
+    fn await_workers(workers: &[Arc<Worker>]) -> Result<(), String> {
         let deadline = Instant::now() + SPAWN_DEADLINE;
         for worker in workers {
             loop {
-                if UnixStream::connect(&worker.socket).is_ok() {
+                if worker.endpoint.probe() {
                     break;
                 }
                 let exited = worker
@@ -676,7 +1089,7 @@ mod socket {
                     .as_mut()
                     .and_then(|c| c.try_wait().ok().flatten());
                 if let Some(status) = exited {
-                    let tail = std::fs::read_to_string(format!("{}.log", worker.socket))
+                    let tail = std::fs::read_to_string(format!("{}.log", worker.endpoint))
                         .unwrap_or_default();
                     let tail = tail.lines().next_back().unwrap_or("");
                     return Err(format!(
@@ -686,8 +1099,8 @@ mod socket {
                 }
                 if Instant::now() >= deadline {
                     return Err(format!(
-                        "{} did not bind {:?} within {SPAWN_DEADLINE:?}",
-                        worker.name, worker.socket
+                        "{} did not bind {} within {SPAWN_DEADLINE:?}",
+                        worker.name, worker.endpoint
                     ));
                 }
                 std::thread::sleep(Duration::from_millis(20));
@@ -703,7 +1116,7 @@ mod socket {
         let Some(child) = child.as_mut() else {
             return; // attached worker: not ours to stop
         };
-        if let Ok(mut conn) = UnixStream::connect(&worker.socket) {
+        if let Ok(mut conn) = worker.endpoint.connect() {
             let _ = conn.write_all(format!("{}\n", wire::SHUTDOWN_LINE).as_bytes());
         }
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -721,14 +1134,19 @@ mod socket {
     }
 
     pub(super) fn run(opts: &RouterOptions) -> Result<String, String> {
-        let spawn_mode = opts.attach.is_empty();
+        let listen = opts.listen_endpoint()?;
+        let spawn_mode = opts.attach.is_empty() && opts.attach_tcp.is_empty();
         let worker_count = if spawn_mode {
             opts.workers
         } else {
-            opts.attach.len()
+            opts.attach.len() + opts.attach_tcp.len()
         };
         if worker_count == 0 {
-            return Err("router needs at least one worker (--workers N or --attach SOCK)".into());
+            return Err(
+                "router needs at least one worker (--workers N, --attach SOCK, \
+                 or --attach-tcp HOST:PORT)"
+                    .into(),
+            );
         }
         let sessions = match opts.sessions {
             0 => std::env::var("GHR_SESSIONS")
@@ -739,71 +1157,111 @@ mod socket {
             n => n,
         };
 
-        let workers: Vec<Worker> = if spawn_mode {
+        let workers: Vec<Arc<Worker>> = if spawn_mode {
+            let base = worker_base(opts);
             let spawned = (0..worker_count)
-                .map(|i| spawn_worker(i, opts, sessions))
+                .map(|i| spawn_worker(i, &base, opts, sessions).map(Arc::new))
                 .collect::<Result<Vec<_>, _>>()?;
             await_workers(&spawned)?;
             spawned
         } else {
-            opts.attach
+            let mut endpoints: Vec<Endpoint> = opts
+                .attach
                 .iter()
+                .map(|sock| Endpoint::unix(sock.clone()))
+                .collect();
+            for spec in &opts.attach_tcp {
+                endpoints.push(Endpoint::tcp(spec)?);
+            }
+            endpoints
+                .into_iter()
                 .enumerate()
-                .map(|(i, sock)| Worker {
-                    name: format!("worker-{i}"),
-                    socket: sock.clone(),
-                    child: Mutex::new(None),
-                    alive: AtomicBool::new(true),
-                    forwarded: AtomicU64::new(0),
-                    rejected: AtomicU64::new(0),
-                    rerouted: AtomicU64::new(0),
-                    admission: opts.worker_inflight.map(Admission::new),
-                    pool: Mutex::new(Vec::new()),
-                })
+                .map(|(i, ep)| Arc::new(Worker::new(i, ep, None, opts.worker_inflight)))
                 .collect()
         };
 
         let router = Arc::new(Router {
-            ring: HashRing::new(worker_count),
-            workers,
+            members: RwLock::new(Members {
+                ring: HashRing::new(worker_count),
+                workers,
+            }),
+            worker_inflight: opts.worker_inflight,
             requests: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             unrouted: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
         });
 
-        let path = &opts.socket;
-        let _ = std::fs::remove_file(path);
-        let listener =
-            UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+        let listener = listen
+            .bind()
+            .map_err(|e| format!("cannot bind {listen}: {e}"))?;
         listener
             .set_nonblocking(true)
-            .map_err(|e| format!("cannot poll socket {path:?}: {e}"))?;
+            .map_err(|e| format!("cannot poll {listen}: {e}"))?;
+        let bound = listener.local_endpoint().unwrap_or_else(|| listen.clone());
+        if !bound.is_loopback() {
+            eprintln!(
+                "router: WARNING: {bound} is reachable beyond this host and the \
+                 wire protocol is unauthenticated — bind loopback (the default) \
+                 unless the network path is trusted"
+            );
+        }
         sig::install();
         let shutdown = Arc::new(AtomicBool::new(false));
         eprintln!(
-            "router: listening on {path} -> {worker_count} worker(s), \
-             {sessions} session slot(s){}; `ghr-shutdown` or SIGTERM stops the router",
+            "router: listening on {bound} -> {worker_count} worker(s), \
+             {sessions} session slot(s), pipeline depth {}{}; \
+             `ghr-shutdown` or SIGTERM stops the router",
+            opts.pipeline.max(1),
             match opts.worker_inflight {
                 Some(limit) => format!(", {limit} in-flight request(s) per worker"),
                 None => String::new(),
             }
         );
 
-        // Revival probe: a dead worker whose socket accepts again is
-        // put back in rotation (its hash range returns home).
+        // Revival probe: a dead worker whose endpoint accepts again is
+        // put back in rotation (its hash range returns home) — unless
+        // it stayed dead past the retirement window, in which case its
+        // vnodes leave the ring for good.
         let probe = {
             let router = Arc::clone(&router);
             let shutdown = Arc::clone(&shutdown);
+            let retire_after = opts.retire_after;
             std::thread::spawn(move || {
                 while !shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(PROBE_TICK);
-                    for worker in &router.workers {
-                        if !worker.alive.load(Ordering::SeqCst)
-                            && UnixStream::connect(&worker.socket).is_ok()
+                    let workers: Vec<Arc<Worker>> = router.read_members().workers.clone();
+                    let mut retired_any = false;
+                    for worker in &workers {
+                        if worker.retired.load(Ordering::SeqCst)
+                            || worker.alive.load(Ordering::SeqCst)
                         {
-                            worker.alive.store(true, Ordering::SeqCst);
-                            eprintln!("router: {} is back; range restored", worker.name);
+                            continue;
                         }
+                        if worker.endpoint.probe() {
+                            worker.revive();
+                            eprintln!("router: {} is back; range restored", worker.name);
+                        } else if let Some(window) = retire_after {
+                            let expired = worker
+                                .dead_since
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .map(|t| t.elapsed() >= window)
+                                .unwrap_or(false);
+                            if expired {
+                                worker.retired.store(true, Ordering::SeqCst);
+                                retired_any = true;
+                                eprintln!(
+                                    "router: {} dead for {:.1}s; retired — its vnodes \
+                                     rebalance to the survivors",
+                                    worker.name,
+                                    window.as_secs_f64()
+                                );
+                            }
+                        }
+                    }
+                    if retired_any {
+                        router.write_members().rebuild_ring();
                     }
                 }
             })
@@ -835,13 +1293,14 @@ mod socket {
             }
             if active.len() < sessions {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok(stream) => {
                         last_activity = Instant::now();
                         let id = next_session;
                         next_session += 1;
                         let router = Arc::clone(&router);
                         let shutdown = Arc::clone(&shutdown);
                         let max_frame = opts.max_frame;
+                        let pipeline = opts.pipeline;
                         active.push(std::thread::spawn(move || {
                             let _ = stream.set_read_timeout(Some(READ_TICK));
                             let reader = match stream.try_clone() {
@@ -852,14 +1311,8 @@ mod socket {
                                 }
                             };
                             let mut input = BufReader::new(reader);
-                            let mut writer = stream;
                             match router_session(
-                                &router,
-                                id,
-                                &mut input,
-                                &mut writer,
-                                &shutdown,
-                                max_frame,
+                                &router, id, &mut input, stream, &shutdown, max_frame, pipeline,
                             ) {
                                 Ok(_) => eprintln!("router[{id}]: session done"),
                                 Err(e) => eprintln!("router[{id}]: session ended: {e}"),
@@ -868,7 +1321,7 @@ mod socket {
                         continue; // a burst of clients: accept eagerly
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                    Err(e) => return Err(format!("accept on {path:?} failed: {e}")),
+                    Err(e) => return Err(format!("accept on {bound} failed: {e}")),
                 }
             }
             std::thread::sleep(ACCEPT_TICK);
@@ -881,21 +1334,29 @@ mod socket {
             let _ = handle.join();
         }
         let _ = probe.join();
-        for worker in &router.workers {
+        let final_workers: Vec<Arc<Worker>> = router.read_members().workers.clone();
+        for worker in &final_workers {
             worker.drain_pool();
             stop_worker(worker);
         }
-        let _ = std::fs::remove_file(path);
+        listen.cleanup();
 
         let ledger = router.ledger();
         eprint!("{}", ledger.summary_lines());
+        let joined = router.joined.load(Ordering::Relaxed);
+        if joined > 0 {
+            eprintln!("\nrouter: {joined} runtime join(s) rebalanced the ring");
+        } else {
+            eprintln!();
+        }
         if opts.stats_json {
             eprintln!("{}", ledger.to_json());
         }
         Ok(format!(
-            "routed {} request(s) across {} session(s) on {path} ({worker_count} worker(s))\n",
+            "routed {} request(s) across {} session(s) on {bound} ({} worker(s))\n",
             ledger.forwarded(),
             next_session - 1,
+            final_workers.len(),
         ))
     }
 }
@@ -959,6 +1420,62 @@ mod tests {
         assert!(!ring.is_empty());
     }
 
+    /// The rebalance bound: adding member 2 to a `[0, 1]` ring moves a
+    /// key only if its new owner *is* member 2, and the moved fraction
+    /// tracks the new member's measured arc share.
+    #[test]
+    fn join_moves_only_keys_owned_by_the_new_member() {
+        let before = HashRing::for_members(&[0, 1]);
+        let after = HashRing::for_members(&[0, 1, 2]);
+        assert_eq!(after.len(), 3 * VNODES);
+        let alive = [true; 3];
+        let mut moved = 0usize;
+        let samples = 4000u64;
+        for i in 0..samples {
+            let key = RequestId::of(&format!("k-{i}")).0;
+            let a = before.route(key, &alive).unwrap();
+            let b = after.route(key, &alive).unwrap();
+            if a != b {
+                assert_eq!(b, 2, "a moved key must land on the joined member");
+                moved += 1;
+            }
+        }
+        let share = after.occupancy(3)[2];
+        assert!(moved > 0, "a third member must claim some keys");
+        let moved_frac = moved as f64 / samples as f64;
+        assert!(
+            moved_frac <= share * 1.25 + 0.01,
+            "moved {moved_frac} of sampled keys but the member owns only {share}"
+        );
+    }
+
+    /// Retiring a member is the mirror image: only the retiree's keys
+    /// move, and each lands on the worker that was already its
+    /// successor (the one `route` with a dead flag picks).
+    #[test]
+    fn removal_moves_only_the_removed_members_keys() {
+        let full = HashRing::for_members(&[0, 1, 2]);
+        let less = HashRing::for_members(&[0, 2]);
+        let alive = [true, true, true];
+        let skip_1 = [true, false, true];
+        for i in 0..2000u64 {
+            let key = RequestId::of(&format!("k-{i}")).0;
+            let home = full.route(key, &alive).unwrap();
+            let rebuilt = less.route(key, &alive).unwrap();
+            assert_ne!(rebuilt, 1, "a removed member must own nothing");
+            if home != 1 {
+                assert_eq!(home, rebuilt, "survivors' keys must not move on removal");
+            } else {
+                // The rebuilt ring and the dead-flag walk agree on the
+                // inheritor: retirement changes bookkeeping, not routing.
+                assert_eq!(rebuilt, full.route(key, &skip_1).unwrap());
+            }
+        }
+        let shares = less.occupancy(3);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(shares[1], 0.0, "a retired member's share must be zero");
+    }
+
     #[test]
     fn route_key_ignores_render_flags_and_falls_back_on_garbage() {
         let plain = route_key("fig1 c2");
@@ -989,17 +1506,26 @@ mod tests {
                 "--max-idle",
                 "1.5",
                 "--max-frame=8192",
+                "--pipeline",
+                "4",
+                "--retire-after=2.5",
             ]),
         )
         .unwrap();
-        assert_eq!(opts.socket, "/tmp/r.sock");
+        assert_eq!(opts.socket.as_deref(), Some("/tmp/r.sock"));
         assert_eq!(opts.workers, 4);
         assert_eq!(opts.sessions, 6);
         assert_eq!(opts.worker_inflight, Some(2));
         assert_eq!(opts.max_idle, Some(Duration::from_secs_f64(1.5)));
         assert_eq!(opts.max_frame, 8192);
+        assert_eq!(opts.pipeline, 4);
+        assert_eq!(opts.retire_after, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(opts.threads, 3);
         assert!(opts.stats_json);
+        assert_eq!(
+            opts.listen_endpoint().unwrap(),
+            Endpoint::unix("/tmp/r.sock")
+        );
 
         let attached = parse_router_args(
             None,
@@ -1011,18 +1537,45 @@ mod tests {
                 "--attach",
                 "/tmp/a",
                 "--attach=/tmp/b",
+                "--attach-tcp",
+                "127.0.0.1:7421",
             ]),
         )
         .unwrap();
         assert_eq!(attached.attach, vec!["/tmp/a", "/tmp/b"]);
+        assert_eq!(attached.attach_tcp, vec!["127.0.0.1:7421"]);
 
+        let tcp = parse_router_args(None, false, 0, false, &args(&["--tcp", "7421"])).unwrap();
+        assert_eq!(tcp.tcp.as_deref(), Some("7421"));
+        assert_eq!(
+            tcp.listen_endpoint().unwrap(),
+            Endpoint::Tcp("127.0.0.1:7421".to_string())
+        );
+
+        // No listening place, two listening places, bad combinations.
         assert!(parse_router_args(None, false, 0, false, &args(&[])).is_err());
         assert!(parse_router_args(
             None,
             false,
             0,
             false,
+            &args(&["--socket", "/tmp/r", "--tcp", "7421"]),
+        )
+        .is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
             &args(&["--socket", "/tmp/r", "--workers", "2", "--attach", "/tmp/a"]),
+        )
+        .is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&["--tcp", "7421", "--workers", "2", "--attach-tcp", "h:1"]),
         )
         .is_err());
         assert!(parse_router_args(
@@ -1039,6 +1592,14 @@ mod tests {
             0,
             false,
             &args(&["--socket", "/tmp/r", "--workers", "0"]),
+        )
+        .is_err());
+        assert!(parse_router_args(
+            None,
+            false,
+            0,
+            false,
+            &args(&["--socket", "/tmp/r", "--pipeline", "0"]),
         )
         .is_err());
     }

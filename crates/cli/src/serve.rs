@@ -529,7 +529,7 @@ pub fn stats_json(stats: &EngineStats, stages: &[StageTiming], wall_ms: f64) -> 
 }
 
 #[cfg(unix)]
-pub use socket::{serve_socket, ServeOptions};
+pub use socket::{serve_endpoint, serve_socket, ServeOptions};
 
 /// Std-only SIGTERM latch: the handler just stores an atomic flag the
 /// accept loops (serve's and the router's) poll, which is the whole
@@ -568,9 +568,9 @@ pub(crate) mod sig {
 mod socket {
     use super::{serve_session, sig, Admission, ServeSummary, SessionConfig};
     use ghr_core::engine::Engine;
+    use ghr_types::transport::{Endpoint, Stream};
     use ghr_types::SessionStats;
     use std::io::BufReader;
-    use std::os::unix::net::{UnixListener, UnixStream};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::thread::JoinHandle;
@@ -612,29 +612,52 @@ mod socket {
     }
 
     /// Accept connections on a unix socket onto a bounded session set over
-    /// the shared engine. Runs until a `ghr-shutdown` frame, SIGTERM, or
-    /// the idle timeout, then drains: in-flight sessions finish their
-    /// current request and exit, their counters are absorbed, and the
-    /// socket file is removed.
+    /// the shared engine (see [`serve_endpoint`] for the general form).
     pub fn serve_socket(
         engine: &Arc<Engine>,
         path: &str,
         opts: &ServeOptions,
     ) -> Result<String, String> {
+        serve_endpoint(engine, &Endpoint::unix(path), opts)
+    }
+
+    /// Accept connections on a unix-socket or TCP endpoint onto a bounded
+    /// session set over the shared engine. Runs until a `ghr-shutdown`
+    /// frame, SIGTERM, or the idle timeout, then drains: in-flight
+    /// sessions finish their current request and exit, their counters are
+    /// absorbed, and whatever the bind left on disk is removed. The wire
+    /// protocol is transport-agnostic, so frames are byte-identical
+    /// across unix and TCP sessions.
+    pub fn serve_endpoint(
+        engine: &Arc<Engine>,
+        endpoint: &Endpoint,
+        opts: &ServeOptions,
+    ) -> Result<String, String> {
         let cap = opts.sessions.max(1);
-        let _ = std::fs::remove_file(path); // stale socket from a previous run
-        let listener =
-            UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+        let listener = endpoint
+            .bind()
+            .map_err(|e| format!("cannot bind {endpoint}: {e}"))?;
         listener
             .set_nonblocking(true)
-            .map_err(|e| format!("cannot poll socket {path:?}: {e}"))?;
+            .map_err(|e| format!("cannot poll {endpoint}: {e}"))?;
+        // With `--tcp 0` the OS picks the port; report where it landed.
+        let bound = listener
+            .local_endpoint()
+            .unwrap_or_else(|| endpoint.clone());
         sig::install();
         let shutdown = Arc::new(AtomicBool::new(false));
         let admission = opts
             .max_inflight
             .map(|limit| Arc::new(Admission::new(limit)));
+        if !bound.is_loopback() {
+            eprintln!(
+                "serve: WARNING: {bound} is reachable beyond this host and the wire \
+                 protocol is unauthenticated — bind loopback (the default) unless the \
+                 network path is trusted"
+            );
+        }
         eprintln!(
-            "serve: listening on {path} ({cap} session slot(s){}; \
+            "serve: listening on {bound} ({cap} session slot(s){}; \
              `ghr-shutdown` or SIGTERM stops the server)",
             match opts.max_inflight {
                 Some(limit) => format!(", max {limit} in-flight request(s)"),
@@ -667,7 +690,7 @@ mod socket {
             }
             if active.len() < cap {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok(stream) => {
                         last_activity = Instant::now();
                         let id = next_session;
                         next_session += 1;
@@ -682,7 +705,7 @@ mod socket {
                         continue; // a burst of clients: accept eagerly
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                    Err(e) => return Err(format!("accept on {path:?} failed: {e}")),
+                    Err(e) => return Err(format!("accept on {bound} failed: {e}")),
                 }
             }
             std::thread::sleep(ACCEPT_TICK);
@@ -697,7 +720,7 @@ mod socket {
             }
             drained += 1;
         }
-        let _ = std::fs::remove_file(path);
+        endpoint.cleanup();
         eprintln!("serve: drained — {}", total.summary_line());
         if let Some(admission) = &admission {
             if admission.rejected() > 0 {
@@ -708,7 +731,7 @@ mod socket {
             }
         }
         Ok(format!(
-            "served {} request(s) across {drained} session(s) on {path}\n",
+            "served {} request(s) across {drained} session(s) on {bound}\n",
             total.served
         ))
     }
@@ -736,7 +759,7 @@ mod socket {
 
     fn spawn_session(
         engine: &Arc<Engine>,
-        stream: UnixStream,
+        stream: Stream,
         id: u64,
         shutdown: &Arc<AtomicBool>,
         admission: Option<Arc<Admission>>,

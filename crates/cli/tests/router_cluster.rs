@@ -100,7 +100,7 @@ fn router_forwards_reroutes_and_drains_over_real_workers() {
 
     let router_sock = dir.join("router.sock");
     let opts = RouterOptions {
-        socket: router_sock.to_str().unwrap().to_string(),
+        socket: Some(router_sock.to_str().unwrap().to_string()),
         attach: worker_socks
             .iter()
             .map(|s| s.to_str().unwrap().to_string())

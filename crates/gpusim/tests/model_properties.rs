@@ -1,104 +1,226 @@
 //! Property and structure tests of the GPU timing model across the whole
 //! launch space.
+//!
+//! Two modes, same invariants: shrinking proptest strategies with
+//! `--features proptest` (registry access required to restore the crate
+//! to [dev-dependencies]), and a std-only SplitMix64 fallback by
+//! default so the properties run offline on every `cargo test`. The
+//! paper-grid structure test runs in both modes.
 
-//
-// Gated off by default: compiling this suite needs the `proptest` crate,
-// which is not vendored. Restore it to [dev-dependencies] and build with
-// `--features proptest` (registry access required).
-#![cfg(feature = "proptest")]
-
-use ghr_gpusim::{GpuModel, GpuModelParams, LaunchConfig};
+use ghr_gpusim::{GpuModel, LaunchConfig};
 use ghr_machine::GpuSpec;
 use ghr_types::DType;
-use proptest::prelude::*;
 
 fn model() -> GpuModel {
     GpuModel::new(GpuSpec::h100_sxm_gh200())
 }
 
-fn any_launch() -> impl Strategy<Value = LaunchConfig> {
-    (
-        1u64..20_000_000,
-        prop_oneof![
-            Just(32u32),
-            Just(64),
-            Just(128),
-            Just(256),
-            Just(512),
-            Just(1024)
-        ],
-        prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16), Just(32)],
-        1u64..5_000_000_000,
-        prop_oneof![
-            Just((DType::I32, DType::I32)),
-            Just((DType::I8, DType::I64)),
-            Just((DType::F32, DType::F32)),
-            Just((DType::F64, DType::F64)),
-        ],
-    )
-        .prop_map(
-            |(num_teams, threads_per_team, v, m, (elem, acc))| LaunchConfig {
-                num_teams,
-                threads_per_team,
-                v,
-                m,
-                elem,
-                acc,
-            },
+#[cfg(feature = "proptest")]
+mod with_proptest {
+    use super::model;
+    use ghr_gpusim::{GpuModel, GpuModelParams, LaunchConfig};
+    use ghr_machine::GpuSpec;
+    use ghr_types::DType;
+    use proptest::prelude::*;
+
+    fn any_launch() -> impl Strategy<Value = LaunchConfig> {
+        (
+            1u64..20_000_000,
+            prop_oneof![
+                Just(32u32),
+                Just(64),
+                Just(128),
+                Just(256),
+                Just(512),
+                Just(1024)
+            ],
+            prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16), Just(32)],
+            1u64..5_000_000_000,
+            prop_oneof![
+                Just((DType::I32, DType::I32)),
+                Just((DType::I8, DType::I64)),
+                Just((DType::F32, DType::F32)),
+                Just((DType::F64, DType::F64)),
+            ],
         )
+            .prop_map(
+                |(num_teams, threads_per_team, v, m, (elem, acc))| LaunchConfig {
+                    num_teams,
+                    threads_per_team,
+                    v,
+                    m,
+                    elem,
+                    acc,
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The model never produces invalid time or bandwidth above peak.
+        #[test]
+        fn outputs_are_physical(cfg in any_launch()) {
+            let m = model();
+            let b = m.reduce(&cfg).unwrap();
+            prop_assert!(b.total.is_valid_span());
+            prop_assert!(b.memory.is_valid_span());
+            prop_assert!(b.compute.is_valid_span());
+            prop_assert!(b.team_pipeline.is_valid_span());
+            prop_assert!(b.effective_bw.as_gbps() > 0.0);
+            prop_assert!(b.effective_bw.as_gbps() <= m.spec().hbm_peak_bw.as_gbps() + 1e-9);
+            prop_assert!(b.total >= b.launch);
+        }
+
+        /// Doubling the elements never makes the kernel faster.
+        #[test]
+        fn monotone_in_m(cfg in any_launch()) {
+            let m = model();
+            let t1 = m.reduce(&cfg).unwrap().total;
+            let mut big = cfg;
+            big.m = cfg.m.saturating_mul(2);
+            let t2 = m.reduce(&big).unwrap().total;
+            prop_assert!(t2 >= t1);
+        }
+
+        /// A lower supply roof never makes the kernel faster.
+        #[test]
+        fn supply_cap_is_monotone(cfg in any_launch(), cap_gbps in 10.0f64..4000.0) {
+            let m = model();
+            let free = m.reduce(&cfg).unwrap().total;
+            let capped = m
+                .reduce_with_supply(&cfg, Some(ghr_types::Bandwidth::gbps(cap_gbps)))
+                .unwrap()
+                .total;
+            prop_assert!(capped >= free);
+        }
+
+        /// Raising per-team overhead never speeds anything up.
+        #[test]
+        fn team_overhead_is_monotone(cfg in any_launch(), factor in 1.0f64..10.0) {
+            let base = model().reduce(&cfg).unwrap().total;
+            let mut params = GpuModelParams::default();
+            params.team_overhead_ns *= factor;
+            let slower = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), params)
+                .reduce(&cfg)
+                .unwrap()
+                .total;
+            prop_assert!(slower >= base);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Std-only fallback: the same invariants over SplitMix64-seeded random
+/// launches (no shrinking, but exercised offline on every `cargo test`).
+#[cfg(not(feature = "proptest"))]
+mod std_fallback {
+    use super::model;
+    use ghr_gpusim::{GpuModel, GpuModelParams, LaunchConfig};
+    use ghr_machine::GpuSpec;
+    use ghr_types::DType;
 
-    /// The model never produces invalid time or bandwidth above peak.
-    #[test]
-    fn outputs_are_physical(cfg in any_launch()) {
-        let m = model();
-        let b = m.reduce(&cfg).unwrap();
-        prop_assert!(b.total.is_valid_span());
-        prop_assert!(b.memory.is_valid_span());
-        prop_assert!(b.compute.is_valid_span());
-        prop_assert!(b.team_pipeline.is_valid_span());
-        prop_assert!(b.effective_bw.as_gbps() > 0.0);
-        prop_assert!(b.effective_bw.as_gbps() <= m.spec().hbm_peak_bw.as_gbps() + 1e-9);
-        prop_assert!(b.total >= b.launch);
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
     }
 
-    /// Doubling the elements never makes the kernel faster.
-    #[test]
-    fn monotone_in_m(cfg in any_launch()) {
-        let m = model();
-        let t1 = m.reduce(&cfg).unwrap().total;
-        let mut big = cfg;
-        big.m = cfg.m.saturating_mul(2);
-        let t2 = m.reduce(&big).unwrap().total;
-        prop_assert!(t2 >= t1);
+    const CASES: usize = 128;
+
+    fn any_launch(rng: &mut SplitMix64) -> LaunchConfig {
+        let (elem, acc) = [
+            (DType::I32, DType::I32),
+            (DType::I8, DType::I64),
+            (DType::F32, DType::F32),
+            (DType::F64, DType::F64),
+        ][rng.below(4) as usize];
+        LaunchConfig {
+            num_teams: 1 + rng.below(20_000_000),
+            threads_per_team: [32u32, 64, 128, 256, 512, 1024][rng.below(6) as usize],
+            v: [1u32, 2, 4, 8, 16, 32][rng.below(6) as usize],
+            m: 1 + rng.below(5_000_000_000),
+            elem,
+            acc,
+        }
     }
 
-    /// A lower supply roof never makes the kernel faster.
     #[test]
-    fn supply_cap_is_monotone(cfg in any_launch(), cap_gbps in 10.0f64..4000.0) {
+    fn outputs_are_physical() {
+        let mut rng = SplitMix64(0x6d01_0001);
         let m = model();
-        let free = m.reduce(&cfg).unwrap().total;
-        let capped = m
-            .reduce_with_supply(&cfg, Some(ghr_types::Bandwidth::gbps(cap_gbps)))
-            .unwrap()
-            .total;
-        prop_assert!(capped >= free);
+        for _ in 0..CASES {
+            let cfg = any_launch(&mut rng);
+            let b = m.reduce(&cfg).unwrap();
+            assert!(b.total.is_valid_span(), "{cfg:?}");
+            assert!(b.memory.is_valid_span());
+            assert!(b.compute.is_valid_span());
+            assert!(b.team_pipeline.is_valid_span());
+            assert!(b.effective_bw.as_gbps() > 0.0);
+            assert!(b.effective_bw.as_gbps() <= m.spec().hbm_peak_bw.as_gbps() + 1e-9);
+            assert!(b.total >= b.launch, "{cfg:?}");
+        }
     }
 
-    /// Raising per-team overhead never speeds anything up.
     #[test]
-    fn team_overhead_is_monotone(cfg in any_launch(), factor in 1.0f64..10.0) {
-        let base = model().reduce(&cfg).unwrap().total;
-        let mut params = GpuModelParams::default();
-        params.team_overhead_ns *= factor;
-        let slower = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), params)
-            .reduce(&cfg)
-            .unwrap()
-            .total;
-        prop_assert!(slower >= base);
+    fn monotone_in_m() {
+        let mut rng = SplitMix64(0x6d01_0002);
+        let m = model();
+        for _ in 0..CASES {
+            let cfg = any_launch(&mut rng);
+            let t1 = m.reduce(&cfg).unwrap().total;
+            let mut big = cfg;
+            big.m = cfg.m.saturating_mul(2);
+            let t2 = m.reduce(&big).unwrap().total;
+            assert!(t2 >= t1, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn supply_cap_is_monotone() {
+        let mut rng = SplitMix64(0x6d01_0003);
+        let m = model();
+        for _ in 0..CASES {
+            let cfg = any_launch(&mut rng);
+            let cap_gbps = 10.0 + rng.unit() * 3990.0;
+            let free = m.reduce(&cfg).unwrap().total;
+            let capped = m
+                .reduce_with_supply(&cfg, Some(ghr_types::Bandwidth::gbps(cap_gbps)))
+                .unwrap()
+                .total;
+            assert!(capped >= free, "{cfg:?} cap {cap_gbps}");
+        }
+    }
+
+    #[test]
+    fn team_overhead_is_monotone() {
+        let mut rng = SplitMix64(0x6d01_0004);
+        for _ in 0..CASES {
+            let cfg = any_launch(&mut rng);
+            let factor = 1.0 + rng.unit() * 9.0;
+            let base = model().reduce(&cfg).unwrap().total;
+            let mut params = GpuModelParams::default();
+            params.team_overhead_ns *= factor;
+            let slower = GpuModel::with_params(GpuSpec::h100_sxm_gh200(), params)
+                .reduce(&cfg)
+                .unwrap()
+                .total;
+            assert!(slower >= base, "{cfg:?} factor {factor}");
+        }
     }
 }
 

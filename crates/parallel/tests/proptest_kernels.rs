@@ -1,87 +1,204 @@
 //! Property tests of the real reduction kernels and the thread pool.
+//!
+//! Two modes, same invariants: shrinking proptest strategies with
+//! `--features proptest` (registry access required to restore the crate
+//! to [dev-dependencies]), and a std-only SplitMix64 fallback by
+//! default so the properties run offline on every `cargo test`.
 
-//
-// Gated off by default: compiling this suite needs the `proptest` crate,
-// which is not vendored. Restore it to [dev-dependencies] and build with
-// `--features proptest` (registry access required).
-#![cfg(feature = "proptest")]
+#[cfg(feature = "proptest")]
+mod with_proptest {
+    use ghr_parallel::{
+        parallel_max, parallel_min, parallel_sum, parallel_sum_unrolled, sum_kahan, sum_pairwise,
+        sum_sequential, sum_unrolled, ChunkPolicy, ThreadPool,
+    };
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
-use ghr_parallel::{
-    parallel_max, parallel_min, parallel_sum, parallel_sum_unrolled, sum_kahan, sum_pairwise,
-    sum_sequential, sum_unrolled, ChunkPolicy, ThreadPool,
-};
-use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every integer kernel variant computes the same exact sum.
-    #[test]
-    fn all_i32_kernels_agree(
-        data in proptest::collection::vec(-10_000i32..10_000, 0..20_000),
-        threads in 1usize..12,
-        v_idx in 0usize..6,
-        chunk in 1usize..2000,
-    ) {
-        let v = [1usize, 2, 4, 8, 16, 32][v_idx];
-        let expect = sum_sequential(&data);
-        prop_assert_eq!(sum_unrolled(&data, v), expect);
-        prop_assert_eq!(sum_pairwise(&data), expect);
-        prop_assert_eq!(parallel_sum(&data, threads), expect);
-        prop_assert_eq!(
-            parallel_sum_unrolled(&data, threads, v, ChunkPolicy::StaticChunked(chunk)),
-            expect
-        );
-    }
-
-    /// Min/max agree with the iterator versions, widened.
-    #[test]
-    fn min_max_agree_with_iterators(
-        data in proptest::collection::vec(-100i8..100, 1..10_000),
-        threads in 1usize..10,
-    ) {
-        prop_assert_eq!(
-            parallel_min(&data, threads),
-            *data.iter().min().unwrap() as i64
-        );
-        prop_assert_eq!(
-            parallel_max(&data, threads),
-            *data.iter().max().unwrap() as i64
-        );
-    }
-
-    /// Float kernels agree within recursive-summation bounds, and Kahan is
-    /// at least as close to the exact (f64-accumulated) sum as the naive
-    /// f32 loop.
-    #[test]
-    fn float_kernels_are_bounded(
-        data in proptest::collection::vec(-1.0f32..1.0, 1..10_000),
-        threads in 1usize..8,
-    ) {
-        let exact: f64 = data.iter().map(|&x| x as f64).sum();
-        let naive = sum_sequential(&data) as f64;
-        let par = parallel_sum(&data, threads) as f64;
-        let bound = f32::EPSILON as f64 * data.len() as f64 * data.len() as f64;
-        prop_assert!((par - exact).abs() <= bound.max(1e-6));
-        prop_assert!((naive - exact).abs() <= bound.max(1e-6));
-        // Kahan in f64 over widened data reproduces the exact sum closely.
-        let wide: Vec<f64> = data.iter().map(|&x| x as f64).collect();
-        prop_assert!((sum_kahan(&wide) - exact).abs() <= 1e-9 * exact.abs().max(1.0));
-    }
-
-    /// The thread pool runs every submitted job exactly once, for any
-    /// pool size and job count.
-    #[test]
-    fn pool_runs_each_job_once(threads in 1usize..8, jobs in 0usize..200) {
-        let pool = ThreadPool::new(threads);
-        let counter = Arc::new(AtomicU64::new(0));
-        for _ in 0..jobs {
-            let c = Arc::clone(&counter);
-            pool.submit(move || { c.fetch_add(1, Ordering::Relaxed); });
+        /// Every integer kernel variant computes the same exact sum.
+        #[test]
+        fn all_i32_kernels_agree(
+            data in proptest::collection::vec(-10_000i32..10_000, 0..20_000),
+            threads in 1usize..12,
+            v_idx in 0usize..6,
+            chunk in 1usize..2000,
+        ) {
+            let v = [1usize, 2, 4, 8, 16, 32][v_idx];
+            let expect = sum_sequential(&data);
+            prop_assert_eq!(sum_unrolled(&data, v), expect);
+            prop_assert_eq!(sum_pairwise(&data), expect);
+            prop_assert_eq!(parallel_sum(&data, threads), expect);
+            prop_assert_eq!(
+                parallel_sum_unrolled(&data, threads, v, ChunkPolicy::StaticChunked(chunk)),
+                expect
+            );
         }
-        pool.wait();
-        prop_assert_eq!(counter.load(Ordering::Relaxed), jobs as u64);
+
+        /// Min/max agree with the iterator versions, widened.
+        #[test]
+        fn min_max_agree_with_iterators(
+            data in proptest::collection::vec(-100i8..100, 1..10_000),
+            threads in 1usize..10,
+        ) {
+            prop_assert_eq!(
+                parallel_min(&data, threads),
+                *data.iter().min().unwrap() as i64
+            );
+            prop_assert_eq!(
+                parallel_max(&data, threads),
+                *data.iter().max().unwrap() as i64
+            );
+        }
+
+        /// Float kernels agree within recursive-summation bounds, and Kahan is
+        /// at least as close to the exact (f64-accumulated) sum as the naive
+        /// f32 loop.
+        #[test]
+        fn float_kernels_are_bounded(
+            data in proptest::collection::vec(-1.0f32..1.0, 1..10_000),
+            threads in 1usize..8,
+        ) {
+            let exact: f64 = data.iter().map(|&x| x as f64).sum();
+            let naive = sum_sequential(&data) as f64;
+            let par = parallel_sum(&data, threads) as f64;
+            let bound = f32::EPSILON as f64 * data.len() as f64 * data.len() as f64;
+            prop_assert!((par - exact).abs() <= bound.max(1e-6));
+            prop_assert!((naive - exact).abs() <= bound.max(1e-6));
+            // Kahan in f64 over widened data reproduces the exact sum closely.
+            let wide: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+            prop_assert!((sum_kahan(&wide) - exact).abs() <= 1e-9 * exact.abs().max(1.0));
+        }
+
+        /// The thread pool runs every submitted job exactly once, for any
+        /// pool size and job count.
+        #[test]
+        fn pool_runs_each_job_once(threads in 1usize..8, jobs in 0usize..200) {
+            let pool = ThreadPool::new(threads);
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..jobs {
+                let c = Arc::clone(&counter);
+                pool.submit(move || { c.fetch_add(1, Ordering::Relaxed); });
+            }
+            pool.wait();
+            prop_assert_eq!(counter.load(Ordering::Relaxed), jobs as u64);
+        }
+    }
+}
+
+/// Std-only fallback: the same invariants over SplitMix64-seeded random
+/// cases (no shrinking, but exercised offline on every `cargo test`).
+#[cfg(not(feature = "proptest"))]
+mod std_fallback {
+    use ghr_parallel::{
+        parallel_max, parallel_min, parallel_sum, parallel_sum_unrolled, sum_kahan, sum_pairwise,
+        sum_sequential, sum_unrolled, ChunkPolicy, ThreadPool,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    const CASES: usize = 64;
+
+    #[test]
+    fn all_i32_kernels_agree() {
+        let mut rng = SplitMix64(0x2a11_0001);
+        for _ in 0..CASES {
+            let len = rng.below(20_000) as usize;
+            let data: Vec<i32> = (0..len)
+                .map(|_| rng.below(20_000) as i32 - 10_000)
+                .collect();
+            let threads = 1 + rng.below(11) as usize;
+            let v = [1usize, 2, 4, 8, 16, 32][rng.below(6) as usize];
+            let chunk = 1 + rng.below(1999) as usize;
+            let expect = sum_sequential(&data);
+            assert_eq!(sum_unrolled(&data, v), expect);
+            assert_eq!(sum_pairwise(&data), expect);
+            assert_eq!(parallel_sum(&data, threads), expect);
+            assert_eq!(
+                parallel_sum_unrolled(&data, threads, v, ChunkPolicy::StaticChunked(chunk)),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_agree_with_iterators() {
+        let mut rng = SplitMix64(0x2a11_0002);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(10_000) as usize;
+            let data: Vec<i8> = (0..len)
+                .map(|_| (rng.below(200) as i64 - 100) as i8)
+                .collect();
+            let threads = 1 + rng.below(9) as usize;
+            assert_eq!(
+                parallel_min(&data, threads),
+                *data.iter().min().unwrap() as i64
+            );
+            assert_eq!(
+                parallel_max(&data, threads),
+                *data.iter().max().unwrap() as i64
+            );
+        }
+    }
+
+    #[test]
+    fn float_kernels_are_bounded() {
+        let mut rng = SplitMix64(0x2a11_0003);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(10_000) as usize;
+            let data: Vec<f32> = (0..len).map(|_| (rng.unit() * 2.0 - 1.0) as f32).collect();
+            let threads = 1 + rng.below(7) as usize;
+            let exact: f64 = data.iter().map(|&x| x as f64).sum();
+            let naive = sum_sequential(&data) as f64;
+            let par = parallel_sum(&data, threads) as f64;
+            let bound = f32::EPSILON as f64 * data.len() as f64 * data.len() as f64;
+            assert!((par - exact).abs() <= bound.max(1e-6));
+            assert!((naive - exact).abs() <= bound.max(1e-6));
+            // Kahan in f64 over widened data reproduces the exact sum closely.
+            let wide: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+            assert!((sum_kahan(&wide) - exact).abs() <= 1e-9 * exact.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pool_runs_each_job_once() {
+        let mut rng = SplitMix64(0x2a11_0004);
+        for _ in 0..16 {
+            let threads = 1 + rng.below(7) as usize;
+            let jobs = rng.below(200);
+            let pool = ThreadPool::new(threads);
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..jobs {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), jobs);
+        }
     }
 }

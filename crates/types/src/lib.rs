@@ -20,6 +20,7 @@ pub mod json;
 pub mod kernel;
 pub mod pipeline;
 pub mod stats;
+pub mod transport;
 pub mod units;
 pub mod wire;
 
@@ -30,4 +31,5 @@ pub use json::{Json, JsonError};
 pub use kernel::{CombinePattern, KernelDescriptor, OutputCardinality, WorkloadKind};
 pub use pipeline::{PlanSummary, RequestId, SessionStats, StagePlan, StageTiming};
 pub use stats::{CacheLayer, CacheLayerStats, RouterStats, RouterWorkerStats, Summary};
+pub use transport::{Endpoint, Listener, Stream};
 pub use units::{Bandwidth, Bytes, Frequency, SimTime};

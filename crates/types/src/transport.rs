@@ -1,0 +1,429 @@
+//! Stream transports for the serve/router wire protocol.
+//!
+//! The framed line protocol (see [`crate::wire`]) is transport-agnostic
+//! by construction: every producer writes whole frames and every
+//! consumer reads them back byte-exactly, so the only thing a transport
+//! has to provide is an ordered, reliable byte stream. This module is
+//! the one place that knows which byte streams exist:
+//!
+//! * **unix** — a `UnixStream` on a filesystem socket path. Same-host
+//!   only; this is the default everywhere and what `ghr router
+//!   --workers N` spawns its children on.
+//! * **tcp** — a `TcpStream` on `HOST:PORT`. This is what makes the
+//!   cluster tier cross-host: a worker on another machine binds
+//!   `ghr serve --tcp 0.0.0.0:7421` and the router attaches it with
+//!   `--attach-tcp host:7421`.
+//!
+//! An [`Endpoint`] names one listening place, a [`Listener`] accepts
+//! connections on it, and a [`Stream`] is one established connection.
+//! `Stream` implements `Read` + `Write`, so all framing code upstream
+//! (`ghr serve`, `ghr router`, `ghr client`, `ghr loadgen`) is written
+//! once against it and is byte-identical across transports — CI
+//! byte-diffs a routed response over unix against the same response
+//! over TCP.
+//!
+//! ## Security posture
+//!
+//! The wire protocol is unauthenticated, so exposure is controlled at
+//! bind time. A bare port (`--tcp 7421`) binds **loopback** — reachable
+//! only from this host, the safe default. Binding an external interface
+//! requires naming it explicitly (`--tcp 0.0.0.0:7421`), and
+//! [`Endpoint::is_loopback`] lets the server warn when that happens.
+//! Unix sockets inherit filesystem permissions and are always
+//! host-local.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// How long a TCP connect attempt waits before the peer is declared
+/// unreachable. A dead cross-host worker must fail fast enough for the
+/// router's re-route to stay invisible to clients; the OS default (a
+/// minutes-long SYN backoff) is not a serving-tier timeout.
+pub const TCP_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One place the wire protocol can listen or connect: a unix socket
+/// path, or a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A filesystem unix-socket path (host-local).
+    Unix(String),
+    /// A TCP socket address as `host:port` (cross-host capable).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// A unix-socket endpoint at `path`.
+    pub fn unix(path: impl Into<String>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// Parse a `--tcp` address: `HOST:PORT`, or a bare `PORT` which
+    /// binds **loopback** (`127.0.0.1`) — external exposure must be
+    /// named explicitly (`0.0.0.0:PORT`).
+    pub fn tcp(spec: &str) -> Result<Endpoint, String> {
+        if spec.is_empty() {
+            return Err("empty tcp address (need HOST:PORT or PORT)".to_string());
+        }
+        if let Ok(port) = spec.parse::<u16>() {
+            return Ok(Endpoint::Tcp(format!("127.0.0.1:{port}")));
+        }
+        match spec.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Endpoint::Tcp(spec.to_string()))
+            }
+            _ => Err(format!(
+                "bad tcp address {spec:?} (need HOST:PORT or a bare PORT, \
+                 which binds 127.0.0.1)"
+            )),
+        }
+    }
+
+    /// Parse a spec that may name either transport — the `ghr-join`
+    /// control frame's operand. `tcp:HOST:PORT` (or `tcp://HOST:PORT`)
+    /// is TCP; `unix:PATH` or any bare path is a unix socket.
+    pub fn parse(spec: &str) -> Result<Endpoint, String> {
+        if let Some(rest) = spec
+            .strip_prefix("tcp://")
+            .or_else(|| spec.strip_prefix("tcp:"))
+        {
+            Endpoint::tcp(rest)
+        } else if let Some(rest) = spec.strip_prefix("unix:") {
+            if rest.is_empty() {
+                Err("empty unix socket path".to_string())
+            } else {
+                Ok(Endpoint::unix(rest))
+            }
+        } else if spec.is_empty() {
+            Err("empty endpoint".to_string())
+        } else {
+            Ok(Endpoint::unix(spec))
+        }
+    }
+
+    /// Whether binding here is reachable only from this host: every
+    /// unix socket, and TCP on a loopback or unspecified-loopback host.
+    /// `false` means the caller is exposing an unauthenticated protocol
+    /// to the network and should say so loudly.
+    pub fn is_loopback(&self) -> bool {
+        match self {
+            Endpoint::Unix(_) => true,
+            Endpoint::Tcp(addr) => {
+                let host = addr.rsplit_once(':').map(|(h, _)| h).unwrap_or(addr);
+                let host = host.trim_start_matches('[').trim_end_matches(']');
+                host == "localhost" || host == "::1" || host.starts_with("127.")
+            }
+        }
+    }
+
+    /// Connect to this endpoint. TCP connects carry
+    /// [`TCP_CONNECT_TIMEOUT`] and set `TCP_NODELAY` (the protocol is
+    /// small request lines that must not sit in Nagle buffers).
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets need a unix platform",
+            )),
+            Endpoint::Tcp(addr) => {
+                let mut last = None;
+                for sockaddr in std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())? {
+                    match TcpStream::connect_timeout(&sockaddr, TCP_CONNECT_TIMEOUT) {
+                        Ok(stream) => {
+                            let _ = stream.set_nodelay(true);
+                            return Ok(Stream::Tcp(stream));
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("{addr:?} resolved to no address"),
+                    )
+                }))
+            }
+        }
+    }
+
+    /// Bind a listener here. A stale unix socket file from a previous
+    /// run is removed first (the bind would otherwise fail on it).
+    pub fn bind(&self) -> std::io::Result<Listener> {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets need a unix platform",
+            )),
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    /// Remove whatever the bind left on disk (the unix socket file;
+    /// TCP leaves nothing).
+    pub fn cleanup(&self) {
+        if let Endpoint::Unix(path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Whether the socket currently accepts connections (the router's
+    /// revival probe).
+    pub fn probe(&self) -> bool {
+        self.connect().is_ok()
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{path}"),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One established wire-protocol connection over either transport.
+/// Implements `Read` + `Write`; framing code upstream never matches on
+/// the variant.
+#[derive(Debug)]
+pub enum Stream {
+    /// A unix-socket connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clone the handle (one side buffers reads, the other writes).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Set the read timeout (the poll tick that lets serving sessions
+    /// observe shutdown between frames).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Half-close the write side, signalling EOF to the peer while the
+    /// read side keeps draining responses.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound wire-protocol listener over either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// Listening on a unix socket path.
+    #[cfg(unix)]
+    Unix(UnixListener),
+    /// Listening on a TCP address.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Accept one pending connection. Accepted TCP streams set
+    /// `TCP_NODELAY` so small frames leave immediately.
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+
+    /// Switch the listener to non-blocking accepts (the accept loops
+    /// poll so they can watch the shutdown flag).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The actually bound address — for TCP with port 0 this is where
+    /// the OS put the listener (tests bind ephemeral ports).
+    pub fn local_endpoint(&self) -> Option<Endpoint> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.local_addr().ok().and_then(|a| {
+                a.as_pathname()
+                    .map(|p| Endpoint::unix(p.to_string_lossy().into_owned()))
+            }),
+            Listener::Tcp(l) => l.local_addr().ok().map(|a| Endpoint::Tcp(a.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn tcp_spec_parses_and_bare_ports_bind_loopback() {
+        assert_eq!(
+            Endpoint::tcp("7421").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7421".to_string())
+        );
+        assert_eq!(
+            Endpoint::tcp("0.0.0.0:7421").unwrap(),
+            Endpoint::Tcp("0.0.0.0:7421".to_string())
+        );
+        assert_eq!(
+            Endpoint::tcp("node7:9000").unwrap(),
+            Endpoint::Tcp("node7:9000".to_string())
+        );
+        for bad in ["", ":7421", "host:", "host:notaport", "host:99999"] {
+            assert!(Endpoint::tcp(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn generic_parse_covers_both_transports() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7421").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7421".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("tcp://9000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:9000".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/w.sock").unwrap(),
+            Endpoint::unix("/tmp/w.sock")
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/w.sock").unwrap(),
+            Endpoint::unix("/tmp/w.sock")
+        );
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn loopback_detection_gates_the_exposure_warning() {
+        assert!(Endpoint::unix("/tmp/x.sock").is_loopback());
+        assert!(Endpoint::tcp("7421").unwrap().is_loopback());
+        assert!(Endpoint::tcp("127.0.0.1:7421").unwrap().is_loopback());
+        assert!(Endpoint::tcp("localhost:7421").unwrap().is_loopback());
+        assert!(Endpoint::tcp("[::1]:7421").unwrap().is_loopback());
+        assert!(!Endpoint::tcp("0.0.0.0:7421").unwrap().is_loopback());
+        assert!(!Endpoint::tcp("10.0.0.7:7421").unwrap().is_loopback());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for spec in ["tcp:127.0.0.1:7421", "/tmp/w.sock"] {
+            let ep = Endpoint::parse(spec).unwrap();
+            assert_eq!(Endpoint::parse(&ep.to_string()).unwrap(), ep);
+        }
+    }
+
+    /// The same bytes cross both transports intact: bind, connect,
+    /// write a frame-shaped blob, read it back.
+    #[test]
+    fn streams_carry_bytes_on_both_transports() {
+        let dir = std::env::temp_dir().join(format!("ghr-transport-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let unix = Endpoint::unix(dir.join("t.sock").to_string_lossy().into_owned());
+        let tcp_listener = Endpoint::tcp("127.0.0.1:0").unwrap().bind().unwrap();
+        let tcp = tcp_listener.local_endpoint().unwrap();
+        for (endpoint, listener) in [
+            (unix.clone(), unix.bind().unwrap()),
+            (tcp.clone(), tcp_listener),
+        ] {
+            let payload =
+                b"ghr-response id=abc status=ok bytes=3 evals=0 cached=yes\nhi\nghr-end\n";
+            let server = std::thread::spawn(move || {
+                let mut conn = listener.accept().unwrap();
+                let mut line = String::new();
+                BufReader::new(conn.try_clone().unwrap())
+                    .read_line(&mut line)
+                    .unwrap();
+                assert_eq!(line, "table1\n");
+                conn.write_all(payload).unwrap();
+            });
+            let mut client = endpoint.connect().unwrap();
+            client.write_all(b"table1\n").unwrap();
+            client.shutdown_write().unwrap();
+            let mut got = Vec::new();
+            client.read_to_end(&mut got).unwrap();
+            assert_eq!(got, payload, "transport {endpoint} mangled the frame");
+            server.join().unwrap();
+        }
+        unix.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connecting_to_a_dead_endpoint_fails_not_hangs() {
+        // Bind then drop a TCP listener: the port is closed, connect must
+        // error promptly (refused), bounded by the connect timeout.
+        let listener = Endpoint::tcp("127.0.0.1:0").unwrap().bind().unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        drop(listener);
+        let t0 = std::time::Instant::now();
+        assert!(ep.connect().is_err());
+        assert!(!ep.probe());
+        assert!(t0.elapsed() < TCP_CONNECT_TIMEOUT + Duration::from_secs(2));
+    }
+}

@@ -42,6 +42,15 @@ pub const FRAME_END: &str = "ghr-end";
 /// end one session).
 pub const SHUTDOWN_LINE: &str = "ghr-shutdown";
 
+/// Control-line prefix that attaches a new worker to a running router
+/// at runtime (`ghr-join <endpoint>`, where the endpoint is a unix
+/// socket path or `tcp:HOST:PORT`). The router answers with a normal
+/// response frame describing the rebalance, or
+/// `ghr-error reason=join-failed` when the endpoint does not accept.
+/// Router-only; a lone `ghr serve` treats the line as a request and
+/// renders the usual not-servable error.
+pub const JOIN_PREFIX: &str = "ghr-join ";
+
 /// Rejection slug: the request arrived past the in-flight admission
 /// budget (`--max-inflight` on a worker, `--worker-inflight` at the
 /// router). Retryable by contract.
@@ -67,6 +76,10 @@ pub const REASON_TRUNCATED: &str = "truncated-frame";
 /// whole ring is dead). Router-only; a single `ghr serve` never emits it.
 pub const REASON_NO_WORKER: &str = "no-live-worker";
 
+/// Rejection slug: a `ghr-join` control frame named an endpoint the
+/// router could not parse or connect to. Router-only.
+pub const REASON_JOIN_FAILED: &str = "join-failed";
+
 /// One full rejection frame for `reason`, ready to write.
 pub fn error_frame(reason: &str) -> String {
     format!("{ERROR_PREFIX}{reason}\n{FRAME_END}\n")
@@ -85,6 +98,7 @@ mod tests {
         assert_eq!(ERROR_PREFIX, "ghr-error reason=");
         assert_eq!(FRAME_END, "ghr-end");
         assert_eq!(SHUTDOWN_LINE, "ghr-shutdown");
+        assert_eq!(JOIN_PREFIX, "ghr-join ");
         assert_eq!(REASON_OVERLOAD, "overload");
         assert_eq!(REASON_CRLF, "crlf-line-ending");
         assert_eq!(REASON_NUL, "nul-byte");
@@ -92,6 +106,7 @@ mod tests {
         assert_eq!(REASON_INVALID_UTF8, "invalid-utf8");
         assert_eq!(REASON_TRUNCATED, "truncated-frame");
         assert_eq!(REASON_NO_WORKER, "no-live-worker");
+        assert_eq!(REASON_JOIN_FAILED, "join-failed");
     }
 
     #[test]
@@ -113,6 +128,7 @@ mod tests {
             REASON_INVALID_UTF8,
             REASON_TRUNCATED,
             REASON_NO_WORKER,
+            REASON_JOIN_FAILED,
         ] {
             assert!(
                 slug.bytes()

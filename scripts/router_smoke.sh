@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Router smoke test, four phases over a real 2-worker cluster:
+# Router smoke test, five phases over a real 2-worker cluster:
 #   1. correctness: `ghr router --socket --workers 2` over a shared
 #      cache dir; a routed table1 body must byte-match the one-shot CLI.
 #   2. determinism + cache locality: a repeated id appears in exactly
@@ -15,6 +15,12 @@
 #      core). The 2-worker report is kept as BENCH_router.json and the
 #      pair must render through `ghr bench diff`, self-described by
 #      their --label stamps.
+#   5. TCP: the same 2-worker cluster over 127.0.0.1 — routed bodies
+#      byte-match the unix run, a worker joins the ring mid-run via
+#      `ghr-join` and the post-rebalance catalog pass is still fully
+#      warm (evals=0 everywhere, the moved range answered from the
+#      shared store), and a `ghr loadgen --tcp` warm run is kept as
+#      BENCH_router_tcp.json and diffed against the unix report.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -227,5 +233,98 @@ done
 
 # Keep the 2-worker report for the CI artifact upload.
 cp "$WORK/BENCH_router.json" BENCH_router.json
+
+echo "==> TCP phase: the same cluster shape over 127.0.0.1"
+PORT=$((18000 + $$ % 10000))
+JOINPORT=$((PORT + 1))
+
+await_tcp() {
+    tries=0
+    until "$GHR" client --tcp "$1" > /dev/null 2>&1; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 200 ]; then
+            echo "FAIL: tcp endpoint 127.0.0.1:$1 never came up" >&2
+            cat "$WORK"/*.err 2>/dev/null >&2 || true
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+
+GHR_CACHE_DIR="$WORK/cachetcp" "$GHR" router --tcp "$PORT" --workers 2 \
+    --sessions 8 --threads 2 > "$WORK/rtcp.out" 2> "$WORK/rtcp.err" &
+RTCP=$!
+await_tcp "$PORT"
+
+echo "==> routed-over-TCP table1 is byte-identical to the unix-run body"
+"$GHR" client --tcp "$PORT" table1 > "$WORK/routed.tcp"
+awk '/^ghr-response /{next} /^ghr-end$/{next} {print}' "$WORK/routed.tcp" \
+    > "$WORK/routed.tcp.body"
+if ! cmp -s "$WORK/routed.tcp.body" "$WORK/direct.body"; then
+    echo "FAIL: TCP-routed body differs from the unix run" >&2
+    diff "$WORK/routed.tcp.body" "$WORK/direct.body" >&2 || true
+    exit 1
+fi
+
+echo "==> warm the catalog, then admit a third worker mid-run (ghr-join)"
+echo "$CATALOG" | while IFS= read -r req; do
+    "$GHR" client --tcp "$PORT" "$req" > /dev/null
+done
+# The joined worker needs at least as many serve slots as the router
+# has sessions: every router session pools one persistent connection
+# per worker, and a pooled connection occupies a serve slot for its
+# whole lifetime.
+"$GHR" serve --tcp "$JOINPORT" --sessions 16 --cache-dir "$WORK/cachetcp" \
+    > "$WORK/joinw.log" 2> "$WORK/joinw.err" &
+JOINW=$!
+await_tcp "$JOINPORT"
+"$GHR" client --tcp "$PORT" "ghr-join tcp:127.0.0.1:$JOINPORT" > "$WORK/join.out"
+if ! grep -q 'status=ok' "$WORK/join.out" || ! grep -q 'joined' "$WORK/join.out"; then
+    echo "FAIL: ghr-join did not admit the worker" >&2
+    cat "$WORK/join.out" "$WORK/rtcp.err" >&2
+    exit 1
+fi
+
+echo "==> post-rebalance catalog pass is still fully warm (evals=0)"
+"$GHR" client --tcp "$PORT" \
+    table1 whatif 'fig1 c1' 'fig1 c2' 'fig1 c3' 'fig1 c4' autotune \
+    > "$WORK/pass3.out"
+total=$(grep -c '^ghr-response ' "$WORK/pass3.out")
+warm=$(grep '^ghr-response ' "$WORK/pass3.out" | grep -c ' evals=0 ')
+if [ "$total" -ne 7 ] || [ "$warm" -ne 7 ]; then
+    echo "FAIL: post-join pass not fully warm ($warm/$total frames with evals=0)" >&2
+    grep '^ghr-response ' "$WORK/pass3.out" >&2
+    exit 1
+fi
+
+echo "==> loadgen over TCP: kept as BENCH_router_tcp.json, diffed vs unix"
+"$GHR" loadgen --tcp "$PORT" --requests 2000 --conns 8 --label router-2w-tcp \
+    --out "$WORK/BENCH_router_tcp.json" > "$WORK/lgtcp.out"
+if ! grep -q '"mode": "tcp"' "$WORK/BENCH_router_tcp.json"; then
+    echo "FAIL: TCP loadgen report does not declare mode tcp" >&2
+    grep '"mode"' "$WORK/BENCH_router_tcp.json" >&2 || true
+    exit 1
+fi
+"$GHR" bench diff "$WORK/BENCH_router.json" "$WORK/BENCH_router_tcp.json" \
+    > "$WORK/diff.tcp.out"
+for label in 'router-2w' 'router-2w-tcp'; do
+    if ! grep -q "\[$label\]" "$WORK/diff.tcp.out"; then
+        echo "FAIL: bench diff does not show the $label label" >&2
+        cat "$WORK/diff.tcp.out" >&2
+        exit 1
+    fi
+done
+cp "$WORK/BENCH_router_tcp.json" BENCH_router_tcp.json
+
+echo "==> drain the TCP router; the join is in its ledger"
+kill -TERM "$RTCP"
+wait "$RTCP"
+kill -TERM "$JOINW" 2>/dev/null || true
+wait "$JOINW" 2>/dev/null || true
+if ! grep -q 'runtime join(s) rebalanced the ring' "$WORK/rtcp.err"; then
+    echo "FAIL: TCP router ledger did not record the runtime join" >&2
+    cat "$WORK/rtcp.err" >&2
+    exit 1
+fi
 
 echo "router smoke: OK"

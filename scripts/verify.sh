@@ -34,6 +34,12 @@ cargo test -q -p ghr-cli --test serve_loop
 echo "==> cargo test -q -p ghr-cli --test router_cluster"
 cargo test -q -p ghr-cli --test router_cluster
 
+echo "==> cargo test -q -p ghr-cli --test transport_faults"
+cargo test -q -p ghr-cli --test transport_faults
+
+echo "==> cargo test -q -p ghr-cli --test ring_rebalance"
+cargo test -q -p ghr-cli --test ring_rebalance
+
 echo "==> cargo test -q -p ghr-parallel --test workload_parity"
 cargo test -q -p ghr-parallel --test workload_parity
 

@@ -1,170 +1,358 @@
 //! Property-based invariants across the workspace: execution semantics,
 //! page-placement conservation, and timing-model sanity.
+//!
+//! Two modes, same invariants:
+//!
+//! * with `--features proptest` (registry access required to restore the
+//!   crate to [dev-dependencies]): shrinking proptest strategies;
+//! * by default: a std-only SplitMix64 fallback that drives the same
+//!   properties over seeded random cases, so the invariants run offline
+//!   on every `cargo test`.
 
-//
-// Gated off by default: compiling this suite needs the `proptest` crate,
-// which is not vendored. Restore it to [dev-dependencies] and build with
-// `--features proptest` (registry access required).
-#![cfg(feature = "proptest")]
+#[cfg(feature = "proptest")]
+mod with_proptest {
+    use grace_hopper_reduction::gpusim::{execute_reduction, GpuModel, LaunchConfig};
+    use grace_hopper_reduction::machine::{GpuSpec, MachineConfig};
+    use grace_hopper_reduction::mem::{Residency, UnifiedMemory};
+    use grace_hopper_reduction::parallel::{parallel_sum_unrolled, sum_sequential, ChunkPolicy};
+    use grace_hopper_reduction::types::{Bytes, DType, Device};
+    use proptest::prelude::*;
 
-use grace_hopper_reduction::gpusim::{execute_reduction, GpuModel, LaunchConfig};
-use grace_hopper_reduction::machine::{GpuSpec, MachineConfig};
-use grace_hopper_reduction::mem::{Residency, UnifiedMemory};
-use grace_hopper_reduction::parallel::{parallel_sum_unrolled, sum_sequential, ChunkPolicy};
-use grace_hopper_reduction::types::{Bytes, DType, Device};
-use proptest::prelude::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
 
-fn launch_strategy(m: u64, elem: DType, acc: DType) -> impl Strategy<Value = LaunchConfig> {
-    (
-        1u64..100_000,
-        prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512)],
-        prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16), Just(32)],
-    )
-        .prop_map(move |(num_teams, threads_per_team, v)| LaunchConfig {
-            num_teams,
-            threads_per_team,
-            v,
-            m,
-            elem,
-            acc,
-        })
+        /// The device executor computes exactly the sequential sum for
+        /// integers, for any geometry.
+        #[test]
+        fn device_execution_matches_sequential_i32(
+            data in proptest::collection::vec(-1000i32..1000, 1..5000),
+            cfg in (1u64..100_000, 0usize..5, 0usize..6),
+        ) {
+            let threads = [32u32, 64, 128, 256, 512][cfg.1];
+            let v = [1u32, 2, 4, 8, 16, 32][cfg.2];
+            let launch = LaunchConfig {
+                num_teams: cfg.0,
+                threads_per_team: threads,
+                v,
+                m: data.len() as u64,
+                elem: DType::I32,
+                acc: DType::I32,
+            };
+            let got = execute_reduction(&data, &launch).unwrap();
+            prop_assert_eq!(got, sum_sequential(&data));
+        }
+
+        /// The parallel CPU kernels match the sequential sum for i8 -> i64
+        /// under any thread count, unroll factor and chunk policy.
+        #[test]
+        fn parallel_cpu_reduction_matches_sequential_i8(
+            data in proptest::collection::vec(-100i8..100, 0..10_000),
+            threads in 1usize..16,
+            v_idx in 0usize..6,
+            chunk in prop_oneof![
+                Just(ChunkPolicy::Static),
+                (1usize..500).prop_map(ChunkPolicy::StaticChunked)
+            ],
+        ) {
+            let v = [1usize, 2, 4, 8, 16, 32][v_idx];
+            let got = parallel_sum_unrolled(&data, threads, v, chunk);
+            prop_assert_eq!(got, sum_sequential(&data));
+        }
+
+        /// Float device execution stays within the recursive-summation bound.
+        #[test]
+        fn device_execution_float_bounded(
+            data in proptest::collection::vec(-1.0f64..1.0, 1..5000),
+            num_teams in 1u64..10_000,
+        ) {
+            let launch = LaunchConfig {
+                num_teams,
+                threads_per_team: 128,
+                v: 4,
+                m: data.len() as u64,
+                elem: DType::F64,
+                acc: DType::F64,
+            };
+            let got = execute_reduction(&data, &launch).unwrap();
+            let expect = sum_sequential(&data);
+            let bound = f64::EPSILON * data.len() as f64 * data.len() as f64;
+            prop_assert!((got - expect).abs() <= bound.max(1e-12),
+                "got {got}, expect {expect}");
+        }
+
+        /// Page conservation: after any access sequence, every page is in
+        /// exactly one residency state and the counts add up.
+        #[test]
+        fn page_states_are_conserved(
+            len in 1u64..100_000,
+            ops in proptest::collection::vec(
+                (prop_oneof![Just(Device::Host), Just(Device::GPU0)], 0.0f64..1.0, 0.0f64..1.0),
+                0..50
+            ),
+        ) {
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(4096);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(len));
+            let total_pages = len.div_ceil(4096);
+            for (dev, a, b) in ops {
+                let off = (a * len as f64) as u64;
+                let n = ((b * (len - off) as f64) as u64).min(len - off);
+                um.access(dev, rid, Bytes(off), Bytes(n));
+                let (u, c, g) = um.residency_histogram(rid);
+                prop_assert_eq!(u + c + g, total_pages);
+            }
+        }
+
+        /// Accesses classify every requested byte exactly once.
+        #[test]
+        fn access_outcomes_account_for_all_bytes(
+            len in 1u64..50_000,
+            off_frac in 0.0f64..1.0,
+            n_frac in 0.0f64..1.0,
+        ) {
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(1024);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(len));
+            let off = (off_frac * len as f64) as u64;
+            let n = ((n_frac * (len - off) as f64) as u64).min(len - off);
+            let out = um.gpu_access(rid, Bytes(off), Bytes(n));
+            prop_assert_eq!(out.total(), Bytes(n));
+            let out = um.cpu_access(rid, Bytes(off), Bytes(n));
+            prop_assert_eq!(out.total(), Bytes(n));
+        }
+
+        /// Model sanity: effective bandwidth never exceeds the peak, and time
+        /// is monotone in the element count.
+        #[test]
+        fn gpu_model_sanity(
+            num_teams in 1u64..100_000,
+            t_idx in 0usize..5,
+            v_idx in 0usize..6,
+        ) {
+            let cfg = LaunchConfig {
+                num_teams,
+                threads_per_team: [32u32, 64, 128, 256, 512][t_idx],
+                v: [1u32, 2, 4, 8, 16, 32][v_idx],
+                m: 1_000_000,
+                elem: DType::F32,
+                acc: DType::F32,
+            };
+            let model = GpuModel::new(GpuSpec::h100_sxm_gh200());
+            let b = model.reduce(&cfg).unwrap();
+            prop_assert!(b.total.is_valid_span());
+            prop_assert!(b.effective_bw.as_gbps() <= model.spec().hbm_peak_bw.as_gbps() + 1e-9);
+            let mut bigger = cfg;
+            bigger.m *= 2;
+            let b2 = model.reduce(&bigger).unwrap();
+            prop_assert!(b2.total >= b.total);
+        }
+
+        /// GPU pages, once migrated to HBM, stay there under further GPU
+        /// access (no thrash).
+        #[test]
+        fn migrated_pages_are_sticky(passes in 1usize..10) {
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(512);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(8192));
+            um.cpu_access(rid, Bytes(0), Bytes(8192));
+            for _ in 0..passes {
+                um.gpu_access(rid, Bytes(0), Bytes(8192));
+            }
+            let (_, _, gpu) = um.residency_histogram(rid);
+            prop_assert_eq!(gpu, 16);
+            // Pages remain GPU-resident; CPU reads do not steal them back.
+            um.cpu_access(rid, Bytes(0), Bytes(8192));
+            prop_assert_eq!(um.residency_at(rid, Bytes(0)), Residency::Gpu);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Std-only fallback: the same invariants over SplitMix64-seeded random
+/// cases. No shrinking, but the properties themselves get exercised on
+/// every offline `cargo test`.
+#[cfg(not(feature = "proptest"))]
+mod std_fallback {
+    use grace_hopper_reduction::gpusim::{execute_reduction, GpuModel, LaunchConfig};
+    use grace_hopper_reduction::machine::{GpuSpec, MachineConfig};
+    use grace_hopper_reduction::mem::{Residency, UnifiedMemory};
+    use grace_hopper_reduction::parallel::{parallel_sum_unrolled, sum_sequential, ChunkPolicy};
+    use grace_hopper_reduction::types::{Bytes, DType, Device};
 
-    /// The device executor computes exactly the sequential sum for
-    /// integers, for any geometry.
-    #[test]
-    fn device_execution_matches_sequential_i32(
-        data in proptest::collection::vec(-1000i32..1000, 1..5000),
-        cfg in (1u64..100_000, 0usize..5, 0usize..6),
-    ) {
-        let threads = [32u32, 64, 128, 256, 512][cfg.1];
-        let v = [1u32, 2, 4, 8, 16, 32][cfg.2];
-        let launch = LaunchConfig {
-            num_teams: cfg.0,
-            threads_per_team: threads,
-            v,
-            m: data.len() as u64,
-            elem: DType::I32,
-            acc: DType::I32,
-        };
-        let got = execute_reduction(&data, &launch).unwrap();
-        prop_assert_eq!(got, sum_sequential(&data));
-    }
+    struct SplitMix64(u64);
 
-    /// The parallel CPU kernels match the sequential sum for i8 -> i64
-    /// under any thread count, unroll factor and chunk policy.
-    #[test]
-    fn parallel_cpu_reduction_matches_sequential_i8(
-        data in proptest::collection::vec(-100i8..100, 0..10_000),
-        threads in 1usize..16,
-        v_idx in 0usize..6,
-        chunk in prop_oneof![
-            Just(ChunkPolicy::Static),
-            (1usize..500).prop_map(ChunkPolicy::StaticChunked)
-        ],
-    ) {
-        let v = [1usize, 2, 4, 8, 16, 32][v_idx];
-        let got = parallel_sum_unrolled(&data, threads, v, chunk);
-        prop_assert_eq!(got, sum_sequential(&data));
-    }
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
 
-    /// Float device execution stays within the recursive-summation bound.
-    #[test]
-    fn device_execution_float_bounded(
-        data in proptest::collection::vec(-1.0f64..1.0, 1..5000),
-        num_teams in 1u64..10_000,
-    ) {
-        let launch = LaunchConfig {
-            num_teams,
-            threads_per_team: 128,
-            v: 4,
-            m: data.len() as u64,
-            elem: DType::F64,
-            acc: DType::F64,
-        };
-        let got = execute_reduction(&data, &launch).unwrap();
-        let expect = sum_sequential(&data);
-        let bound = f64::EPSILON * data.len() as f64 * data.len() as f64;
-        prop_assert!((got - expect).abs() <= bound.max(1e-12),
-            "got {got}, expect {expect}");
-    }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
 
-    /// Page conservation: after any access sequence, every page is in
-    /// exactly one residency state and the counts add up.
-    #[test]
-    fn page_states_are_conserved(
-        len in 1u64..100_000,
-        ops in proptest::collection::vec(
-            (prop_oneof![Just(Device::Host), Just(Device::GPU0)], 0.0f64..1.0, 0.0f64..1.0),
-            0..50
-        ),
-    ) {
-        let mut machine = MachineConfig::gh200();
-        machine.page_size = Bytes(4096);
-        let mut um = UnifiedMemory::new(&machine);
-        let rid = um.alloc(Bytes(len));
-        let total_pages = len.div_ceil(4096);
-        for (dev, a, b) in ops {
-            let off = (a * len as f64) as u64;
-            let n = ((b * (len - off) as f64) as u64).min(len - off);
-            um.access(dev, rid, Bytes(off), Bytes(n));
-            let (u, c, g) = um.residency_histogram(rid);
-            prop_assert_eq!(u + c + g, total_pages);
+        /// Uniform in `[0, 1)`.
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
         }
     }
 
-    /// Accesses classify every requested byte exactly once.
+    const CASES: usize = 64;
+
     #[test]
-    fn access_outcomes_account_for_all_bytes(
-        len in 1u64..50_000,
-        off_frac in 0.0f64..1.0,
-        n_frac in 0.0f64..1.0,
-    ) {
-        let mut machine = MachineConfig::gh200();
-        machine.page_size = Bytes(1024);
-        let mut um = UnifiedMemory::new(&machine);
-        let rid = um.alloc(Bytes(len));
-        let off = (off_frac * len as f64) as u64;
-        let n = ((n_frac * (len - off) as f64) as u64).min(len - off);
-        let out = um.gpu_access(rid, Bytes(off), Bytes(n));
-        prop_assert_eq!(out.total(), Bytes(n));
-        let out = um.cpu_access(rid, Bytes(off), Bytes(n));
-        prop_assert_eq!(out.total(), Bytes(n));
+    fn device_execution_matches_sequential_i32() {
+        let mut rng = SplitMix64(0x1457_0001);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(5000) as usize;
+            let data: Vec<i32> = (0..len).map(|_| rng.below(2000) as i32 - 1000).collect();
+            let launch = LaunchConfig {
+                num_teams: 1 + rng.below(100_000),
+                threads_per_team: [32u32, 64, 128, 256, 512][rng.below(5) as usize],
+                v: [1u32, 2, 4, 8, 16, 32][rng.below(6) as usize],
+                m: data.len() as u64,
+                elem: DType::I32,
+                acc: DType::I32,
+            };
+            let got = execute_reduction(&data, &launch).unwrap();
+            assert_eq!(got, sum_sequential(&data), "{launch:?}");
+        }
     }
 
-    /// Model sanity: effective bandwidth never exceeds the peak, and time
-    /// is monotone in the element count.
     #[test]
-    fn gpu_model_sanity(cfg in launch_strategy(1_000_000, DType::F32, DType::F32)) {
+    fn parallel_cpu_reduction_matches_sequential_i8() {
+        let mut rng = SplitMix64(0x1457_0002);
+        for _ in 0..CASES {
+            let len = rng.below(10_000) as usize;
+            let data: Vec<i8> = (0..len)
+                .map(|_| (rng.below(200) as i64 - 100) as i8)
+                .collect();
+            let threads = 1 + rng.below(15) as usize;
+            let v = [1usize, 2, 4, 8, 16, 32][rng.below(6) as usize];
+            let chunk = if rng.below(2) == 0 {
+                ChunkPolicy::Static
+            } else {
+                ChunkPolicy::StaticChunked(1 + rng.below(499) as usize)
+            };
+            let got = parallel_sum_unrolled(&data, threads, v, chunk);
+            assert_eq!(
+                got,
+                sum_sequential(&data),
+                "threads={threads} v={v} {chunk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_execution_float_bounded() {
+        let mut rng = SplitMix64(0x1457_0003);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(5000) as usize;
+            let data: Vec<f64> = (0..len).map(|_| rng.unit() * 2.0 - 1.0).collect();
+            let launch = LaunchConfig {
+                num_teams: 1 + rng.below(10_000),
+                threads_per_team: 128,
+                v: 4,
+                m: data.len() as u64,
+                elem: DType::F64,
+                acc: DType::F64,
+            };
+            let got = execute_reduction(&data, &launch).unwrap();
+            let expect = sum_sequential(&data);
+            let bound = f64::EPSILON * data.len() as f64 * data.len() as f64;
+            assert!(
+                (got - expect).abs() <= bound.max(1e-12),
+                "got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn page_states_are_conserved() {
+        let mut rng = SplitMix64(0x1457_0004);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(100_000);
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(4096);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(len));
+            let total_pages = len.div_ceil(4096);
+            for _ in 0..rng.below(50) {
+                let dev = if rng.below(2) == 0 {
+                    Device::Host
+                } else {
+                    Device::GPU0
+                };
+                let off = (rng.unit() * len as f64) as u64;
+                let n = ((rng.unit() * (len - off) as f64) as u64).min(len - off);
+                um.access(dev, rid, Bytes(off), Bytes(n));
+                let (u, c, g) = um.residency_histogram(rid);
+                assert_eq!(u + c + g, total_pages);
+            }
+        }
+    }
+
+    #[test]
+    fn access_outcomes_account_for_all_bytes() {
+        let mut rng = SplitMix64(0x1457_0005);
+        for _ in 0..CASES {
+            let len = 1 + rng.below(50_000);
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(1024);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(len));
+            let off = (rng.unit() * len as f64) as u64;
+            let n = ((rng.unit() * (len - off) as f64) as u64).min(len - off);
+            let out = um.gpu_access(rid, Bytes(off), Bytes(n));
+            assert_eq!(out.total(), Bytes(n));
+            let out = um.cpu_access(rid, Bytes(off), Bytes(n));
+            assert_eq!(out.total(), Bytes(n));
+        }
+    }
+
+    #[test]
+    fn gpu_model_sanity() {
+        let mut rng = SplitMix64(0x1457_0006);
         let model = GpuModel::new(GpuSpec::h100_sxm_gh200());
-        let b = model.reduce(&cfg).unwrap();
-        prop_assert!(b.total.is_valid_span());
-        prop_assert!(b.effective_bw.as_gbps() <= model.spec().hbm_peak_bw.as_gbps() + 1e-9);
-        let mut bigger = cfg;
-        bigger.m *= 2;
-        let b2 = model.reduce(&bigger).unwrap();
-        prop_assert!(b2.total >= b.total);
+        for _ in 0..CASES {
+            let cfg = LaunchConfig {
+                num_teams: 1 + rng.below(100_000),
+                threads_per_team: [32u32, 64, 128, 256, 512][rng.below(5) as usize],
+                v: [1u32, 2, 4, 8, 16, 32][rng.below(6) as usize],
+                m: 1_000_000,
+                elem: DType::F32,
+                acc: DType::F32,
+            };
+            let b = model.reduce(&cfg).unwrap();
+            assert!(b.total.is_valid_span());
+            assert!(b.effective_bw.as_gbps() <= model.spec().hbm_peak_bw.as_gbps() + 1e-9);
+            let mut bigger = cfg;
+            bigger.m *= 2;
+            let b2 = model.reduce(&bigger).unwrap();
+            assert!(b2.total >= b.total, "{cfg:?}");
+        }
     }
 
-    /// GPU pages, once migrated to HBM, stay there under further GPU
-    /// access (no thrash).
     #[test]
-    fn migrated_pages_are_sticky(passes in 1usize..10) {
-        let mut machine = MachineConfig::gh200();
-        machine.page_size = Bytes(512);
-        let mut um = UnifiedMemory::new(&machine);
-        let rid = um.alloc(Bytes(8192));
-        um.cpu_access(rid, Bytes(0), Bytes(8192));
-        for _ in 0..passes {
-            um.gpu_access(rid, Bytes(0), Bytes(8192));
+    fn migrated_pages_are_sticky() {
+        for passes in 1usize..10 {
+            let mut machine = MachineConfig::gh200();
+            machine.page_size = Bytes(512);
+            let mut um = UnifiedMemory::new(&machine);
+            let rid = um.alloc(Bytes(8192));
+            um.cpu_access(rid, Bytes(0), Bytes(8192));
+            for _ in 0..passes {
+                um.gpu_access(rid, Bytes(0), Bytes(8192));
+            }
+            let (_, _, gpu) = um.residency_histogram(rid);
+            assert_eq!(gpu, 16);
+            // Pages remain GPU-resident; CPU reads do not steal them back.
+            um.cpu_access(rid, Bytes(0), Bytes(8192));
+            assert_eq!(um.residency_at(rid, Bytes(0)), Residency::Gpu);
         }
-        let (_, _, gpu) = um.residency_histogram(rid);
-        prop_assert_eq!(gpu, 16);
-        // Pages remain GPU-resident; CPU reads do not steal them back.
-        um.cpu_access(rid, Bytes(0), Bytes(8192));
-        prop_assert_eq!(um.residency_at(rid, Bytes(0)), Residency::Gpu);
     }
 }
